@@ -1,0 +1,245 @@
+// Command witrack-bench regenerates every table and figure of the
+// paper's evaluation (§8-§9) and prints paper-vs-measured rows. At
+// -scale paper the workloads match the paper's (100 one-minute runs per
+// accuracy figure, 132 fall experiments, ~100 gestures); -scale quick
+// runs a reduced version in about a minute.
+//
+// Usage:
+//
+//	witrack-bench [-scale quick|paper] [-only E4,E7,...] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"witrack/internal/experiments"
+	"witrack/internal/motion"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "workload scale: quick, mid, or paper")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "mid":
+		sc = experiments.Scale{Runs: 24, Duration: 40, Gestures: 40, ActivityReps: 12}
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintln(os.Stderr, "witrack-bench: -scale must be quick, mid, or paper")
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fmt.Printf("WiTrack evaluation harness — scale=%s seed=%d\n", *scaleName, *seed)
+	fmt.Printf("(paper numbers from MIT-CSAIL-TR-2013-030 / NSDI'14)\n\n")
+	start := time.Now()
+
+	if run("E1") {
+		r, err := experiments.Resolution(*seed)
+		check(err)
+		section("E1  FMCW resolution (Eq. 3)")
+		row("one-way resolution", "8.8 cm", fmt.Sprintf("%.1f cm theory, %.1f cm measured two-tone", r.TheoreticalResolution*100, r.MeasuredSeparability*100))
+	}
+
+	if run("E2") {
+		sr, err := experiments.SpectrogramDemo(*seed)
+		check(err)
+		before, after := experiments.StaticStripePersistence(sr)
+		section("E2  Fig.3 spectrogram pipeline")
+		row("static-stripe energy fraction", "dominant before, gone after subtraction",
+			fmt.Sprintf("%.2f raw -> %.3f subtracted", before, after))
+		row("frames", "-", fmt.Sprintf("%d frames, %d range bins", len(sr.Raw.Frames), len(sr.Raw.Frames[0])))
+	}
+
+	if run("E3") {
+		r, err := experiments.Accuracy3D(false, sc, *seed)
+		check(err)
+		x, y, z := r.Errors.Medians()
+		px, py, pz := r.Errors.P90s()
+		section("E3  Fig.8(a) line-of-sight 3D accuracy")
+		row("median x/y/z", "9.9 / 8.6 / 17.7 cm", fmt.Sprintf("%.1f / %.1f / %.1f cm", x*100, y*100, z*100))
+		row("90th pct x/y/z", "-", fmt.Sprintf("%.1f / %.1f / %.1f cm", px*100, py*100, pz*100))
+		row("samples", "~480,000", fmt.Sprintf("%d", r.Samples))
+	}
+
+	if run("E4") {
+		r, err := experiments.Accuracy3D(true, sc, *seed)
+		check(err)
+		x, y, z := r.Errors.Medians()
+		px, py, pz := r.Errors.P90s()
+		section("E4  Fig.8(b) through-wall 3D accuracy")
+		row("median x/y/z", "13.1 / 10.25 / 21.0 cm", fmt.Sprintf("%.1f / %.1f / %.1f cm", x*100, y*100, z*100))
+		row("90th pct x/y/z", "<= ~1ft / ~1ft / ~2ft", fmt.Sprintf("%.1f / %.1f / %.1f cm", px*100, py*100, pz*100))
+		row("samples", "~480,000", fmt.Sprintf("%d", r.Samples))
+	}
+
+	if run("E5") {
+		bins, err := experiments.AccuracyVsDistance(sc, *seed)
+		check(err)
+		section("E5  Fig.9 accuracy vs distance (through-wall)")
+		for _, b := range bins {
+			x, y, z := b.Errors.Medians()
+			px, py, pz := b.Errors.P90s()
+			row(fmt.Sprintf("%d m median (p90)", b.Meters), "grows 5-10 cm from 3 m to 11 m",
+				fmt.Sprintf("x %.0f (%.0f), y %.0f (%.0f), z %.0f (%.0f) cm", x*100, px*100, y*100, py*100, z*100, pz*100))
+		}
+	}
+
+	if run("E6") {
+		pts, err := experiments.AccuracyVsSeparation([]float64{0.25, 0.5, 1.0, 1.5, 2.0}, sc, *seed)
+		check(err)
+		section("E6  Fig.10 accuracy vs antenna separation")
+		for _, p := range pts {
+			x, y, z := p.Errors.Medians()
+			row(fmt.Sprintf("separation %.2f m", p.Separation),
+				"@25cm medians <=17/12/31 cm; error shrinks with separation",
+				fmt.Sprintf("x %.1f, y %.1f, z %.1f cm", x*100, y*100, z*100))
+		}
+	}
+
+	if run("E7") {
+		r, err := experiments.Pointing(sc, *seed)
+		check(err)
+		section("E7  Fig.11 pointing-direction accuracy")
+		row("median / 90th pct", "11.2 / 37.9 deg", fmt.Sprintf("%.1f / %.1f deg (%d/%d gestures analyzed)",
+			r.Median(), r.P90(), r.Analyzed, r.Attempted))
+	}
+
+	if run("E8") {
+		gc, err := experiments.GestureDemo(*seed)
+		check(err)
+		section("E8  Fig.5 arm vs whole-body contrast")
+		row("reflected power ratio body/arm", ">> 1 (arm reflection surface much smaller)",
+			fmt.Sprintf("%.1fx", gc.BodyPower/gc.ArmPower))
+		row("spatial spread body vs arm", "body variance >> arm variance",
+			fmt.Sprintf("%.2f m vs %.2f m", gc.BodySpread, gc.ArmSpread))
+	}
+
+	if run("E9") {
+		traces, err := experiments.ElevationTraces(*seed)
+		check(err)
+		section("E9  Fig.6 elevation traces")
+		for _, tr := range traces {
+			if len(tr.Z) == 0 {
+				continue
+			}
+			final := tr.Z[len(tr.Z)-1]
+			truth := tr.TruthZ[len(tr.TruthZ)-1]
+			row(tr.Activity.String(), "walk/chair end high; floor-sit and fall end near ground",
+				fmt.Sprintf("final z %.2f m (truth %.2f m)", final, truth))
+		}
+	}
+
+	if run("E10") {
+		r, err := experiments.FallStudy(sc, *seed)
+		check(err)
+		section("E10 §9.5 fall detection")
+		for _, act := range motion.Activities() {
+			row("classified as fall: "+act.String(), paperFallRow(act),
+				fmt.Sprintf("%d / %d", r.Detected[act], r.Total[act]))
+		}
+		row("precision / recall / F", "96.9% / 93.9% / 94.4%",
+			fmt.Sprintf("%.1f%% / %.1f%% / %.1f%%", r.Precision*100, r.Recall*100, r.FMeasure*100))
+	}
+
+	if run("E11") {
+		r, err := experiments.Latency(*seed)
+		check(err)
+		section("E11 §7 real-time latency")
+		row("processing per 3D output", "< 75 ms", fmt.Sprintf("%v (%.0f frames/s possible)", r.PerFrame, r.FramesPerSec))
+	}
+
+	if run("E12") {
+		r, err := experiments.VsRTI(sc, *seed)
+		check(err)
+		section("E12 §2 2D accuracy vs radio tomography")
+		row("median 2D error", ">= 5x better than RTI", fmt.Sprintf("WiTrack %.2f m vs RTI %.2f m (%.1fx)",
+			r.WiTrackMedian2D, r.RTIMedian2D, r.Ratio))
+	}
+
+	if run("A1") {
+		r, err := experiments.AblationContourVsPeak(sc, *seed)
+		check(err)
+		section("A1  ablation: contour vs strongest peak (§4.3)")
+		row("median 3D error", "contour more robust than dominant-frequency tracking",
+			fmt.Sprintf("contour %.2f m vs strongest %.2f m", r.ContourMedian3D, r.StrongestMedian3D))
+	}
+
+	if run("A2") {
+		r, err := experiments.AblationDenoising(sc, *seed)
+		check(err)
+		section("A2  ablation: §4.4 denoising stages")
+		row("median 3D error", "-", fmt.Sprintf("full %.2f m; no-Kalman %.2f m; loose gate %.2f m",
+			r.FullMedian3D, r.NoKalmanMedian3D, r.LooseGateMedian3D))
+	}
+
+	if run("A3") {
+		r, err := experiments.AblationExtraAntennas(sc, *seed)
+		check(err)
+		section("A3  ablation: 3 vs 4 receive antennas (§5)")
+		row("median 3D error", "extra antennas add robustness",
+			fmt.Sprintf("3 Rx %.2f m vs 4 Rx %.2f m", r.ThreeRxMedian3D, r.FourRxMedian3D))
+	}
+
+	if run("X1") {
+		r, err := experiments.StaticUser(*seed)
+		check(err)
+		section("X1  §10 extension: static user via background calibration")
+		row("valid-fix fraction", "0 without calibration (the stated limitation)",
+			fmt.Sprintf("%.2f uncalibrated vs %.2f calibrated (median err %.2f m)",
+				r.ValidFracUncalibrated, r.ValidFracCalibrated, r.MedianErrCalibrated))
+	}
+
+	if run("X2") {
+		r, err := experiments.TwoPerson(sc.Duration, *seed+17)
+		check(err)
+		section("X2  §10 extension: two concurrent people")
+		row("per-person median 2D error", "proposed, not evaluated in the paper",
+			fmt.Sprintf("%.2f m (%.0f%% frames with a joint fix; run-to-run variance is high — see EXPERIMENTS.md)", r.MedianErr2D, r.ValidFrac*100))
+	}
+
+	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func paperFallRow(act motion.Activity) string {
+	switch act {
+	case motion.ActivityFall:
+		return "31 / 33 detected"
+	case motion.ActivitySitFloor:
+		return "1 / 33 false positive"
+	default:
+		return "0 / 33"
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func row(label, paper, measured string) {
+	fmt.Printf("  %-34s paper: %-48s measured: %s\n", label, paper, measured)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "witrack-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+// Command witrack-spectro emits the data behind the paper's qualitative
+// figures as CSV for plotting:
+//
+//	-fig 3a  raw spectrogram (time, distance, power)
+//	-fig 3b  background-subtracted spectrogram
+//	-fig 3c  contour + denoised contour (time, raw, denoised)
+//	-fig 6   elevation traces for the four activities (time, activity, z)
+//
+// Usage:
+//
+//	witrack-spectro -fig 3a > fig3a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"witrack/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "3a", "which figure to dump: 3a, 3b, 3c, 6")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	stride := flag.Int("stride", 8, "emit every n-th frame (spectrograms)")
+	flag.Parse()
+
+	switch *fig {
+	case "3a", "3b", "3c":
+		sr, err := experiments.SpectrogramDemo(*seed)
+		check(err)
+		switch *fig {
+		case "3a":
+			dumpSpectrogram(sr, true, *stride)
+		case "3b":
+			dumpSpectrogram(sr, false, *stride)
+		default:
+			fmt.Println("t,contour_raw_m,contour_denoised_m")
+			for i := range sr.Times {
+				fmt.Printf("%.4f,%.3f,%.3f\n", sr.Times[i], sr.ContourRaw[i], sr.ContourDenoised[i])
+			}
+		}
+	case "6":
+		traces, err := experiments.ElevationTraces(*seed)
+		check(err)
+		fmt.Println("t,activity,z_tracked_m,z_truth_m")
+		for _, tr := range traces {
+			for i := range tr.Times {
+				fmt.Printf("%.4f,%s,%.3f,%.3f\n", tr.Times[i], tr.Activity, tr.Z[i], tr.TruthZ[i])
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "witrack-spectro: unknown -fig (use 3a, 3b, 3c, 6)")
+		os.Exit(2)
+	}
+}
+
+func dumpSpectrogram(sr *experiments.SpectrogramResult, raw bool, stride int) {
+	s := sr.Subtracted
+	if raw {
+		s = sr.Raw
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	fmt.Println("t,distance_m,power")
+	for i := 0; i < len(s.Frames); i += stride {
+		t := float64(i) * s.FrameInterval
+		for b, v := range s.Frames[i] {
+			fmt.Printf("%.4f,%.2f,%.4g\n", t, s.Distance(float64(b)), v)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "witrack-spectro:", err)
+		os.Exit(1)
+	}
+}

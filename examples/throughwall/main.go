@@ -1,0 +1,62 @@
+// Through-wall vs line-of-sight comparison (the paper's §9.1 headline
+// experiment): track the same walk with the device inside the room and
+// behind the wall, and report per-axis error statistics for both.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"witrack"
+)
+
+func medianOf(xs []float64) float64 {
+	sort.Float64s(xs)
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return xs[len(xs)/2]
+}
+
+func run(throughWall bool, seed int64) (x, y, z []float64) {
+	cfg := witrack.DefaultConfig()
+	cfg.Scene = witrack.StandardScene(throughWall)
+	cfg.Seed = seed
+	dev, err := witrack.NewDevice(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	walk := witrack.NewRandomWalk(witrack.DefaultWalkConfig(
+		witrack.StandardRegion(), cfg.Subject.CenterHeight(), 40, seed+9))
+	for _, s := range dev.Run(walk).Samples {
+		if !s.Valid || s.T < 2 {
+			continue
+		}
+		est := witrack.CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
+		x = append(x, math.Abs(est.X-s.Truth.X))
+		y = append(y, math.Abs(est.Y-s.Truth.Y))
+		z = append(z, math.Abs(est.Z-s.Truth.Z))
+	}
+	return
+}
+
+func main() {
+	fmt.Println("WiTrack: line-of-sight vs through-wall 3D accuracy")
+	fmt.Println("(paper medians: LOS 9.9/8.6/17.7 cm, through-wall 13.1/10.25/21.0 cm)")
+	fmt.Println()
+	for _, tw := range []bool{false, true} {
+		label := "line-of-sight"
+		if tw {
+			label = "through-wall "
+		}
+		x, y, z := run(tw, 11)
+		fmt.Printf("%s  median error: x %5.1f cm, y %5.1f cm, z %5.1f cm   (%d samples)\n",
+			label, medianOf(x)*100, medianOf(y)*100, medianOf(z)*100, len(x))
+	}
+	fmt.Println()
+	fmt.Println("The through-wall errors are slightly larger (the sheetrock wall")
+	fmt.Println("costs ~10 dB round trip), y is the best-constrained axis, and z")
+	fmt.Println("the worst — the paper's §9.1 error anisotropy.")
+}

@@ -1,0 +1,227 @@
+// Package rti implements a variance-based radio tomographic imaging
+// (VRTI) baseline in the style of Wilson & Patwari, the state of the art
+// the paper compares against in §2 ("its 2D accuracy is more than 5x
+// higher than the state of the art radio tomographic networks"). A
+// network of simple RSSI nodes surrounds the area; a person crossing a
+// link's Fresnel zone raises that link's RSS variance; a regularized
+// linear inversion turns per-link variances into an occupancy image
+// whose peak is the location estimate.
+package rti
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"witrack/internal/geom"
+	"witrack/internal/linalg"
+)
+
+// Config describes the sensor network and reconstruction parameters.
+type Config struct {
+	// Area is the monitored rectangle.
+	XMin, XMax, YMin, YMax float64
+	// Nodes is the number of RSSI sensors placed evenly on the
+	// perimeter. Classic RTI deployments use 20-30+ nodes.
+	Nodes int
+	// PixelSize is the reconstruction grid resolution in meters.
+	PixelSize float64
+	// Lambda is the excess-path width of a link's sensitivity ellipse.
+	Lambda float64
+	// Alpha is the Tikhonov regularization weight.
+	Alpha float64
+	// NoiseStd is the per-link variance measurement noise.
+	NoiseStd float64
+	// MissProb is the probability a crossed link fails to register the
+	// person (fading nulls).
+	MissProb float64
+	// SpurProb is the probability an uncrossed link shows person-scale
+	// variance anyway (multipath: motion perturbs paths far from the
+	// direct line — the dominant error source in real RTI deployments).
+	SpurProb float64
+}
+
+// DefaultConfig returns a 24-node network around the standard area.
+func DefaultConfig(xMin, xMax, yMin, yMax float64) Config {
+	return Config{
+		XMin: xMin, XMax: xMax, YMin: yMin, YMax: yMax,
+		Nodes:     24,
+		PixelSize: 0.25,
+		Lambda:    0.6,
+		Alpha:     25,
+		NoiseStd:  0.27,
+		MissProb:  0.37,
+		SpurProb:  0.17,
+	}
+}
+
+// Network is a prepared RTI deployment with its precomputed inversion.
+type Network struct {
+	cfg    Config
+	nodes  []geom.Vec3
+	links  [][2]int
+	pixels []geom.Vec3
+	nx, ny int
+	w      *linalg.Mat
+	solver *linalg.LU
+	wt     *linalg.Mat
+}
+
+// New builds the network, its link weight matrix, and the factorized
+// regularized normal equations.
+func New(cfg Config) (*Network, error) {
+	if cfg.Nodes < 6 {
+		return nil, errors.New("rti: need at least 6 nodes")
+	}
+	if cfg.XMax <= cfg.XMin || cfg.YMax <= cfg.YMin || cfg.PixelSize <= 0 {
+		return nil, errors.New("rti: invalid area or pixel size")
+	}
+	n := &Network{cfg: cfg}
+	n.placeNodes()
+	for i := 0; i < len(n.nodes); i++ {
+		for j := i + 1; j < len(n.nodes); j++ {
+			n.links = append(n.links, [2]int{i, j})
+		}
+	}
+	n.nx = int(math.Ceil((cfg.XMax - cfg.XMin) / cfg.PixelSize))
+	n.ny = int(math.Ceil((cfg.YMax - cfg.YMin) / cfg.PixelSize))
+	for iy := 0; iy < n.ny; iy++ {
+		for ix := 0; ix < n.nx; ix++ {
+			n.pixels = append(n.pixels, geom.Vec3{
+				X: cfg.XMin + (float64(ix)+0.5)*cfg.PixelSize,
+				Y: cfg.YMin + (float64(iy)+0.5)*cfg.PixelSize,
+			})
+		}
+	}
+	n.w = linalg.NewMat(len(n.links), len(n.pixels))
+	for l, lk := range n.links {
+		a, b := n.nodes[lk[0]], n.nodes[lk[1]]
+		d := a.Dist(b)
+		for p, pix := range n.pixels {
+			n.w.Set(l, p, linkWeight(a, b, d, pix, cfg.Lambda))
+		}
+	}
+	n.wt = n.w.T()
+	normal := linalg.Mul(n.wt, n.w)
+	for i := 0; i < normal.Rows; i++ {
+		normal.Set(i, i, normal.At(i, i)+cfg.Alpha)
+	}
+	solver, err := linalg.Factor(normal)
+	if err != nil {
+		return nil, err
+	}
+	n.solver = solver
+	return n, nil
+}
+
+// placeNodes distributes nodes evenly along the area perimeter.
+func (n *Network) placeNodes() {
+	cfg := n.cfg
+	w := cfg.XMax - cfg.XMin
+	h := cfg.YMax - cfg.YMin
+	per := 2 * (w + h)
+	for i := 0; i < cfg.Nodes; i++ {
+		s := per * float64(i) / float64(cfg.Nodes)
+		var p geom.Vec3
+		switch {
+		case s < w:
+			p = geom.Vec3{X: cfg.XMin + s, Y: cfg.YMin}
+		case s < w+h:
+			p = geom.Vec3{X: cfg.XMax, Y: cfg.YMin + (s - w)}
+		case s < 2*w+h:
+			p = geom.Vec3{X: cfg.XMax - (s - w - h), Y: cfg.YMax}
+		default:
+			p = geom.Vec3{X: cfg.XMin, Y: cfg.YMax - (s - 2*w - h)}
+		}
+		n.nodes = append(n.nodes, p)
+	}
+}
+
+// linkWeight is the classic RTI ellipse model: a pixel affects a link if
+// the detour through the pixel exceeds the direct path by less than
+// lambda; affected weights scale as 1/sqrt(link length).
+func linkWeight(a, b geom.Vec3, d float64, pix geom.Vec3, lambda float64) float64 {
+	if pix.Dist(a)+pix.Dist(b) <= d+lambda {
+		return 1 / math.Sqrt(d)
+	}
+	return 0
+}
+
+// NumLinks returns the number of sensor links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// NumPixels returns the reconstruction grid size.
+func (n *Network) NumPixels() int { return len(n.pixels) }
+
+// Measure simulates the per-link RSS variance for a person at p (plan
+// view): links whose sensitivity ellipse covers the person light up,
+// except for fading misses; uncrossed links occasionally light up
+// spuriously from multipath.
+func (n *Network) Measure(p geom.Vec3, rng *rand.Rand) []float64 {
+	y := make([]float64, len(n.links))
+	for l, lk := range n.links {
+		a, b := n.nodes[lk[0]], n.nodes[lk[1]]
+		d := a.Dist(b)
+		w := linkWeight(a, b, d, p, n.cfg.Lambda)
+		switch {
+		case w > 0 && rng.Float64() >= n.cfg.MissProb:
+			y[l] = w * (0.5 + rng.Float64())
+		case w == 0 && rng.Float64() < n.cfg.SpurProb:
+			y[l] = (0.5 + rng.Float64()) / math.Sqrt(d)
+		}
+		y[l] += math.Abs(rng.NormFloat64()) * n.cfg.NoiseStd
+	}
+	return y
+}
+
+// Reconstruct inverts a measurement vector into an image and returns the
+// location of the strongest interior pixel. Pixels within half a meter
+// of the perimeter are excluded from the peak search: they sit inside
+// nearly every ellipse of their closest node, so spurious multipath
+// variance piles up there (the standard RTI boundary artifact).
+func (n *Network) Reconstruct(y []float64) geom.Vec3 {
+	rhs := n.wt.MulVec(y)
+	img := n.solver.SolveVec(rhs)
+	const margin = 0.5
+	best := -1
+	for i, v := range img {
+		p := n.pixels[i]
+		if p.X < n.cfg.XMin+margin || p.X > n.cfg.XMax-margin ||
+			p.Y < n.cfg.YMin+margin || p.Y > n.cfg.YMax-margin {
+			continue
+		}
+		if best < 0 || v > img[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	// Weighted centroid of the bright region (pixels above 70% of the
+	// peak) — the standard RTI estimator, more robust than a raw argmax.
+	peak := img[best]
+	var sx, sy, sw float64
+	for i, v := range img {
+		if v < 0.7*peak {
+			continue
+		}
+		p := n.pixels[i]
+		if p.X < n.cfg.XMin+margin || p.X > n.cfg.XMax-margin ||
+			p.Y < n.cfg.YMin+margin || p.Y > n.cfg.YMax-margin {
+			continue
+		}
+		sx += v * p.X
+		sy += v * p.Y
+		sw += v
+	}
+	if sw == 0 {
+		return n.pixels[best]
+	}
+	return geom.Vec3{X: sx / sw, Y: sy / sw}
+}
+
+// Locate runs measure + reconstruct for a ground-truth position and
+// returns the 2D estimate.
+func (n *Network) Locate(p geom.Vec3, rng *rand.Rand) geom.Vec3 {
+	return n.Reconstruct(n.Measure(p, rng))
+}

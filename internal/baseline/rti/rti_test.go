@@ -1,0 +1,121 @@
+package rti
+
+import (
+	"math/rand"
+	"testing"
+
+	"witrack/internal/dsp"
+	"witrack/internal/geom"
+)
+
+func testConfig() Config { return DefaultConfig(-3, 3, 3, 9) }
+
+func TestNewValidates(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 3
+	if _, err := New(cfg); err == nil {
+		t.Fatal("too few nodes should fail")
+	}
+	cfg = testConfig()
+	cfg.PixelSize = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero pixel size should fail")
+	}
+	cfg = testConfig()
+	cfg.XMax = cfg.XMin
+	if _, err := New(cfg); err == nil {
+		t.Fatal("degenerate area should fail")
+	}
+}
+
+func TestNetworkShape(t *testing.T) {
+	n, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLinks() != 24*23/2 {
+		t.Fatalf("links = %d, want %d", n.NumLinks(), 24*23/2)
+	}
+	if n.NumPixels() == 0 {
+		t.Fatal("no pixels")
+	}
+	// All nodes must be on the area perimeter.
+	for _, nd := range n.nodes {
+		onX := nd.X == -3 || nd.X == 3
+		onY := nd.Y == 3 || nd.Y == 9
+		if !onX && !onY {
+			t.Fatalf("node %v not on perimeter", nd)
+		}
+	}
+}
+
+func TestLocateAccuracy(t *testing.T) {
+	n, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var errs []float64
+	for i := 0; i < 60; i++ {
+		truth := geom.Vec3{
+			X: -2.5 + rng.Float64()*5,
+			Y: 3.5 + rng.Float64()*5,
+		}
+		est := n.Locate(truth, rng)
+		errs = append(errs, est.XY().Dist(truth.XY()))
+	}
+	med := dsp.Median(errs)
+	// Classic VRTI achieves roughly 0.5-1 m median accuracy; ensure the
+	// baseline is functional but clearly coarser than WiTrack's ~0.2 m
+	// 2D accuracy.
+	if med > 1.5 {
+		t.Fatalf("RTI median error %.2f m too poor — reconstruction broken", med)
+	}
+	if med < 0.3 {
+		t.Fatalf("RTI median error %.2f m implausibly good for this baseline", med)
+	}
+}
+
+func TestReconstructPeaksNearPerson(t *testing.T) {
+	n, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	truth := geom.Vec3{X: 1, Y: 6}
+	// Median over several shots (single RTI shots have heavy error
+	// tails from spurious multipath links).
+	var errs []float64
+	for i := 0; i < 15; i++ {
+		est := n.Locate(truth, rng)
+		errs = append(errs, est.XY().Dist(truth.XY()))
+	}
+	if med := dsp.Median(errs); med > 2 {
+		t.Fatalf("median estimate error %.2f m too far from truth %v", med, truth)
+	}
+}
+
+func TestMeasureLightsCrossedLinks(t *testing.T) {
+	n, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgNoNoise := testConfig()
+	cfgNoNoise.NoiseStd = 0
+	n2, _ := New(cfgNoNoise)
+	rng := rand.New(rand.NewSource(3))
+	y := n2.Measure(geom.Vec3{X: 0, Y: 6}, rng)
+	lit := 0
+	for _, v := range y {
+		if v > 0 {
+			lit++
+		}
+	}
+	if lit == 0 {
+		t.Fatal("a person in the middle should cross some links")
+	}
+	if lit == len(y) {
+		t.Fatal("a single person cannot light every link")
+	}
+	_ = n
+}

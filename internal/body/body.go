@@ -1,0 +1,115 @@
+// Package body models the human reflector. WiTrack never sees a point
+// target: the radio reflects off whatever patch of the body surface
+// happens to face the device, and that patch wanders over the torso as
+// the person moves. This is why the paper's z accuracy is worse than x/y
+// ("the result of the human body being larger along the z dimension",
+// §9.1) and why §8(a) calibrates a per-person center-to-surface depth
+// before comparing against VICON.
+package body
+
+import (
+	"math/rand"
+
+	"witrack/internal/geom"
+)
+
+// Subject describes one human participant.
+type Subject struct {
+	// Name labels the subject in experiment reports.
+	Name string
+	// Height in meters.
+	Height float64
+	// SurfaceDepth is the average horizontal distance from the body
+	// center to the reflecting front surface (the paper's §8(a)
+	// per-person calibration constant).
+	SurfaceDepth float64
+	// TorsoHalfWidth/TorsoHalfHeight bound where on the torso the
+	// dominant reflection point can wander (standard deviations are
+	// derived from these extents).
+	TorsoHalfWidth  float64
+	TorsoHalfHeight float64
+	// RCS is the whole-body radar cross section in m^2.
+	RCS float64
+	// ArmLength is shoulder-to-fingertip length, used by the pointing
+	// gesture model.
+	ArmLength float64
+	// ArmRCS is the radar cross section of an arm alone — much smaller
+	// than the whole body, which is how §6.1 distinguishes arm motion
+	// from whole-body motion.
+	ArmRCS float64
+}
+
+// DefaultSubject returns a median adult subject.
+func DefaultSubject() Subject {
+	return Subject{
+		Name:            "S0",
+		Height:          1.75,
+		SurfaceDepth:    0.12,
+		TorsoHalfWidth:  0.22,
+		TorsoHalfHeight: 0.30,
+		RCS:             0.55,
+		ArmLength:       0.70,
+		ArmRCS:          0.030,
+	}
+}
+
+// Panel returns a panel of n distinct subjects spanning the paper's
+// demographic spread (11 subjects, different heights and builds, ages
+// 22-56; §8(c)). Parameters vary deterministically with the seed.
+func Panel(n int, seed int64) []Subject {
+	rng := rand.New(rand.NewSource(seed))
+	subs := make([]Subject, n)
+	for i := range subs {
+		s := DefaultSubject()
+		s.Name = "S" + string(rune('A'+i%26))
+		s.Height = 1.55 + rng.Float64()*0.38       // 1.55 - 1.93 m
+		s.SurfaceDepth = 0.09 + rng.Float64()*0.06 // builds
+		s.TorsoHalfWidth = 0.18 + rng.Float64()*0.08
+		s.TorsoHalfHeight = 0.26 + rng.Float64()*0.10
+		s.RCS = 0.4 + rng.Float64()*0.4
+		s.ArmLength = 0.60 + rng.Float64()*0.18
+		s.ArmRCS = 0.022 + rng.Float64()*0.018
+		subs[i] = s
+	}
+	return subs
+}
+
+// CenterHeight returns the standing height of the body center above the
+// floor (~55% of stature).
+func (s Subject) CenterHeight() float64 { return 0.55 * s.Height }
+
+// ReflectionPoint returns the body-surface point that dominates the
+// reflection toward a device at devicePos, given the current body center.
+// The point sits SurfaceDepth in front of the center along the horizontal
+// direction to the device, jittered over the torso extent (the dominant
+// scattering patch shifts with posture, limb position, and micro-motion).
+// The jitter is the physical source of WiTrack's residual localization
+// noise, with the z component the largest — matching §9.1.
+func (s Subject) ReflectionPoint(center, devicePos geom.Vec3, rng *rand.Rand) geom.Vec3 {
+	dir := devicePos.Sub(center)
+	dir.Z = 0
+	dir = dir.Unit()
+	p := center.Add(dir.Scale(s.SurfaceDepth))
+	// Lateral jitter: perpendicular to the device direction, in-plane.
+	lat := geom.Vec3{X: -dir.Y, Y: dir.X}
+	p = p.Add(lat.Scale(rng.NormFloat64() * s.TorsoHalfWidth / 3.5))
+	// Radial jitter: the surface is not a plane; small depth variation.
+	p = p.Add(dir.Scale(rng.NormFloat64() * s.SurfaceDepth / 4))
+	// Vertical jitter: the dominant patch wanders over the torso.
+	p.Z += rng.NormFloat64() * s.TorsoHalfHeight / 3
+	if p.Z < 0.05 {
+		p.Z = 0.05
+	}
+	return p
+}
+
+// CompensateSurfaceDepth maps a surface-point estimate back toward the
+// body center: the paper's §8(a) correction before comparing to VICON
+// ("we first compensate for the average distance between the center and
+// surface for that person"). devicePos is the transmit antenna location.
+func CompensateSurfaceDepth(estimate, devicePos geom.Vec3, depth float64) geom.Vec3 {
+	away := estimate.Sub(devicePos)
+	away.Z = 0
+	away = away.Unit()
+	return estimate.Add(away.Scale(depth))
+}

@@ -1,0 +1,134 @@
+package body
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"witrack/internal/geom"
+)
+
+func TestDefaultSubjectSane(t *testing.T) {
+	s := DefaultSubject()
+	if s.Height < 1.4 || s.Height > 2.1 {
+		t.Fatalf("height %v implausible", s.Height)
+	}
+	if s.ArmRCS >= s.RCS/5 {
+		t.Fatalf("arm RCS %v should be far below body RCS %v (§6.1)", s.ArmRCS, s.RCS)
+	}
+	if ch := s.CenterHeight(); ch < 0.8 || ch > 1.2 {
+		t.Fatalf("center height %v implausible", ch)
+	}
+}
+
+func TestPanelDiversityAndDeterminism(t *testing.T) {
+	a := Panel(11, 42)
+	b := Panel(11, 42)
+	if len(a) != 11 {
+		t.Fatalf("panel size %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("panel generation must be deterministic for a fixed seed")
+		}
+	}
+	// Heights must actually differ across subjects.
+	minH, maxH := a[0].Height, a[0].Height
+	for _, s := range a {
+		minH = math.Min(minH, s.Height)
+		maxH = math.Max(maxH, s.Height)
+		if s.Height < 1.5 || s.Height > 2.0 {
+			t.Fatalf("subject height %v out of range", s.Height)
+		}
+	}
+	if maxH-minH < 0.05 {
+		t.Fatal("panel heights suspiciously uniform")
+	}
+	c := Panel(11, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different panels")
+	}
+}
+
+func TestReflectionPointGeometry(t *testing.T) {
+	s := DefaultSubject()
+	rng := rand.New(rand.NewSource(1))
+	center := geom.Vec3{X: 0, Y: 5, Z: s.CenterHeight()}
+	device := geom.Vec3{X: 0, Y: 0, Z: 1.5}
+	var sumOffset geom.Vec3
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p := s.ReflectionPoint(center, device, rng)
+		if p.Z < 0.05 {
+			t.Fatalf("reflection point below floor clamp: %v", p)
+		}
+		sumOffset = sumOffset.Add(p.Sub(center))
+	}
+	mean := sumOffset.Scale(1.0 / n)
+	// On average the surface point is SurfaceDepth closer to the device
+	// (toward -y here).
+	if math.Abs(mean.Y+s.SurfaceDepth) > 0.02 {
+		t.Fatalf("mean y offset %v, want ~%v", mean.Y, -s.SurfaceDepth)
+	}
+	if math.Abs(mean.X) > 0.02 || math.Abs(mean.Z) > 0.03 {
+		t.Fatalf("lateral/vertical offsets should be ~zero mean: %v", mean)
+	}
+}
+
+func TestReflectionPointZJitterDominates(t *testing.T) {
+	// The torso is taller than it is wide, so the z spread of reflection
+	// points should exceed the lateral spread — the physical origin of
+	// the paper's worse z accuracy.
+	s := DefaultSubject()
+	rng := rand.New(rand.NewSource(2))
+	center := geom.Vec3{X: 0, Y: 5, Z: s.CenterHeight()}
+	device := geom.Vec3{X: 0, Y: 0, Z: 1.5}
+	var xs, zs []float64
+	for i := 0; i < 4000; i++ {
+		p := s.ReflectionPoint(center, device, rng)
+		xs = append(xs, p.X)
+		zs = append(zs, p.Z)
+	}
+	if stdDev(zs) <= stdDev(xs) {
+		t.Fatalf("z spread %v should exceed lateral spread %v", stdDev(zs), stdDev(xs))
+	}
+}
+
+func stdDev(xs []float64) float64 {
+	m := 0.0
+	for _, v := range xs {
+		m += v
+	}
+	m /= float64(len(xs))
+	s := 0.0
+	for _, v := range xs {
+		s += (v - m) * (v - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+func TestCompensateSurfaceDepth(t *testing.T) {
+	device := geom.Vec3{X: 0, Y: 0, Z: 1.5}
+	// A surface estimate directly in front of the device at y=4.88
+	// should map back to the center at y=5 for depth 0.12.
+	est := geom.Vec3{X: 0, Y: 4.88, Z: 1.0}
+	got := CompensateSurfaceDepth(est, device, 0.12)
+	if math.Abs(got.Y-5.0) > 1e-9 || got.X != 0 || got.Z != 1.0 {
+		t.Fatalf("compensated = %v, want (0, 5, 1)", got)
+	}
+	// Compensation must act along the horizontal device->estimate ray.
+	est2 := geom.Vec3{X: 3, Y: 4, Z: 1.0}
+	got2 := CompensateSurfaceDepth(est2, device, 0.5)
+	wantDir := est2.Sub(device)
+	wantDir.Z = 0
+	want2 := est2.Add(wantDir.Unit().Scale(0.5))
+	if got2.Dist(want2) > 1e-9 {
+		t.Fatalf("compensated = %v, want %v", got2, want2)
+	}
+}

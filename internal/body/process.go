@@ -1,0 +1,118 @@
+package body
+
+import (
+	"math"
+	"math/rand"
+
+	"witrack/internal/geom"
+)
+
+// ReflectionProcess generates the temporally-correlated wander of the
+// dominant scattering patch over the body surface. While a person walks,
+// the strongest reflector shifts between torso, leading leg, and swinging
+// arm at roughly the stride rate — a slowly varying offset that a Kalman
+// smoother cannot average away (unlike white noise). We model each
+// offset component as an Ornstein-Uhlenbeck process with correlation
+// time tau and the subject's torso extents as stationary spreads.
+type ReflectionProcess struct {
+	sub Subject
+	rng *rand.Rand
+	// tau is the correlation time in seconds (~half a gait cycle).
+	tau float64
+	// stationary standard deviations per component.
+	latStd, radStd, vertStd float64
+	// current state.
+	lat, rad, vert float64
+	last           geom.Vec3
+	haveLast       bool
+}
+
+// NewReflectionProcess builds the process for a subject. scale
+// multiplies the stationary spreads: 1 for the common whole-body patch
+// wander, a fraction for the per-antenna decorrelated component (each
+// antenna views the body from a slightly different angle and so sees a
+// slightly different dominant patch).
+func NewReflectionProcess(sub Subject, rng *rand.Rand, scale float64) *ReflectionProcess {
+	p := &ReflectionProcess{
+		sub:     sub,
+		rng:     rng,
+		tau:     0.4,
+		latStd:  scale * sub.TorsoHalfWidth / 2.1,
+		radStd:  scale * sub.SurfaceDepth / 1.8,
+		vertStd: scale * sub.TorsoHalfHeight / 2.6,
+	}
+	// Start in the stationary distribution.
+	p.lat = rng.NormFloat64() * p.latStd
+	p.rad = rng.NormFloat64() * p.radStd
+	p.vert = rng.NormFloat64() * p.vertStd
+	return p
+}
+
+// SetTau overrides the correlation time. The whole-body wander follows
+// the ~0.4 s gait cycle; the per-antenna speckle component decorrelates
+// faster (each antenna's dominant patch flickers with small pose
+// changes).
+func (p *ReflectionProcess) SetTau(tau float64) { p.tau = tau }
+
+// Offsets advances the wander by dt and returns the current (lateral,
+// radial, vertical) offsets in meters. While not moving the offsets are
+// frozen.
+func (p *ReflectionProcess) Offsets(dt float64, moving bool) (lat, rad, vert float64) {
+	if moving {
+		p.ouStep(&p.lat, p.latStd, dt)
+		p.ouStep(&p.rad, p.radStd, dt)
+		p.ouStep(&p.vert, p.vertStd, dt)
+	}
+	return p.lat, p.rad, p.vert
+}
+
+// SurfacePoint maps body center + wander offsets to the reflecting
+// surface point as seen from devicePos.
+func SurfacePoint(sub Subject, center, devicePos geom.Vec3, lat, rad, vert float64) geom.Vec3 {
+	dir := devicePos.Sub(center)
+	dir.Z = 0
+	dir = dir.Unit()
+	latAxis := geom.Vec3{X: -dir.Y, Y: dir.X}
+	pt := center.
+		Add(dir.Scale(sub.SurfaceDepth + rad)).
+		Add(latAxis.Scale(lat))
+	pt.Z += vert
+	if pt.Z < 0.05 {
+		pt.Z = 0.05
+	}
+	return pt
+}
+
+// ouStep advances one Ornstein-Uhlenbeck component by dt while keeping
+// its stationary standard deviation std.
+func (p *ReflectionProcess) ouStep(x *float64, std, dt float64) {
+	if p.tau <= 0 {
+		*x = p.rng.NormFloat64() * std
+		return
+	}
+	a := math.Exp(-dt / p.tau)
+	*x = a*(*x) + math.Sqrt(1-a*a)*std*p.rng.NormFloat64()
+}
+
+// Step returns the current reflection point for a body centered at
+// center as seen from devicePos, advancing the wander by dt seconds.
+// While the body is not moving the patch is frozen (a motionless body
+// returns identical paths frame after frame, so background subtraction
+// erases it — §4.2/§10).
+func (p *ReflectionProcess) Step(center, devicePos geom.Vec3, dt float64, moving bool) geom.Vec3 {
+	if !moving && p.haveLast {
+		return p.last
+	}
+	lat, rad, vert := p.Offsets(dt, moving)
+	p.last = SurfacePoint(p.sub, center, devicePos, lat, rad, vert)
+	p.haveLast = true
+	return p.last
+}
+
+// Reset clears the frozen-patch memory (used when restarting a run).
+func (p *ReflectionProcess) Reset() {
+	p.haveLast = false
+	p.lat = p.rng.NormFloat64() * p.latStd
+	p.rad = p.rng.NormFloat64() * p.radStd
+	p.vert = p.rng.NormFloat64() * p.vertStd
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"witrack/internal/body"
+	"witrack/internal/geom"
+	"witrack/internal/motion"
+)
+
+// bodySim holds the per-subject radar-reflection state: the wandering
+// torso patch (common + per-antenna components), the gait-driven
+// trailing parts, and the gesture arm scatterer. Extracted so a device
+// can simulate one body (Device) or several (MultiDevice).
+type bodySim struct {
+	sub        body.Subject
+	rng        *rand.Rand
+	reflCommon *body.ReflectionProcess
+	reflPerRx  []*body.ReflectionProcess
+
+	gaitPhase   float64
+	frozenParts [][]reflector
+	haveFrozen  bool
+
+	frozenHand  geom.Vec3
+	haveFrozenH bool
+	armSlide    float64
+	armLat      float64
+
+	prevCenter geom.Vec3
+	havePrev   bool
+}
+
+// newBodySim builds the reflection state for one subject.
+func newBodySim(sub body.Subject, nRx int, rng *rand.Rand) *bodySim {
+	b := &bodySim{sub: sub, rng: rng}
+	b.reflCommon = body.NewReflectionProcess(sub, rng, 1)
+	for i := 0; i < nRx; i++ {
+		pr := body.NewReflectionProcess(sub, rng, perAntennaWanderScale)
+		pr.SetTau(perAntennaWanderTau)
+		b.reflPerRx = append(b.reflPerRx, pr)
+	}
+	return b
+}
+
+// reset clears per-run state.
+func (b *bodySim) reset() {
+	b.reflCommon.Reset()
+	for _, p := range b.reflPerRx {
+		p.Reset()
+	}
+	b.haveFrozen = false
+	b.haveFrozenH = false
+	b.havePrev = false
+}
+
+// reflectors returns the subject's moving scatterers per receive antenna
+// for the given state (see Device.reflectors for the physics notes).
+func (b *bodySim) reflectors(st motion.BodyState, tx geom.Vec3, nRx int, dt float64) [][]reflector {
+	out := make([][]reflector, nRx)
+
+	if st.Moving || !b.haveFrozen {
+		cl, cr, cv := b.reflCommon.Offsets(dt, st.Moving)
+		// Legs and arms swing only while the body translates
+		// horizontally; during a vertical transition (sitting, falling)
+		// the limb geometry rides along rigidly.
+		horiz := st.Center.Sub(b.prevCenter)
+		horiz.Z = 0
+		if b.havePrev && st.Moving && horiz.Norm()/dt > 0.3 {
+			b.gaitPhase += 2 * math.Pi * gaitHz * dt
+		}
+		b.prevCenter = st.Center
+		b.havePrev = true
+
+		legDepth := 0.22 + 0.10*(0.5+0.5*math.Sin(b.gaitPhase))
+		armDepth := 0.12 + 0.07*(0.5+0.5*math.Sin(b.gaitPhase+math.Pi))
+		b.frozenParts = b.frozenParts[:0]
+		for k := 0; k < nRx; k++ {
+			il, ir, iv := b.reflPerRx[k].Offsets(dt, st.Moving)
+			front := body.SurfacePoint(b.sub, st.Center, tx, cl+il, cr+ir, cv+iv)
+			leg := body.SurfacePoint(b.sub, st.Center, tx, cl+il, cr+ir-legDepth, cv-0.45)
+			arm := body.SurfacePoint(b.sub, st.Center, tx, cl+il, cr+ir-armDepth, cv+0.05)
+			b.frozenParts = append(b.frozenParts, []reflector{
+				{pt: front, rcs: 0.60 * b.sub.RCS},
+				{pt: leg, rcs: 0.22 * b.sub.RCS},
+				{pt: arm, rcs: 0.18 * b.sub.RCS},
+			})
+		}
+		b.haveFrozen = true
+	}
+	for k := 0; k < nRx; k++ {
+		out[k] = append([]reflector(nil), b.frozenParts[k]...)
+	}
+
+	if st.HandActive {
+		shoulder := st.Center.Add(geom.Vec3{Z: 0.30})
+		armAxis := shoulder.Sub(st.Hand)
+		if n := armAxis.Norm(); n > 1e-6 {
+			armAxis = armAxis.Scale(1 / n)
+		}
+		b.armSlide = ouUpdate(b.armSlide, armSlideMean, armSlideStd, armSlideTau, dt, b.rng)
+		slide := b.armSlide
+		if slide < 0 {
+			slide = 0
+		}
+		perp := armAxis.Cross(geom.Vec3{Z: 1})
+		if n := perp.Norm(); n > 1e-6 {
+			perp = perp.Scale(1 / n)
+		}
+		b.armLat = ouUpdate(b.armLat, 0, armLatStd, armSlideTau, dt, b.rng)
+		h := st.Hand.Add(armAxis.Scale(slide)).Add(perp.Scale(b.armLat))
+		h.X += b.rng.NormFloat64() * 0.01
+		h.Z += b.rng.NormFloat64() * 0.01
+		b.frozenHand = h
+		b.haveFrozenH = true
+	}
+	if b.haveFrozenH {
+		for k := 0; k < nRx; k++ {
+			out[k] = append(out[k], reflector{pt: b.frozenHand, rcs: b.sub.ArmRCS})
+		}
+	}
+	return out
+}

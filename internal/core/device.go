@@ -1,0 +1,288 @@
+// Package core wires the full WiTrack system together: the RF scene and
+// body models synthesize per-antenna FMCW frames; one track.Tracker per
+// receive antenna estimates round-trip distances; the locator intersects
+// the resulting ellipsoids into a 3D trajectory (paper §3 overview).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"witrack/internal/body"
+	"witrack/internal/dsp"
+	"witrack/internal/fmcw"
+	"witrack/internal/geom"
+	"witrack/internal/locate"
+	"witrack/internal/motion"
+	"witrack/internal/rf"
+	"witrack/internal/track"
+)
+
+// Config assembles a simulated WiTrack deployment.
+type Config struct {
+	Radio   fmcw.Config
+	Array   geom.Array
+	Scene   *rf.Scene
+	Subject body.Subject
+	// Seed drives all simulation randomness (noise, body-surface jitter).
+	Seed int64
+	// SlowSynth switches frame generation to the full time-domain path
+	// (identical statistics, ~100x slower; used for validation runs).
+	SlowSynth bool
+	// TrackerOverride, when non-nil, customizes the per-antenna tracker
+	// configuration after defaults are applied.
+	TrackerOverride func(*track.Config)
+}
+
+// DefaultConfig returns a through-wall deployment with the paper's
+// radio parameters, a 1 m T array, and a median subject.
+func DefaultConfig() Config {
+	return Config{
+		Radio:   fmcw.Default(),
+		Array:   geom.NewTArray(1.0, 1.5),
+		Scene:   rf.StandardScene(true),
+		Subject: body.DefaultSubject(),
+		Seed:    1,
+	}
+}
+
+// Sample is one 3D location output.
+type Sample struct {
+	// T is the time of the frame in seconds from the start of the run.
+	T float64
+	// Pos is the estimated 3D position (body surface point; apply
+	// body.CompensateSurfaceDepth to compare against body centers).
+	Pos geom.Vec3
+	// Valid is false before first acquisition.
+	Valid bool
+	// Moving reports whether this frame carried fresh motion energy on
+	// at least two antennas (false = interpolated/held output).
+	Moving bool
+	// Truth is the simulated ground-truth body center at T (the VICON
+	// substitute; empty when tracking real hardware).
+	Truth geom.Vec3
+	// TruthMoving is the ground-truth motion flag.
+	TruthMoving bool
+}
+
+// RunResult carries the full output of a tracking run.
+type RunResult struct {
+	Samples []Sample
+	// PerAntenna holds the per-frame estimate of each receive antenna
+	// (round-trip distances), for diagnostics and the pointing pipeline.
+	PerAntenna [][]track.Estimate
+	// Spectrograms, when recording was enabled, holds the per-antenna
+	// magnitude spectrograms (raw) for figure generation.
+	Spectrograms []*dsp.Spectrogram
+	// ProcessingTime is the total CPU time spent in the signal-processing
+	// pipeline (tracking + localization), excluding synthesis — the
+	// quantity the paper's §7 75 ms latency budget constrains.
+	ProcessingTime time.Duration
+	// Frames is the number of frames processed.
+	Frames int
+}
+
+// Device is a simulated WiTrack unit.
+type Device struct {
+	cfg      Config
+	synth    *fmcw.Synthesizer
+	prop     *rf.Propagator
+	trackers []*track.Tracker
+	locator  *locate.Locator
+	rng      *rand.Rand
+
+	// RecordSpectrograms retains raw magnitude frames (memory heavy;
+	// used for Fig. 3/Fig. 5 generation).
+	RecordSpectrograms bool
+
+	// sim holds the subject's radar-reflection state (torso patch
+	// wander, gait parts, gesture arm).
+	sim *bodySim
+}
+
+// Arm scatterer slide parameters: the dominant reflection point sits a
+// mean of ~15 cm up the forearm and wanders with ~10 cm spread over
+// ~0.6 s correlation time.
+const (
+	armSlideMean = 0.15
+	armSlideStd  = 0.10
+	armSlideTau  = 0.6
+	armLatStd    = 0.09
+)
+
+// ouUpdate advances a scalar Ornstein-Uhlenbeck process with the given
+// mean, stationary std, and correlation time.
+func ouUpdate(x, mean, std, tau, dt float64, rng *rand.Rand) float64 {
+	a := math.Exp(-dt / tau)
+	return mean + a*(x-mean) + math.Sqrt(1-a*a)*std*rng.NormFloat64()
+}
+
+// gaitHz is the stride rate driving trailing body-part depth.
+const gaitHz = 1.3
+
+// perAntennaWanderScale is the fraction of the torso-patch wander that
+// is independent per receive antenna. The independent component is what
+// the ellipsoid intersection amplifies along x and z (dilution of
+// precision), reproducing the paper's error anisotropy.
+const perAntennaWanderScale = 0.18
+
+// perAntennaWanderTau is the correlation time of the per-antenna speckle
+// component. It is much shorter than the gait cycle, so long-window
+// smoothing (the fall detector, the hold interpolator) can average it
+// away — matching the paper's clean Fig. 6 elevation traces despite the
+// ~21 cm per-frame z error.
+const perAntennaWanderTau = 0.12
+
+// NewDevice validates the configuration and builds the device.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Radio.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.Array.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Scene == nil {
+		return nil, fmt.Errorf("core: nil scene")
+	}
+	synth := fmcw.NewSynthesizer(cfg.Radio)
+	loc, err := locate.New(cfg.Array)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	d := &Device{
+		cfg:     cfg,
+		synth:   synth,
+		prop:    rf.NewPropagator(cfg.Scene, cfg.Array, cfg.Radio),
+		locator: loc,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	d.sim = newBodySim(cfg.Subject, len(cfg.Array.Rx), d.rng)
+	tc := track.DefaultConfig(cfg.Radio.BinDistance(), cfg.Radio.FrameInterval(), synth.NoiseBinSigma())
+	if cfg.TrackerOverride != nil {
+		cfg.TrackerOverride(&tc)
+	}
+	for range cfg.Array.Rx {
+		d.trackers = append(d.trackers, track.New(tc))
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Synthesizer exposes the radio synthesizer (for calibration in tests).
+func (d *Device) Synthesizer() *fmcw.Synthesizer { return d.synth }
+
+// reflector is one moving scatterer for the current frame.
+type reflector struct {
+	pt  geom.Vec3
+	rcs float64
+}
+
+// reflectors returns the moving scatterers per receive antenna for the
+// current body state: the torso patch (whole-body wander common to all
+// antennas plus a per-antenna decorrelated component, re-advanced only
+// while the body translates — a motionless torso produces frame-to-frame
+// identical paths so background subtraction erases it, §4.2/§10), the
+// gait-swinging trailing parts, and, during gestures, the arm scatterer
+// with its much smaller RCS (§6.1).
+func (d *Device) reflectors(st motion.BodyState) [][]reflector {
+	return d.sim.reflectors(st, d.cfg.Array.Tx, len(d.cfg.Array.Rx), d.cfg.Radio.FrameInterval())
+}
+
+// Run simulates tracking the trajectory for its full duration and
+// returns the location samples plus diagnostics.
+func (d *Device) Run(traj motion.Trajectory) *RunResult {
+	nRx := len(d.cfg.Array.Rx)
+	res := &RunResult{PerAntenna: make([][]track.Estimate, nRx)}
+	if d.RecordSpectrograms {
+		res.Spectrograms = make([]*dsp.Spectrogram, nRx)
+		for k := range res.Spectrograms {
+			res.Spectrograms[k] = &dsp.Spectrogram{
+				BinDistance:   d.cfg.Radio.BinDistance(),
+				FrameInterval: d.cfg.Radio.FrameInterval(),
+			}
+		}
+	}
+	interval := d.cfg.Radio.FrameInterval()
+	ests := make([]track.Estimate, nRx)
+	for t := 0.0; t <= traj.Duration(); t += interval {
+		st := traj.At(t)
+		refl := d.reflectors(st)
+		frames := make([]dsp.ComplexFrame, nRx)
+		for k := 0; k < nRx; k++ {
+			paths := append([]fmcw.Path(nil), d.prop.StaticPaths(k)...)
+			for _, r := range refl[k] {
+				paths = append(paths, d.prop.TargetPaths(k, r.pt, r.rcs)...)
+			}
+			if d.cfg.SlowSynth {
+				frames[k] = d.synth.SynthesizeComplexFrameSlow(paths, d.rng)
+			} else {
+				frames[k] = d.synth.SynthesizeComplexFrame(paths, d.rng)
+			}
+		}
+		start := time.Now()
+		movingCount := 0
+		for k := 0; k < nRx; k++ {
+			ests[k] = d.trackers[k].Push(frames[k])
+			res.PerAntenna[k] = append(res.PerAntenna[k], ests[k])
+			if ests[k].Moving {
+				movingCount++
+			}
+		}
+		sample := Sample{T: t, Truth: st.Center, TruthMoving: st.Moving}
+		if pos, err := d.locator.Solve(ests); err == nil {
+			sample.Pos = pos
+			sample.Valid = true
+			sample.Moving = movingCount >= 2
+		}
+		res.ProcessingTime += time.Since(start)
+		res.Frames++
+		res.Samples = append(res.Samples, sample)
+		if d.RecordSpectrograms {
+			for k := 0; k < nRx; k++ {
+				res.Spectrograms[k].Frames = append(res.Spectrograms[k].Frames, frames[k].Mag())
+			}
+		}
+	}
+	return res
+}
+
+// CalibrateBackground implements the paper's §10 proposal for locating a
+// static user: record the empty room for the given number of frames and
+// install the averaged complex profile as each tracker's background.
+// Subsequent runs subtract this profile instead of the previous frame,
+// so even a motionless person stands out (her reflection is absent from
+// the calibration).
+func (d *Device) CalibrateBackground(frames int) {
+	nRx := len(d.cfg.Array.Rx)
+	for k := 0; k < nRx; k++ {
+		var recorded []dsp.ComplexFrame
+		for i := 0; i < frames; i++ {
+			paths := d.prop.StaticPaths(k)
+			if d.cfg.SlowSynth {
+				recorded = append(recorded, d.synth.SynthesizeComplexFrameSlow(paths, d.rng))
+			} else {
+				recorded = append(recorded, d.synth.SynthesizeComplexFrame(paths, d.rng))
+			}
+		}
+		d.trackers[k].SetBackground(track.AverageBackground(recorded))
+	}
+}
+
+// ClearBackground returns the device to consecutive-frame subtraction.
+func (d *Device) ClearBackground() {
+	for _, tr := range d.trackers {
+		tr.SetBackground(nil)
+	}
+}
+
+// Reset clears tracker state so the device can run a fresh trajectory.
+func (d *Device) Reset() {
+	for _, tr := range d.trackers {
+		tr.Reset()
+	}
+	d.sim.reset()
+}

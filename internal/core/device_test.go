@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"witrack/internal/body"
+	"witrack/internal/dsp"
+	"witrack/internal/geom"
+	"witrack/internal/motion"
+	"witrack/internal/rf"
+)
+
+func testRegion() motion.Region {
+	a := rf.StandardArea()
+	return motion.Region{XMin: a.XMin, XMax: a.XMax, YMin: a.YMin, YMax: a.YMax}
+}
+
+func TestNewDeviceValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scene = nil
+	if _, err := NewDevice(cfg); err == nil {
+		t.Fatal("nil scene should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Radio.Bandwidth = 0
+	if _, err := NewDevice(cfg); err == nil {
+		t.Fatal("invalid radio should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Array.Rx = cfg.Array.Rx[:2]
+	if _, err := NewDevice(cfg); err == nil {
+		t.Fatal("2-antenna array should fail")
+	}
+}
+
+// trackErrors runs a walk and returns per-axis absolute errors of the
+// surface-depth-compensated estimates against ground truth.
+func trackErrors(t *testing.T, cfg Config, duration float64, seed int64) (xs, ys, zs []float64) {
+	t.Helper()
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), cfg.Subject.CenterHeight(), duration, seed))
+	res := dev.Run(walk)
+	for _, s := range res.Samples {
+		if !s.Valid || s.T < 2 { // allow acquisition
+			continue
+		}
+		est := body.CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
+		xs = append(xs, math.Abs(est.X-s.Truth.X))
+		ys = append(ys, math.Abs(est.Y-s.Truth.Y))
+		zs = append(zs, math.Abs(est.Z-s.Truth.Z))
+	}
+	if len(xs) < 100 {
+		t.Fatalf("only %d valid samples", len(xs))
+	}
+	return
+}
+
+func TestEndToEndThroughWallAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	xs, ys, zs := trackErrors(t, cfg, 30, 21)
+	mx, my, mz := dsp.Median(xs), dsp.Median(ys), dsp.Median(zs)
+	t.Logf("through-wall medians: x=%.3f y=%.3f z=%.3f m", mx, my, mz)
+	// Bands around the paper's 13.1/10.25/21.0 cm medians.
+	if mx > 0.28 || my > 0.20 || mz > 0.38 {
+		t.Fatalf("median errors too large: %.3f/%.3f/%.3f m", mx, my, mz)
+	}
+	if mx < 0.02 || my < 0.02 || mz < 0.02 {
+		t.Fatalf("median errors implausibly small (noise model broken?): %.3f/%.3f/%.3f", mx, my, mz)
+	}
+	// The paper's anisotropy: y is best, z is worst (§9.1).
+	if !(my < mx && mx < mz) {
+		t.Fatalf("error anisotropy should be y < x < z, got %.3f/%.3f/%.3f", mx, my, mz)
+	}
+}
+
+func TestLOSBeatsThroughWall(t *testing.T) {
+	tw := DefaultConfig()
+	tw.Seed = 5
+	los := DefaultConfig()
+	los.Scene = rf.StandardScene(false)
+	los.Seed = 5
+	xsTW, _, _ := trackErrors(t, tw, 25, 31)
+	xsLOS, _, _ := trackErrors(t, los, 25, 31)
+	if dsp.Median(xsLOS) > dsp.Median(xsTW)*1.25 {
+		t.Fatalf("LOS median %.3f should not exceed through-wall %.3f",
+			dsp.Median(xsLOS), dsp.Median(xsTW))
+	}
+}
+
+func TestRunProducesDiagnostics(t *testing.T) {
+	cfg := DefaultConfig()
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.RecordSpectrograms = true
+	walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), cfg.Subject.CenterHeight(), 5, 3))
+	res := dev.Run(walk)
+	if res.Frames == 0 || len(res.Samples) != res.Frames {
+		t.Fatalf("frames=%d samples=%d", res.Frames, len(res.Samples))
+	}
+	if len(res.PerAntenna) != 3 {
+		t.Fatalf("per-antenna series = %d", len(res.PerAntenna))
+	}
+	for k, sg := range res.Spectrograms {
+		if len(sg.Frames) != res.Frames {
+			t.Fatalf("antenna %d spectrogram has %d frames, want %d", k, len(sg.Frames), res.Frames)
+		}
+	}
+	if res.ProcessingTime <= 0 {
+		t.Fatal("processing time not recorded")
+	}
+}
+
+func TestInterpolationWhenSubjectStops(t *testing.T) {
+	// Activity scripts include standing still; samples during stillness
+	// must remain valid (held) and close to the true frozen position.
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := motion.NewActivityScript(motion.ActivityConfig{
+		Activity: motion.ActivitySitChair, Region: testRegion(),
+		CenterHeight: cfg.Subject.CenterHeight(), Seed: 17,
+	})
+	res := dev.Run(script)
+	stillValid, still := 0, 0
+	for _, s := range res.Samples {
+		if s.T < 3 {
+			continue
+		}
+		if !s.TruthMoving {
+			still++
+			if s.Valid {
+				stillValid++
+			}
+		}
+	}
+	if still == 0 {
+		t.Fatal("script should contain still periods")
+	}
+	if float64(stillValid)/float64(still) < 0.95 {
+		t.Fatalf("held estimates missing: %d/%d valid during stillness", stillValid, still)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() geom.Vec3 {
+		cfg := DefaultConfig()
+		cfg.Seed = 42
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), cfg.Subject.CenterHeight(), 5, 7))
+		res := dev.Run(walk)
+		last := res.Samples[len(res.Samples)-1]
+		return last.Pos
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different results: %v vs %v", a, b)
+	}
+}
+
+func TestResetAllowsFreshRun(t *testing.T) {
+	cfg := DefaultConfig()
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), cfg.Subject.CenterHeight(), 3, 1))
+	r1 := dev.Run(walk)
+	dev.Reset()
+	r2 := dev.Run(walk)
+	if r1.Frames != r2.Frames {
+		t.Fatalf("frame counts differ after reset: %d vs %d", r1.Frames, r2.Frames)
+	}
+	if !r2.Samples[0].Valid == false {
+		// first frame after reset can't be valid (no background yet)
+		t.Fatal("tracker state leaked across Reset")
+	}
+}
+
+// TestSlowSynthAgreesWithFast runs a short trajectory through both
+// synthesis levels and checks the tracked positions agree within the
+// pipeline's own noise.
+func TestSlowSynthAgreesWithFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow synthesis path")
+	}
+	errsFor := func(slow bool) []float64 {
+		cfg := DefaultConfig()
+		cfg.Seed = 13
+		cfg.SlowSynth = slow
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), cfg.Subject.CenterHeight(), 6, 19))
+		res := dev.Run(walk)
+		var errs []float64
+		for _, s := range res.Samples {
+			if s.Valid && s.T > 2 {
+				est := body.CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
+				errs = append(errs, est.Dist(s.Truth))
+			}
+		}
+		return errs
+	}
+	fast := errsFor(false)
+	slow := errsFor(true)
+	if len(fast) == 0 || len(slow) == 0 {
+		t.Fatal("no samples")
+	}
+	mf, ms := dsp.Median(fast), dsp.Median(slow)
+	if math.Abs(mf-ms) > 0.15 {
+		t.Fatalf("fast median %.3f vs slow median %.3f diverge", mf, ms)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"witrack/internal/body"
+	"witrack/internal/dsp"
+	"witrack/internal/fmcw"
+	"witrack/internal/geom"
+	"witrack/internal/locate"
+	"witrack/internal/motion"
+	"witrack/internal/rf"
+	"witrack/internal/track"
+)
+
+// MultiDevice tracks two concurrent movers — the paper's §10 extension:
+// per-antenna multi-TOF extraction, assignment disambiguation across the
+// 2^3 ellipsoid combinations, and trajectory-continuity scoring.
+type MultiDevice struct {
+	cfg      Config
+	subjects [2]body.Subject
+	synth    *fmcw.Synthesizer
+	prop     *rf.Propagator
+	trackers []*track.MultiTracker
+	locator  *locate.Locator
+	rng      *rand.Rand
+	sims     [2]*bodySim
+}
+
+// MultiSample is one two-person output frame.
+type MultiSample struct {
+	T     float64
+	Pos   [2]geom.Vec3
+	Valid bool
+	Truth [2]geom.Vec3
+}
+
+// MultiRunResult is the output of a two-person run.
+type MultiRunResult struct {
+	Samples []MultiSample
+	Frames  int
+}
+
+// NewMultiDevice builds a two-person tracker; cfg.Subject tracks person
+// A, subjectB person B.
+func NewMultiDevice(cfg Config, subjectB body.Subject) (*MultiDevice, error) {
+	base, err := NewDevice(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	d := &MultiDevice{
+		cfg:      cfg,
+		subjects: [2]body.Subject{cfg.Subject, subjectB},
+		synth:    base.synth,
+		prop:     base.prop,
+		locator:  base.locator,
+		rng:      base.rng,
+	}
+	tc := track.DefaultConfig(cfg.Radio.BinDistance(), cfg.Radio.FrameInterval(), d.synth.NoiseBinSigma())
+	if cfg.TrackerOverride != nil {
+		cfg.TrackerOverride(&tc)
+	}
+	for range cfg.Array.Rx {
+		d.trackers = append(d.trackers, track.NewMulti(tc, 2))
+	}
+	d.sims[0] = newBodySim(d.subjects[0], len(cfg.Array.Rx), d.rng)
+	d.sims[1] = newBodySim(d.subjects[1], len(cfg.Array.Rx), d.rng)
+	return d, nil
+}
+
+// Run tracks two trajectories simultaneously. The association of output
+// slots to people is resolved globally at the end by matching the first
+// valid fix (the radio cannot know identities; the paper's §10 notes
+// only trajectory consistency is available).
+func (d *MultiDevice) Run(trajA, trajB motion.Trajectory) *MultiRunResult {
+	nRx := len(d.cfg.Array.Rx)
+	res := &MultiRunResult{}
+	interval := d.cfg.Radio.FrameInterval()
+	dur := trajA.Duration()
+	if trajB.Duration() < dur {
+		dur = trajB.Duration()
+	}
+	var prev [2]geom.Vec3
+	havePrev := false
+	for t := 0.0; t <= dur; t += interval {
+		stA := trajA.At(t)
+		stB := trajB.At(t)
+		reflA := d.sims[0].reflectors(stA, d.cfg.Array.Tx, nRx, interval)
+		reflB := d.sims[1].reflectors(stB, d.cfg.Array.Tx, nRx, interval)
+
+		pairs := make([][2]float64, nRx)
+		ok := true
+		for k := 0; k < nRx; k++ {
+			paths := append([]fmcw.Path(nil), d.prop.StaticPaths(k)...)
+			for _, r := range reflA[k] {
+				paths = append(paths, d.prop.TargetPaths(k, r.pt, r.rcs)...)
+			}
+			for _, r := range reflB[k] {
+				paths = append(paths, d.prop.TargetPaths(k, r.pt, r.rcs)...)
+			}
+			var frame dsp.ComplexFrame
+			if d.cfg.SlowSynth {
+				frame = d.synth.SynthesizeComplexFrameSlow(paths, d.rng)
+			} else {
+				frame = d.synth.SynthesizeComplexFrame(paths, d.rng)
+			}
+			ests := d.trackers[k].Push(frame)
+			if !ests[0].Valid || !ests[1].Valid {
+				ok = false
+				continue
+			}
+			pairs[k] = [2]float64{ests[0].RoundTrip, ests[1].RoundTrip}
+		}
+		sample := MultiSample{T: t, Truth: [2]geom.Vec3{stA.Center, stB.Center}}
+		if ok {
+			if pos, err := locate.SolveTwo(d.locator, pairs, prev, havePrev); err == nil {
+				sample.Pos = pos
+				sample.Valid = true
+				prev = pos
+				havePrev = true
+			}
+		}
+		res.Samples = append(res.Samples, sample)
+		res.Frames++
+	}
+	return res
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"witrack/internal/body"
+	"witrack/internal/dsp"
+	"witrack/internal/motion"
+	"witrack/internal/rf"
+)
+
+// TestTwoPersonTracking exercises the §10 extension end to end: two
+// subjects walk in separate halves of the room; the multi-device must
+// recover both trajectories. Identity assignment is resolved per the
+// smaller total error (the radio has no identities, only continuity).
+func TestTwoPersonTracking(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 17
+	// Line of sight in an uncluttered space: the §10 sketch assumes the
+	// two direct reflections are individually resolvable; multipath-
+	// robust association for multiple people is beyond the paper's
+	// proposal (it defers multi-person tracking entirely).
+	cfg.Scene = rf.EmptyScene()
+	subjectB := body.Panel(11, 5)[3]
+	dev, err := NewMultiDevice(cfg, subjectB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Separate depth bands keep the per-antenna TOFs distinct most of
+	// the time.
+	left := motion.NewRandomWalk(motion.DefaultWalkConfig(
+		motion.Region{XMin: -3, XMax: -0.8, YMin: 3, YMax: 4.5}, cfg.Subject.CenterHeight(), 25, 3))
+	right := motion.NewRandomWalk(motion.DefaultWalkConfig(
+		motion.Region{XMin: 0.8, XMax: 3, YMin: 5.8, YMax: 7.5}, subjectB.CenterHeight(), 25, 4))
+	res := dev.Run(left, right)
+
+	var errsDirect, errsSwapped []float64
+	valid := 0
+	for _, s := range res.Samples {
+		if !s.Valid || s.T < 3 {
+			continue
+		}
+		valid++
+		d0 := s.Pos[0].XY().Dist(s.Truth[0].XY()) + s.Pos[1].XY().Dist(s.Truth[1].XY())
+		d1 := s.Pos[0].XY().Dist(s.Truth[1].XY()) + s.Pos[1].XY().Dist(s.Truth[0].XY())
+		errsDirect = append(errsDirect, d0/2)
+		errsSwapped = append(errsSwapped, d1/2)
+	}
+	if valid < 800 {
+		t.Fatalf("only %d valid two-person fixes", valid)
+	}
+	direct := dsp.Median(append([]float64(nil), errsDirect...))
+	swapped := dsp.Median(append([]float64(nil), errsSwapped...))
+	med := math.Min(direct, swapped)
+	t.Logf("two-person median per-person 2D error: %.3f m (direct %.3f, swapped %.3f, %d fixes)",
+		med, direct, swapped, valid)
+	// Two concurrent people are a much harder problem than one (the
+	// paper defers it); sub-meter per-person accuracy demonstrates the
+	// §10 mechanism works.
+	if med > 1.0 {
+		t.Fatalf("two-person tracking median error %.3f m too large", med)
+	}
+	// The assignment must be consistent: one ordering should clearly win.
+	if math.Abs(direct-swapped) < 0.2 {
+		t.Fatalf("assignments look scrambled: direct %.3f vs swapped %.3f", direct, swapped)
+	}
+}
+
+// TestTwoPersonSeparationMatters documents the §10 caveat: when the two
+// subjects walk in the same area their reflections collide and accuracy
+// degrades (still bounded, but visibly worse).
+func TestTwoPersonSeparationMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long two-person comparison")
+	}
+	run := func(regionB motion.Region) float64 {
+		cfg := DefaultConfig()
+		cfg.Seed = 19
+		subjectB := body.Panel(11, 7)[5]
+		dev, err := NewMultiDevice(cfg, subjectB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := motion.NewRandomWalk(motion.DefaultWalkConfig(
+			motion.Region{XMin: -3, XMax: -0.8, YMin: 3, YMax: 6}, cfg.Subject.CenterHeight(), 20, 8))
+		b := motion.NewRandomWalk(motion.DefaultWalkConfig(regionB, subjectB.CenterHeight(), 20, 9))
+		res := dev.Run(a, b)
+		var errs []float64
+		for _, s := range res.Samples {
+			if !s.Valid || s.T < 3 {
+				continue
+			}
+			d0 := s.Pos[0].XY().Dist(s.Truth[0].XY()) + s.Pos[1].XY().Dist(s.Truth[1].XY())
+			d1 := s.Pos[0].XY().Dist(s.Truth[1].XY()) + s.Pos[1].XY().Dist(s.Truth[0].XY())
+			errs = append(errs, math.Min(d0, d1)/2)
+		}
+		if len(errs) == 0 {
+			return math.Inf(1)
+		}
+		return dsp.Median(errs)
+	}
+	apart := run(motion.Region{XMin: 0.8, XMax: 3, YMin: 6.5, YMax: 9})
+	together := run(motion.Region{XMin: -3, XMax: -0.8, YMin: 3, YMax: 6})
+	t.Logf("separated %.3f m vs overlapping %.3f m", apart, together)
+	if apart > together {
+		t.Fatalf("separated subjects (%.3f) should track better than overlapping ones (%.3f)", apart, together)
+	}
+}

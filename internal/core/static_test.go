@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"witrack/internal/body"
+	"witrack/internal/geom"
+	"witrack/internal/motion"
+)
+
+// TestStaticUserInvisibleWithoutCalibration reproduces the §10
+// limitation: consecutive-frame subtraction erases a person who never
+// moves, so the tracker never acquires.
+func TestStaticUserInvisibleWithoutCalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 31
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	still := motion.Stationary{
+		Position: geom.Vec3{X: 0.5, Y: 5, Z: cfg.Subject.CenterHeight()},
+		Seconds:  8,
+	}
+	res := dev.Run(still)
+	valid := 0
+	for _, s := range res.Samples {
+		if s.Valid {
+			valid++
+		}
+	}
+	if valid > res.Frames/10 {
+		t.Fatalf("static user should be (nearly) invisible without calibration: %d/%d valid", valid, res.Frames)
+	}
+}
+
+// TestStaticUserLocatedWithCalibration verifies the §10 extension: after
+// an empty-room calibration, the same motionless person is localized.
+func TestStaticUserLocatedWithCalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 32
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.CalibrateBackground(40)
+	truth := geom.Vec3{X: 0.5, Y: 5, Z: cfg.Subject.CenterHeight()}
+	still := motion.Stationary{Position: truth, Seconds: 8}
+	res := dev.Run(still)
+	valid := 0
+	var errSum float64
+	for _, s := range res.Samples {
+		if !s.Valid || s.T < 1 {
+			continue
+		}
+		valid++
+		est := body.CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
+		errSum += est.Dist(truth)
+	}
+	if valid < res.Frames/2 {
+		t.Fatalf("calibrated tracker should localize the static user: %d/%d valid", valid, res.Frames)
+	}
+	if mean := errSum / float64(valid); mean > 0.5 {
+		t.Fatalf("static localization mean error %.2f m too large", mean)
+	}
+	// ClearBackground restores the limitation.
+	dev.ClearBackground()
+	dev.Reset()
+	res2 := dev.Run(still)
+	valid2 := 0
+	for _, s := range res2.Samples {
+		if s.Valid {
+			valid2++
+		}
+	}
+	if valid2 > res2.Frames/10 {
+		t.Fatalf("after ClearBackground the static user should vanish again: %d/%d", valid2, res2.Frames)
+	}
+}

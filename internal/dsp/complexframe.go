@@ -1,0 +1,44 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ComplexFrame is one FFT output row with phase preserved. Background
+// subtraction must happen on complex frames: a static reflector produces
+// the identical complex value in consecutive frames (cancels exactly),
+// while a human who moved even a few millimeters rotates the carrier
+// phase by 2*pi*f0*Δd/C — a large angle at ~6 GHz — so her energy
+// survives the difference. Magnitude-only subtraction would erase a
+// reflector whose power merely stays similar.
+type ComplexFrame []complex128
+
+// Mag returns the per-bin magnitudes.
+func (f ComplexFrame) Mag() Frame {
+	out := make(Frame, len(f))
+	for i, v := range f {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// SubMag returns |f - g| per bin: the background-subtracted magnitude
+// frame of the paper's §4.2.
+func (f ComplexFrame) SubMag(g ComplexFrame) Frame {
+	if len(f) != len(g) {
+		panic(fmt.Sprintf("dsp: complex frame length mismatch %d vs %d", len(f), len(g)))
+	}
+	out := make(Frame, len(f))
+	for i := range f {
+		out[i] = cmplx.Abs(f[i] - g[i])
+	}
+	return out
+}
+
+// Clone returns a copy of the frame.
+func (f ComplexFrame) Clone() ComplexFrame {
+	out := make(ComplexFrame, len(f))
+	copy(out, f)
+	return out
+}

@@ -1,0 +1,58 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComplexFrameMag(t *testing.T) {
+	f := ComplexFrame{complex(3, 4), complex(0, 0), complex(-1, 0)}
+	m := f.Mag()
+	if m[0] != 5 || m[1] != 0 || m[2] != 1 {
+		t.Fatalf("Mag = %v", m)
+	}
+}
+
+func TestComplexFrameSubMagCancelsEqualPhases(t *testing.T) {
+	// A static reflector contributes identical complex values in
+	// consecutive frames: complex subtraction must cancel it exactly.
+	static := complex(2, 3)
+	f := ComplexFrame{static, complex(1, 1)}
+	g := ComplexFrame{static, complex(1, -1)} // bin 1 changed phase
+	d := f.SubMag(g)
+	if d[0] != 0 {
+		t.Fatalf("static bin should cancel, got %v", d[0])
+	}
+	if d[1] != 2 {
+		t.Fatalf("phase-rotated bin should survive, got %v", d[1])
+	}
+}
+
+func TestComplexFrameSubMagMagnitudeOnlyWouldMiss(t *testing.T) {
+	// Same magnitude, rotated phase: |f|-|g| would be 0, but complex
+	// subtraction sees the mover — the property the paper's background
+	// subtraction depends on.
+	f := ComplexFrame{complex(1, 0)}
+	g := ComplexFrame{complex(0, 1)}
+	if d := f.SubMag(g); math.Abs(d[0]-math.Sqrt2) > 1e-12 {
+		t.Fatalf("rotated equal-magnitude bin: got %v, want sqrt(2)", d[0])
+	}
+}
+
+func TestComplexFrameSubMagPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ComplexFrame{1}.SubMag(ComplexFrame{1, 2})
+}
+
+func TestComplexFrameClone(t *testing.T) {
+	f := ComplexFrame{1, 2}
+	c := f.Clone()
+	c[0] = 99
+	if f[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}

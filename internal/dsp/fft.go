@@ -1,0 +1,129 @@
+// Package dsp provides the signal-processing primitives the WiTrack
+// pipeline needs: an FFT (the Go standard library has none), window
+// functions, spectrogram construction, local-maximum peak detection, and
+// order statistics. Everything is implemented from scratch on the
+// standard library only.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place decimation-in-time radix-2 fast Fourier
+// transform of x. The length of x must be a power of two (use NextPow2 /
+// ZeroPad to arrange that, which is standard practice for FMCW sweep
+// processing). The transform is unnormalized: IFFT(FFT(x)) == len(x)*x
+// before the 1/N scaling applied by IFFT.
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wBase
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT in place, including the 1/N scaling.
+func IFFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+}
+
+// DFT computes the discrete Fourier transform naively in O(n^2). It
+// exists as a correctness oracle for FFT in tests and works for any
+// length.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// ZeroPad returns x zero-padded (or truncated) to length n.
+func ZeroPad(x []complex128, n int) []complex128 {
+	out := make([]complex128, n)
+	copy(out, x)
+	return out
+}
+
+// RealFFTMag computes the magnitude spectrum of a real-valued signal:
+// the signal is windowed, zero-padded to the next power of two, FFT'd,
+// and the magnitudes of the first nBins non-negative-frequency bins are
+// returned. This is exactly the per-sweep processing step of the paper's
+// §4.1 (the FFT "is typically taken over a duration of one sweep").
+//
+// If window is nil a rectangular window is used. nBins may not exceed
+// half the padded length + 1.
+func RealFFTMag(signal []float64, window []float64, nBins int) []float64 {
+	n := NextPow2(len(signal))
+	buf := make([]complex128, n)
+	for i, v := range signal {
+		if window != nil {
+			v *= window[i]
+		}
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	max := n/2 + 1
+	if nBins > max {
+		nBins = max
+	}
+	out := make([]float64, nBins)
+	for i := 0; i < nBins; i++ {
+		out[i] = cmplx.Abs(buf[i])
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package dsp
+
+// Peak is a local maximum in a frame.
+type Peak struct {
+	Bin   int
+	Power float64
+}
+
+// LocalMaxima returns all interior local maxima of the frame whose power
+// is at least threshold, in increasing bin order. Plateaus report their
+// first bin.
+func LocalMaxima(f Frame, threshold float64) []Peak {
+	var peaks []Peak
+	n := len(f)
+	for i := 1; i < n-1; i++ {
+		if f[i] < threshold {
+			continue
+		}
+		if f[i] > f[i-1] && f[i] >= f[i+1] {
+			peaks = append(peaks, Peak{Bin: i, Power: f[i]})
+		}
+	}
+	return peaks
+}
+
+// FirstPeakAbove returns the local maximum with the smallest bin index
+// whose power is at least threshold, i.e. the "bottom contour" point of
+// the paper's §4.3: the closest strong reflector, which is the direct
+// (shortest) path to the human once static reflectors are removed.
+// ok is false when no qualifying peak exists (e.g. the person is still
+// and background subtraction wiped the frame).
+func FirstPeakAbove(f Frame, threshold float64) (Peak, bool) {
+	peaks := LocalMaxima(f, threshold)
+	if len(peaks) == 0 {
+		return Peak{}, false
+	}
+	return peaks[0], true
+}
+
+// NeighborhoodMaxima returns bins that are the strict maximum of their
+// +-halfWin neighborhood and at least threshold, in increasing bin
+// order. Unlike LocalMaxima it ignores 1-bin noise ripples riding on the
+// flank of a wide reflection blob — those would otherwise bias the
+// bottom contour toward shorter distances.
+func NeighborhoodMaxima(f Frame, threshold float64, halfWin int) []Peak {
+	if halfWin < 1 {
+		halfWin = 1
+	}
+	var peaks []Peak
+	n := len(f)
+	for i := 1; i < n-1; i++ {
+		if f[i] < threshold {
+			continue
+		}
+		isMax := true
+		lo, hi := i-halfWin, i+halfWin
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			if f[j] > f[i] || (f[j] == f[i] && j < i) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			peaks = append(peaks, Peak{Bin: i, Power: f[i]})
+		}
+	}
+	return peaks
+}
+
+// FirstBlobPeak is the production bottom-contour rule: the lowest-bin
+// neighborhood maximum above threshold.
+func FirstBlobPeak(f Frame, threshold float64, halfWin int) (Peak, bool) {
+	peaks := NeighborhoodMaxima(f, threshold, halfWin)
+	if len(peaks) == 0 {
+		return Peak{}, false
+	}
+	return peaks[0], true
+}
+
+// StrongestPeak returns the global maximum of the frame; used as the
+// ablation baseline (§4.3 notes contour tracking is more robust than
+// tracking the dominant frequency).
+func StrongestPeak(f Frame) (Peak, bool) {
+	if len(f) == 0 {
+		return Peak{}, false
+	}
+	best := Peak{Bin: 0, Power: f[0]}
+	for i, v := range f {
+		if v > best.Power {
+			best = Peak{Bin: i, Power: v}
+		}
+	}
+	return best, best.Power > 0
+}
+
+// RefineParabolic improves a peak's bin estimate to sub-bin precision by
+// fitting a parabola through the peak sample and its two neighbors.
+// This is the standard FMCW interpolation trick and is what lets the
+// pipeline do better than the raw C/2B bin quantization.
+func RefineParabolic(f Frame, bin int) float64 {
+	if bin <= 0 || bin >= len(f)-1 {
+		return float64(bin)
+	}
+	a, b, c := f[bin-1], f[bin], f[bin+1]
+	denom := a - 2*b + c
+	if denom == 0 {
+		return float64(bin)
+	}
+	delta := 0.5 * (a - c) / denom
+	if delta > 0.5 {
+		delta = 0.5
+	} else if delta < -0.5 {
+		delta = -0.5
+	}
+	return float64(bin) + delta
+}
+
+// NoiseFloor estimates the noise level of a frame as the median of its
+// values — robust to a handful of strong reflector peaks.
+func NoiseFloor(f Frame) float64 {
+	if len(f) == 0 {
+		return 0
+	}
+	return Percentile(append([]float64(nil), f...), 50)
+}

@@ -1,0 +1,103 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLocalMaxima(t *testing.T) {
+	f := Frame{0, 5, 1, 0, 8, 2, 0, 3, 0}
+	peaks := LocalMaxima(f, 2)
+	if len(peaks) != 3 {
+		t.Fatalf("peaks = %+v", peaks)
+	}
+	if peaks[0].Bin != 1 || peaks[1].Bin != 4 || peaks[2].Bin != 7 {
+		t.Fatalf("peak bins = %+v", peaks)
+	}
+	// Threshold filters the weakest.
+	peaks = LocalMaxima(f, 4)
+	if len(peaks) != 2 {
+		t.Fatalf("thresholded peaks = %+v", peaks)
+	}
+}
+
+func TestLocalMaximaEdgesExcluded(t *testing.T) {
+	f := Frame{10, 1, 1, 10}
+	if peaks := LocalMaxima(f, 0.5); len(peaks) != 0 {
+		t.Fatalf("edge samples must not count as maxima: %+v", peaks)
+	}
+}
+
+func TestFirstPeakAboveSelectsClosest(t *testing.T) {
+	// Direct path at bin 3 is weaker than multipath ghost at bin 9; the
+	// contour rule must still select bin 3 (paper §4.3).
+	f := Frame{0, 0, 1, 6, 1, 0, 0, 1, 5, 20, 4, 0}
+	p, ok := FirstPeakAbove(f, 3)
+	if !ok || p.Bin != 3 {
+		t.Fatalf("FirstPeakAbove = %+v ok=%v, want bin 3", p, ok)
+	}
+	// Raising the threshold above the direct path falls back to the ghost.
+	p, ok = FirstPeakAbove(f, 10)
+	if !ok || p.Bin != 9 {
+		t.Fatalf("FirstPeakAbove high threshold = %+v", p)
+	}
+	if _, ok := FirstPeakAbove(f, 100); ok {
+		t.Fatal("no peak should clear threshold 100")
+	}
+}
+
+func TestStrongestPeak(t *testing.T) {
+	f := Frame{1, 2, 9, 3}
+	p, ok := StrongestPeak(f)
+	if !ok || p.Bin != 2 || p.Power != 9 {
+		t.Fatalf("StrongestPeak = %+v", p)
+	}
+	if _, ok := StrongestPeak(Frame{}); ok {
+		t.Fatal("empty frame should report no peak")
+	}
+}
+
+func TestRefineParabolicExact(t *testing.T) {
+	// Sample a parabola with vertex at 5.3; refinement should recover it.
+	vertex := 5.3
+	f := make(Frame, 11)
+	for i := range f {
+		d := float64(i) - vertex
+		f[i] = 10 - d*d
+	}
+	got := RefineParabolic(f, 5)
+	if math.Abs(got-vertex) > 1e-9 {
+		t.Fatalf("RefineParabolic = %v, want %v", got, vertex)
+	}
+}
+
+func TestRefineParabolicEdgesAndFlat(t *testing.T) {
+	f := Frame{1, 2, 3}
+	if RefineParabolic(f, 0) != 0 || RefineParabolic(f, 2) != 2 {
+		t.Fatal("edges must return the input bin")
+	}
+	flat := Frame{2, 2, 2}
+	if RefineParabolic(flat, 1) != 1 {
+		t.Fatal("flat region must return the input bin")
+	}
+}
+
+func TestRefineParabolicClamped(t *testing.T) {
+	// Pathological neighbor values must not push the estimate further
+	// than half a bin.
+	f := Frame{0, 1, 0.999}
+	got := RefineParabolic(f, 1)
+	if got < 0.5 || got > 1.5 {
+		t.Fatalf("refined bin %v escaped the half-bin clamp", got)
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	f := Frame{1, 1, 1, 1, 100} // one strong peak should barely move the floor
+	if nf := NoiseFloor(f); nf != 1 {
+		t.Fatalf("NoiseFloor = %v, want 1", nf)
+	}
+	if NoiseFloor(Frame{}) != 0 {
+		t.Fatal("empty frame noise floor should be 0")
+	}
+}

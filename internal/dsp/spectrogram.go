@@ -1,0 +1,109 @@
+package dsp
+
+import "fmt"
+
+// Frame is one row of a spectrogram: reflected power per FFT bin at one
+// time instant. Bin k corresponds to baseband frequency k/T_sweep, i.e.
+// to round-trip distance k * (C/B) (paper Eq. 4 with the FFT-bin
+// quantization).
+type Frame []float64
+
+// Clone returns a copy of the frame.
+func (f Frame) Clone() Frame {
+	out := make(Frame, len(f))
+	copy(out, f)
+	return out
+}
+
+// Sub returns f - g element-wise; this is the background-subtraction
+// primitive of the paper's §4.2 (consecutive-frame differencing removes
+// reflectors whose TOF does not change).
+func (f Frame) Sub(g Frame) Frame {
+	if len(f) != len(g) {
+		panic(fmt.Sprintf("dsp: frame length mismatch %d vs %d", len(f), len(g)))
+	}
+	out := make(Frame, len(f))
+	for i := range f {
+		out[i] = f[i] - g[i]
+	}
+	return out
+}
+
+// Abs returns |f| element-wise.
+func (f Frame) Abs() Frame {
+	out := make(Frame, len(f))
+	for i, v := range f {
+		if v < 0 {
+			v = -v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// AverageFrames returns the element-wise mean of the given frames. The
+// paper averages five consecutive sweeps into one frame (12.5 ms): human
+// reflections add coherently while noise adds incoherently (§4.3).
+func AverageFrames(frames []Frame) Frame {
+	if len(frames) == 0 {
+		return nil
+	}
+	n := len(frames[0])
+	out := make(Frame, n)
+	for _, fr := range frames {
+		if len(fr) != n {
+			panic("dsp: AverageFrames length mismatch")
+		}
+		for i, v := range fr {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(frames))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Spectrogram is a time sequence of frames plus the scale needed to map
+// bins back to physical round-trip distance.
+type Spectrogram struct {
+	Frames []Frame
+	// BinDistance is the round-trip distance covered by one FFT bin, in
+	// meters (C/B for a full-sweep FFT; see fmcw.Config.BinDistance).
+	BinDistance float64
+	// FrameInterval is the time between successive frames in seconds.
+	FrameInterval float64
+}
+
+// Distance converts a (possibly fractional) bin index to round-trip
+// distance in meters.
+func (s *Spectrogram) Distance(bin float64) float64 { return bin * s.BinDistance }
+
+// Bin converts a round-trip distance in meters to a fractional bin index.
+func (s *Spectrogram) Bin(distance float64) float64 {
+	if s.BinDistance == 0 {
+		return 0
+	}
+	return distance / s.BinDistance
+}
+
+// BackgroundSubtract returns a new spectrogram in which each frame is
+// replaced by the magnitude of its difference from the preceding frame.
+// The first output frame is all zeros (no predecessor). This implements
+// the paper's §4.2 removal of the static "Flash Effect".
+func (s *Spectrogram) BackgroundSubtract() *Spectrogram {
+	out := &Spectrogram{
+		Frames:        make([]Frame, len(s.Frames)),
+		BinDistance:   s.BinDistance,
+		FrameInterval: s.FrameInterval,
+	}
+	for i, fr := range s.Frames {
+		if i == 0 {
+			out.Frames[i] = make(Frame, len(fr))
+			continue
+		}
+		out.Frames[i] = fr.Sub(s.Frames[i-1]).Abs()
+	}
+	return out
+}

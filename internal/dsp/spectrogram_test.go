@@ -1,0 +1,114 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFrameSubAbsClone(t *testing.T) {
+	f := Frame{3, 1, 4}
+	g := Frame{1, 5, 9}
+	d := f.Sub(g)
+	if d[0] != 2 || d[1] != -4 || d[2] != -5 {
+		t.Fatalf("Sub = %v", d)
+	}
+	a := d.Abs()
+	if a[0] != 2 || a[1] != 4 || a[2] != 5 {
+		t.Fatalf("Abs = %v", a)
+	}
+	c := f.Clone()
+	c[0] = 99
+	if f[0] != 3 {
+		t.Fatal("Clone should not share backing array")
+	}
+}
+
+func TestFrameSubPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Frame{1}.Sub(Frame{1, 2})
+}
+
+func TestAverageFrames(t *testing.T) {
+	avg := AverageFrames([]Frame{{1, 2}, {3, 4}, {5, 6}})
+	if avg[0] != 3 || avg[1] != 4 {
+		t.Fatalf("avg = %v", avg)
+	}
+	if AverageFrames(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestAverageFramesSuppressesNoise(t *testing.T) {
+	// Averaging N frames of unit-variance noise plus a constant signal
+	// should keep the signal and shrink the noise by ~sqrt(N) — the
+	// paper's rationale for 5-sweep averaging (§4.3).
+	const n = 1000
+	const k = 5
+	single := make([]float64, 0, n)
+	averaged := make([]float64, 0, n)
+	seed := uint64(12345)
+	next := func() float64 { // xorshift-based uniform noise in [-1, 1]
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(int64(seed))/float64(math.MaxInt64)*1 - 0
+	}
+	for i := 0; i < n; i++ {
+		frames := make([]Frame, k)
+		for j := 0; j < k; j++ {
+			frames[j] = Frame{next()}
+		}
+		averaged = append(averaged, AverageFrames(frames)[0])
+		single = append(single, next())
+	}
+	if sa, ss := StdDev(averaged), StdDev(single); sa > ss/math.Sqrt(k)*1.3 {
+		t.Fatalf("averaged noise std %v not ~sqrt(%d) below single-frame %v", sa, k, ss)
+	}
+}
+
+func TestSpectrogramDistanceBin(t *testing.T) {
+	s := &Spectrogram{BinDistance: 0.1775, FrameInterval: 0.0125}
+	if d := s.Distance(10); math.Abs(d-1.775) > 1e-12 {
+		t.Fatalf("Distance = %v", d)
+	}
+	if b := s.Bin(1.775); math.Abs(b-10) > 1e-9 {
+		t.Fatalf("Bin = %v", b)
+	}
+	zero := &Spectrogram{}
+	if zero.Bin(5) != 0 {
+		t.Fatal("zero BinDistance should map to bin 0")
+	}
+}
+
+func TestBackgroundSubtractRemovesStatic(t *testing.T) {
+	// A static reflector produces identical frames; a moving one changes
+	// bins. After subtraction the static component must vanish.
+	static := Frame{0, 10, 0, 0, 0, 0}
+	s := &Spectrogram{BinDistance: 1, FrameInterval: 1}
+	for i := 0; i < 5; i++ {
+		fr := static.Clone()
+		fr[2+i%2] += 4 // mover oscillates between bins 2 and 3
+		s.Frames = append(s.Frames, fr)
+	}
+	bs := s.BackgroundSubtract()
+	if len(bs.Frames) != 5 {
+		t.Fatalf("frame count = %d", len(bs.Frames))
+	}
+	for _, v := range bs.Frames[0] {
+		if v != 0 {
+			t.Fatal("first frame should be zeros")
+		}
+	}
+	for i := 1; i < 5; i++ {
+		if bs.Frames[i][1] != 0 {
+			t.Fatalf("static bin leaked through at frame %d: %v", i, bs.Frames[i][1])
+		}
+		if bs.Frames[i][2] == 0 && bs.Frames[i][3] == 0 {
+			t.Fatalf("moving reflector lost at frame %d", i)
+		}
+	}
+}

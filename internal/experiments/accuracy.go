@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"sort"
+
+	"witrack/internal/core"
+	"witrack/internal/geom"
+	"witrack/internal/rf"
+)
+
+// AccuracyResult is the outcome of E3/E4 (Fig. 8): the CDF of per-axis
+// localization errors.
+type AccuracyResult struct {
+	Errors  AxisErrors
+	Samples int
+}
+
+// Accuracy3D reproduces Fig. 8: repeated one-minute "move at will" runs,
+// errors of the surface-compensated estimate against ground truth, in
+// line-of-sight (device inside the room) or through-wall (device behind
+// the front wall) configurations. Paper medians: LOS 9.9/8.6/17.7 cm,
+// through-wall 13.1/10.25/21.0 cm (x/y/z).
+func Accuracy3D(throughWall bool, sc Scale, seed int64) (*AccuracyResult, error) {
+	res := &AccuracyResult{}
+	for run := 0; run < sc.Runs; run++ {
+		cfg := core.DefaultConfig()
+		cfg.Scene = rf.StandardScene(throughWall)
+		cfg.Subject = subjectFor(run, seed)
+		cfg.Seed = seed + int64(run)*101
+		err := runTracking(cfg, sc.Duration, seed+int64(run)*13+7,
+			func(s core.Sample, est geom.Vec3, _ float64) {
+				res.Errors.Add(est.X-s.Truth.X, est.Y-s.Truth.Y, est.Z-s.Truth.Z)
+				res.Samples++
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// DistanceBin is one meter-bin of Fig. 9.
+type DistanceBin struct {
+	Meters int
+	Errors AxisErrors
+}
+
+// AccuracyVsDistance reproduces Fig. 9: through-wall error binned by the
+// subject's distance from the device (rounded to the nearest meter).
+// The paper reports medians growing 5-10 cm from 3 m to 11 m.
+func AccuracyVsDistance(sc Scale, seed int64) ([]DistanceBin, error) {
+	bins := map[int]*AxisErrors{}
+	for run := 0; run < sc.Runs; run++ {
+		cfg := core.DefaultConfig()
+		cfg.Subject = subjectFor(run, seed)
+		cfg.Seed = seed + int64(run)*97
+		err := runTracking(cfg, sc.Duration, seed+int64(run)*11+3,
+			func(s core.Sample, est geom.Vec3, dist float64) {
+				m := int(dist + 0.5)
+				if bins[m] == nil {
+					bins[m] = &AxisErrors{}
+				}
+				bins[m].Add(est.X-s.Truth.X, est.Y-s.Truth.Y, est.Z-s.Truth.Z)
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []DistanceBin
+	for m, e := range bins {
+		if e.N() < 50 {
+			continue // too few samples for stable percentiles
+		}
+		out = append(out, DistanceBin{Meters: m, Errors: *e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meters < out[j].Meters })
+	return out, nil
+}
+
+// SeparationPoint is one antenna-separation configuration of Fig. 10.
+type SeparationPoint struct {
+	Separation float64
+	Errors     AxisErrors
+}
+
+// AccuracyVsSeparation reproduces Fig. 10: through-wall accuracy as the
+// T-array arm length varies from 25 cm to 2 m (20 one-minute runs per
+// setting in the paper). Larger separation squashes the ellipsoids and
+// shrinks the error (§9.3).
+func AccuracyVsSeparation(separations []float64, sc Scale, seed int64) ([]SeparationPoint, error) {
+	var out []SeparationPoint
+	runsPer := sc.Runs / len(separations)
+	if runsPer < 1 {
+		runsPer = 1
+	}
+	for si, sep := range separations {
+		pt := SeparationPoint{Separation: sep}
+		for run := 0; run < runsPer; run++ {
+			cfg := core.DefaultConfig()
+			cfg.Array = geom.NewTArray(sep, 1.5)
+			cfg.Subject = subjectFor(run+si*runsPer, seed)
+			cfg.Seed = seed + int64(si*1000+run)*89
+			err := runTracking(cfg, sc.Duration, seed+int64(si*100+run)*7+1,
+				func(s core.Sample, est geom.Vec3, _ float64) {
+					pt.Errors.Add(est.X-s.Truth.X, est.Y-s.Truth.Y, est.Z-s.Truth.Z)
+				})
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"witrack/internal/motion"
+)
+
+func tinyScale() Scale {
+	return Scale{Runs: 3, Duration: 12, Gestures: 6, ActivityReps: 3}
+}
+
+func TestAccuracy3DShapes(t *testing.T) {
+	tw, err := Accuracy3D(true, tinyScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.Samples < 500 {
+		t.Fatalf("too few samples: %d", tw.Samples)
+	}
+	mx, my, mz := tw.Errors.Medians()
+	t.Logf("through-wall medians: %.3f/%.3f/%.3f", mx, my, mz)
+	if !(my < mx && mx < mz) {
+		t.Fatalf("anisotropy broken: %.3f/%.3f/%.3f (want y<x<z)", mx, my, mz)
+	}
+	if mz > 0.45 || mx > 0.30 {
+		t.Fatalf("errors too large: %.3f/%.3f/%.3f", mx, my, mz)
+	}
+	p90x, p90y, p90z := tw.Errors.P90s()
+	if p90x < mx || p90y < my || p90z < mz {
+		t.Fatal("90th percentile below median")
+	}
+}
+
+func TestAccuracyVsDistanceGrows(t *testing.T) {
+	bins, err := AccuracyVsDistance(Scale{Runs: 6, Duration: 20}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) < 4 {
+		t.Fatalf("only %d distance bins", len(bins))
+	}
+	// Error at the farthest bin should exceed error at the nearest
+	// (Fig. 9's trend), comparing 3D-ish via z which is most sensitive.
+	near := bins[0]
+	far := bins[len(bins)-1]
+	_, _, nearZ := near.Errors.Medians()
+	_, _, farZ := far.Errors.Medians()
+	t.Logf("near (%dm) z=%.3f, far (%dm) z=%.3f", near.Meters, nearZ, far.Meters, farZ)
+	if farZ < nearZ*0.8 {
+		t.Fatalf("far error %.3f should not be far below near error %.3f", farZ, nearZ)
+	}
+}
+
+func TestAccuracyVsSeparationShrinks(t *testing.T) {
+	pts, err := AccuracyVsSeparation([]float64{0.25, 1.0, 2.0}, Scale{Runs: 6, Duration: 15}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	_, _, zSmall := pts[0].Errors.Medians()
+	_, _, zLarge := pts[2].Errors.Medians()
+	t.Logf("z median @0.25m=%.3f @2m=%.3f", zSmall, zLarge)
+	if zLarge >= zSmall {
+		t.Fatalf("z error should shrink with separation: %.3f -> %.3f", zSmall, zLarge)
+	}
+}
+
+func TestSpectrogramDemo(t *testing.T) {
+	sr, err := SpectrogramDemo(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Raw.Frames) == 0 || len(sr.Subtracted.Frames) != len(sr.Raw.Frames) {
+		t.Fatal("spectrogram shapes inconsistent")
+	}
+	before, after := StaticStripePersistence(sr)
+	t.Logf("static stripe energy: before=%.3f after=%.3f", before, after)
+	if before < 0.5 {
+		t.Fatalf("raw spectrogram should be dominated by static stripes (Flash Effect), got %.3f", before)
+	}
+	if after > before/4 {
+		t.Fatalf("background subtraction should slash static energy: %.3f -> %.3f", before, after)
+	}
+	if len(sr.ContourDenoised) != len(sr.Raw.Frames) {
+		t.Fatal("contour length mismatch")
+	}
+}
+
+func TestGestureDemoContrast(t *testing.T) {
+	gc, err := GestureDemo(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("body power=%.3g arm power=%.3g body spread=%.3f arm spread=%.3f",
+		gc.BodyPower, gc.ArmPower, gc.BodySpread, gc.ArmSpread)
+	if gc.ArmPower >= gc.BodyPower/3 {
+		t.Fatalf("arm power %.3g should be far below body power %.3g (Fig. 5)", gc.ArmPower, gc.BodyPower)
+	}
+}
+
+func TestElevationTraces(t *testing.T) {
+	traces, err := ElevationTraces(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	finals := map[motion.Activity]float64{}
+	for _, tr := range traces {
+		if len(tr.Z) < 100 {
+			t.Fatalf("%v: too few points", tr.Activity)
+		}
+		// Final tracked elevation ~ final truth elevation, within the
+		// system's z accuracy (p90 ~0.6 m through the wall; the settled
+		// value is a single frozen draw from that distribution).
+		n := len(tr.Z)
+		est := median(tr.Z[n*9/10:])
+		truth := median(tr.TruthZ[n*9/10:])
+		if math.Abs(est-truth) > 0.55 {
+			t.Fatalf("%v: final tracked z %.2f vs truth %.2f", tr.Activity, est, truth)
+		}
+		finals[tr.Activity] = est
+	}
+	if finals[motion.ActivityFall] > finals[motion.ActivityWalk] {
+		t.Fatal("fall should end lower than walk")
+	}
+}
+
+func TestFallStudyMetrics(t *testing.T) {
+	res, err := FallStudy(Scale{ActivityReps: 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("detected: %v / total %v, precision %.2f recall %.2f F %.2f",
+		res.Detected, res.Total, res.Precision, res.Recall, res.FMeasure)
+	if res.Total[motion.ActivityFall] != 5 {
+		t.Fatal("wrong run count")
+	}
+	if res.Recall < 0.6 {
+		t.Fatalf("recall %.2f too low — detector broken", res.Recall)
+	}
+	if res.Detected[motion.ActivityWalk] > 1 || res.Detected[motion.ActivitySitChair] > 1 {
+		t.Fatalf("walk/chair misclassified as falls: %v", res.Detected)
+	}
+}
+
+func TestPointingExperiment(t *testing.T) {
+	res, err := Pointing(Scale{Gestures: 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pointing: %d/%d analyzed, median %.1f deg, p90 %.1f deg",
+		res.Analyzed, res.Attempted, res.Median(), res.P90())
+	if res.Analyzed < res.Attempted/2 {
+		t.Fatalf("only %d/%d gestures analyzed", res.Analyzed, res.Attempted)
+	}
+	if res.Median() > 35 {
+		t.Fatalf("median pointing error %.1f deg too large", res.Median())
+	}
+}
+
+func TestResolutionExperiment(t *testing.T) {
+	res, err := Resolution(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("theory %.3f m, bin %.3f m, measured %.3f m",
+		res.TheoreticalResolution, res.BinSpacing, res.MeasuredSeparability)
+	if math.Abs(res.TheoreticalResolution-0.0887) > 0.001 {
+		t.Fatal("theoretical resolution wrong")
+	}
+	if res.MeasuredSeparability == 0 {
+		t.Fatal("separability sweep found nothing")
+	}
+	// Measured separability should be within ~2.5x of theory (windowing
+	// widens the main lobe).
+	if res.MeasuredSeparability > res.TheoreticalResolution*3 {
+		t.Fatalf("measured separability %.3f too coarse", res.MeasuredSeparability)
+	}
+}
+
+func TestLatencyExperiment(t *testing.T) {
+	res, err := Latency(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("per-frame %v (budget %v), %.0f frames/s", res.PerFrame, res.Budget, res.FramesPerSec)
+	if !res.WithinBudget {
+		t.Fatalf("processing %v exceeds the 75 ms budget", res.PerFrame)
+	}
+}
+
+func TestVsRTI(t *testing.T) {
+	res, err := VsRTI(Scale{Runs: 3, Duration: 15}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("WiTrack 2D %.3f m vs RTI %.3f m (%.1fx)", res.WiTrackMedian2D, res.RTIMedian2D, res.Ratio)
+	if res.Ratio < 2 {
+		t.Fatalf("WiTrack should beat RTI clearly, ratio %.2f", res.Ratio)
+	}
+}
+
+func TestAblationContour(t *testing.T) {
+	res, err := AblationContourVsPeak(Scale{Runs: 3, Duration: 12}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("contour %.3f m vs strongest %.3f m", res.ContourMedian3D, res.StrongestMedian3D)
+	if res.ContourMedian3D > res.StrongestMedian3D {
+		t.Fatal("contour tracking should beat strongest-peak under multipath")
+	}
+}
+
+func TestAblationDenoising(t *testing.T) {
+	res, err := AblationDenoising(Scale{Runs: 3, Duration: 12}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full %.3f / noKalman %.3f / looseGate %.3f",
+		res.FullMedian3D, res.NoKalmanMedian3D, res.LooseGateMedian3D)
+	if res.FullMedian3D > res.NoKalmanMedian3D*1.15 {
+		t.Fatal("full pipeline should not be clearly worse than without Kalman")
+	}
+}
+
+func TestAblationExtraAntennas(t *testing.T) {
+	res, err := AblationExtraAntennas(Scale{Runs: 3, Duration: 12}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("3 Rx %.3f m vs 4 Rx %.3f m", res.ThreeRxMedian3D, res.FourRxMedian3D)
+	if res.FourRxMedian3D > res.ThreeRxMedian3D*1.2 {
+		t.Fatal("a fourth antenna should not clearly hurt")
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	s := FormatCDF([]float64{0.1, 0.2, 0.3}, []float64{50, 90})
+	if s == "" {
+		t.Fatal("empty CDF format")
+	}
+}
+
+func TestStaticUserExtension(t *testing.T) {
+	res, err := StaticUser(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uncal %.2f cal %.2f err %.2f", res.ValidFracUncalibrated, res.ValidFracCalibrated, res.MedianErrCalibrated)
+	if res.ValidFracUncalibrated > 0.1 {
+		t.Fatal("uncalibrated tracker should not see a static user")
+	}
+	if res.ValidFracCalibrated < 0.5 {
+		t.Fatal("calibrated tracker should localize the static user")
+	}
+	if res.MedianErrCalibrated > 0.5 {
+		t.Fatalf("calibrated error %.2f m too large", res.MedianErrCalibrated)
+	}
+}
+
+func TestTwoPersonExtension(t *testing.T) {
+	res, err := TwoPerson(15, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("two-person: median 2D %.2f m, valid %.2f", res.MedianErr2D, res.ValidFrac)
+	if res.ValidFrac < 0.3 {
+		t.Fatalf("valid fraction %.2f too low", res.ValidFrac)
+	}
+	if res.MedianErr2D > 1.2 {
+		t.Fatalf("median error %.2f m too large", res.MedianErr2D)
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"errors"
+
+	"witrack/internal/core"
+	"witrack/internal/dsp"
+	"witrack/internal/fall"
+	"witrack/internal/motion"
+)
+
+// SpectrogramResult is the E2 (Fig. 3) artifact: the raw spectrogram,
+// the background-subtracted spectrogram, and the raw + denoised contour
+// for one receive antenna.
+type SpectrogramResult struct {
+	Raw        *dsp.Spectrogram
+	Subtracted *dsp.Spectrogram
+	// ContourRaw is the per-frame first-peak distance before denoising
+	// (NaN-free: frames without a peak repeat the previous value).
+	ContourRaw []float64
+	// ContourDenoised is the tracker's final round-trip estimate.
+	ContourDenoised []float64
+	// Times are the frame timestamps.
+	Times []float64
+}
+
+// SpectrogramDemo reproduces Fig. 3: a subject walks toward/away from
+// the device for ~20 s in a room full of static reflectors; the three
+// panels show (a) the Flash Effect stripes, (b) their removal by
+// background subtraction, and (c) contour tracking + denoising.
+func SpectrogramDemo(seed int64) (*SpectrogramResult, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	dev, err := core.NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dev.RecordSpectrograms = true
+	walk := motion.NewRandomWalk(motion.DefaultWalkConfig(
+		Region(), cfg.Subject.CenterHeight(), 20, seed+5))
+	res := dev.Run(walk)
+	if len(res.Spectrograms) == 0 {
+		return nil, errors.New("experiments: no spectrogram recorded")
+	}
+	out := &SpectrogramResult{
+		Raw:        res.Spectrograms[0],
+		Subtracted: res.Spectrograms[0].BackgroundSubtract(),
+	}
+	prev := 0.0
+	for i, e := range res.PerAntenna[0] {
+		out.Times = append(out.Times, res.Samples[i].T)
+		if e.Valid && e.Moving {
+			prev = e.RoundTrip
+		}
+		out.ContourRaw = append(out.ContourRaw, prev)
+		if e.Valid {
+			out.ContourDenoised = append(out.ContourDenoised, e.RoundTrip)
+		} else {
+			out.ContourDenoised = append(out.ContourDenoised, prev)
+		}
+	}
+	return out, nil
+}
+
+// StaticStripePersistence quantifies Fig. 3(a) vs 3(b): the fraction of
+// total spectrogram energy held by static (per-bin time-median) stripes
+// before and after background subtraction. Subtraction should slash it.
+func StaticStripePersistence(sr *SpectrogramResult) (before, after float64) {
+	energyOfMedians := func(s *dsp.Spectrogram) float64 {
+		if len(s.Frames) == 0 {
+			return 0
+		}
+		nb := len(s.Frames[0])
+		var medianEnergy, total float64
+		col := make([]float64, 0, len(s.Frames))
+		for b := 0; b < nb; b++ {
+			col = col[:0]
+			for _, fr := range s.Frames {
+				col = append(col, fr[b])
+				total += fr[b] * fr[b]
+			}
+			m := dsp.Median(append([]float64(nil), col...))
+			medianEnergy += m * m * float64(len(s.Frames))
+		}
+		if total == 0 {
+			return 0
+		}
+		return medianEnergy / total
+	}
+	return energyOfMedians(sr.Raw), energyOfMedians(sr.Subtracted)
+}
+
+// GestureContrast is the E8 (Fig. 5) artifact: power and spatial spread
+// of whole-body motion vs arm-only motion.
+type GestureContrast struct {
+	BodyPower, ArmPower   float64
+	BodySpread, ArmSpread float64
+}
+
+// GestureDemo reproduces Fig. 5's contrast: a subject walks (whole-body
+// reflections: strong, spatially spread), then stands and points (arm
+// only: weak, compact). Median per-frame Power/Spread over the moving
+// frames of each phase.
+func GestureDemo(seed int64) (*GestureContrast, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	dev, err := core.NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Fig. 5 contrasts whole-body and arm motion of the same person at
+	// the same spot, so confine the walk to a small box around the
+	// pointing position.
+	region := motion.Region{XMin: -1, XMax: 1, YMin: 4, YMax: 6}
+	// Phase 1: walking.
+	walk := motion.NewRandomWalk(motion.DefaultWalkConfig(region, cfg.Subject.CenterHeight(), 10, seed+2))
+	wres := dev.Run(walk)
+	// Phase 2: standing at the walk's endpoint, pointing.
+	endPos := walk.At(walk.Duration()).Center
+	point := motion.NewPointingScript(motion.PointingConfig{
+		Position:     endPos,
+		CenterHeight: cfg.Subject.CenterHeight(),
+		ArmLength:    cfg.Subject.ArmLength,
+		Azimuth:      0.5,
+		Elevation:    0.1,
+		Seed:         seed + 3,
+	})
+	dev.Reset()
+	pres := dev.Run(point)
+
+	gc := &GestureContrast{}
+	var bp, bs, ap, as []float64
+	for _, e := range wres.PerAntenna[0] {
+		if e.Moving {
+			bp = append(bp, e.Power)
+			bs = append(bs, e.Spread)
+		}
+	}
+	for _, e := range pres.PerAntenna[0] {
+		if e.Moving {
+			ap = append(ap, e.Power)
+			as = append(as, e.Spread)
+		}
+	}
+	if len(bp) == 0 || len(ap) == 0 {
+		return nil, errors.New("experiments: missing moving frames in gesture demo")
+	}
+	gc.BodyPower, gc.BodySpread = dsp.Median(bp), dsp.Median(bs)
+	gc.ArmPower, gc.ArmSpread = dsp.Median(ap), dsp.Median(as)
+	return gc, nil
+}
+
+// ElevationTrace is one Fig. 6 curve.
+type ElevationTrace struct {
+	Activity motion.Activity
+	Times    []float64
+	Z        []float64
+	TruthZ   []float64
+}
+
+// ElevationTraces reproduces Fig. 6: the tracked elevation over time for
+// the four §9.5 activities.
+func ElevationTraces(seed int64) ([]ElevationTrace, error) {
+	var out []ElevationTrace
+	for i, act := range motion.Activities() {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed + int64(i)
+		dev, err := core.NewDevice(cfg)
+		if err != nil {
+			return nil, err
+		}
+		script := motion.NewActivityScript(motion.ActivityConfig{
+			Activity: act, Region: Region(),
+			CenterHeight: cfg.Subject.CenterHeight(), Seed: seed + int64(i)*31,
+		})
+		res := dev.Run(script)
+		tr := ElevationTrace{Activity: act}
+		for _, s := range res.Samples {
+			if !s.Valid {
+				continue
+			}
+			tr.Times = append(tr.Times, s.T)
+			tr.Z = append(tr.Z, s.Pos.Z)
+			tr.TruthZ = append(tr.TruthZ, s.Truth.Z)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// FallStudyResult is the E10 (§9.5) table.
+type FallStudyResult struct {
+	// Detected[activity] counts runs classified as falls.
+	Detected map[motion.Activity]int
+	// Total[activity] counts runs performed.
+	Total map[motion.Activity]int
+	// Precision, Recall, FMeasure follow the paper's definitions.
+	Precision, Recall, FMeasure float64
+}
+
+// FallStudy reproduces §9.5: ActivityReps runs of each of the four
+// activities, elevation tracked through the wall, classified offline by
+// the fall detector. The paper: 132 experiments, precision 96.9%,
+// recall 93.9%, F = 94.4%.
+func FallStudy(sc Scale, seed int64) (*FallStudyResult, error) {
+	res := &FallStudyResult{
+		Detected: map[motion.Activity]int{},
+		Total:    map[motion.Activity]int{},
+	}
+	fcfg := fall.DefaultConfig()
+	for _, act := range motion.Activities() {
+		for rep := 0; rep < sc.ActivityReps; rep++ {
+			cfg := core.DefaultConfig()
+			cfg.Subject = subjectFor(rep, seed)
+			cfg.Seed = seed + int64(rep)*59 + int64(act)*7
+			dev, err := core.NewDevice(cfg)
+			if err != nil {
+				return nil, err
+			}
+			script := motion.NewActivityScript(motion.ActivityConfig{
+				Activity: act, Region: Region(),
+				CenterHeight: cfg.Subject.CenterHeight(),
+				Seed:         seed + int64(rep)*17 + int64(act)*131,
+			})
+			run := dev.Run(script)
+			var ts, zs []float64
+			for _, s := range run.Samples {
+				if s.Valid {
+					ts = append(ts, s.T)
+					zs = append(zs, s.Pos.Z)
+				}
+			}
+			verdict, err := fall.Detect(fcfg, ts, zs)
+			if err != nil {
+				return nil, err
+			}
+			res.Total[act]++
+			if verdict.Fall {
+				res.Detected[act]++
+			}
+		}
+	}
+	tp := float64(res.Detected[motion.ActivityFall])
+	fp := 0.0
+	for _, act := range motion.Activities() {
+		if act != motion.ActivityFall {
+			fp += float64(res.Detected[act])
+		}
+	}
+	fn := float64(res.Total[motion.ActivityFall]) - tp
+	if tp+fp > 0 {
+		res.Precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		res.Recall = tp / (tp + fn)
+	}
+	if res.Precision+res.Recall > 0 {
+		res.FMeasure = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	return res, nil
+}

@@ -1,0 +1,191 @@
+// Package fall implements the paper's §6.2 fall detector on top of the
+// 3D tracking primitive. A fall is declared only when BOTH conditions
+// hold: (1) the elevation drops by more than a third of its value and
+// ends near ground level, and (2) the change happens within a very short
+// period — people fall much faster than they sit. Condition (2) is what
+// separates a fall from deliberately sitting on the floor (Fig. 6).
+package fall
+
+import (
+	"errors"
+
+	"witrack/internal/dsp"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// GroundLevel is the body-center elevation (meters) below which the
+	// person is considered "on the ground".
+	GroundLevel float64
+	// DropFraction is the minimum relative elevation change (the paper
+	// uses one third).
+	DropFraction float64
+	// MinDescentRate is the minimum noise-calibrated net descent rate
+	// (peak descent minus the run's own p95 ascent rate, in m/s) that
+	// qualifies as "falling quicker than sitting".
+	MinDescentRate float64
+	// RateSpan is the time span (seconds) over which the descent rate is
+	// measured.
+	RateSpan float64
+	// SmoothWindow is the median pre-filter length in samples.
+	SmoothWindow int
+}
+
+// DefaultConfig matches the paper's description: "elevation must change
+// by more than one third of its value", "final value close to the ground
+// level", "the change in elevation has to occur within a very short
+// period".
+func DefaultConfig() Config {
+	return Config{
+		GroundLevel:    0.55,
+		DropFraction:   1.0 / 3.0,
+		MinDescentRate: 0.42,
+		RateSpan:       0.7,
+		SmoothWindow:   80,
+	}
+}
+
+// Result describes what the detector saw.
+type Result struct {
+	// Fall is the verdict.
+	Fall bool
+	// StartZ is the standing elevation before the transition.
+	StartZ float64
+	// EndZ is the settled elevation after the transition.
+	EndZ float64
+	// MaxDescentRate is the fastest smoothed downward speed observed.
+	MaxDescentRate float64
+	// DropSeconds is the measured duration of the elevation transition.
+	DropSeconds float64
+	// NoiseRate is the per-run z-noise level (95th-percentile ascent
+	// rate; true activity motion only descends).
+	NoiseRate float64
+	// NetDescentRate is MaxDescentRate minus NoiseRate — the
+	// noise-calibrated speed evidence.
+	NetDescentRate float64
+	// MidBandSeconds is the total time the smoothed elevation spends
+	// between the standing and settled bands.
+	MidBandSeconds float64
+	// Dropped reports whether a qualifying large drop was found at all
+	// (falls and floor-sits both drop; chairs and walking do not).
+	Dropped bool
+}
+
+// ErrTooShort is returned when the series is too short to analyze.
+var ErrTooShort = errors.New("fall: elevation series too short")
+
+// Detect analyzes an elevation time series (ts strictly increasing,
+// zs the tracked body-center elevation).
+func Detect(cfg Config, ts, zs []float64) (Result, error) {
+	if len(ts) != len(zs) {
+		return Result{}, errors.New("fall: ts/zs length mismatch")
+	}
+	if len(ts) < 10 {
+		return Result{}, ErrTooShort
+	}
+	// Median smoothing knocks out per-frame tracking noise (the raw z
+	// estimate is the geometrically least-constrained coordinate).
+	sm := make([]float64, len(zs))
+	w := cfg.SmoothWindow
+	if w < 1 {
+		w = 1
+	}
+	for i := range zs {
+		lo := i - w/2
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + w/2
+		if hi > len(zs)-1 {
+			hi = len(zs) - 1
+		}
+		window := append([]float64(nil), zs[lo:hi+1]...)
+		sm[i] = dsp.Median(window)
+	}
+
+	// Standing reference: a high percentile of the whole run (robust to
+	// the post-drop tail).
+	ref := dsp.Percentile(append([]float64(nil), sm...), 80)
+	// Settled elevation: median of the final tenth of the run.
+	tailStart := len(sm) * 9 / 10
+	endZ := dsp.Median(append([]float64(nil), sm[tailStart:]...))
+
+	res := Result{StartZ: ref, EndZ: endZ}
+
+	// Transition duration: time between leaving the standing band and
+	// entering the settled band (30% guard bands on the heavily smoothed
+	// trace resist noise-induced early crossings).
+	drop := ref - endZ
+	if drop > 0 {
+		hiBand := ref - 0.3*drop
+		loBand := endZ + 0.3*drop
+		tHigh := -1
+		for i := range sm {
+			if sm[i] >= hiBand {
+				tHigh = i
+			}
+			if tHigh >= 0 && sm[i] <= loBand {
+				res.DropSeconds = ts[i] - ts[tHigh]
+				break
+			}
+		}
+	}
+
+	// Fastest descent over a RateSpan window anywhere in the run, and
+	// the run's own noise level: true activity motion only descends, so
+	// ascent rates are pure tracking noise, and noise is symmetric. The
+	// 95th-percentile ascent rate is subtracted from the peak descent
+	// rate, making the speed test self-calibrating against whatever
+	// z-tracking noise the run carries.
+	if dt := ts[1] - ts[0]; dt > 0 {
+		span := int(cfg.RateSpan / dt)
+		if span < 1 {
+			span = 1
+		}
+		var ascents []float64
+		for i := span; i < len(sm); i++ {
+			elapsed := ts[i] - ts[i-span]
+			if elapsed <= 0 {
+				continue
+			}
+			rate := (sm[i-span] - sm[i]) / elapsed
+			if rate > res.MaxDescentRate {
+				res.MaxDescentRate = rate
+			}
+			if rate < 0 {
+				ascents = append(ascents, -rate)
+			}
+		}
+		if len(ascents) > 0 {
+			res.NoiseRate = dsp.Percentile(ascents, 95)
+		}
+	}
+	res.NetDescentRate = res.MaxDescentRate - res.NoiseRate
+	if res.NetDescentRate < 0 {
+		res.NetDescentRate = 0
+	}
+
+	// Mid-band occupancy: total time the smoothed elevation spends
+	// between the standing and settled levels. A fall transits the band
+	// in roughly the smoothing window; a deliberate descent (plus the
+	// hold-and-reacquire staircase it produces in the tracker) lingers.
+	if drop > 0 {
+		lo := endZ + 0.3*drop
+		hi := ref - 0.3*drop
+		dt := ts[1] - ts[0]
+		for _, z := range sm {
+			if z > lo && z < hi {
+				res.MidBandSeconds += dt
+			}
+		}
+	}
+
+	if drop < cfg.DropFraction*ref {
+		// No qualifying elevation change: walking or sitting on a chair
+		// (chair drop ~0.25 of standing center height).
+		return res, nil
+	}
+	res.Dropped = true
+	res.Fall = endZ <= cfg.GroundLevel && res.NetDescentRate >= cfg.MinDescentRate
+	return res, nil
+}

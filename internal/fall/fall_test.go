@@ -1,0 +1,128 @@
+package fall
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// series builds an elevation trace: standing at startZ, transition to
+// endZ over dropDur seconds starting at t=10, with Gaussian tracking
+// noise.
+func series(startZ, endZ, dropDur, noise float64, seed int64) (ts, zs []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	const dt = 0.0125
+	for t := 0.0; t < 25; t += dt {
+		z := startZ
+		switch {
+		case t >= 10 && t < 10+dropDur:
+			f := (t - 10) / dropDur
+			z = startZ + (endZ-startZ)*f*f*(3-2*f)
+		case t >= 10+dropDur:
+			z = endZ
+		}
+		ts = append(ts, t)
+		zs = append(zs, z+rng.NormFloat64()*noise)
+	}
+	return
+}
+
+func TestDetectFall(t *testing.T) {
+	ts, zs := series(0.96, 0.22, 0.45, 0.05, 1)
+	res, err := Detect(DefaultConfig(), ts, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fall {
+		t.Fatalf("fast drop to ground should be a fall: %+v", res)
+	}
+	if !res.Dropped {
+		t.Fatal("Dropped flag should be set")
+	}
+}
+
+func TestSitFloorIsNotFall(t *testing.T) {
+	ts, zs := series(0.96, 0.37, 2.2, 0.05, 2)
+	res, err := Detect(DefaultConfig(), ts, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fall {
+		t.Fatalf("slow descent to floor is sitting, not a fall: %+v", res)
+	}
+	if !res.Dropped {
+		t.Fatal("floor sit should register a qualifying drop")
+	}
+}
+
+func TestSitChairIsNotFall(t *testing.T) {
+	ts, zs := series(0.96, 0.75, 1.5, 0.05, 3)
+	res, err := Detect(DefaultConfig(), ts, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fall || res.Dropped {
+		t.Fatalf("chair sit should not register: %+v", res)
+	}
+}
+
+func TestWalkIsNotFall(t *testing.T) {
+	ts, zs := series(0.96, 0.96, 1, 0.06, 4)
+	res, err := Detect(DefaultConfig(), ts, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fall || res.Dropped {
+		t.Fatalf("walking should not register: %+v", res)
+	}
+}
+
+func TestDetectMeasuresDescentRate(t *testing.T) {
+	ts, zs := series(0.96, 0.22, 0.5, 0.01, 5)
+	res, err := Detect(DefaultConfig(), ts, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDescentRate < DefaultConfig().MinDescentRate {
+		t.Fatalf("descent rate %v too slow for a 0.5 s fall", res.MaxDescentRate)
+	}
+	if math.Abs(res.EndZ-0.22) > 0.1 {
+		t.Fatalf("EndZ = %v, want ~0.22", res.EndZ)
+	}
+	if math.Abs(res.StartZ-0.96) > 0.12 {
+		t.Fatalf("StartZ = %v, want ~0.96", res.StartZ)
+	}
+	// A slow floor sit must measure a clearly lower rate.
+	ts2, zs2 := series(0.96, 0.37, 2.2, 0.01, 6)
+	res2, err := Detect(DefaultConfig(), ts2, zs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MaxDescentRate >= res.MaxDescentRate {
+		t.Fatalf("sit rate %v should be below fall rate %v", res2.MaxDescentRate, res.MaxDescentRate)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(DefaultConfig(), []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Detect(DefaultConfig(), []float64{1}, []float64{1}); err != ErrTooShort {
+		t.Fatalf("short series: %v", err)
+	}
+}
+
+func TestDetectRobustToGlitches(t *testing.T) {
+	// Single-frame tracking glitches to z=0 must not fake a fall.
+	ts, zs := series(0.96, 0.96, 1, 0.02, 6)
+	for i := 200; i < len(zs); i += 300 {
+		zs[i] = 0.05
+	}
+	res, err := Detect(DefaultConfig(), ts, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fall {
+		t.Fatalf("glitches should not trigger a fall: %+v", res)
+	}
+}

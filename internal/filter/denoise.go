@@ -1,0 +1,143 @@
+package filter
+
+import (
+	"math"
+	"sort"
+)
+
+// OutlierGate rejects measurements implying impossible motion: the paper
+// notes a reflector's round-trip distance cannot jump by meters within
+// 12.5 ms (§4.4 "Outlier Rejection"). A measurement farther than
+// MaxJump from the last accepted value is discarded; after MaxMisses
+// consecutive rejections the gate re-acquires on the next measurement
+// (so a genuinely new track is not rejected forever).
+type OutlierGate struct {
+	// MaxJump is the largest plausible change between consecutive
+	// accepted measurements, in meters.
+	MaxJump float64
+	// MaxMisses is how many consecutive rejections to tolerate before
+	// re-acquiring.
+	MaxMisses int
+
+	last    float64
+	have    bool
+	misses  int
+	nTotal  int
+	nReject int
+}
+
+// NewOutlierGate builds a gate. The default WiTrack configuration uses
+// the maximum indoor human speed times the frame interval plus a margin.
+func NewOutlierGate(maxJump float64, maxMisses int) *OutlierGate {
+	return &OutlierGate{MaxJump: maxJump, MaxMisses: maxMisses}
+}
+
+// Accept reports whether z is plausible and, when it is, commits it as
+// the new reference.
+func (g *OutlierGate) Accept(z float64) bool {
+	g.nTotal++
+	if !g.have {
+		g.last = z
+		g.have = true
+		return true
+	}
+	if math.Abs(z-g.last) <= g.MaxJump {
+		g.last = z
+		g.misses = 0
+		return true
+	}
+	g.nReject++
+	g.misses++
+	if g.misses > g.MaxMisses {
+		// Too many consecutive "outliers": the track really moved.
+		g.last = z
+		g.misses = 0
+		return true
+	}
+	return false
+}
+
+// Reset clears gate state.
+func (g *OutlierGate) Reset() { g.have = false; g.misses = 0 }
+
+// RejectionRate returns the fraction of measurements rejected so far.
+func (g *OutlierGate) RejectionRate() float64 {
+	if g.nTotal == 0 {
+		return 0
+	}
+	return float64(g.nReject) / float64(g.nTotal)
+}
+
+// HoldInterpolator implements the paper's §4.4 "Interpolation": when the
+// person stops moving, background subtraction erases her reflection, so
+// the pipeline holds a recent-history estimate until motion resumes.
+// The held value is the median of the last HoldWindow confident
+// measurements rather than the single latest one: the body's reflecting
+// patch wanders over seconds, and a one-frame snapshot would freeze an
+// arbitrary patch offset into every interpolated output.
+type HoldInterpolator struct {
+	buf  []float64
+	have bool
+}
+
+// HoldWindow is how many confident measurements (~2 s at the default
+// frame rate) the interpolator medians over.
+const HoldWindow = 160
+
+// Observe records a confident measurement and returns it.
+func (h *HoldInterpolator) Observe(z float64) float64 {
+	h.buf = append(h.buf, z)
+	if len(h.buf) > HoldWindow {
+		h.buf = h.buf[1:]
+	}
+	h.have = true
+	return z
+}
+
+// Hold returns the held value and whether one exists.
+func (h *HoldInterpolator) Hold() (float64, bool) {
+	if !h.have {
+		return 0, false
+	}
+	tmp := append([]float64(nil), h.buf...)
+	sort.Float64s(tmp)
+	return tmp[len(tmp)/2], true
+}
+
+// Reset clears the interpolator.
+func (h *HoldInterpolator) Reset() {
+	h.have = false
+	h.buf = h.buf[:0]
+}
+
+// MedianWindow is a sliding median filter, useful as a pre-Kalman spike
+// suppressor and in the pointing pipeline's contour denoising.
+type MedianWindow struct {
+	size int
+	buf  []float64
+}
+
+// NewMedianWindow creates a sliding median filter of the given odd size.
+func NewMedianWindow(size int) *MedianWindow {
+	if size < 1 {
+		size = 1
+	}
+	if size%2 == 0 {
+		size++
+	}
+	return &MedianWindow{size: size}
+}
+
+// Push adds a sample and returns the median of the window so far.
+func (m *MedianWindow) Push(z float64) float64 {
+	m.buf = append(m.buf, z)
+	if len(m.buf) > m.size {
+		m.buf = m.buf[1:]
+	}
+	tmp := append([]float64(nil), m.buf...)
+	sort.Float64s(tmp)
+	return tmp[len(tmp)/2]
+}
+
+// Reset clears the window.
+func (m *MedianWindow) Reset() { m.buf = m.buf[:0] }

@@ -1,0 +1,180 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKalmanConvergesOnConstant(t *testing.T) {
+	k := NewKalman1D(0.0125, 0.5, 0.01)
+	var got float64
+	for i := 0; i < 400; i++ {
+		got = k.Update(7.0)
+	}
+	if math.Abs(got-7.0) > 1e-3 {
+		t.Fatalf("converged to %v, want 7.0", got)
+	}
+	if math.Abs(k.Velocity()) > 1e-3 {
+		t.Fatalf("velocity %v should vanish for a static target", k.Velocity())
+	}
+}
+
+func TestKalmanTracksRamp(t *testing.T) {
+	// Target moving at a constant 1.2 m/s; the CV model should lock on.
+	dt := 0.0125
+	k := NewKalman1D(dt, 0.5, 0.01)
+	var got, truth float64
+	for i := 0; i < 800; i++ {
+		truth = 3 + 1.2*dt*float64(i)
+		got = k.Update(truth)
+	}
+	if math.Abs(got-truth) > 0.01 {
+		t.Fatalf("lag %v m too large", math.Abs(got-truth))
+	}
+	if math.Abs(k.Velocity()-1.2) > 0.05 {
+		t.Fatalf("velocity estimate %v, want 1.2", k.Velocity())
+	}
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	// Output variance must be well below input measurement variance.
+	dt := 0.0125
+	rng := rand.New(rand.NewSource(4))
+	k := NewKalman1D(dt, 0.2, 0.05*0.05)
+	var inErr, outErr float64
+	n := 0
+	for i := 0; i < 2000; i++ {
+		truth := 5.0
+		z := truth + rng.NormFloat64()*0.05
+		est := k.Update(z)
+		if i > 100 { // skip transient
+			inErr += (z - truth) * (z - truth)
+			outErr += (est - truth) * (est - truth)
+			n++
+		}
+	}
+	if outErr >= inErr/4 {
+		t.Fatalf("filter should reduce error energy at least 4x: in %v out %v", inErr/float64(n), outErr/float64(n))
+	}
+}
+
+func TestKalmanFirstMeasurementInitializes(t *testing.T) {
+	k := NewKalman1D(0.0125, 0.5, 0.01)
+	if k.Initialized() {
+		t.Fatal("should start uninitialized")
+	}
+	if got := k.Update(3.3); got != 3.3 {
+		t.Fatalf("first update = %v, want passthrough", got)
+	}
+	if !k.Initialized() {
+		t.Fatal("should be initialized after first update")
+	}
+	k.Reset()
+	if k.Initialized() {
+		t.Fatal("Reset should clear initialization")
+	}
+}
+
+func TestKalmanPredictExtrapolates(t *testing.T) {
+	dt := 0.1
+	k := NewKalman1D(dt, 0.5, 0.001)
+	for i := 0; i < 300; i++ {
+		k.Update(1.0 * dt * float64(i)) // 1 m/s ramp
+	}
+	p := k.Predict()
+	if p <= k.Position() {
+		t.Fatalf("Predict %v should advance past current position %v for a moving target", p, k.Position())
+	}
+	empty := NewKalman1D(dt, 0.5, 0.001)
+	if empty.Predict() != 0 {
+		t.Fatal("uninitialized Predict should be 0")
+	}
+}
+
+func TestOutlierGateRejectsJump(t *testing.T) {
+	g := NewOutlierGate(0.5, 3)
+	if !g.Accept(5.0) {
+		t.Fatal("first measurement must be accepted")
+	}
+	if !g.Accept(5.3) {
+		t.Fatal("small step must be accepted")
+	}
+	if g.Accept(11.0) {
+		t.Fatal("5.7 m jump must be rejected")
+	}
+	// The reference stays at the last accepted value.
+	if !g.Accept(5.25) {
+		t.Fatal("return to plausible range must be accepted")
+	}
+	if g.RejectionRate() <= 0 {
+		t.Fatal("rejection rate should be positive")
+	}
+}
+
+func TestOutlierGateReacquiresAfterMisses(t *testing.T) {
+	g := NewOutlierGate(0.5, 2)
+	g.Accept(5.0)
+	if g.Accept(10) || g.Accept(10.1) {
+		t.Fatal("first two far measurements should be rejected")
+	}
+	if !g.Accept(10.2) {
+		t.Fatal("third consecutive far measurement should re-acquire")
+	}
+	if !g.Accept(10.3) {
+		t.Fatal("subsequent nearby measurement should be accepted")
+	}
+}
+
+func TestOutlierGateReset(t *testing.T) {
+	g := NewOutlierGate(0.5, 3)
+	g.Accept(5)
+	g.Reset()
+	if !g.Accept(50) {
+		t.Fatal("after Reset any measurement should be accepted")
+	}
+}
+
+func TestHoldInterpolator(t *testing.T) {
+	var h HoldInterpolator
+	if _, ok := h.Hold(); ok {
+		t.Fatal("empty interpolator should hold nothing")
+	}
+	h.Observe(4.2)
+	v, ok := h.Hold()
+	if !ok || v != 4.2 {
+		t.Fatalf("Hold = %v %v", v, ok)
+	}
+	h.Reset()
+	if _, ok := h.Hold(); ok {
+		t.Fatal("Reset should clear the held value")
+	}
+}
+
+func TestMedianWindowSuppressesSpike(t *testing.T) {
+	m := NewMedianWindow(5)
+	seq := []float64{1, 1, 100, 1, 1}
+	var last float64
+	for _, v := range seq {
+		last = m.Push(v)
+	}
+	if last != 1 {
+		t.Fatalf("median = %v, want spike suppressed to 1", last)
+	}
+}
+
+func TestMedianWindowSize(t *testing.T) {
+	if NewMedianWindow(0).size != 1 {
+		t.Fatal("size should clamp to 1")
+	}
+	if NewMedianWindow(4).size != 5 {
+		t.Fatal("even size should round up to odd")
+	}
+	m := NewMedianWindow(3)
+	m.Push(1)
+	m.Push(2)
+	m.Reset()
+	if got := m.Push(9); got != 9 {
+		t.Fatalf("after Reset the single sample is the median, got %v", got)
+	}
+}

@@ -1,0 +1,88 @@
+// Package filter implements the denoising stages of the paper's §4.4:
+// outlier rejection of impossible jumps, interpolation across motion
+// gaps, and Kalman smoothing of the round-trip distance estimates.
+package filter
+
+import "witrack/internal/linalg"
+
+// Kalman1D is a constant-velocity Kalman filter over a scalar observed
+// quantity (here: the round-trip distance to one receive antenna).
+// State is [position, velocity]; only position is observed.
+type Kalman1D struct {
+	dt float64
+	// x is the state estimate; p its covariance.
+	x []float64
+	p *linalg.Mat
+	// q scales process noise (how much we let velocity wander);
+	// r is the measurement noise variance.
+	q, r float64
+
+	initialized bool
+}
+
+// NewKalman1D builds a filter with time step dt seconds, process-noise
+// intensity q (m^2/s^3, roughly acceleration variance) and measurement
+// variance r (m^2).
+func NewKalman1D(dt, q, r float64) *Kalman1D {
+	return &Kalman1D{
+		dt: dt,
+		x:  make([]float64, 2),
+		p:  linalg.Identity(2),
+		q:  q,
+		r:  r,
+	}
+}
+
+// Reset clears the filter so the next Update re-initializes it.
+func (k *Kalman1D) Reset() { k.initialized = false }
+
+// Initialized reports whether the filter has consumed a measurement.
+func (k *Kalman1D) Initialized() bool { return k.initialized }
+
+// Update advances the filter by one time step with measurement z and
+// returns the smoothed position estimate.
+func (k *Kalman1D) Update(z float64) float64 {
+	if !k.initialized {
+		k.x[0], k.x[1] = z, 0
+		k.p = linalg.FromRows([][]float64{{k.r, 0}, {0, 1}})
+		k.initialized = true
+		return z
+	}
+	dt := k.dt
+	f := linalg.FromRows([][]float64{{1, dt}, {0, 1}})
+	// Discrete white-noise acceleration model.
+	q := linalg.FromRows([][]float64{
+		{k.q * dt * dt * dt * dt / 4, k.q * dt * dt * dt / 2},
+		{k.q * dt * dt * dt / 2, k.q * dt * dt},
+	})
+	// Predict.
+	k.x = f.MulVec(k.x)
+	k.p = linalg.Add(linalg.Mul(linalg.Mul(f, k.p), f.T()), q)
+	// Update with scalar measurement z = H x + v, H = [1 0].
+	s := k.p.At(0, 0) + k.r
+	k0 := k.p.At(0, 0) / s
+	k1 := k.p.At(1, 0) / s
+	innov := z - k.x[0]
+	k.x[0] += k0 * innov
+	k.x[1] += k1 * innov
+	// Joseph-free covariance update P = (I - K H) P.
+	ikh := linalg.FromRows([][]float64{{1 - k0, 0}, {-k1, 1}})
+	k.p = linalg.Mul(ikh, k.p)
+	return k.x[0]
+}
+
+// Predict returns the filter's position estimate advanced by one time
+// step without a measurement (used while the target is motionless and
+// the measurement stream is interpolated).
+func (k *Kalman1D) Predict() float64 {
+	if !k.initialized {
+		return 0
+	}
+	return k.x[0] + k.x[1]*k.dt
+}
+
+// Position returns the current smoothed position estimate.
+func (k *Kalman1D) Position() float64 { return k.x[0] }
+
+// Velocity returns the current velocity estimate in m/s.
+func (k *Kalman1D) Velocity() float64 { return k.x[1] }

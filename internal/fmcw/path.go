@@ -1,0 +1,36 @@
+package fmcw
+
+import "math"
+
+// Path is one propagation path arriving at a receive antenna: transmit
+// antenna -> (reflections) -> receive antenna. The RF layer produces one
+// Path per reflector (plus per dynamic-multipath ghost); wireless
+// reflections add linearly over the medium (§4.1), so a baseband sweep
+// is the superposition of one beat tone per path.
+type Path struct {
+	// RoundTrip is the total path length in meters.
+	RoundTrip float64
+	// PowerWatts is the received power carried by this path.
+	PowerWatts float64
+	// Phase is the carrier phase of the path's beat tone in radians.
+	Phase float64
+}
+
+// PhaseFor returns the deterministic carrier phase a path of the given
+// round-trip distance acquires at the sweep's starting frequency:
+// phi = -2*pi*f0*tau. Sub-wavelength motion changes this rapidly, which
+// is why consecutive-sweep subtraction retains moving reflectors.
+func PhaseFor(cfg Config, roundTrip float64) float64 {
+	tau := roundTrip / C
+	phi := -2 * math.Pi * cfg.StartFreq * tau
+	// Reduce mod 2*pi for numerical hygiene (f0*tau is ~1e2..1e3).
+	phi = math.Mod(phi, 2*math.Pi)
+	if phi < 0 {
+		phi += 2 * math.Pi
+	}
+	return phi
+}
+
+// Amplitude returns the baseband tone amplitude for the path's received
+// power (P = A^2/2 for a sinusoid into a unit load).
+func (p Path) Amplitude() float64 { return math.Sqrt(2 * p.PowerWatts) }

@@ -1,0 +1,44 @@
+package geom
+
+import "math"
+
+// Ellipsoid is the locus of points P with |P-F1| + |P-F2| = MajorSum.
+// In WiTrack, an FMCW round-trip distance measured on receive antenna k
+// constrains the reflector to the ellipsoid with foci (Tx, Rx[k]) and
+// MajorSum equal to the measured round-trip distance (paper §5, Fig. 4).
+type Ellipsoid struct {
+	F1, F2   Vec3
+	MajorSum float64
+}
+
+// Eval returns |p-F1| + |p-F2| - MajorSum: zero on the surface, negative
+// inside, positive outside.
+func (e Ellipsoid) Eval(p Vec3) float64 {
+	return p.Dist(e.F1) + p.Dist(e.F2) - e.MajorSum
+}
+
+// Valid reports whether the ellipsoid is non-degenerate: the major sum
+// must exceed the focal distance.
+func (e Ellipsoid) Valid() bool {
+	return e.MajorSum > e.F1.Dist(e.F2)
+}
+
+// SemiMajor returns the semi-major axis length a = MajorSum/2.
+func (e Ellipsoid) SemiMajor() float64 { return e.MajorSum / 2 }
+
+// SemiMinor returns the semi-minor axis length b = sqrt(a^2 - c^2) where
+// c is half the focal distance. For a degenerate ellipsoid it returns 0.
+// The paper's §9.3 geometric argument — larger antenna separation
+// squashes the ellipsoid and shrinks the solution region — is visible
+// directly in this quantity.
+func (e Ellipsoid) SemiMinor() float64 {
+	a := e.MajorSum / 2
+	c := e.F1.Dist(e.F2) / 2
+	if a <= c {
+		return 0
+	}
+	return math.Sqrt(a*a - c*c)
+}
+
+// Center returns the midpoint between the foci.
+func (e Ellipsoid) Center() Vec3 { return e.F1.Add(e.F2).Scale(0.5) }

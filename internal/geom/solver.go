@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"witrack/internal/linalg"
+)
+
+// Localization errors.
+var (
+	ErrTooFewMeasurements = errors.New("geom: need at least 3 round-trip distances")
+	ErrDegenerate         = errors.New("geom: degenerate geometry (singular system)")
+	ErrInfeasible         = errors.New("geom: round-trip distances are geometrically infeasible")
+)
+
+// Locate solves the paper's §5 problem: given the round-trip distance
+// r[k] = |P-Tx| + |P-Rx[k]| measured on each receive antenna, find the
+// 3D point P. Each measurement constrains P to an ellipsoid with foci
+// (Tx, Rx[k]); P is the intersection of all the ellipsoids that lies
+// within the directional antenna beam (y > 0 side).
+//
+// Because every WiTrack antenna sits in the x–z plane, the squared
+// ellipsoid equations become *linear* in (x, z, t) where t = |P-Tx|,
+// which mirrors the paper's approach of solving the symbolic system once
+// for the fixed antenna layout. With exactly three receive antennas the
+// linear system is square; with more it is solved in the least-squares
+// sense (the paper's suggested over-constrained extension). A
+// Gauss-Newton refinement then polishes the solution against the raw
+// (non-squared) distance residuals, which is the maximum-likelihood
+// estimate under Gaussian TOF noise.
+func Locate(a Array, r []float64) (Vec3, error) {
+	if len(r) < 3 {
+		return Vec3{}, ErrTooFewMeasurements
+	}
+	if len(r) != len(a.Rx) {
+		return Vec3{}, fmt.Errorf("geom: %d measurements for %d antennas", len(r), len(a.Rx))
+	}
+	for k, rk := range r {
+		if rk <= a.Tx.Dist(a.Rx[k]) {
+			return Vec3{}, ErrInfeasible
+		}
+	}
+	p, err := linearSeed(a, r)
+	if err != nil {
+		return Vec3{}, err
+	}
+	p = refine(a, r, p)
+	if p.Y < 0 {
+		// The mirror solution: reflect back into the beam half-space.
+		p.Y = -p.Y
+	}
+	return p, nil
+}
+
+// linearSeed computes the closed-form solution described above. It
+// returns a point with y >= 0.
+func linearSeed(a Array, r []float64) (Vec3, error) {
+	n := len(r)
+	// Work relative to the Tx: q = P - Tx, t = |q|.
+	// For each antenna: 2 q.x rx.x + 2 q.z rx.z - 2 r_k t = |rx|^2 - r_k^2
+	// where rx = Rx[k] - Tx (rx.y == 0 by construction).
+	m := linalg.NewMat(n, 3)
+	b := make([]float64, n)
+	for k := 0; k < n; k++ {
+		rx := a.Rx[k].Sub(a.Tx)
+		m.Set(k, 0, 2*rx.X)
+		m.Set(k, 1, 2*rx.Z)
+		m.Set(k, 2, -2*r[k])
+		b[k] = rx.Dot(rx) - r[k]*r[k]
+	}
+	var sol []float64
+	var err error
+	if n == 3 {
+		sol, err = linalg.SolveVec(m, b)
+	} else {
+		sol, err = linalg.LeastSquares(m, b)
+	}
+	if err != nil {
+		return Vec3{}, ErrDegenerate
+	}
+	qx, qz, t := sol[0], sol[1], sol[2]
+	if t <= 0 {
+		return Vec3{}, ErrInfeasible
+	}
+	y2 := t*t - qx*qx - qz*qz
+	qy := 0.0
+	if y2 > 0 {
+		qy = math.Sqrt(y2)
+	} else {
+		// Noise pushed the solution marginally outside the feasible cone;
+		// seed slightly off-plane so refinement can recover.
+		qy = 0.05
+	}
+	return a.Tx.Add(Vec3{qx, qy, qz}), nil
+}
+
+// refine runs Gauss-Newton iterations on the residuals
+// f_k(P) = |P-Tx| + |P-Rx[k]| - r[k], which handles both measurement
+// noise (over-constrained case) and the linearization error of the seed.
+func refine(a Array, r []float64, p Vec3) Vec3 {
+	const (
+		maxIter = 25
+		tol     = 1e-10 // meters; far below the 8.8 cm radio resolution
+	)
+	n := len(r)
+	jac := linalg.NewMat(n, 3)
+	res := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		for k := 0; k < n; k++ {
+			dTx := p.Sub(a.Tx)
+			dRx := p.Sub(a.Rx[k])
+			nTx, nRx := dTx.Norm(), dRx.Norm()
+			if nTx < 1e-9 || nRx < 1e-9 {
+				return p // at an antenna; cannot differentiate
+			}
+			g := dTx.Scale(1 / nTx).Add(dRx.Scale(1 / nRx))
+			jac.Set(k, 0, g.X)
+			jac.Set(k, 1, g.Y)
+			jac.Set(k, 2, g.Z)
+			res[k] = nTx + nRx - r[k]
+		}
+		neg := make([]float64, n)
+		for k := range res {
+			neg[k] = -res[k]
+		}
+		step, err := linalg.LeastSquares(jac, neg)
+		if err != nil {
+			return p
+		}
+		p = p.Add(Vec3{step[0], step[1], step[2]})
+		if math.Abs(step[0])+math.Abs(step[1])+math.Abs(step[2]) < tol {
+			break
+		}
+	}
+	return p
+}
+
+// ResidualRMS returns the root-mean-square distance residual of point p
+// against the measured round trips — a goodness-of-fit diagnostic for
+// over-constrained arrays.
+func ResidualRMS(a Array, r []float64, p Vec3) float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k, rk := range r {
+		d := a.RoundTrip(k, p) - rk
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(r)))
+}

@@ -1,0 +1,93 @@
+// Package geom provides the geometric core of WiTrack: 3D vectors, the
+// T-shaped antenna reference frame, and the ellipsoid-intersection
+// localization algorithm that maps round-trip distances to 3D positions
+// (paper §5).
+//
+// Coordinate convention (matches the paper's Fig. 1/“T” setup):
+//   - The antenna plane is the x–z plane (y = 0), e.g. flush against a
+//     wall.
+//   - x runs along the horizontal antenna bar.
+//   - y is horizontal, orthogonal to the antenna plane, pointing into the
+//     tracked room (the antenna beams point toward +y).
+//   - z is up; z = 0 is the floor.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3D space, in meters.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v . w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns |v - w|.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v/|v|. The zero vector is returned unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return v.Add(w.Sub(v).Scale(t))
+}
+
+// AngleTo returns the angle between v and w in radians, in [0, pi].
+func (v Vec3) AngleTo(w Vec3) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	c := v.Dot(w) / (nv * nw)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// XY returns the projection onto the horizontal plane (z dropped).
+func (v Vec3) XY() Vec3 { return Vec3{v.X, v.Y, 0} }
+
+// String formats the vector with centimeter precision.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.2f, %.2f, %.2f)", v.X, v.Y, v.Z)
+}
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }

@@ -1,0 +1,313 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatZeroed(t *testing.T) {
+	m := NewMat(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0x3 matrix")
+		}
+	}()
+	NewMat(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("unexpected contents: %+v", m.Data)
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}})
+	if d := MaxAbsDiff(Mul(Identity(3), a), a); d > 1e-15 {
+		t.Fatalf("I*A != A, diff %g", d)
+	}
+	if d := MaxAbsDiff(Mul(a, Identity(3)), a); d > 1e-15 {
+		t.Fatalf("A*I != A, diff %g", d)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatalf("got %+v want %+v", got.Data, want.Data)
+	}
+}
+
+func TestMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewMat(2, 3), NewMat(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMat(4, 7)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	if MaxAbsDiff(a.T().T(), a) != 0 {
+		t.Fatal("(A^T)^T != A")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if MaxAbsDiff(Add(a, b), FromRows([][]float64{{5, 5}, {5, 5}})) != 0 {
+		t.Fatal("Add wrong")
+	}
+	if MaxAbsDiff(Sub(a, b), FromRows([][]float64{{-3, -1}, {1, 3}})) != 0 {
+		t.Fatal("Sub wrong")
+	}
+	if MaxAbsDiff(Scale(2, a), FromRows([][]float64{{2, 4}, {6, 8}})) != 0 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSolveVecKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	x, err := SolveVec(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveVec(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance guarantees invertibility.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := MaxAbsDiff(Mul(a, inv), Identity(n)); d > 1e-9 {
+			t.Fatalf("trial %d: A*A^-1 deviates from I by %g", trial, d)
+		}
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -14, 1e-10) {
+		t.Fatalf("det = %v, want -14", f.Det())
+	}
+}
+
+// Property: for random well-conditioned A and random x, solving A(Ax)=Ax
+// recovers x.
+func TestSolveRecoversSolutionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+2)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		b := a.MulVec(x)
+		got, err := SolveVec(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// Overdetermined but consistent: line y = 2x + 1 through 5 points.
+	a := NewMat(5, 2)
+	b := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		x := float64(i)
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 2*x + 1
+	}
+	sol, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol[0], 2, 1e-10) || !almostEq(sol[1], 1, 1e-10) {
+		t.Fatalf("sol = %v, want [2 1]", sol)
+	}
+}
+
+func TestLeastSquaresMinimizesResidual(t *testing.T) {
+	// Perturb the exact fit; LS must beat any nearby candidate.
+	rng := rand.New(rand.NewSource(3))
+	a := NewMat(20, 2)
+	b := make([]float64, 20)
+	for i := 0; i < 20; i++ {
+		x := float64(i) / 2
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 2*x + 1 + rng.NormFloat64()*0.3
+	}
+	sol, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := func(s []float64) float64 {
+		sum := 0.0
+		for i := 0; i < 20; i++ {
+			r := a.At(i, 0)*s[0] + a.At(i, 1)*s[1] - b[i]
+			sum += r * r
+		}
+		return sum
+	}
+	base := resid(sol)
+	for trial := 0; trial < 100; trial++ {
+		cand := []float64{sol[0] + rng.NormFloat64()*0.1, sol[1] + rng.NormFloat64()*0.1}
+		if resid(cand) < base-1e-9 {
+			t.Fatalf("found candidate %v with smaller residual than LS solution", cand)
+		}
+	}
+}
+
+func TestWeightedLeastSquaresZeroWeightIgnoresOutlier(t *testing.T) {
+	// Fit y = 3x with one wild outlier that gets zero weight.
+	a := NewMat(6, 1)
+	b := make([]float64, 6)
+	w := make([]float64, 6)
+	for i := 0; i < 6; i++ {
+		x := float64(i + 1)
+		a.Set(i, 0, x)
+		b[i] = 3 * x
+		w[i] = 1
+	}
+	b[5] = 1000 // outlier
+	w[5] = 0
+	sol, err := WeightedLeastSquares(a, b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol[0], 3, 1e-10) {
+		t.Fatalf("sol = %v, want 3", sol[0])
+	}
+}
+
+func TestWeightedLeastSquaresRejectsNegativeWeight(t *testing.T) {
+	a := NewMat(2, 1)
+	a.Set(0, 0, 1)
+	a.Set(1, 0, 2)
+	if _, err := WeightedLeastSquares(a, []float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(5)
+		g := NewMat(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		// A = G G^T + n*I is symmetric positive definite.
+		a := Add(Mul(g, g.T()), Scale(float64(n), Identity(n)))
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := MaxAbsDiff(Mul(l, l.T()), a); d > 1e-9 {
+			t.Fatalf("trial %d: LL^T deviates by %g", trial, d)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}

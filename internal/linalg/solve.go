@@ -1,0 +1,198 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution at
+// the working precision.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// LU holds an LU factorization with partial pivoting (PA = LU).
+type LU struct {
+	lu   *Mat
+	piv  []int
+	sign float64
+}
+
+// Factor computes the LU factorization of a square matrix.
+func Factor(a *Mat) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Factor requires a square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivot: find the largest magnitude in column k at/below row k.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxAbs {
+				p, maxAbs = i, v
+			}
+		}
+		if maxAbs < 1e-14 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[k*n+j] = lu.Data[k*n+j], lu.Data[p*n+j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		inv := 1.0 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) * inv
+			lu.Set(i, k, m)
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A x = b for x given the factorization of A.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("linalg: SolveVec dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has implicit unit diagonal).
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+		x[i] /= f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveVec solves the square system A x = b.
+func SolveVec(a *Mat, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}
+
+// Solve solves A X = B column by column.
+func Solve(a, b *Mat) (*Mat, error) {
+	if a.Rows != b.Rows {
+		return nil, errors.New("linalg: Solve dimension mismatch")
+	}
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	x := NewMat(a.Cols, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		sol := f.SolveVec(col)
+		for i := 0; i < a.Cols; i++ {
+			x.Set(i, j, sol[i])
+		}
+	}
+	return x, nil
+}
+
+// Inverse returns A^-1 for a square matrix.
+func Inverse(a *Mat) (*Mat, error) {
+	return Solve(a, Identity(a.Rows))
+}
+
+// LeastSquares solves the overdetermined system A x = b (A is m x n with
+// m >= n) in the least-squares sense via the normal equations
+// (A^T A) x = A^T b. The systems here are tiny and well conditioned
+// (antenna geometries), so normal equations are adequate.
+func LeastSquares(a *Mat, b []float64) ([]float64, error) {
+	if a.Rows < a.Cols {
+		return nil, errors.New("linalg: LeastSquares requires rows >= cols")
+	}
+	at := a.T()
+	ata := Mul(at, a)
+	atb := at.MulVec(b)
+	return SolveVec(ata, atb)
+}
+
+// WeightedLeastSquares solves min_x sum_i w_i (a_i . x - b_i)^2.
+// Weights must be non-negative.
+func WeightedLeastSquares(a *Mat, b, w []float64) ([]float64, error) {
+	if len(w) != a.Rows || len(b) != a.Rows {
+		return nil, errors.New("linalg: WeightedLeastSquares dimension mismatch")
+	}
+	n := a.Cols
+	ata := NewMat(n, n)
+	atb := make([]float64, n)
+	for i := 0; i < a.Rows; i++ {
+		wi := w[i]
+		if wi < 0 {
+			return nil, errors.New("linalg: negative weight")
+		}
+		for p := 0; p < n; p++ {
+			aip := a.At(i, p)
+			atb[p] += wi * aip * b[i]
+			for q := 0; q < n; q++ {
+				ata.Data[p*n+q] += wi * aip * a.At(i, q)
+			}
+		}
+	}
+	return SolveVec(ata, atb)
+}
+
+// Cholesky computes the lower-triangular L with A = L L^T for a symmetric
+// positive-definite matrix. Used for covariance handling in the Kalman
+// filter tests.
+func Cholesky(a *Mat) (*Mat, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errors.New("linalg: matrix not positive definite")
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,68 @@
+// Package locate maps per-antenna round-trip distance estimates to 3D
+// positions (paper §5), adding the physical sanity constraints the raw
+// geometric solver does not know about: the beam half-space, the floor,
+// and the ceiling.
+package locate
+
+import (
+	"errors"
+
+	"witrack/internal/geom"
+	"witrack/internal/track"
+)
+
+// Locator converts synchronized per-antenna estimates to 3D points.
+type Locator struct {
+	Array geom.Array
+	// MinZ/MaxZ clamp the solution to the physically possible elevation
+	// band (people are between the floor and the ceiling).
+	MinZ, MaxZ float64
+	// MaxRange rejects solutions implausibly far from the device
+	// (inconsistent round-trip triples can send the intersection to
+	// infinity).
+	MaxRange float64
+}
+
+// New builds a locator for the antenna array. It returns an error if the
+// array cannot resolve 3D positions.
+func New(array geom.Array) (*Locator, error) {
+	if err := array.Validate(); err != nil {
+		return nil, err
+	}
+	return &Locator{Array: array, MinZ: 0, MaxZ: 3, MaxRange: 30}, nil
+}
+
+// ErrNotReady means one or more antennas has no valid estimate yet.
+var ErrNotReady = errors.New("locate: trackers not ready")
+
+// ErrImplausible means the geometric solution fell outside the plausible
+// tracking volume (inconsistent measurements).
+var ErrImplausible = errors.New("locate: solution outside plausible volume")
+
+// Solve computes the 3D position from one estimate per receive antenna.
+func (l *Locator) Solve(ests []track.Estimate) (geom.Vec3, error) {
+	r := make([]float64, len(ests))
+	for i, e := range ests {
+		if !e.Valid {
+			return geom.Vec3{}, ErrNotReady
+		}
+		r[i] = e.RoundTrip
+	}
+	p, err := geom.Locate(l.Array, r)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	if l.MaxRange > 0 {
+		d := p.Sub(l.Array.Tx)
+		if d.Norm() > l.MaxRange || p.Y <= 0 {
+			return geom.Vec3{}, ErrImplausible
+		}
+	}
+	if p.Z < l.MinZ {
+		p.Z = l.MinZ
+	}
+	if p.Z > l.MaxZ {
+		p.Z = l.MaxZ
+	}
+	return p, nil
+}

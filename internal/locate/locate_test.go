@@ -1,0 +1,64 @@
+package locate
+
+import (
+	"testing"
+
+	"witrack/internal/geom"
+	"witrack/internal/track"
+)
+
+func estimates(r []float64) []track.Estimate {
+	out := make([]track.Estimate, len(r))
+	for i, v := range r {
+		out[i] = track.Estimate{RoundTrip: v, Valid: true, Moving: true}
+	}
+	return out
+}
+
+func TestNewRejectsBadArray(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	arr.Rx = arr.Rx[:2]
+	if _, err := New(arr); err == nil {
+		t.Fatal("expected error for 2-antenna array")
+	}
+}
+
+func TestSolveRecoversPoint(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	l, err := New(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Vec3{X: 0.8, Y: 4.5, Z: 1.2}
+	got, err := l.Solve(estimates(arr.RoundTrips(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(want) > 1e-6 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestSolveNotReady(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	l, _ := New(arr)
+	ests := estimates(arr.RoundTrips(geom.Vec3{X: 0, Y: 4, Z: 1}))
+	ests[1].Valid = false
+	if _, err := l.Solve(ests); err != ErrNotReady {
+		t.Fatalf("err = %v, want ErrNotReady", err)
+	}
+}
+
+func TestSolveClampsElevation(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	l, _ := New(arr)
+	l.MaxZ = 1.0
+	want := geom.Vec3{X: 0, Y: 4, Z: 2.5}
+	got, err := l.Solve(estimates(arr.RoundTrips(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Z != 1.0 {
+		t.Fatalf("z = %v, want clamped to 1.0", got.Z)
+	}
+}

@@ -1,0 +1,85 @@
+package locate
+
+import (
+	"errors"
+	"math"
+
+	"witrack/internal/geom"
+)
+
+// SolveTwo resolves the §10 two-person ambiguity. Each receive antenna
+// reports two round-trip distances but not which person produced which;
+// with three antennas there are 2^3 = 8 joint assignments and only one
+// places both people consistently. SolveTwo scores every assignment by
+// the two solutions' residuals plus (when available) continuity with the
+// previous positions — exactly the disambiguation the paper proposes —
+// and returns the best pair.
+func SolveTwo(l *Locator, r [][2]float64, prev [2]geom.Vec3, havePrev bool) ([2]geom.Vec3, error) {
+	nRx := len(l.Array.Rx)
+	if len(r) != nRx {
+		return [2]geom.Vec3{}, errors.New("locate: SolveTwo needs one TOF pair per antenna")
+	}
+	if nRx > 16 {
+		return [2]geom.Vec3{}, errors.New("locate: too many antennas for exhaustive assignment")
+	}
+	// Continuity is a tie-breaker, not an anchor: its per-person
+	// contribution is capped so an early wrong assignment cannot
+	// perpetuate itself against the residual evidence.
+	const (
+		continuityWeight = 0.5
+		continuityCap    = 1.0
+	)
+	best := math.Inf(1)
+	var bestPair [2]geom.Vec3
+	found := false
+	rA := make([]float64, nRx)
+	rB := make([]float64, nRx)
+	for mask := 0; mask < 1<<nRx; mask++ {
+		for k := 0; k < nRx; k++ {
+			sel := (mask >> k) & 1
+			rA[k] = r[k][sel]
+			rB[k] = r[k][1-sel]
+		}
+		pA, errA := l.solveOne(rA)
+		if errA != nil {
+			continue
+		}
+		pB, errB := l.solveOne(rB)
+		if errB != nil {
+			continue
+		}
+		score := geom.ResidualRMS(l.Array, rA, pA) + geom.ResidualRMS(l.Array, rB, pB)
+		if havePrev {
+			score += continuityWeight * (math.Min(pA.Dist(prev[0]), continuityCap) + math.Min(pB.Dist(prev[1]), continuityCap))
+		}
+		if score < best {
+			best = score
+			bestPair = [2]geom.Vec3{pA, pB}
+			found = true
+		}
+	}
+	if !found {
+		return [2]geom.Vec3{}, ErrImplausible
+	}
+	return bestPair, nil
+}
+
+// solveOne runs the single-point pipeline on raw round trips.
+func (l *Locator) solveOne(r []float64) (geom.Vec3, error) {
+	p, err := geom.Locate(l.Array, r)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	if l.MaxRange > 0 {
+		if p.Sub(l.Array.Tx).Norm() > l.MaxRange || p.Y <= 0 {
+			return geom.Vec3{}, ErrImplausible
+		}
+	}
+	if p.Z < l.MinZ {
+		p.Z = l.MinZ
+	}
+	if p.Z > l.MaxZ {
+		p.Z = l.MaxZ
+	}
+	return p, nil
+}

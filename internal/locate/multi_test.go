@@ -1,0 +1,70 @@
+package locate
+
+import (
+	"testing"
+
+	"witrack/internal/geom"
+)
+
+func TestSolveTwoRecoversBothPositions(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	l, err := New(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA := geom.Vec3{X: -1.5, Y: 4, Z: 1.0}
+	pB := geom.Vec3{X: 2, Y: 6.5, Z: 1.2}
+	rA := arr.RoundTrips(pA)
+	rB := arr.RoundTrips(pB)
+	// Scramble the per-antenna slot assignment deliberately.
+	pairs := [][2]float64{
+		{rA[0], rB[0]},
+		{rB[1], rA[1]},
+		{rB[2], rA[2]},
+	}
+	got, err := SolveTwo(l, pairs, [2]geom.Vec3{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either ordering of the output is acceptable.
+	d0 := got[0].Dist(pA) + got[1].Dist(pB)
+	d1 := got[0].Dist(pB) + got[1].Dist(pA)
+	if d0 > 1e-3 && d1 > 1e-3 {
+		t.Fatalf("SolveTwo = %v / %v, want %v and %v", got[0], got[1], pA, pB)
+	}
+}
+
+func TestSolveTwoContinuityBreaksTies(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	l, _ := New(arr)
+	pA := geom.Vec3{X: -1.5, Y: 4, Z: 1.0}
+	pB := geom.Vec3{X: 2, Y: 6.5, Z: 1.2}
+	pairs := make([][2]float64, 3)
+	rA := arr.RoundTrips(pA)
+	rB := arr.RoundTrips(pB)
+	for k := 0; k < 3; k++ {
+		pairs[k] = [2]float64{rA[k], rB[k]}
+	}
+	// With previous positions provided, the output ordering should match
+	// them.
+	got, err := SolveTwo(l, pairs, [2]geom.Vec3{pB, pA}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist(pB) > 0.1 || got[1].Dist(pA) > 0.1 {
+		t.Fatalf("continuity should order output as (B, A): got %v / %v", got[0], got[1])
+	}
+}
+
+func TestSolveTwoRejectsBadInput(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	l, _ := New(arr)
+	if _, err := SolveTwo(l, make([][2]float64, 2), [2]geom.Vec3{}, false); err == nil {
+		t.Fatal("wrong pair count should error")
+	}
+	// Geometrically impossible TOFs (below focal distance) on every combo.
+	pairs := [][2]float64{{0.1, 0.2}, {0.1, 0.2}, {0.1, 0.2}}
+	if _, err := SolveTwo(l, pairs, [2]geom.Vec3{}, false); err == nil {
+		t.Fatal("infeasible TOFs should error")
+	}
+}

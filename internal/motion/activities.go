@@ -1,0 +1,168 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+
+	"witrack/internal/geom"
+)
+
+// Activity identifies one of the §9.5 activity scripts.
+type Activity int
+
+// The four activities of the fall-detection study.
+const (
+	ActivityWalk Activity = iota
+	ActivitySitChair
+	ActivitySitFloor
+	ActivityFall
+)
+
+// String implements fmt.Stringer.
+func (a Activity) String() string {
+	switch a {
+	case ActivityWalk:
+		return "walk"
+	case ActivitySitChair:
+		return "sit-chair"
+	case ActivitySitFloor:
+		return "sit-floor"
+	case ActivityFall:
+		return "fall"
+	default:
+		return "unknown"
+	}
+}
+
+// Activities lists all four scripts.
+func Activities() []Activity {
+	return []Activity{ActivityWalk, ActivitySitChair, ActivitySitFloor, ActivityFall}
+}
+
+// ActivityScript is a timed elevation scenario: the subject walks for a
+// few seconds, stops at a spot, then performs the activity. Elevation
+// profiles follow the paper's Fig. 6: walking and sitting on a chair end
+// well above the ground; sitting on the floor and falling both end near
+// z=0, but a fall reaches the ground several times faster — the
+// discriminating feature of §6.2.
+type ActivityScript struct {
+	activity  Activity
+	duration  float64
+	walk      *RandomWalk
+	walkEnd   float64 // when walking stops
+	actStart  float64 // when the activity movement begins
+	actDur    float64 // how long the elevation change takes
+	startZ    float64
+	endZ      float64
+	spot      geom.Vec3
+	jitterAmp float64
+}
+
+// ActivityConfig tunes an activity script.
+type ActivityConfig struct {
+	Activity Activity
+	Region   Region
+	// CenterHeight is the standing body-center height.
+	CenterHeight float64
+	// Seed drives the per-run randomness (timings, final elevations).
+	Seed int64
+}
+
+// Typical activity kinematics. A fall reaches the ground in under half a
+// second; deliberately sitting on the floor takes ~2 s; sitting on a
+// chair ~1.5 s (values consistent with the fall-detection literature the
+// paper cites and with its Fig. 6 traces).
+const (
+	fallDuration     = 0.45
+	sitFloorDuration = 2.1
+	sitChairDuration = 1.5
+)
+
+// NewActivityScript builds the script. Total duration is ~30 s like the
+// Fig. 6 traces.
+func NewActivityScript(cfg ActivityConfig) *ActivityScript {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &ActivityScript{
+		activity: cfg.Activity,
+		duration: 30,
+		walkEnd:  8 + rng.Float64()*2,
+		startZ:   cfg.CenterHeight,
+	}
+	s.actStart = s.walkEnd + 2 + rng.Float64()*2 // stand briefly first
+	jitter := func(base, spread float64) float64 {
+		return base * (1 + spread*(rng.Float64()*2-1))
+	}
+	switch cfg.Activity {
+	case ActivityWalk:
+		s.actStart = s.duration + 1 // never happens
+		s.endZ = cfg.CenterHeight
+	case ActivitySitChair:
+		s.actDur = jitter(sitChairDuration, 0.2)
+		s.endZ = 0.72 + rng.Float64()*0.08
+	case ActivitySitFloor:
+		s.actDur = jitter(sitFloorDuration, 0.2)
+		s.endZ = 0.33 + rng.Float64()*0.08
+	case ActivityFall:
+		s.actDur = jitter(fallDuration, 0.2)
+		s.endZ = 0.18 + rng.Float64()*0.08
+	}
+	walkDur := s.duration
+	if cfg.Activity != ActivityWalk {
+		walkDur = s.walkEnd
+	}
+	s.walk = NewRandomWalk(DefaultWalkConfig(cfg.Region, cfg.CenterHeight, walkDur, cfg.Seed+1))
+	s.spot = s.walk.At(walkDur).Center
+	s.jitterAmp = 0.01
+	return s
+}
+
+// Activity returns which script this is.
+func (s *ActivityScript) Activity() Activity { return s.activity }
+
+// Duration implements Trajectory.
+func (s *ActivityScript) Duration() float64 { return s.duration }
+
+// At implements Trajectory.
+func (s *ActivityScript) At(t float64) BodyState {
+	if t < 0 {
+		t = 0
+	}
+	if t > s.duration {
+		t = s.duration
+	}
+	if s.activity == ActivityWalk || t <= s.walkEnd {
+		return s.walk.At(t)
+	}
+	st := BodyState{Center: s.spot}
+	st.Center.Z = s.startZ
+	switch {
+	case t < s.actStart:
+		// Standing still before the activity.
+		st.Moving = false
+	case t < s.actStart+s.actDur:
+		// Elevation transition; smooth-step profile, fastest mid-way.
+		frac := (t - s.actStart) / s.actDur
+		smooth := frac * frac * (3 - 2*frac)
+		st.Center.Z = s.startZ + (s.endZ-s.startZ)*smooth
+		st.Moving = true
+		// Falls and sits also displace the body slightly horizontally,
+		// and limbs swing during any descent (arms reach for support,
+		// legs fold) — the sway keeps the radio reflection strong
+		// through the whole transition.
+		st.Center.X += 0.25*frac + 0.025*math.Sin(2*math.Pi*2.5*t)
+	default:
+		st.Center.Z = s.endZ
+		st.Center.X += 0.25
+		// Residual micro-motion (breathing, settling, small posture
+		// adjustments) right after the transition keeps the reflection
+		// visible for a couple of seconds, long enough for the pipeline
+		// to register the settled position before interpolation takes
+		// over.
+		if t < s.actStart+s.actDur+4.0 {
+			st.Center.Z += s.jitterAmp * math.Sin(2*math.Pi*1.5*t)
+			st.Center.X += 2 * s.jitterAmp * math.Sin(2*math.Pi*0.4*t)
+			st.Moving = true
+		}
+	}
+	return st
+}

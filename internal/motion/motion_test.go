@@ -1,0 +1,250 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"witrack/internal/geom"
+)
+
+func testRegion() Region { return Region{XMin: -3, XMax: 3, YMin: 3, YMax: 9} }
+
+func TestRegionContains(t *testing.T) {
+	r := testRegion()
+	if !r.Contains(geom.Vec3{X: 0, Y: 5}) {
+		t.Fatal("center should be inside")
+	}
+	if r.Contains(geom.Vec3{X: 5, Y: 5}) {
+		t.Fatal("x=5 should be outside")
+	}
+	c := r.Center()
+	if c.X != 0 || c.Y != 6 {
+		t.Fatalf("center = %v", c)
+	}
+}
+
+func TestRandomWalkStaysInRegionAndObeysSpeedLimit(t *testing.T) {
+	r := testRegion()
+	w := NewRandomWalk(DefaultWalkConfig(r, 0.96, 60, 7))
+	if w.Duration() != 60 {
+		t.Fatalf("duration = %v", w.Duration())
+	}
+	const dt = 0.0125
+	prev := w.At(0)
+	for ts := dt; ts <= 60; ts += dt {
+		st := w.At(ts)
+		p := st.Center
+		if p.X < r.XMin-1e-9 || p.X > r.XMax+1e-9 || p.Y < r.YMin-1e-9 || p.Y > r.YMax+1e-9 {
+			t.Fatalf("t=%v: %v left the region", ts, p)
+		}
+		// Human speed limit with margin (max configured 1.4 m/s + bob).
+		speed := p.Dist(prev.Center) / dt
+		if speed > 2.5 {
+			t.Fatalf("t=%v: speed %v m/s implausible", ts, speed)
+		}
+		if p.Z < 0.8 || p.Z > 1.1 {
+			t.Fatalf("center height %v out of band", p.Z)
+		}
+		prev = st
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	cfg := DefaultWalkConfig(testRegion(), 0.96, 30, 5)
+	a := NewRandomWalk(cfg)
+	b := NewRandomWalk(cfg)
+	for ts := 0.0; ts < 30; ts += 0.5 {
+		if a.At(ts).Center != b.At(ts).Center {
+			t.Fatal("same seed must reproduce the same walk")
+		}
+	}
+	c := NewRandomWalk(DefaultWalkConfig(testRegion(), 0.96, 30, 6))
+	diff := false
+	for ts := 0.0; ts < 30; ts += 0.5 {
+		if a.At(ts).Center != c.At(ts).Center {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRandomWalkHasPausesAndMotion(t *testing.T) {
+	w := NewRandomWalk(DefaultWalkConfig(testRegion(), 0.96, 120, 11))
+	moving, paused := 0, 0
+	for ts := 0.0; ts < 120; ts += 0.1 {
+		if w.At(ts).Moving {
+			moving++
+		} else {
+			paused++
+		}
+	}
+	if moving == 0 || paused == 0 {
+		t.Fatalf("walk should mix motion (%d) and pauses (%d)", moving, paused)
+	}
+}
+
+func TestRandomWalkClampsTime(t *testing.T) {
+	w := NewRandomWalk(DefaultWalkConfig(testRegion(), 0.96, 10, 1))
+	if w.At(-5).Center != w.At(0).Center {
+		t.Fatal("negative time should clamp to start")
+	}
+	if w.At(100).Center != w.At(10).Center {
+		t.Fatal("time past the end should clamp")
+	}
+}
+
+func TestActivityElevationProfiles(t *testing.T) {
+	r := testRegion()
+	for _, act := range Activities() {
+		s := NewActivityScript(ActivityConfig{Activity: act, Region: r, CenterHeight: 0.96, Seed: 3})
+		if s.Activity() != act {
+			t.Fatalf("activity mismatch")
+		}
+		final := s.At(s.Duration()).Center.Z
+		switch act {
+		case ActivityWalk:
+			if final < 0.8 {
+				t.Fatalf("walk final elevation %v too low", final)
+			}
+		case ActivitySitChair:
+			if final < 0.6 || final > 0.9 {
+				t.Fatalf("sit-chair final elevation %v", final)
+			}
+		case ActivitySitFloor:
+			if final < 0.25 || final > 0.5 {
+				t.Fatalf("sit-floor final elevation %v", final)
+			}
+		case ActivityFall:
+			if final > 0.35 {
+				t.Fatalf("fall final elevation %v should be near ground", final)
+			}
+		}
+	}
+}
+
+func TestFallIsFasterThanSitting(t *testing.T) {
+	r := testRegion()
+	maxRate := func(act Activity) float64 {
+		s := NewActivityScript(ActivityConfig{Activity: act, Region: r, CenterHeight: 0.96, Seed: 9})
+		const dt = 0.05
+		worst := 0.0
+		prev := s.At(0).Center.Z
+		for ts := dt; ts <= s.Duration(); ts += dt {
+			z := s.At(ts).Center.Z
+			if rate := (prev - z) / dt; rate > worst {
+				worst = rate
+			}
+			prev = z
+		}
+		return worst
+	}
+	fall := maxRate(ActivityFall)
+	sit := maxRate(ActivitySitFloor)
+	if fall < 2*sit {
+		t.Fatalf("fall descent rate %v should be much faster than sitting %v", fall, sit)
+	}
+}
+
+func TestActivityScriptsDeterministic(t *testing.T) {
+	cfg := ActivityConfig{Activity: ActivityFall, Region: testRegion(), CenterHeight: 0.96, Seed: 10}
+	a := NewActivityScript(cfg)
+	b := NewActivityScript(cfg)
+	for ts := 0.0; ts < 30; ts += 0.25 {
+		if a.At(ts) != b.At(ts) {
+			t.Fatal("same seed must reproduce the same script")
+		}
+	}
+}
+
+func TestActivityStringer(t *testing.T) {
+	names := map[Activity]string{
+		ActivityWalk: "walk", ActivitySitChair: "sit-chair",
+		ActivitySitFloor: "sit-floor", ActivityFall: "fall",
+	}
+	for act, want := range names {
+		if act.String() != want {
+			t.Fatalf("%d.String() = %q", act, act.String())
+		}
+	}
+	if Activity(99).String() != "unknown" {
+		t.Fatal("unknown activity string")
+	}
+}
+
+func TestPointingGestureKinematics(t *testing.T) {
+	cfg := PointingConfig{
+		Position:     geom.Vec3{X: 1, Y: 5},
+		CenterHeight: 0.96,
+		ArmLength:    0.7,
+		Azimuth:      geom.Rad(30),
+		Elevation:    geom.Rad(10),
+		Seed:         4,
+	}
+	p := NewPointingScript(cfg)
+	dir := p.TrueDirection()
+	if math.Abs(dir.Norm()-1) > 1e-12 {
+		t.Fatalf("direction norm %v", dir.Norm())
+	}
+	// The extended hand must be ArmLength from the shoulder along dir.
+	ext := p.HandExtended()
+	shoulder := geom.Vec3{X: 1, Y: 5, Z: 0.96 + 0.30}
+	if math.Abs(ext.Dist(shoulder)-0.7) > 1e-9 {
+		t.Fatalf("extended hand %v not at arm length from shoulder", ext)
+	}
+	got := ext.Sub(shoulder).Unit()
+	if got.Dist(dir) > 1e-9 {
+		t.Fatalf("extension direction %v != %v", got, dir)
+	}
+
+	// Body must never translate during the gesture.
+	for ts := 0.0; ts < p.Duration(); ts += 0.05 {
+		st := p.At(ts)
+		if st.Moving {
+			t.Fatal("body should be static during a pointing script")
+		}
+		if st.Center != p.At(0).Center {
+			t.Fatal("center should not move")
+		}
+	}
+
+	// Hand is at rest before the lift and after the drop; active during.
+	ls, le := p.LiftWindow()
+	ds, de := p.DropWindow()
+	if !(ls < le && le <= ds && ds < de && de < p.Duration()) {
+		t.Fatalf("window ordering broken: %v %v %v %v", ls, le, ds, de)
+	}
+	if st := p.At(ls / 2); st.HandActive || st.Hand != p.HandRest() {
+		t.Fatal("hand should rest before the lift")
+	}
+	if st := p.At((le + ds) / 2); st.Hand.Dist(p.HandExtended()) > 1e-9 {
+		t.Fatal("hand should be extended during the hold")
+	}
+	if st := p.At((ls + le) / 2); !st.HandActive {
+		t.Fatal("hand should be active mid-lift")
+	}
+	if st := p.At(p.Duration()); st.Hand != p.HandRest() {
+		t.Fatal("hand should return to rest")
+	}
+}
+
+// TestPointingLiftDropMirror verifies the approximate mirror symmetry the
+// paper exploits: lift and drop trace the same segment in opposite
+// directions.
+func TestPointingLiftDropMirror(t *testing.T) {
+	p := NewPointingScript(PointingConfig{
+		Position: geom.Vec3{Y: 4}, CenterHeight: 1.0, ArmLength: 0.65,
+		Azimuth: geom.Rad(-20), Elevation: geom.Rad(5), Seed: 12,
+	})
+	ls, le := p.LiftWindow()
+	ds, de := p.DropWindow()
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		lift := p.At(ls + f*(le-ls)).Hand
+		drop := p.At(ds + (1-f)*(de-ds)).Hand
+		if lift.Dist(drop) > 1e-9 {
+			t.Fatalf("lift(%v) and mirrored drop disagree: %v vs %v", f, lift, drop)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+
+	"witrack/internal/geom"
+)
+
+// PointingScript models the §6.1 gesture: the subject stands still,
+// raises an arm in a chosen direction, holds it briefly, and drops it
+// back. The paper requires ~1 s of stillness before and after each arm
+// motion, which is what lets the pipeline segment the gesture.
+type PointingScript struct {
+	center    geom.Vec3
+	direction geom.Vec3 // unit vector of the true pointing direction
+	rest      geom.Vec3 // hand rest position (absolute)
+	extended  geom.Vec3 // hand extended position (absolute)
+
+	liftStart, liftDur float64
+	holdDur            float64
+	dropDur            float64
+	duration           float64
+}
+
+// PointingConfig tunes a pointing gesture.
+type PointingConfig struct {
+	// Position is the plan-view standing position.
+	Position geom.Vec3
+	// CenterHeight is the standing body-center height.
+	CenterHeight float64
+	// ArmLength is shoulder-to-fingertip length.
+	ArmLength float64
+	// Azimuth is the pointing direction in the horizontal plane, radians,
+	// measured from +y toward +x.
+	Azimuth float64
+	// Elevation is the vertical pointing angle in radians (0 = level).
+	Elevation float64
+	// Seed drives small timing jitter.
+	Seed int64
+}
+
+// NewPointingScript builds the gesture trajectory.
+func NewPointingScript(cfg PointingConfig) *PointingScript {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dir := geom.Vec3{
+		X: math.Sin(cfg.Azimuth) * math.Cos(cfg.Elevation),
+		Y: math.Cos(cfg.Azimuth) * math.Cos(cfg.Elevation),
+		Z: math.Sin(cfg.Elevation),
+	}
+	center := cfg.Position
+	center.Z = cfg.CenterHeight
+	shoulder := center.Add(geom.Vec3{Z: 0.30})
+	p := &PointingScript{
+		center:    center,
+		direction: dir,
+		rest:      center.Add(geom.Vec3{Z: -0.35}), // hand at the side
+		extended:  shoulder.Add(dir.Scale(cfg.ArmLength)),
+		liftStart: 1.8 + rng.Float64()*0.4,
+		liftDur:   0.7 + rng.Float64()*0.3,
+		holdDur:   1.0 + rng.Float64()*0.3,
+		dropDur:   0.7 + rng.Float64()*0.3,
+	}
+	p.duration = p.liftStart + p.liftDur + p.holdDur + p.dropDur + 2.0
+	return p
+}
+
+// TrueDirection returns the unit ground-truth pointing direction.
+func (p *PointingScript) TrueDirection() geom.Vec3 { return p.direction }
+
+// HandRest returns the hand's resting position.
+func (p *PointingScript) HandRest() geom.Vec3 { return p.rest }
+
+// HandExtended returns the hand's fully extended position.
+func (p *PointingScript) HandExtended() geom.Vec3 { return p.extended }
+
+// LiftWindow returns the [start, end] times of the lift motion.
+func (p *PointingScript) LiftWindow() (float64, float64) {
+	return p.liftStart, p.liftStart + p.liftDur
+}
+
+// DropWindow returns the [start, end] times of the drop motion.
+func (p *PointingScript) DropWindow() (float64, float64) {
+	s := p.liftStart + p.liftDur + p.holdDur
+	return s, s + p.dropDur
+}
+
+// Duration implements Trajectory.
+func (p *PointingScript) Duration() float64 { return p.duration }
+
+// At implements Trajectory. The body never translates; only the hand
+// moves, and only during the lift and drop windows.
+func (p *PointingScript) At(t float64) BodyState {
+	st := BodyState{Center: p.center, Moving: false}
+	liftEnd := p.liftStart + p.liftDur
+	holdEnd := liftEnd + p.holdDur
+	dropEnd := holdEnd + p.dropDur
+	smooth := func(f float64) float64 { return f * f * (3 - 2*f) }
+	switch {
+	case t < p.liftStart:
+		st.Hand = p.rest
+	case t < liftEnd:
+		f := smooth((t - p.liftStart) / p.liftDur)
+		st.Hand = p.rest.Lerp(p.extended, f)
+		st.HandActive = true
+	case t < holdEnd:
+		st.Hand = p.extended
+	case t < dropEnd:
+		f := smooth((t - holdEnd) / p.dropDur)
+		st.Hand = p.extended.Lerp(p.rest, f)
+		st.HandActive = true
+	default:
+		st.Hand = p.rest
+	}
+	return st
+}

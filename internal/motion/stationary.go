@@ -1,0 +1,21 @@
+package motion
+
+import "witrack/internal/geom"
+
+// Stationary is a trajectory of a person standing perfectly still — the
+// §10 limitation case: consecutive-sweep subtraction cannot see them,
+// but calibrated-background subtraction can.
+type Stationary struct {
+	// Position is the fixed body-center position.
+	Position geom.Vec3
+	// Seconds is the duration.
+	Seconds float64
+}
+
+// Duration implements Trajectory.
+func (s Stationary) Duration() float64 { return s.Seconds }
+
+// At implements Trajectory.
+func (s Stationary) At(float64) BodyState {
+	return BodyState{Center: s.Position, Moving: false}
+}

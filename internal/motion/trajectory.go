@@ -1,0 +1,46 @@
+// Package motion generates the human workloads of the paper's
+// evaluation: free walking inside a tracked area (§9.1-§9.3), the four
+// activity scripts of the fall study (walk, sit on a chair, sit on the
+// floor, fall; §9.5), and the pointing gesture (§6.1, §9.4). The
+// trajectory itself is the ground-truth oracle — the role the VICON
+// motion-capture system plays in the paper.
+package motion
+
+import "witrack/internal/geom"
+
+// BodyState is the instantaneous ground truth of the simulated subject.
+type BodyState struct {
+	// Center is the 3D body-center position (what the paper's VICON
+	// jacket-and-hat markers report).
+	Center geom.Vec3
+	// Moving reports whether the body is translating (used by tests;
+	// the pipeline must infer this on its own from the radio signal).
+	Moving bool
+	// HandActive reports whether a pointing gesture is in progress.
+	HandActive bool
+	// Hand is the absolute hand position; meaningful when HandActive.
+	Hand geom.Vec3
+}
+
+// Trajectory is a deterministic function of time describing the subject.
+type Trajectory interface {
+	// At returns the body state at time t in [0, Duration].
+	At(t float64) BodyState
+	// Duration is the length of the trajectory in seconds.
+	Duration() float64
+}
+
+// Region is an axis-aligned plan-view area the subject stays inside.
+type Region struct {
+	XMin, XMax, YMin, YMax float64
+}
+
+// Contains reports whether the plan-view point is inside the region.
+func (r Region) Contains(p geom.Vec3) bool {
+	return p.X >= r.XMin && p.X <= r.XMax && p.Y >= r.YMin && p.Y <= r.YMax
+}
+
+// Center returns the middle of the region at z = 0.
+func (r Region) Center() geom.Vec3 {
+	return geom.Vec3{X: (r.XMin + r.XMax) / 2, Y: (r.YMin + r.YMax) / 2}
+}

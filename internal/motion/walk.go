@@ -1,0 +1,127 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+
+	"witrack/internal/geom"
+)
+
+// walkSegment is one piece of a piecewise trajectory: either a straight
+// walk from A to B or a pause at A.
+type walkSegment struct {
+	a, b   geom.Vec3
+	t0, t1 float64
+	pause  bool
+}
+
+// RandomWalk is a free "move at will" trajectory: straight waypoint legs
+// at human walking speeds with occasional pauses, confined to a region.
+// The vertical coordinate carries a small gait bob. Deterministic for a
+// given seed.
+type RandomWalk struct {
+	segments []walkSegment
+	duration float64
+	centerZ  float64
+	bobAmp   float64
+	bobHz    float64
+}
+
+// WalkConfig tunes trajectory generation.
+type WalkConfig struct {
+	Region Region
+	// CenterHeight is the standing body-center height (subject specific).
+	CenterHeight float64
+	// Duration of the trajectory in seconds.
+	Duration float64
+	// MinSpeed/MaxSpeed bound the walking speed in m/s.
+	MinSpeed, MaxSpeed float64
+	// PauseProb is the probability of pausing at each waypoint;
+	// pauses last 1-3 s.
+	PauseProb float64
+	// Seed makes the walk reproducible.
+	Seed int64
+}
+
+// DefaultWalkConfig returns the standard workload parameters used by the
+// accuracy experiments.
+func DefaultWalkConfig(region Region, centerHeight float64, duration float64, seed int64) WalkConfig {
+	return WalkConfig{
+		Region:       region,
+		CenterHeight: centerHeight,
+		Duration:     duration,
+		MinSpeed:     0.4,
+		MaxSpeed:     1.4,
+		PauseProb:    0.15,
+		Seed:         seed,
+	}
+}
+
+// NewRandomWalk precomputes a waypoint trajectory from the config.
+func NewRandomWalk(cfg WalkConfig) *RandomWalk {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &RandomWalk{
+		duration: cfg.Duration,
+		centerZ:  cfg.CenterHeight,
+		bobAmp:   0.02,
+		bobHz:    1.8,
+	}
+	randPoint := func() geom.Vec3 {
+		return geom.Vec3{
+			X: cfg.Region.XMin + rng.Float64()*(cfg.Region.XMax-cfg.Region.XMin),
+			Y: cfg.Region.YMin + rng.Float64()*(cfg.Region.YMax-cfg.Region.YMin),
+		}
+	}
+	pos := randPoint()
+	t := 0.0
+	for t < cfg.Duration {
+		if rng.Float64() < cfg.PauseProb {
+			dt := 1 + rng.Float64()*2
+			w.segments = append(w.segments, walkSegment{a: pos, b: pos, t0: t, t1: t + dt, pause: true})
+			t += dt
+			continue
+		}
+		target := randPoint()
+		dist := pos.Dist(target)
+		if dist < 0.5 {
+			continue
+		}
+		speed := cfg.MinSpeed + rng.Float64()*(cfg.MaxSpeed-cfg.MinSpeed)
+		dt := dist / speed
+		w.segments = append(w.segments, walkSegment{a: pos, b: target, t0: t, t1: t + dt})
+		pos = target
+		t += dt
+	}
+	return w
+}
+
+// Duration implements Trajectory.
+func (w *RandomWalk) Duration() float64 { return w.duration }
+
+// At implements Trajectory.
+func (w *RandomWalk) At(t float64) BodyState {
+	if t < 0 {
+		t = 0
+	}
+	if t > w.duration {
+		t = w.duration
+	}
+	seg := w.segments[len(w.segments)-1]
+	for _, s := range w.segments {
+		if t >= s.t0 && t <= s.t1 {
+			seg = s
+			break
+		}
+	}
+	frac := 0.0
+	if seg.t1 > seg.t0 {
+		frac = (t - seg.t0) / (seg.t1 - seg.t0)
+	}
+	p := seg.a.Lerp(seg.b, frac)
+	p.Z = w.centerZ
+	if !seg.pause {
+		// Gait bob only while actually walking.
+		p.Z += w.bobAmp * math.Sin(2*math.Pi*w.bobHz*t)
+	}
+	return BodyState{Center: p, Moving: !seg.pause}
+}

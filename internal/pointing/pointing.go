@@ -1,0 +1,293 @@
+// Package pointing implements the paper's §6.1 pointing-direction
+// estimation. The subject stands still, raises an arm, holds, and drops
+// it. The pipeline:
+//
+//  1. Segmentation: arm motion appears as bursts of above-threshold
+//     motion energy separated by the mandated ~1 s of stillness.
+//  2. Arm-vs-body discrimination: the reflecting surface of an arm is far
+//     smaller than a whole body, so burst power (and spatial spread) is
+//     far lower than whole-body motion (Fig. 5).
+//  3. Robust regression on each antenna's round-trip contour over the
+//     burst gives clean start/end distances; the geometric solver turns
+//     them into 3D hand positions.
+//  4. The pointing direction is estimated from the lift (start -> end)
+//     and the drop reversed (end -> start), averaged — the approximate
+//     mirror symmetry of lift and drop adds significant robustness.
+package pointing
+
+import (
+	"errors"
+	"math"
+
+	"witrack/internal/geom"
+	"witrack/internal/linalg"
+	"witrack/internal/track"
+)
+
+// Config tunes the estimator.
+type Config struct {
+	// FrameInterval is seconds per frame of the estimate series.
+	FrameInterval float64
+	// MinBurst/MaxBurst bound a plausible arm-motion duration in seconds.
+	MinBurst, MaxBurst float64
+	// MergeGap joins motion runs separated by less than this many
+	// seconds.
+	MergeGap float64
+	// MinHold is the minimum stillness between lift and drop.
+	MinHold float64
+	// MaxHold is the maximum stillness between lift and drop.
+	MaxHold float64
+}
+
+// DefaultConfig returns gesture timing bounds matching §6.1 (sweep every
+// 2.5 ms, ~1 s pauses around each arm movement).
+func DefaultConfig(frameInterval float64) Config {
+	return Config{
+		FrameInterval: frameInterval,
+		MinBurst:      0.25,
+		MaxBurst:      2.5,
+		MergeGap:      0.30,
+		MinHold:       0.4,
+		MaxHold:       3.0,
+	}
+}
+
+// Burst is a contiguous run of motion frames.
+type Burst struct {
+	StartIdx, EndIdx int // inclusive frame indices
+	StartT, EndT     float64
+}
+
+// Result is the estimator output.
+type Result struct {
+	// Direction is the estimated unit pointing direction.
+	Direction geom.Vec3
+	// LiftDirection/DropDirection are the two independent estimates the
+	// final direction averages.
+	LiftDirection, DropDirection geom.Vec3
+	// HandStart/HandEnd are the located 3D hand positions (lift).
+	HandStart, HandEnd geom.Vec3
+	// Bursts are the detected motion segments (diagnostics).
+	Bursts []Burst
+}
+
+// Estimation errors.
+var (
+	ErrNoGesture = errors.New("pointing: could not segment a lift+drop gesture")
+	ErrGeometry  = errors.New("pointing: could not localize the hand")
+)
+
+// Estimator analyzes per-antenna tracker outputs.
+type Estimator struct {
+	Array geom.Array
+	Cfg   Config
+}
+
+// New builds an estimator.
+func New(array geom.Array, cfg Config) *Estimator {
+	return &Estimator{Array: array, Cfg: cfg}
+}
+
+// movingMask returns, per frame, whether a majority of antennas saw
+// fresh motion energy.
+func (e *Estimator) movingMask(perAntenna [][]track.Estimate) []bool {
+	n := len(perAntenna[0])
+	mask := make([]bool, n)
+	need := (len(perAntenna) + 1) / 2
+	for i := 0; i < n; i++ {
+		c := 0
+		for k := range perAntenna {
+			if perAntenna[k][i].Moving {
+				c++
+			}
+		}
+		mask[i] = c >= need
+	}
+	return mask
+}
+
+// segments extracts motion bursts from the mask, merging short gaps and
+// dropping implausibly short or long runs.
+func (e *Estimator) segments(mask []bool) []Burst {
+	dt := e.Cfg.FrameInterval
+	gapFrames := int(e.Cfg.MergeGap / dt)
+	var runs []Burst
+	start := -1
+	last := -1
+	for i, m := range mask {
+		if !m {
+			continue
+		}
+		if start < 0 {
+			start, last = i, i
+			continue
+		}
+		if i-last <= gapFrames {
+			last = i
+			continue
+		}
+		runs = append(runs, Burst{StartIdx: start, EndIdx: last})
+		start, last = i, i
+	}
+	if start >= 0 {
+		runs = append(runs, Burst{StartIdx: start, EndIdx: last})
+	}
+	var out []Burst
+	for _, r := range runs {
+		d := float64(r.EndIdx-r.StartIdx+1) * dt
+		if d < e.Cfg.MinBurst || d > e.Cfg.MaxBurst {
+			continue
+		}
+		r.StartT = float64(r.StartIdx) * dt
+		r.EndT = float64(r.EndIdx) * dt
+		out = append(out, r)
+	}
+	return out
+}
+
+// robustLine fits rt = a + b*t over the burst samples of one antenna
+// using iteratively reweighted least squares with Tukey bisquare
+// weights — the "robust regression" of §6.1 step 3.
+func robustLine(ts, rs []float64) (a, b float64, err error) {
+	if len(ts) < 4 {
+		return 0, 0, errors.New("pointing: too few samples for regression")
+	}
+	n := len(ts)
+	design := linalg.NewMat(n, 2)
+	for i, t := range ts {
+		design.Set(i, 0, 1)
+		design.Set(i, 1, t)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	var sol []float64
+	for iter := 0; iter < 6; iter++ {
+		s, errLS := linalg.WeightedLeastSquares(design, rs, w)
+		if errLS != nil {
+			return 0, 0, errLS
+		}
+		sol = s
+		// Residual scale via MAD.
+		resid := make([]float64, n)
+		for i := range resid {
+			resid[i] = rs[i] - (sol[0] + sol[1]*ts[i])
+		}
+		abs := make([]float64, n)
+		for i, r := range resid {
+			abs[i] = math.Abs(r)
+		}
+		mad := medianOf(abs)
+		if mad < 1e-6 {
+			break
+		}
+		c := 4.685 * mad / 0.6745
+		for i, r := range resid {
+			u := r / c
+			if math.Abs(u) >= 1 {
+				w[i] = 0
+			} else {
+				t := 1 - u*u
+				w[i] = t * t
+			}
+		}
+	}
+	return sol[0], sol[1], nil
+}
+
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp) == 0 {
+		return 0
+	}
+	return cp[len(cp)/2]
+}
+
+// burstEndpoints locates the 3D positions at the start and end of a
+// burst by regressing each antenna's round-trip series and evaluating
+// the fits at the burst boundaries.
+func (e *Estimator) burstEndpoints(b Burst, perAntenna [][]track.Estimate) (start, end geom.Vec3, err error) {
+	nRx := len(perAntenna)
+	rStart := make([]float64, nRx)
+	rEnd := make([]float64, nRx)
+	for k := 0; k < nRx; k++ {
+		var ts, rs []float64
+		for i := b.StartIdx; i <= b.EndIdx; i++ {
+			est := perAntenna[k][i]
+			if est.Valid && est.Moving {
+				ts = append(ts, float64(i)*e.Cfg.FrameInterval)
+				rs = append(rs, est.RoundTrip)
+			}
+		}
+		a, slope, errFit := robustLine(ts, rs)
+		if errFit != nil {
+			return geom.Vec3{}, geom.Vec3{}, errFit
+		}
+		rStart[k] = a + slope*b.StartT
+		rEnd[k] = a + slope*b.EndT
+	}
+	start, err = geom.Locate(e.Array, rStart)
+	if err != nil {
+		return geom.Vec3{}, geom.Vec3{}, ErrGeometry
+	}
+	end, err = geom.Locate(e.Array, rEnd)
+	if err != nil {
+		return geom.Vec3{}, geom.Vec3{}, ErrGeometry
+	}
+	return start, end, nil
+}
+
+// Analyze extracts the pointing direction from a tracker run covering
+// one full gesture.
+func (e *Estimator) Analyze(perAntenna [][]track.Estimate) (Result, error) {
+	if len(perAntenna) < 3 {
+		return Result{}, errors.New("pointing: need at least 3 antennas")
+	}
+	mask := e.movingMask(perAntenna)
+	bursts := e.segments(mask)
+	res := Result{Bursts: bursts}
+	if len(bursts) < 2 {
+		return res, ErrNoGesture
+	}
+	// The gesture is the last pair of bursts separated by a hold.
+	var lift, drop Burst
+	found := false
+	for i := len(bursts) - 1; i > 0 && !found; i-- {
+		gap := bursts[i].StartT - bursts[i-1].EndT
+		if gap >= e.Cfg.MinHold && gap <= e.Cfg.MaxHold {
+			lift, drop = bursts[i-1], bursts[i]
+			found = true
+		}
+	}
+	if !found {
+		return res, ErrNoGesture
+	}
+
+	liftStart, liftEnd, err := e.burstEndpoints(lift, perAntenna)
+	if err != nil {
+		return res, err
+	}
+	dropStart, dropEnd, err := e.burstEndpoints(drop, perAntenna)
+	if err != nil {
+		return res, err
+	}
+
+	res.HandStart, res.HandEnd = liftStart, liftEnd
+	res.LiftDirection = liftEnd.Sub(liftStart).Unit()
+	// The drop mirrors the lift: reverse it for a second estimate.
+	res.DropDirection = dropStart.Sub(dropEnd).Unit()
+	res.Direction = res.LiftDirection.Add(res.DropDirection).Unit()
+	return res, nil
+}
+
+// AngleError returns the angle in degrees between an estimated and a
+// true pointing direction.
+func AngleError(estimate, truth geom.Vec3) float64 {
+	return geom.Deg(estimate.AngleTo(truth))
+}

@@ -1,0 +1,197 @@
+package pointing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"witrack/internal/geom"
+	"witrack/internal/track"
+)
+
+// gestureSeries fabricates per-antenna tracker outputs for a synthetic
+// gesture: still, lift (rest -> extended), hold, drop, still.
+func gestureSeries(arr geom.Array, rest, extended geom.Vec3, dt, noise float64, seed int64) [][]track.Estimate {
+	rng := rand.New(rand.NewSource(seed))
+	nRx := len(arr.Rx)
+	out := make([][]track.Estimate, nRx)
+	liftStart, liftEnd := 2.0, 2.8
+	dropStart, dropEnd := 3.9, 4.7
+	total := 6.5
+	smooth := func(f float64) float64 { return f * f * (3 - 2*f) }
+	for t := 0.0; t < total; t += dt {
+		var hand geom.Vec3
+		moving := false
+		switch {
+		case t >= liftStart && t < liftEnd:
+			hand = rest.Lerp(extended, smooth((t-liftStart)/(liftEnd-liftStart)))
+			moving = true
+		case t >= dropEnd:
+			hand = rest
+		case t >= dropStart:
+			hand = extended.Lerp(rest, smooth((t-dropStart)/(dropEnd-dropStart)))
+			moving = true
+		case t >= liftEnd:
+			hand = extended
+		default:
+			hand = rest
+		}
+		for k := 0; k < nRx; k++ {
+			est := track.Estimate{Valid: true}
+			if moving {
+				est.Moving = true
+				est.RoundTrip = arr.RoundTrip(k, hand) + rng.NormFloat64()*noise
+			} else {
+				est.RoundTrip = arr.RoundTrip(k, hand)
+			}
+			out[k] = append(out[k], est)
+		}
+	}
+	return out
+}
+
+func TestAnalyzeRecoversDirection(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	dt := 0.0125
+	center := geom.Vec3{X: 0.5, Y: 4.5, Z: 1.0}
+	dir := geom.Vec3{X: math.Sin(geom.Rad(25)), Y: math.Cos(geom.Rad(25)), Z: 0.1}.Unit()
+	rest := center.Add(geom.Vec3{Z: -0.35})
+	extended := center.Add(geom.Vec3{Z: 0.30}).Add(dir.Scale(0.7))
+	truth := extended.Sub(rest).Unit()
+
+	series := gestureSeries(arr, rest, extended, dt, 0.02, 1)
+	est := New(arr, DefaultConfig(dt))
+	res, err := est.Analyze(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := AngleError(res.Direction, truth); e > 12 {
+		t.Fatalf("angle error %.1f deg too large", e)
+	}
+	if res.HandStart.Dist(rest) > 0.5 {
+		t.Fatalf("hand start %v far from rest %v", res.HandStart, rest)
+	}
+	if res.HandEnd.Dist(extended) > 0.5 {
+		t.Fatalf("hand end %v far from extended %v", res.HandEnd, extended)
+	}
+}
+
+func TestAnalyzeAveragingBeatsLiftOnly(t *testing.T) {
+	// Across many noisy gestures, the lift+drop average should not be
+	// worse than the lift alone (the §6.1 mirror-robustness claim).
+	arr := geom.NewTArray(1, 1.5)
+	dt := 0.0125
+	center := geom.Vec3{X: -0.5, Y: 5, Z: 1.0}
+	var avgErr, liftErr float64
+	n := 0
+	for seed := int64(0); seed < 20; seed++ {
+		az := geom.Rad(float64(seed*13%70) - 35)
+		dir := geom.Vec3{X: math.Sin(az), Y: math.Cos(az), Z: 0.05}.Unit()
+		rest := center.Add(geom.Vec3{Z: -0.35})
+		extended := center.Add(geom.Vec3{Z: 0.30}).Add(dir.Scale(0.68))
+		truth := extended.Sub(rest).Unit()
+		series := gestureSeries(arr, rest, extended, dt, 0.05, seed)
+		res, err := New(arr, DefaultConfig(dt)).Analyze(series)
+		if err != nil {
+			continue
+		}
+		avgErr += AngleError(res.Direction, truth)
+		liftErr += AngleError(res.LiftDirection, truth)
+		n++
+	}
+	if n < 15 {
+		t.Fatalf("only %d/20 gestures analyzed", n)
+	}
+	if avgErr > liftErr*1.15 {
+		t.Fatalf("averaged error %.1f should not exceed lift-only %.1f by >15%%", avgErr/float64(n), liftErr/float64(n))
+	}
+}
+
+func TestAnalyzeNoGesture(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	dt := 0.0125
+	// All-still series: no bursts.
+	series := make([][]track.Estimate, 3)
+	for k := range series {
+		for i := 0; i < 400; i++ {
+			series[k] = append(series[k], track.Estimate{Valid: true, RoundTrip: 10})
+		}
+	}
+	if _, err := New(arr, DefaultConfig(dt)).Analyze(series); err != ErrNoGesture {
+		t.Fatalf("err = %v, want ErrNoGesture", err)
+	}
+}
+
+func TestAnalyzeRejectsTooFewAntennas(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	if _, err := New(arr, DefaultConfig(0.0125)).Analyze(make([][]track.Estimate, 2)); err == nil {
+		t.Fatal("expected error for 2 antennas")
+	}
+}
+
+func TestRobustLineIgnoresOutliers(t *testing.T) {
+	// y = 2 + 3t with two wild outliers.
+	var ts, rs []float64
+	for i := 0; i < 40; i++ {
+		t := float64(i) * 0.0125
+		ts = append(ts, t)
+		rs = append(rs, 2+3*t)
+	}
+	rs[10] += 5
+	rs[25] -= 7
+	a, b, err := robustLine(ts, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2) > 0.05 || math.Abs(b-3) > 0.2 {
+		t.Fatalf("fit (%v, %v), want (2, 3)", a, b)
+	}
+}
+
+func TestRobustLineTooFewSamples(t *testing.T) {
+	if _, _, err := robustLine([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAngleError(t *testing.T) {
+	a := geom.Vec3{X: 1}
+	b := geom.Vec3{Y: 1}
+	if e := AngleError(a, b); math.Abs(e-90) > 1e-9 {
+		t.Fatalf("angle = %v, want 90", e)
+	}
+	if e := AngleError(a, a); e != 0 {
+		t.Fatalf("identical vectors angle = %v", e)
+	}
+}
+
+func TestSegmentsMergesGaps(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	cfg := DefaultConfig(0.0125)
+	e := New(arr, cfg)
+	// Build a mask: one burst with a 2-frame dropout inside.
+	mask := make([]bool, 400)
+	for i := 100; i < 160; i++ {
+		mask[i] = true
+	}
+	mask[130], mask[131] = false, false
+	bursts := e.segments(mask)
+	if len(bursts) != 1 {
+		t.Fatalf("expected one merged burst, got %d", len(bursts))
+	}
+	if bursts[0].StartIdx != 100 || bursts[0].EndIdx != 159 {
+		t.Fatalf("burst bounds %+v", bursts[0])
+	}
+}
+
+func TestSegmentsDropsTooShortRuns(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	e := New(arr, DefaultConfig(0.0125))
+	mask := make([]bool, 400)
+	for i := 50; i < 55; i++ { // 62 ms: below MinBurst
+		mask[i] = true
+	}
+	if bursts := e.segments(mask); len(bursts) != 0 {
+		t.Fatalf("short run should be dropped, got %+v", bursts)
+	}
+}

@@ -1,0 +1,180 @@
+package rf
+
+import (
+	"math"
+
+	"witrack/internal/fmcw"
+	"witrack/internal/geom"
+)
+
+// Propagator turns scene + target geometry into the per-antenna path
+// lists the FMCW synthesizer consumes. It implements:
+//
+//   - the radar equation for point scatterers (human, furniture),
+//   - Friis image propagation for specular wall returns (the strong
+//     static stripes of Fig. 3(a)),
+//   - through-wall attenuation per crossing,
+//   - first-order dynamic multipath: human -> side wall -> antenna and
+//     antenna -> side wall -> human ghost paths (§4.3).
+type Propagator struct {
+	Scene *Scene
+	Array geom.Array
+	Radio fmcw.Config
+	// AntennaGain is the boresight power gain of each directional
+	// antenna (linear). The default approximates the prototype's WA5VJB
+	// log-periodic antennas (~7 dBi).
+	AntennaGain float64
+
+	staticCache [][]fmcw.Path
+}
+
+// DefaultAntennaGain is ~7 dBi expressed linearly.
+const DefaultAntennaGain = 5.0
+
+// NewPropagator builds a propagator and precomputes the static paths per
+// receive antenna (static reflectors do not move; §4.2).
+func NewPropagator(scene *Scene, array geom.Array, radio fmcw.Config) *Propagator {
+	p := &Propagator{Scene: scene, Array: array, Radio: radio, AntennaGain: DefaultAntennaGain}
+	p.staticCache = make([][]fmcw.Path, len(array.Rx))
+	for k := range array.Rx {
+		p.staticCache[k] = p.computeStaticPaths(k)
+	}
+	return p
+}
+
+// dbToLinear converts a dB loss to a linear power factor (0..1].
+func dbToLinear(lossDB float64) float64 {
+	return math.Pow(10, -lossDB/10)
+}
+
+// radarPower implements the bistatic radar equation:
+// Pr = Pt Gt Gr lambda^2 rcs / ((4 pi)^3 d1^2 d2^2), times extra loss.
+func (p *Propagator) radarPower(gTx, gRx, rcs, d1, d2, lossDB float64) float64 {
+	if d1 < 1e-3 || d2 < 1e-3 {
+		return 0
+	}
+	lambda := p.Radio.Wavelength()
+	g2 := p.AntennaGain * p.AntennaGain
+	num := p.Radio.TxPowerWatts * g2 * gTx * gRx * lambda * lambda * rcs
+	den := math.Pow(4*math.Pi, 3) * d1 * d1 * d2 * d2
+	return num / den * dbToLinear(lossDB)
+}
+
+// friisPower implements one-hop image propagation (mirror-like wall
+// return): Pr = Pt Gt Gr lambda^2 / ((4 pi d)^2), times reflectivity and
+// extra loss.
+func (p *Propagator) friisPower(gTx, gRx, d, reflectivity, lossDB float64) float64 {
+	if d < 1e-3 {
+		return 0
+	}
+	lambda := p.Radio.Wavelength()
+	g2 := p.AntennaGain * p.AntennaGain
+	num := p.Radio.TxPowerWatts * g2 * gTx * gRx * lambda * lambda * reflectivity
+	den := math.Pow(4*math.Pi*d, 2)
+	return num / den * dbToLinear(lossDB)
+}
+
+// computeStaticPaths enumerates every static return seen by receive
+// antenna k: point reflectors (radar equation) and specular wall
+// returns (Friis image propagation).
+func (p *Propagator) computeStaticPaths(k int) []fmcw.Path {
+	tx := p.Array.Tx
+	rx := p.Array.Rx[k]
+	var out []fmcw.Path
+
+	for _, sr := range p.Scene.Statics {
+		d1 := tx.Dist(sr.Pos)
+		d2 := rx.Dist(sr.Pos)
+		loss := p.Scene.PathLossDB(tx, sr.Pos) + p.Scene.PathLossDB(sr.Pos, rx)
+		pw := p.radarPower(p.Array.BeamGain(sr.Pos), p.Array.RxBeamGain(k, sr.Pos), sr.RCS, d1, d2, loss)
+		if pw <= 0 {
+			continue
+		}
+		rt := d1 + d2
+		out = append(out, fmcw.Path{RoundTrip: rt, PowerWatts: pw, Phase: fmcw.PhaseFor(p.Radio, rt)})
+	}
+
+	for _, w := range p.Scene.Walls {
+		if w.Material.Reflectivity <= 0 {
+			continue
+		}
+		length, spec, ok := p.Scene.ReflectedLeg(tx, rx, w)
+		if !ok {
+			continue
+		}
+		pw := p.friisPower(p.Array.BeamGain(spec), p.Array.RxBeamGain(k, spec), length, w.Material.Reflectivity, 0)
+		if pw <= 0 {
+			continue
+		}
+		out = append(out, fmcw.Path{RoundTrip: length, PowerWatts: pw, Phase: fmcw.PhaseFor(p.Radio, length)})
+	}
+	return out
+}
+
+// StaticPaths returns the cached static environment paths for receive
+// antenna k.
+func (p *Propagator) StaticPaths(k int) []fmcw.Path {
+	return p.staticCache[k]
+}
+
+// TargetPaths enumerates the paths created by a moving scatterer at
+// point pt with radar cross section rcs, as seen by receive antenna k:
+// the direct two-leg path plus first-order wall-bounce ghosts on either
+// leg. The returned slice is freshly allocated.
+func (p *Propagator) TargetPaths(k int, pt geom.Vec3, rcs float64) []fmcw.Path {
+	tx := p.Array.Tx
+	rx := p.Array.Rx[k]
+	var out []fmcw.Path
+
+	gTx := p.Array.BeamGain(pt)
+	gRx := p.Array.RxBeamGain(k, pt)
+
+	// Direct path Tx -> target -> Rx (attenuated by any wall crossings).
+	d1 := tx.Dist(pt)
+	d2 := rx.Dist(pt)
+	loss := p.Scene.PathLossDB(tx, pt) + p.Scene.PathLossDB(pt, rx)
+	if pw := p.radarPower(gTx, gRx, rcs, d1, d2, loss); pw > 0 {
+		rt := d1 + d2
+		out = append(out, fmcw.Path{RoundTrip: rt, PowerWatts: pw, Phase: fmcw.PhaseFor(p.Radio, rt)})
+	}
+
+	// Dynamic multipath ghosts: one wall bounce on the receive leg
+	// (Tx -> target -> wall -> Rx) or the transmit leg
+	// (Tx -> wall -> target -> Rx). These are the indirect human
+	// reflections of §4.3; note the ghost leg may avoid an occluding
+	// wall entirely, making the ghost stronger than the direct path.
+	for _, w := range p.Scene.Walls {
+		if w.Material.Reflectivity <= 0 {
+			continue
+		}
+		if leg, spec, ok := p.Scene.ReflectedLeg(pt, rx, w); ok {
+			lossG := p.Scene.PathLossDB(tx, pt) + p.Scene.PathLossDB(pt, spec) + p.Scene.PathLossDB(spec, rx)
+			gR := p.Array.RxBeamGain(k, spec)
+			pw := p.radarPower(gTx, gR, rcs*w.Material.Reflectivity, d1, leg, lossG)
+			if pw > 0 {
+				rt := d1 + leg
+				out = append(out, fmcw.Path{RoundTrip: rt, PowerWatts: pw, Phase: fmcw.PhaseFor(p.Radio, rt)})
+			}
+		}
+		if leg, spec, ok := p.Scene.ReflectedLeg(tx, pt, w); ok {
+			lossG := p.Scene.PathLossDB(tx, spec) + p.Scene.PathLossDB(spec, pt) + p.Scene.PathLossDB(pt, rx)
+			gT := p.Array.BeamGain(spec)
+			pw := p.radarPower(gT, gRx, rcs*w.Material.Reflectivity, leg, d2, lossG)
+			if pw > 0 {
+				rt := leg + d2
+				out = append(out, fmcw.Path{RoundTrip: rt, PowerWatts: pw, Phase: fmcw.PhaseFor(p.Radio, rt)})
+			}
+		}
+	}
+	return out
+}
+
+// AllPaths returns static plus target paths for antenna k.
+func (p *Propagator) AllPaths(k int, pt geom.Vec3, rcs float64) []fmcw.Path {
+	st := p.StaticPaths(k)
+	tg := p.TargetPaths(k, pt, rcs)
+	out := make([]fmcw.Path, 0, len(st)+len(tg))
+	out = append(out, st...)
+	out = append(out, tg...)
+	return out
+}

@@ -1,0 +1,227 @@
+package rf
+
+import (
+	"math"
+	"testing"
+
+	"witrack/internal/fmcw"
+	"witrack/internal/geom"
+)
+
+func testArray() geom.Array { return geom.NewTArray(1, 1.5) }
+
+func TestSegmentsIntersect(t *testing.T) {
+	a := geom.Vec3{X: -1, Y: 0}
+	b := geom.Vec3{X: 1, Y: 0}
+	if !segmentsIntersect(geom.Vec3{X: 0, Y: -1}, geom.Vec3{X: 0, Y: 1}, a, b) {
+		t.Fatal("crossing segments should intersect")
+	}
+	if segmentsIntersect(geom.Vec3{X: 0, Y: 1}, geom.Vec3{X: 0, Y: 2}, a, b) {
+		t.Fatal("non-crossing segments should not intersect")
+	}
+	if segmentsIntersect(geom.Vec3{X: -1, Y: 0}, geom.Vec3{X: 0, Y: 1}, a, b) {
+		t.Fatal("shared endpoint should not count as blocking")
+	}
+	if segmentsIntersect(geom.Vec3{X: -2, Y: 0}, geom.Vec3{X: 2, Y: 0}, a, b) {
+		t.Fatal("collinear overlap should not count as a proper crossing")
+	}
+}
+
+func TestPathLossCountsWalls(t *testing.T) {
+	s := &Scene{Walls: []Wall{
+		{A: geom.Vec3{X: -2, Y: 1}, B: geom.Vec3{X: 2, Y: 1}, Material: Sheetrock},
+		{A: geom.Vec3{X: -2, Y: 2}, B: geom.Vec3{X: 2, Y: 2}, Material: Concrete},
+	}}
+	from := geom.Vec3{X: 0, Y: 0}
+	if got := s.PathLossDB(from, geom.Vec3{X: 0, Y: 1.5}); got != Sheetrock.OneWayLossDB {
+		t.Fatalf("one wall: loss = %v", got)
+	}
+	if got := s.PathLossDB(from, geom.Vec3{X: 0, Y: 3}); got != Sheetrock.OneWayLossDB+Concrete.OneWayLossDB {
+		t.Fatalf("two walls: loss = %v", got)
+	}
+	if got := s.PathLossDB(from, geom.Vec3{X: 0, Y: 0.5}); got != 0 {
+		t.Fatalf("no wall: loss = %v", got)
+	}
+}
+
+func TestMirrorAcross(t *testing.T) {
+	w := Wall{A: geom.Vec3{X: 3, Y: 0}, B: geom.Vec3{X: 3, Y: 10}} // vertical wall x=3
+	p := geom.Vec3{X: 1, Y: 4, Z: 1.2}
+	m := mirrorAcross(p, w)
+	if math.Abs(m.X-5) > 1e-12 || m.Y != 4 || m.Z != 1.2 {
+		t.Fatalf("mirror = %v, want (5, 4, 1.2)", m)
+	}
+	// Mirroring twice is the identity.
+	mm := mirrorAcross(m, w)
+	if mm.Dist(p) > 1e-12 {
+		t.Fatalf("double mirror = %v, want %v", mm, p)
+	}
+}
+
+func TestReflectedLeg(t *testing.T) {
+	w := Wall{A: geom.Vec3{X: 3, Y: 0}, B: geom.Vec3{X: 3, Y: 10}, Material: Sheetrock}
+	s := &Scene{Walls: []Wall{w}}
+	p := geom.Vec3{X: 0, Y: 2}
+	q := geom.Vec3{X: 0, Y: 6}
+	length, spec, ok := s.ReflectedLeg(p, q, w)
+	if !ok {
+		t.Fatal("bounce should be valid")
+	}
+	// Specular point must lie on the wall with equal angles: by symmetry
+	// the bounce point is at y=4, and length = |p-mirror(q)|.
+	if math.Abs(spec.X-3) > 1e-9 || math.Abs(spec.Y-4) > 1e-9 {
+		t.Fatalf("specular point = %v, want (3,4)", spec)
+	}
+	want := p.Dist(geom.Vec3{X: 6, Y: 6})
+	if math.Abs(length-want) > 1e-9 {
+		t.Fatalf("length = %v, want %v", length, want)
+	}
+	// Bounce point outside the wall segment is invalid.
+	shortWall := Wall{A: geom.Vec3{X: 3, Y: 0}, B: geom.Vec3{X: 3, Y: 3}, Material: Sheetrock}
+	if _, _, ok := s.ReflectedLeg(p, q, shortWall); ok {
+		t.Fatal("bounce beyond wall extent should be rejected")
+	}
+}
+
+func TestStaticPathsPresentAndStrong(t *testing.T) {
+	scene := StandardScene(true)
+	prop := NewPropagator(scene, testArray(), fmcw.Default())
+	human := geom.Vec3{X: 0, Y: 5, Z: 1.1}
+	for k := 0; k < 3; k++ {
+		statics := prop.StaticPaths(k)
+		if len(statics) == 0 {
+			t.Fatalf("antenna %d: no static paths", k)
+		}
+		// The Flash Effect: at least one static return should dwarf the
+		// through-wall human return (paper §4.2).
+		humanPaths := prop.TargetPaths(k, human, 0.5)
+		if len(humanPaths) == 0 {
+			t.Fatalf("antenna %d: no human paths", k)
+		}
+		maxStatic, maxHuman := 0.0, 0.0
+		for _, p := range statics {
+			if p.PowerWatts > maxStatic {
+				maxStatic = p.PowerWatts
+			}
+		}
+		for _, p := range humanPaths {
+			if p.PowerWatts > maxHuman {
+				maxHuman = p.PowerWatts
+			}
+		}
+		if maxStatic < 10*maxHuman {
+			t.Fatalf("antenna %d: static %g not >> human %g", k, maxStatic, maxHuman)
+		}
+	}
+}
+
+func TestThroughWallAttenuatesDirectPath(t *testing.T) {
+	radio := fmcw.Default()
+	arr := testArray()
+	human := geom.Vec3{X: 0, Y: 5, Z: 1.1}
+	los := NewPropagator(StandardScene(false), arr, radio)
+	tw := NewPropagator(StandardScene(true), arr, radio)
+	pLOS := los.TargetPaths(0, human, 0.5)[0]
+	pTW := tw.TargetPaths(0, human, 0.5)[0]
+	if pLOS.RoundTrip != pTW.RoundTrip {
+		t.Fatal("geometry should be identical")
+	}
+	// Two crossings of a 5 dB wall = 10 dB = 10x power.
+	ratio := pLOS.PowerWatts / pTW.PowerWatts
+	if math.Abs(ratio-10) > 0.5 {
+		t.Fatalf("through-wall power ratio = %v, want ~10", ratio)
+	}
+}
+
+func TestDynamicMultipathGhosts(t *testing.T) {
+	scene := StandardScene(true)
+	prop := NewPropagator(scene, testArray(), fmcw.Default())
+	// A human near a side wall generates wall-bounce ghosts.
+	human := geom.Vec3{X: 2.5, Y: 5, Z: 1.1}
+	paths := prop.TargetPaths(0, human, 0.5)
+	if len(paths) < 2 {
+		t.Fatalf("expected direct + ghost paths, got %d", len(paths))
+	}
+	direct := paths[0]
+	for _, g := range paths[1:] {
+		if g.RoundTrip <= direct.RoundTrip {
+			t.Fatalf("ghost round trip %v must exceed direct %v", g.RoundTrip, direct.RoundTrip)
+		}
+	}
+}
+
+// TestNLOSGhostCanBeatOccludedDirect reproduces the §4.3 observation: if
+// the direct path is occluded by a lossy obstacle but a side-wall bounce
+// avoids it, the ghost arrives stronger than the direct signal.
+func TestNLOSGhostCanBeatOccludedDirect(t *testing.T) {
+	// A small concrete pillar occludes the direct line only.
+	scene := &Scene{
+		Walls: []Wall{
+			// Occluder: short concrete stub crossing the direct path.
+			{A: geom.Vec3{X: -1.5, Y: 2.5}, B: geom.Vec3{X: 1.5, Y: 2.5}, Material: Material{Name: "pillar", OneWayLossDB: 20, Reflectivity: 0}},
+			// Side wall available for the bounce.
+			{A: geom.Vec3{X: 3.5, Y: 0.5}, B: geom.Vec3{X: 3.5, Y: 9}, Material: Sheetrock},
+		},
+	}
+	prop := NewPropagator(scene, testArray(), fmcw.Default())
+	human := geom.Vec3{X: 0, Y: 5, Z: 1.1}
+	paths := prop.TargetPaths(0, human, 0.5)
+	if len(paths) < 2 {
+		t.Fatalf("need direct + ghost, got %d paths", len(paths))
+	}
+	direct := paths[0]
+	strongestGhost := 0.0
+	for _, g := range paths[1:] {
+		if g.PowerWatts > strongestGhost {
+			strongestGhost = g.PowerWatts
+		}
+	}
+	if strongestGhost <= direct.PowerWatts {
+		t.Fatalf("ghost %g should beat occluded direct %g", strongestGhost, direct.PowerWatts)
+	}
+}
+
+func TestRadarPowerDecaysWithDistance(t *testing.T) {
+	prop := NewPropagator(EmptyScene(), testArray(), fmcw.Default())
+	p5 := prop.TargetPaths(0, geom.Vec3{X: 0, Y: 5, Z: 1.5}, 0.5)[0]
+	p10 := prop.TargetPaths(0, geom.Vec3{X: 0, Y: 10, Z: 1.5}, 0.5)[0]
+	// Radar equation: power ~ 1/d^4, so doubling distance costs ~16x.
+	ratio := p5.PowerWatts / p10.PowerWatts
+	if ratio < 12 || ratio > 20 {
+		t.Fatalf("5->10 m power ratio = %v, want ~16", ratio)
+	}
+}
+
+func TestTargetBehindArrayInvisible(t *testing.T) {
+	prop := NewPropagator(EmptyScene(), testArray(), fmcw.Default())
+	if paths := prop.TargetPaths(0, geom.Vec3{X: 0, Y: -3, Z: 1.5}, 0.5); len(paths) != 0 {
+		t.Fatalf("target behind the antenna plane should produce no paths, got %d", len(paths))
+	}
+}
+
+func TestStandardSceneLayout(t *testing.T) {
+	tw := StandardScene(true)
+	los := StandardScene(false)
+	if len(tw.Walls) != len(los.Walls)+1 {
+		t.Fatal("through-wall scene should add exactly the front wall")
+	}
+	if len(tw.Statics) == 0 {
+		t.Fatal("standard scene should include furniture")
+	}
+	area := StandardArea()
+	if area.XMin >= area.XMax || area.YMin >= area.YMax {
+		t.Fatal("tracked area degenerate")
+	}
+	if area.YMin <= RoomFrontY {
+		t.Fatal("tracked area must start beyond the front wall")
+	}
+}
+
+func TestDbToLinear(t *testing.T) {
+	if got := dbToLinear(10); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("10 dB = %v, want 0.1", got)
+	}
+	if got := dbToLinear(0); got != 1 {
+		t.Fatalf("0 dB = %v, want 1", got)
+	}
+}

@@ -1,0 +1,59 @@
+package rf
+
+import "witrack/internal/geom"
+
+// Room dimensions for the standard test environment, modeled on the
+// paper's §9.1 setup: a windowless room with 6-inch hollow sheetrock
+// walls, the device placed against (or behind) the front wall, and the
+// subject moving in a 6x5 m^2 area 2.5+ m beyond the wall so that the
+// subject-device separation spans roughly 3-9 m.
+const (
+	RoomFrontY = 1.0  // front wall plan-view y (device side)
+	RoomBackY  = 10.0 // back wall y
+	RoomHalfW  = 4.5  // side walls at x = +-RoomHalfW
+)
+
+// TrackedArea is the axis-aligned region the standard workloads keep the
+// subject inside (the analog of the VICON-focused 6x5 m^2 area).
+type TrackedArea struct {
+	XMin, XMax float64
+	YMin, YMax float64
+}
+
+// StandardArea returns the default tracked area.
+func StandardArea() TrackedArea {
+	return TrackedArea{XMin: -3, XMax: 3, YMin: 3, YMax: 9}
+}
+
+// StandardScene builds the standard room. With throughWall true the
+// front wall stands between the device (antenna plane y=0) and the room,
+// reproducing the paper's through-wall experiments; with false the front
+// wall is omitted, reproducing the line-of-sight experiments where the
+// device sits inside the room against the wall.
+func StandardScene(throughWall bool) *Scene {
+	s := &Scene{}
+	if throughWall {
+		s.Walls = append(s.Walls, Wall{
+			A: geom.Vec3{X: -RoomHalfW, Y: RoomFrontY}, B: geom.Vec3{X: RoomHalfW, Y: RoomFrontY},
+			Material: Sheetrock,
+		})
+	}
+	// Side and back walls are present in both setups; they produce the
+	// static Flash Effect stripes and the dynamic multipath ghosts.
+	s.Walls = append(s.Walls,
+		Wall{A: geom.Vec3{X: -RoomHalfW, Y: RoomFrontY}, B: geom.Vec3{X: -RoomHalfW, Y: RoomBackY}, Material: Sheetrock},
+		Wall{A: geom.Vec3{X: RoomHalfW, Y: RoomFrontY}, B: geom.Vec3{X: RoomHalfW, Y: RoomBackY}, Material: Sheetrock},
+		Wall{A: geom.Vec3{X: -RoomHalfW, Y: RoomBackY}, B: geom.Vec3{X: RoomHalfW, Y: RoomBackY}, Material: Sheetrock},
+	)
+	// A handful of furniture-scale static reflectors.
+	s.Statics = append(s.Statics,
+		StaticReflector{Pos: geom.Vec3{X: 2.2, Y: 4.0, Z: 0.8}, RCS: 0.4},  // chair
+		StaticReflector{Pos: geom.Vec3{X: -2.6, Y: 6.2, Z: 0.7}, RCS: 0.9}, // table
+		StaticReflector{Pos: geom.Vec3{X: 3.6, Y: 8.4, Z: 1.2}, RCS: 1.6},  // cabinet
+	)
+	return s
+}
+
+// EmptyScene returns a scene with no walls or reflectors — useful for
+// isolating pipeline behavior in tests.
+func EmptyScene() *Scene { return &Scene{} }

@@ -1,0 +1,133 @@
+// Package rf models the indoor radio environment the WiTrack algorithms
+// must defeat: strong static reflections from walls and furniture (the
+// "Flash Effect", §4.2), through-wall attenuation, and dynamic
+// multipath — human reflections that bounce off side walls and can
+// arrive stronger than the occluded direct path (§4.3). Geometry is
+// handled in plan view (walls are vertical planes of full height), which
+// captures every effect the paper's pipeline is designed around.
+package rf
+
+import (
+	"math"
+
+	"witrack/internal/geom"
+)
+
+// Material describes a wall construction.
+type Material struct {
+	Name string
+	// OneWayLossDB is the power attenuation of a single pass through the
+	// wall in dB.
+	OneWayLossDB float64
+	// Reflectivity is the fraction of incident power reflected
+	// specularly (0..1); this powers both the static wall return and
+	// dynamic multipath ghosts.
+	Reflectivity float64
+}
+
+// Common materials; the hollow sheetrock wall matches the paper's §9.1
+// test environment ("6-inch hollow walls supported by steel frames with
+// sheet rock on top, a standard setup for office buildings").
+var (
+	Sheetrock = Material{Name: "sheetrock", OneWayLossDB: 5, Reflectivity: 0.25}
+	Concrete  = Material{Name: "concrete", OneWayLossDB: 15, Reflectivity: 0.45}
+	Glass     = Material{Name: "glass", OneWayLossDB: 2, Reflectivity: 0.1}
+)
+
+// Wall is a vertical wall segment in plan view from A to B (z ignored).
+type Wall struct {
+	A, B     geom.Vec3
+	Material Material
+}
+
+// StaticReflector is a stationary point scatterer (furniture, fixtures).
+type StaticReflector struct {
+	Pos geom.Vec3
+	// RCS is the radar cross section in m^2.
+	RCS float64
+}
+
+// Scene is the full static environment.
+type Scene struct {
+	Walls   []Wall
+	Statics []StaticReflector
+}
+
+// cross2 returns the z component of (b-a) x (c-a) in plan view.
+func cross2(a, b, c geom.Vec3) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// segmentsIntersect reports whether plan-view segments pq and ab
+// properly intersect (shared endpoints / collinear touching count as
+// non-blocking, which avoids spurious self-intersections at wall joints).
+func segmentsIntersect(p, q, a, b geom.Vec3) bool {
+	d1 := cross2(a, b, p)
+	d2 := cross2(a, b, q)
+	d3 := cross2(p, q, a)
+	d4 := cross2(p, q, b)
+	return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+}
+
+// PathLossDB returns the total through-wall attenuation in dB along the
+// straight plan-view segment from p to q.
+func (s *Scene) PathLossDB(p, q geom.Vec3) float64 {
+	loss := 0.0
+	for _, w := range s.Walls {
+		if segmentsIntersect(p, q, w.A, w.B) {
+			loss += w.Material.OneWayLossDB
+		}
+	}
+	return loss
+}
+
+// mirrorAcross mirrors point p across the infinite vertical plane that
+// contains wall w (plan-view line through A-B); z is preserved.
+func mirrorAcross(p geom.Vec3, w Wall) geom.Vec3 {
+	ax, ay := w.A.X, w.A.Y
+	dx, dy := w.B.X-ax, w.B.Y-ay
+	len2 := dx*dx + dy*dy
+	if len2 == 0 {
+		return p
+	}
+	t := ((p.X-ax)*dx + (p.Y-ay)*dy) / len2
+	fx, fy := ax+t*dx, ay+t*dy // foot of perpendicular
+	return geom.Vec3{X: 2*fx - p.X, Y: 2*fy - p.Y, Z: p.Z}
+}
+
+// specularPoint returns the plan-view point on wall w where a ray from p
+// to q reflects, and whether that point lies within the wall segment.
+func specularPoint(p, q geom.Vec3, w Wall) (geom.Vec3, bool) {
+	mq := mirrorAcross(q, w)
+	// Intersection of segment p->mq with the wall line.
+	ax, ay := w.A.X, w.A.Y
+	bx, by := w.B.X, w.B.Y
+	px, py := p.X, p.Y
+	rx, ry := mq.X-px, mq.Y-py
+	sx, sy := bx-ax, by-ay
+	denom := rx*sy - ry*sx
+	if math.Abs(denom) < 1e-12 {
+		return geom.Vec3{}, false // parallel
+	}
+	t := ((ax-px)*sy - (ay-py)*sx) / denom // along p->mq
+	u := ((ax-px)*ry - (ay-py)*rx) / denom // along wall a->b
+	if t <= 0 || t >= 1 || u < 0 || u > 1 {
+		return geom.Vec3{}, false
+	}
+	// Interpolate z along the p->q reflected path proportionally to the
+	// horizontal distance traveled.
+	z := p.Z + (q.Z-p.Z)*t
+	return geom.Vec3{X: px + t*rx, Y: py + t*ry, Z: z}, true
+}
+
+// ReflectedLeg computes the wall-bounce leg from p to q via wall w: its
+// total length (|p->spec| + |spec->q| == |p - mirror(q)|), the specular
+// point, and whether the bounce is geometrically valid.
+func (s *Scene) ReflectedLeg(p, q geom.Vec3, w Wall) (length float64, spec geom.Vec3, ok bool) {
+	spec, ok = specularPoint(p, q, w)
+	if !ok {
+		return 0, geom.Vec3{}, false
+	}
+	return p.Dist(spec) + spec.Dist(q), spec, true
+}

@@ -1,0 +1,41 @@
+package track
+
+import "witrack/internal/dsp"
+
+// SetBackground installs a calibrated empty-room background frame. When
+// set, the tracker subtracts this profile instead of the previous frame
+// — the paper's §10 proposal for localizing a *static* user: consecutive
+// -sweep subtraction erases anyone who stops moving, but a background
+// learned while the space was empty preserves them.
+//
+// Pass nil to return to consecutive-frame subtraction.
+func (t *Tracker) SetBackground(bg dsp.ComplexFrame) {
+	if bg == nil {
+		t.background = nil
+		return
+	}
+	t.background = bg.Clone()
+}
+
+// HasBackground reports whether a calibrated background is installed.
+func (t *Tracker) HasBackground() bool { return t.background != nil }
+
+// AverageBackground builds a calibration profile from frames captured
+// while the space is empty: the static environment adds coherently while
+// receiver noise averages out.
+func AverageBackground(frames []dsp.ComplexFrame) dsp.ComplexFrame {
+	if len(frames) == 0 {
+		return nil
+	}
+	acc := make(dsp.ComplexFrame, len(frames[0]))
+	for _, f := range frames {
+		for i := range acc {
+			acc[i] += f[i]
+		}
+	}
+	inv := complex(1/float64(len(frames)), 0)
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return acc
+}

@@ -1,0 +1,209 @@
+package track
+
+import (
+	"math"
+	"sort"
+
+	"witrack/internal/dsp"
+	"witrack/internal/filter"
+)
+
+// MultiTracker extends the §4 pipeline to several concurrent movers —
+// the paper's §10 extension sketch: "each antenna has to identify two
+// concurrent TOFs (one for each person)". Per frame it extracts up to
+// MaxTargets strong neighborhood maxima from the background-subtracted
+// spectrum and associates them with per-target gates and smoothers by
+// nearest distance.
+type MultiTracker struct {
+	cfg        Config
+	maxTargets int
+	prev       dsp.ComplexFrame
+	tracks     []*mtTrack
+	minBin     int
+}
+
+// mtTrack is one target's denoising chain.
+type mtTrack struct {
+	gate       *filter.OutlierGate
+	hold       *filter.HoldInterpolator
+	kalman     *filter.Kalman1D
+	holdStreak int
+	active     bool
+	// last is the most recent accepted measurement — the association
+	// reference (the hold median lags a moving target by seconds).
+	last float64
+}
+
+// minTargetSeparation is the smallest round-trip gap (meters) at which
+// two spectral peaks are treated as distinct people rather than parts of
+// one extended body.
+const minTargetSeparation = 1.2
+
+// evictAfter is the coasting length (frames) after which a track loses
+// its slot, so a persistent new reflector can claim it. It must exceed
+// the natural pauses of human motion (a few seconds), or a person who
+// stops briefly would be evicted mid-pause.
+const evictAfter = 400
+
+// NewMulti builds a multi-target tracker for up to maxTargets movers.
+func NewMulti(cfg Config, maxTargets int) *MultiTracker {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if maxTargets < 1 {
+		maxTargets = 1
+	}
+	m := &MultiTracker{
+		cfg:        cfg,
+		maxTargets: maxTargets,
+		minBin:     int(cfg.MinRange / cfg.BinDistance),
+	}
+	for i := 0; i < maxTargets; i++ {
+		m.tracks = append(m.tracks, &mtTrack{
+			gate:   filter.NewOutlierGate(cfg.MaxJump, cfg.MaxMisses),
+			hold:   &filter.HoldInterpolator{},
+			kalman: filter.NewKalman1D(cfg.FrameInterval, cfg.KalmanQ, cfg.KalmanR),
+		})
+	}
+	return m
+}
+
+// Reset clears all track state.
+func (m *MultiTracker) Reset() {
+	m.prev = nil
+	for _, tr := range m.tracks {
+		tr.gate.Reset()
+		tr.hold.Reset()
+		tr.kalman.Reset()
+		tr.holdStreak = 0
+		tr.active = false
+	}
+}
+
+func (m *MultiTracker) threshold() float64 {
+	return m.cfg.ThresholdFactor * m.cfg.NoiseSigma * math.Sqrt2
+}
+
+// Push consumes a frame and returns one estimate per target slot (slot
+// order is stable across frames).
+func (m *MultiTracker) Push(frame dsp.ComplexFrame) []Estimate {
+	out := make([]Estimate, m.maxTargets)
+	if m.prev == nil {
+		m.prev = frame.Clone()
+		return out
+	}
+	diff := frame.SubMag(m.prev)
+	m.prev = frame.Clone()
+	for i := 0; i < m.minBin && i < len(diff); i++ {
+		diff[i] = 0
+	}
+	sm := dsp.Frame(dsp.MovingAverage(diff, 3))
+
+	// Candidate measurements: strong neighborhood maxima, nearest first.
+	// Maxima closer together than minTargetSeparation are one extended
+	// reflector (torso + trailing limbs), not two people; keep only the
+	// strongest of each cluster.
+	peaks := dsp.NeighborhoodMaxima(sm, m.threshold(), 3)
+	type cand struct {
+		meters float64
+		power  float64
+	}
+	var cands []cand
+	for _, p := range peaks {
+		meters := dsp.RefineParabolic(sm, p.Bin) * m.cfg.BinDistance
+		merged := false
+		for i := range cands {
+			if math.Abs(cands[i].meters-meters) < minTargetSeparation {
+				if p.Power > cands[i].power {
+					cands[i] = cand{meters: meters, power: p.Power}
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			cands = append(cands, cand{meters: meters, power: p.Power})
+		}
+	}
+
+	// Greedy association: each active track claims the nearest unused
+	// candidate within the gate's jump bound.
+	used := make([]bool, len(cands))
+	type pairing struct {
+		track, cand int
+		dist        float64
+	}
+	var pairs []pairing
+	for ti, tr := range m.tracks {
+		if !tr.active {
+			continue
+		}
+		for ci, c := range cands {
+			pairs = append(pairs, pairing{ti, ci, math.Abs(c.meters - tr.last)})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].dist < pairs[j].dist })
+	claimed := make([]bool, m.maxTargets)
+	for _, p := range pairs {
+		if claimed[p.track] || used[p.cand] || p.dist > m.cfg.MaxJump {
+			continue
+		}
+		claimed[p.track] = true
+		used[p.cand] = true
+		tr := m.tracks[p.track]
+		if tr.holdStreak > reacquireAfter {
+			tr.kalman.Reset()
+		}
+		tr.holdStreak = 0
+		tr.last = cands[p.cand].meters
+		smoothed := tr.kalman.Update(cands[p.cand].meters)
+		tr.hold.Observe(smoothed)
+		out[p.track] = Estimate{RoundTrip: smoothed, Valid: true, Moving: true, Power: cands[p.cand].power}
+	}
+
+	// Unclaimed candidates seed inactive slots, nearest first: the
+	// direct paths to the people are the closest persistent reflectors
+	// (§4.3); ghosts are always farther.
+	seedCand := func(ti, ci int) {
+		tr := m.tracks[ti]
+		tr.active = true
+		claimed[ti] = true
+		used[ci] = true
+		tr.holdStreak = 0
+		tr.kalman.Reset()
+		tr.hold.Reset()
+		tr.last = cands[ci].meters
+		smoothed := tr.kalman.Update(cands[ci].meters)
+		tr.hold.Observe(smoothed)
+		out[ti] = Estimate{RoundTrip: smoothed, Valid: true, Moving: true, Power: cands[ci].power}
+	}
+	for ci := range cands { // increasing distance order
+		if used[ci] {
+			continue
+		}
+		for ti, tr := range m.tracks {
+			if tr.active || claimed[ti] {
+				continue
+			}
+			seedCand(ti, ci)
+			break
+		}
+	}
+
+	// Unmatched active tracks hold their last confident estimate; after
+	// coasting too long the slot is released.
+	for ti, tr := range m.tracks {
+		if !tr.active || claimed[ti] {
+			continue
+		}
+		if held, ok := tr.hold.Hold(); ok {
+			tr.holdStreak++
+			if tr.holdStreak > evictAfter {
+				tr.active = false
+				continue
+			}
+			out[ti] = Estimate{RoundTrip: held, Valid: true, Moving: false}
+		}
+	}
+	return out
+}

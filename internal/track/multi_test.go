@@ -1,0 +1,125 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"witrack/internal/fmcw"
+)
+
+func newMultiEnv(seed int64) (*fmcw.Synthesizer, *MultiTracker, *rand.Rand, fmcw.Config) {
+	cfg := fmcw.Default()
+	cfg.SweepTime = 0.5e-3
+	s := fmcw.NewSynthesizer(cfg)
+	tc := DefaultConfig(cfg.BinDistance(), cfg.FrameInterval(), s.NoiseBinSigma())
+	return s, NewMulti(tc, 2), rand.New(rand.NewSource(seed)), cfg
+}
+
+func twoMoverPaths(cfg fmcw.Config, d1, d2 float64) []fmcw.Path {
+	return []fmcw.Path{
+		{RoundTrip: d1, PowerWatts: 3e-14, Phase: fmcw.PhaseFor(cfg, d1)},
+		{RoundTrip: d2, PowerWatts: 3e-14, Phase: fmcw.PhaseFor(cfg, d2)},
+	}
+}
+
+func TestMultiTracksTwoTargets(t *testing.T) {
+	synth, trk, rng, cfg := newMultiEnv(1)
+	dt := cfg.FrameInterval()
+	var got [2][]float64
+	var want [2][]float64
+	for i := 0; i < 300; i++ {
+		dA := 8 + 1.2*dt*float64(i)
+		dB := 15 - 0.8*dt*float64(i)
+		ests := trk.Push(synth.SynthesizeComplexFrame(twoMoverPaths(cfg, dA, dB), rng))
+		if i > 30 && ests[0].Valid && ests[1].Valid {
+			// Slot order: nearest-first seeding puts A in slot 0.
+			got[0] = append(got[0], ests[0].RoundTrip)
+			got[1] = append(got[1], ests[1].RoundTrip)
+			want[0] = append(want[0], dA)
+			want[1] = append(want[1], dB)
+		}
+	}
+	if len(got[0]) < 200 {
+		t.Fatalf("only %d joint detections", len(got[0]))
+	}
+	for slot := 0; slot < 2; slot++ {
+		var sum float64
+		for i := range got[slot] {
+			sum += math.Abs(got[slot][i] - want[slot][i])
+		}
+		if mean := sum / float64(len(got[slot])); mean > 0.25 {
+			t.Fatalf("slot %d mean error %.3f m", slot, mean)
+		}
+	}
+}
+
+func TestMultiMergesExtendedBody(t *testing.T) {
+	// Two peaks 0.5 m apart are one extended body, not two people: only
+	// one slot should activate.
+	synth, trk, rng, cfg := newMultiEnv(2)
+	dt := cfg.FrameInterval()
+	both := 0
+	for i := 0; i < 120; i++ {
+		d := 10 + 1.0*dt*float64(i)
+		ests := trk.Push(synth.SynthesizeComplexFrame(twoMoverPaths(cfg, d, d+0.5), rng))
+		if ests[0].Valid && ests[1].Valid && ests[0].Moving && ests[1].Moving {
+			both++
+		}
+	}
+	if both > 12 {
+		t.Fatalf("merged body misread as two targets in %d frames", both)
+	}
+}
+
+func TestMultiHoldsThroughPause(t *testing.T) {
+	synth, trk, rng, cfg := newMultiEnv(3)
+	dt := cfg.FrameInterval()
+	// Target B freezes mid-run; its slot must keep a held estimate.
+	var heldVal float64
+	for i := 0; i < 300; i++ {
+		dA := 8 + 1.0*dt*float64(i)
+		dB := 15.0
+		if i < 150 {
+			dB = 15 - 0.8*dt*float64(i)
+		} else {
+			dB = 15 - 0.8*dt*150
+		}
+		ests := trk.Push(synth.SynthesizeComplexFrame(twoMoverPaths(cfg, dA, dB), rng))
+		if i > 200 && ests[1].Valid && !ests[1].Moving {
+			heldVal = ests[1].RoundTrip
+		}
+	}
+	wantB := 15 - 0.8*dt*150
+	if math.Abs(heldVal-wantB) > 0.5 {
+		t.Fatalf("held value %.2f, want ~%.2f", heldVal, wantB)
+	}
+}
+
+func TestMultiReset(t *testing.T) {
+	synth, trk, rng, cfg := newMultiEnv(4)
+	trk.Push(synth.SynthesizeComplexFrame(twoMoverPaths(cfg, 8, 15), rng))
+	trk.Push(synth.SynthesizeComplexFrame(twoMoverPaths(cfg, 8.1, 14.9), rng))
+	trk.Reset()
+	ests := trk.Push(synth.SynthesizeComplexFrame(twoMoverPaths(cfg, 8, 15), rng))
+	if ests[0].Valid || ests[1].Valid {
+		t.Fatal("first frame after Reset cannot be valid")
+	}
+}
+
+func TestNewMultiPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMulti(Config{}, 2)
+}
+
+func TestNewMultiClampsTargets(t *testing.T) {
+	cfg := DefaultConfig(0.1, 0.0125, 1e-7)
+	m := NewMulti(cfg, 0)
+	if m.maxTargets != 1 {
+		t.Fatalf("maxTargets = %d, want clamped to 1", m.maxTargets)
+	}
+}

@@ -1,0 +1,292 @@
+// Package track implements the paper's §4 TOF-estimation pipeline, one
+// instance per receive antenna:
+//
+//	complex FFT frames
+//	  -> background subtraction (§4.2, removes the static Flash Effect)
+//	  -> bottom-contour extraction (§4.3, first local maximum above the
+//	     noise floor = shortest path = the direct human reflection)
+//	  -> outlier rejection (§4.4, impossible jumps)
+//	  -> interpolation (§4.4, hold the last estimate while motionless)
+//	  -> Kalman smoothing (§4.4)
+//	  -> clean round-trip distance estimates
+package track
+
+import (
+	"errors"
+	"math"
+
+	"witrack/internal/dsp"
+	"witrack/internal/filter"
+)
+
+// Mode selects the peak-selection rule.
+type Mode int
+
+const (
+	// ModeContour tracks the bottom contour (first local maximum above
+	// threshold) — the paper's method.
+	ModeContour Mode = iota
+	// ModeStrongest tracks the globally strongest peak — the ablation
+	// baseline §4.3 argues against (it jumps to dynamic multipath).
+	ModeStrongest
+)
+
+// Config parameterizes one tracker.
+type Config struct {
+	// BinDistance is the round-trip meters per FFT bin.
+	BinDistance float64
+	// FrameInterval is the seconds between frames.
+	FrameInterval float64
+	// NoiseSigma is the per-component noise level of a complex frame bin
+	// (from fmcw.Synthesizer.NoiseBinSigma, or calibrated). The detection
+	// threshold is ThresholdFactor times the Rayleigh-scale noise of a
+	// background-subtracted bin.
+	NoiseSigma float64
+	// ThresholdFactor scales the detection threshold (default 5).
+	ThresholdFactor float64
+	// MinRange drops bins below this round-trip distance (antenna
+	// leakage and near-field clutter).
+	MinRange float64
+	// MaxJump is the largest plausible round-trip change between frames
+	// (default: 5 m/s top human speed * interval, with margin).
+	MaxJump float64
+	// MaxMisses is how many outliers to tolerate before re-acquiring.
+	MaxMisses int
+	// Mode selects contour or strongest-peak tracking.
+	Mode Mode
+	// KalmanQ and KalmanR tune the smoother (process intensity,
+	// measurement variance).
+	KalmanQ, KalmanR float64
+}
+
+// DefaultConfig returns the tracker settings matching the paper's
+// implementation constants.
+func DefaultConfig(binDistance, frameInterval, noiseSigma float64) Config {
+	return Config{
+		BinDistance:     binDistance,
+		FrameInterval:   frameInterval,
+		NoiseSigma:      noiseSigma,
+		ThresholdFactor: 5,
+		MinRange:        2.0,
+		// A person cannot move more than ~6 cm in 12.5 ms (§4.4 rejects
+		// multi-meter jumps); allow generous margin for the round trip
+		// (two legs) plus torso-patch wander.
+		MaxJump:   0.60,
+		MaxMisses: 8,
+		Mode:      ModeContour,
+		// The per-frame round-trip measurement noise is dominated by the
+		// wandering torso reflection patch (~8-10 cm), so the smoother
+		// trusts kinematics more than individual frames.
+		KalmanQ: 0.5,
+		KalmanR: 0.01, // (10 cm)^2 measurement noise
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BinDistance <= 0 || c.FrameInterval <= 0 {
+		return errors.New("track: BinDistance and FrameInterval must be positive")
+	}
+	if c.NoiseSigma < 0 || c.ThresholdFactor <= 0 {
+		return errors.New("track: noise threshold parameters invalid")
+	}
+	if c.MaxJump <= 0 || c.MaxMisses < 0 {
+		return errors.New("track: outlier gate parameters invalid")
+	}
+	return nil
+}
+
+// Estimate is the tracker output for one frame.
+type Estimate struct {
+	// RoundTrip is the denoised round-trip distance in meters.
+	RoundTrip float64
+	// Valid is false until the tracker has acquired the target.
+	Valid bool
+	// Moving reports whether this frame showed above-threshold motion
+	// energy (false means the value is interpolated/held).
+	Moving bool
+	// Power is the contour peak power (0 when not Moving).
+	Power float64
+	// Spread is the power-weighted spatial standard deviation (meters)
+	// of the background-subtracted energy: large for whole-body motion,
+	// small for a lone limb (§6.1's discriminator).
+	Spread float64
+}
+
+// Tracker converts a stream of complex FFT frames from one receive
+// antenna into denoised round-trip distance estimates.
+type Tracker struct {
+	cfg  Config
+	prev dsp.ComplexFrame
+	// background, when non-nil, replaces consecutive-frame subtraction
+	// with calibrated empty-room subtraction (§10 static-user mode).
+	background dsp.ComplexFrame
+
+	gate   *filter.OutlierGate
+	hold   *filter.HoldInterpolator
+	kalman *filter.Kalman1D
+
+	minBin int
+	// holdStreak counts consecutive frames served from the interpolator;
+	// after a long hold the Kalman's velocity state is stale (the person
+	// stopped), so the filter is re-seeded on reacquisition.
+	holdStreak int
+}
+
+// reacquireAfter is the hold length (frames) beyond which the Kalman
+// state is considered stale: half a second of no motion.
+const reacquireAfter = 40
+
+// New builds a tracker. It panics on invalid configuration (programmer
+// error).
+func New(cfg Config) *Tracker {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Tracker{
+		cfg:    cfg,
+		gate:   filter.NewOutlierGate(cfg.MaxJump, cfg.MaxMisses),
+		hold:   &filter.HoldInterpolator{},
+		kalman: filter.NewKalman1D(cfg.FrameInterval, cfg.KalmanQ, cfg.KalmanR),
+		minBin: int(cfg.MinRange / cfg.BinDistance),
+	}
+}
+
+// Reset returns the tracker to its initial state.
+func (t *Tracker) Reset() {
+	t.prev = nil
+	t.gate.Reset()
+	t.hold.Reset()
+	t.kalman.Reset()
+}
+
+// threshold returns the detection level: a background-subtracted noise
+// bin is the magnitude of the difference of two complex Gaussians, i.e.
+// Rayleigh with scale sigma*sqrt(2); ThresholdFactor sits well above it.
+func (t *Tracker) threshold() float64 {
+	return t.cfg.ThresholdFactor * t.cfg.NoiseSigma * math.Sqrt2
+}
+
+// Push consumes the next frame and returns the tracker's estimate.
+func (t *Tracker) Push(frame dsp.ComplexFrame) Estimate {
+	var diff dsp.Frame
+	if t.background != nil {
+		diff = frame.SubMag(t.background)
+	} else {
+		if t.prev == nil {
+			t.prev = frame.Clone()
+			return Estimate{}
+		}
+		diff = frame.SubMag(t.prev)
+		t.prev = frame.Clone()
+	}
+
+	// Mask near-field bins.
+	for i := 0; i < t.minBin && i < len(diff); i++ {
+		diff[i] = 0
+	}
+	// Spatial smoothing suppresses single-bin noise ripples riding on
+	// the flanks of the (multi-bin) human reflection blob, which would
+	// otherwise register as spurious early local maxima and bias the
+	// contour short.
+	sm := dsp.Frame(dsp.MovingAverage(diff, 3))
+
+	var peak dsp.Peak
+	var found bool
+	switch t.cfg.Mode {
+	case ModeStrongest:
+		peak, found = dsp.StrongestPeak(sm)
+		if found && peak.Power < t.threshold() {
+			found = false
+		}
+	default:
+		peak, found = dsp.FirstBlobPeak(sm, t.threshold(), 3)
+	}
+
+	if !found {
+		// §4.4 interpolation: the person has stopped moving (background
+		// subtraction erased her); hold the latest confident estimate.
+		if held, ok := t.hold.Hold(); ok {
+			t.holdStreak++
+			return Estimate{RoundTrip: held, Valid: true, Moving: false}
+		}
+		return Estimate{}
+	}
+
+	bin := dsp.RefineParabolic(sm, peak.Bin)
+	meas := bin * t.cfg.BinDistance
+
+	if !t.gate.Accept(meas) {
+		// §4.4 outlier rejection: impossible jump; fall back to held
+		// value if available.
+		if held, ok := t.hold.Hold(); ok {
+			t.holdStreak++
+			return Estimate{RoundTrip: held, Valid: true, Moving: false}
+		}
+		return Estimate{}
+	}
+
+	if t.holdStreak > reacquireAfter {
+		// Long stillness: the pre-hold velocity no longer describes the
+		// person. Re-seed the smoother at the fresh measurement.
+		t.kalman.Reset()
+	}
+	t.holdStreak = 0
+	smoothed := t.kalman.Update(meas)
+	t.hold.Observe(smoothed)
+	return Estimate{
+		RoundTrip: smoothed,
+		Valid:     true,
+		Moving:    true,
+		Power:     peak.Power,
+		Spread:    t.spread(diff, peak.Bin),
+	}
+}
+
+// spreadWindow bounds the spread computation to the reflector's own
+// neighborhood (±2 m round trip around the contour peak) so distant
+// dynamic-multipath ghosts don't inflate it.
+const spreadWindow = 2.0
+
+// spread computes the power-weighted standard deviation (in meters) of
+// the above-threshold motion energy around the contour peak. An extended
+// reflector (a whole body: torso, legs, arms at different depths) spans
+// several range bins; a lone arm is compact — the §6.1 discriminator.
+func (t *Tracker) spread(diff dsp.Frame, peakBin int) float64 {
+	thr := t.threshold()
+	win := int(spreadWindow / t.cfg.BinDistance)
+	lo := peakBin - win/4 // little interest below the leading edge
+	if lo < t.minBin {
+		lo = t.minBin
+	}
+	hi := peakBin + win
+	if hi > len(diff)-1 {
+		hi = len(diff) - 1
+	}
+	var sumP, sumPD float64
+	for i := lo; i <= hi; i++ {
+		if diff[i] < thr {
+			continue
+		}
+		d := float64(i) * t.cfg.BinDistance
+		sumP += diff[i]
+		sumPD += diff[i] * d
+	}
+	if sumP == 0 {
+		return 0
+	}
+	mean := sumPD / sumP
+	var sumVar float64
+	for i := lo; i <= hi; i++ {
+		if diff[i] < thr {
+			continue
+		}
+		d := float64(i)*t.cfg.BinDistance - mean
+		sumVar += diff[i] * d * d
+	}
+	v := sumVar / sumP
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

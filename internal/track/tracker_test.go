@@ -1,0 +1,294 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"witrack/internal/dsp"
+	"witrack/internal/fmcw"
+)
+
+// synthEnv bundles a synthesizer + tracker wired to the same radio.
+type synthEnv struct {
+	cfg   fmcw.Config
+	synth *fmcw.Synthesizer
+	trk   *Tracker
+	rng   *rand.Rand
+}
+
+func newEnv(seed int64, mode Mode) *synthEnv {
+	cfg := fmcw.Default()
+	cfg.SweepTime = 0.5e-3 // cheaper frames for tests
+	s := fmcw.NewSynthesizer(cfg)
+	tc := DefaultConfig(cfg.BinDistance(), cfg.FrameInterval(), s.NoiseBinSigma())
+	tc.Mode = mode
+	return &synthEnv{
+		cfg:   cfg,
+		synth: s,
+		trk:   New(tc),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// pathsAt builds a moving-target path plus optional statics.
+func (e *synthEnv) pathsAt(d float64, statics ...float64) []fmcw.Path {
+	out := []fmcw.Path{{RoundTrip: d, PowerWatts: 3e-14, Phase: fmcw.PhaseFor(e.cfg, d)}}
+	for _, sd := range statics {
+		out = append(out, fmcw.Path{RoundTrip: sd, PowerWatts: 1e-10, Phase: fmcw.PhaseFor(e.cfg, sd)})
+	}
+	return out
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := fmcw.Default()
+	s := fmcw.NewSynthesizer(cfg)
+	c := DefaultConfig(cfg.BinDistance(), cfg.FrameInterval(), s.NoiseBinSigma())
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig(0.1, 0.0125, 1e-7)
+	bad := []func(*Config){
+		func(c *Config) { c.BinDistance = 0 },
+		func(c *Config) { c.ThresholdFactor = 0 },
+		func(c *Config) { c.MaxJump = 0 },
+		func(c *Config) { c.NoiseSigma = -1 },
+	}
+	for i, mutate := range bad {
+		c := base
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestTrackerFollowsApproachingTarget(t *testing.T) {
+	e := newEnv(1, ModeContour)
+	dt := e.cfg.FrameInterval()
+	// Target walks from 14 m to 8 m round trip at 1 m/s (round-trip rate
+	// ~2 m/s), with a strong static reflector at 6 m.
+	var got, want []float64
+	for i := 0; i < 240; i++ {
+		d := 14 - 2*dt*float64(i)
+		frame := e.synth.SynthesizeComplexFrame(e.pathsAt(d, 6), e.rng)
+		est := e.trk.Push(frame)
+		if i > 20 && est.Valid {
+			got = append(got, est.RoundTrip)
+			want = append(want, d)
+		}
+	}
+	if len(got) < 150 {
+		t.Fatalf("tracker acquired only %d/220 frames", len(got))
+	}
+	var errSum float64
+	for i := range got {
+		errSum += math.Abs(got[i] - want[i])
+	}
+	mean := errSum / float64(len(got))
+	if mean > 0.15 {
+		t.Fatalf("mean round-trip error %.3f m too large", mean)
+	}
+}
+
+func TestTrackerIgnoresStaticFlash(t *testing.T) {
+	e := newEnv(2, ModeContour)
+	// Static reflector at 5 m is 10000x stronger than the mover at 12 m;
+	// background subtraction must reveal the mover anyway (§4.2).
+	dt := e.cfg.FrameInterval()
+	acquired := 0
+	for i := 0; i < 160; i++ {
+		d := 12 + 0.8*dt*float64(i)
+		frame := e.synth.SynthesizeComplexFrame(e.pathsAt(d, 5), e.rng)
+		est := e.trk.Push(frame)
+		if est.Valid && est.Moving {
+			if math.Abs(est.RoundTrip-d) > 0.5 {
+				t.Fatalf("frame %d: locked to %v, target at %v (static at 5)", i, est.RoundTrip, d)
+			}
+			acquired++
+		}
+	}
+	if acquired < 100 {
+		t.Fatalf("only %d moving acquisitions", acquired)
+	}
+}
+
+func TestContourBeatsStrongestUnderDynamicMultipath(t *testing.T) {
+	// The direct path (weak, at d) competes with a stronger ghost at
+	// d+4 m. Contour tracking must report ~d; strongest-peak tracking
+	// must be dragged toward the ghost (ablation A1, §4.3).
+	run := func(mode Mode) float64 {
+		e := newEnv(3, mode)
+		dt := e.cfg.FrameInterval()
+		var errSum float64
+		n := 0
+		for i := 0; i < 200; i++ {
+			d := 10 + 1.2*dt*float64(i)
+			ghost := d + 4
+			paths := []fmcw.Path{
+				{RoundTrip: d, PowerWatts: 2e-14, Phase: fmcw.PhaseFor(e.cfg, d)},
+				{RoundTrip: ghost, PowerWatts: 8e-14, Phase: fmcw.PhaseFor(e.cfg, ghost)},
+			}
+			est := e.trk.Push(e.synth.SynthesizeComplexFrame(paths, e.rng))
+			if i > 20 && est.Valid && est.Moving {
+				errSum += math.Abs(est.RoundTrip - d)
+				n++
+			}
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return errSum / float64(n)
+	}
+	contour := run(ModeContour)
+	strongest := run(ModeStrongest)
+	if contour > 0.3 {
+		t.Fatalf("contour error %.3f m too large", contour)
+	}
+	if strongest < 2 {
+		t.Fatalf("strongest-peak error %.3f m suspiciously small; ghost at +4 m should capture it", strongest)
+	}
+}
+
+func TestTrackerHoldsWhenMotionStops(t *testing.T) {
+	e := newEnv(4, ModeContour)
+	d := 9.0
+	dt := e.cfg.FrameInterval()
+	// Move for 80 frames, then freeze for 80 frames. A frozen target's
+	// frames are identical (up to noise), so subtraction erases it; the
+	// tracker must hold the last estimate (§4.4 interpolation).
+	var lastMoving, held float64
+	for i := 0; i < 160; i++ {
+		cur := d
+		if i < 80 {
+			cur = d + 1.5*dt*float64(i)
+			lastMoving = cur
+		} else {
+			cur = d + 1.5*dt*79 // frozen
+		}
+		frame := e.synth.SynthesizeComplexFrame(e.pathsAt(cur), e.rng)
+		est := e.trk.Push(frame)
+		if i >= 100 {
+			if !est.Valid {
+				t.Fatalf("frame %d: estimate should remain valid while frozen", i)
+			}
+			if est.Moving {
+				continue // occasional noise spike: fine as long as value is close
+			}
+			held = est.RoundTrip
+		}
+	}
+	if math.Abs(held-lastMoving) > 0.5 {
+		t.Fatalf("held %v, want ~last moving position %v", held, lastMoving)
+	}
+}
+
+func TestTrackerRejectsTeleport(t *testing.T) {
+	e := newEnv(5, ModeContour)
+	d := 8.0
+	dt := e.cfg.FrameInterval()
+	// Normal motion, then inject a few frames with a spurious strong
+	// reflector 6 m away; the gate must not follow it.
+	for i := 0; i < 100; i++ {
+		cur := d + 1.0*dt*float64(i)
+		paths := e.pathsAt(cur)
+		if i >= 60 && i < 63 {
+			paths = append(paths, fmcw.Path{RoundTrip: cur - 6, PowerWatts: 5e-13, Phase: fmcw.PhaseFor(e.cfg, cur-6)})
+		}
+		est := e.trk.Push(e.synth.SynthesizeComplexFrame(paths, e.rng))
+		if i >= 60 && i < 63 && est.Valid && math.Abs(est.RoundTrip-(cur-6)) < 1 {
+			t.Fatalf("frame %d: tracker teleported to the spur", i)
+		}
+	}
+}
+
+func TestSpreadDistinguishesArmFromBody(t *testing.T) {
+	// Whole-body motion spans several range bins (torso depth + limbs);
+	// arm motion is compact. Synthesize a wide cluster vs a single path.
+	e := newEnv(6, ModeContour)
+	cluster := func(center float64, width float64, n int, power float64) []fmcw.Path {
+		var out []fmcw.Path
+		for i := 0; i < n; i++ {
+			d := center + width*(float64(i)/float64(n-1)-0.5)*2
+			out = append(out, fmcw.Path{RoundTrip: d, PowerWatts: power, Phase: fmcw.PhaseFor(e.cfg, d)})
+		}
+		return out
+	}
+	// Feed alternating frames so subtraction sees changing energy.
+	var bodySpread, armSpread float64
+	for i := 0; i < 30; i++ {
+		off := 0.05 * float64(i)
+		est := e.trk.Push(e.synth.SynthesizeComplexFrame(cluster(10+off, 1.2, 7, 2e-14), e.rng))
+		if est.Moving {
+			bodySpread = est.Spread
+		}
+	}
+	e.trk.Reset()
+	for i := 0; i < 30; i++ {
+		off := 0.05 * float64(i)
+		est := e.trk.Push(e.synth.SynthesizeComplexFrame(cluster(10+off, 0.1, 2, 2e-14), e.rng))
+		if est.Moving {
+			armSpread = est.Spread
+		}
+	}
+	if bodySpread <= armSpread {
+		t.Fatalf("body spread %v should exceed arm spread %v", bodySpread, armSpread)
+	}
+}
+
+func TestTrackerResetClearsState(t *testing.T) {
+	e := newEnv(7, ModeContour)
+	frame := e.synth.SynthesizeComplexFrame(e.pathsAt(10), e.rng)
+	e.trk.Push(frame)
+	e.trk.Reset()
+	est := e.trk.Push(e.synth.SynthesizeComplexFrame(e.pathsAt(10), e.rng))
+	if est.Valid {
+		t.Fatal("first frame after Reset cannot produce a valid estimate")
+	}
+}
+
+func TestMinRangeMasking(t *testing.T) {
+	e := newEnv(8, ModeContour)
+	dt := e.cfg.FrameInterval()
+	// A strong moving reflector inside MinRange must be ignored; the real
+	// target beyond it must be tracked.
+	for i := 0; i < 120; i++ {
+		near := 0.8 + 0.3*dt*float64(i) // inside the 2 m mask
+		far := 11 + 1.0*dt*float64(i)
+		paths := []fmcw.Path{
+			{RoundTrip: near, PowerWatts: 1e-12, Phase: fmcw.PhaseFor(e.cfg, near)},
+			{RoundTrip: far, PowerWatts: 3e-14, Phase: fmcw.PhaseFor(e.cfg, far)},
+		}
+		est := e.trk.Push(e.synth.SynthesizeComplexFrame(paths, e.rng))
+		if i > 20 && est.Valid && est.Moving && math.Abs(est.RoundTrip-far) > 1.0 {
+			t.Fatalf("frame %d: tracked %v, want far target %v", i, est.RoundTrip, far)
+		}
+	}
+}
+
+func BenchmarkTrackerPush(b *testing.B) {
+	e := newEnv(9, ModeContour)
+	frames := make([]dsp.ComplexFrame, 64)
+	dt := e.cfg.FrameInterval()
+	for i := range frames {
+		d := 10 + 1.0*dt*float64(i)
+		frames[i] = e.synth.SynthesizeComplexFrame(e.pathsAt(d, 5, 7), e.rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.trk.Push(frames[i%len(frames)])
+	}
+}

@@ -1,0 +1,192 @@
+// Package witrack is a from-scratch Go implementation of WiTrack
+// ("3D Tracking via Body Radio Reflections", Adib, Kabelac, Katabi &
+// Miller — NSDI 2014): 3D tracking of a human from FMCW radio
+// reflections off her body, through walls, with no on-body device.
+//
+// The package bundles the paper's full system:
+//
+//   - an FMCW radio model (5.56-7.25 GHz sweep, C/2B = 8.8 cm
+//     resolution) with both signal-level and fast spectral-level
+//     synthesis of the baseband frames (the hardware front end is a
+//     simulation substrate — see DESIGN.md for the substitution);
+//   - the §4 TOF pipeline: background subtraction, bottom-contour
+//     tracking, outlier rejection, interpolation, Kalman smoothing;
+//   - the §5 geometric localization (ellipsoid intersection over a
+//     directional T antenna array);
+//   - the §6 applications: fall detection and pointing-direction
+//     estimation;
+//   - the room/propagation/body/motion models that stand in for the
+//     paper's physical testbed, with the simulated trajectory serving as
+//     the VICON ground truth.
+//
+// Quick start:
+//
+//	cfg := witrack.DefaultConfig()
+//	dev, err := witrack.NewDevice(cfg)
+//	if err != nil { ... }
+//	walk := witrack.NewRandomWalk(witrack.DefaultWalkConfig(
+//	    witrack.StandardRegion(), 0.96, 30, 1))
+//	result := dev.Run(walk)
+//	for _, s := range result.Samples {
+//	    fmt.Println(s.T, s.Pos)
+//	}
+package witrack
+
+import (
+	"witrack/internal/body"
+	"witrack/internal/core"
+	"witrack/internal/fall"
+	"witrack/internal/fmcw"
+	"witrack/internal/geom"
+	"witrack/internal/motion"
+	"witrack/internal/pointing"
+	"witrack/internal/rf"
+	"witrack/internal/track"
+)
+
+// Core geometric and configuration types.
+type (
+	// Vec3 is a 3D point/direction in meters; see the coordinate
+	// convention on Array.
+	Vec3 = geom.Vec3
+	// Array is the antenna arrangement (1 Tx + >=3 Rx, beams toward +y).
+	Array = geom.Array
+	// RadioConfig is the FMCW radio parameter set.
+	RadioConfig = fmcw.Config
+	// Config assembles a full deployment (radio, array, scene, subject).
+	Config = core.Config
+	// Sample is one tracked 3D location with ground truth attached.
+	Sample = core.Sample
+	// RunResult is the full output of a tracking run.
+	RunResult = core.RunResult
+	// Estimate is a per-antenna round-trip distance estimate.
+	Estimate = track.Estimate
+	// Subject describes a human participant (height, build, RCS).
+	Subject = body.Subject
+	// Scene is the radio environment (walls, static reflectors).
+	Scene = rf.Scene
+	// Trajectory is a time-parameterized subject motion.
+	Trajectory = motion.Trajectory
+	// Region is a plan-view area for motion generation.
+	Region = motion.Region
+	// WalkConfig parameterizes free-walk workloads.
+	WalkConfig = motion.WalkConfig
+	// ActivityConfig parameterizes the §9.5 activity scripts.
+	ActivityConfig = motion.ActivityConfig
+	// Activity identifies one §9.5 activity.
+	Activity = motion.Activity
+	// PointingConfig parameterizes the §6.1 gesture.
+	PointingConfig = motion.PointingConfig
+	// FallConfig tunes the §6.2 fall detector.
+	FallConfig = fall.Config
+	// FallResult is the fall detector's verdict.
+	FallResult = fall.Result
+	// PointingResult is the estimated pointing direction.
+	PointingResult = pointing.Result
+)
+
+// The four §9.5 activities.
+const (
+	ActivityWalk     = motion.ActivityWalk
+	ActivitySitChair = motion.ActivitySitChair
+	ActivitySitFloor = motion.ActivitySitFloor
+	ActivityFall     = motion.ActivityFall
+)
+
+// Device is a WiTrack unit driving the full pipeline.
+type Device struct {
+	inner *core.Device
+}
+
+// NewDevice validates cfg and builds a device.
+func NewDevice(cfg Config) (*Device, error) {
+	d, err := core.NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{inner: d}, nil
+}
+
+// Run tracks the trajectory for its full duration.
+func (d *Device) Run(traj Trajectory) *RunResult { return d.inner.Run(traj) }
+
+// Reset clears tracker state for a fresh run.
+func (d *Device) Reset() { d.inner.Reset() }
+
+// SetRecordSpectrograms enables raw spectrogram capture (memory heavy;
+// used for figure generation).
+func (d *Device) SetRecordSpectrograms(on bool) { d.inner.RecordSpectrograms = on }
+
+// DefaultConfig returns the paper's through-wall deployment: default
+// radio, 1 m T array mounted at 1.5 m, standard room, median subject.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultRadio returns the prototype radio parameters (§4.1/§7).
+func DefaultRadio() RadioConfig { return fmcw.Default() }
+
+// NewTArray builds the default "T" antenna arrangement.
+func NewTArray(separation, height float64) Array {
+	return geom.NewTArray(separation, height)
+}
+
+// StandardScene builds the standard evaluation room; throughWall selects
+// whether the front wall stands between device and subject (§9.1).
+func StandardScene(throughWall bool) *Scene { return rf.StandardScene(throughWall) }
+
+// StandardRegion returns the standard tracked area (the VICON-focused
+// 6x5 m^2 analog).
+func StandardRegion() Region {
+	a := rf.StandardArea()
+	return Region{XMin: a.XMin, XMax: a.XMax, YMin: a.YMin, YMax: a.YMax}
+}
+
+// DefaultSubject returns a median adult subject.
+func DefaultSubject() Subject { return body.DefaultSubject() }
+
+// SubjectPanel returns n distinct subjects spanning the paper's
+// demographic spread (§8(c)).
+func SubjectPanel(n int, seed int64) []Subject { return body.Panel(n, seed) }
+
+// NewRandomWalk builds a free "move at will" trajectory (§9.1 workload).
+func NewRandomWalk(cfg WalkConfig) Trajectory { return motion.NewRandomWalk(cfg) }
+
+// DefaultWalkConfig returns the standard free-walk parameters.
+func DefaultWalkConfig(region Region, centerHeight, duration float64, seed int64) WalkConfig {
+	return motion.DefaultWalkConfig(region, centerHeight, duration, seed)
+}
+
+// NewActivityScript builds a §9.5 activity trajectory.
+func NewActivityScript(cfg ActivityConfig) Trajectory { return motion.NewActivityScript(cfg) }
+
+// NewPointingScript builds a §6.1 pointing-gesture trajectory. The
+// returned concrete type exposes the ground-truth direction.
+func NewPointingScript(cfg PointingConfig) *motion.PointingScript {
+	return motion.NewPointingScript(cfg)
+}
+
+// DefaultFallConfig returns the §6.2 fall detector thresholds.
+func DefaultFallConfig() FallConfig { return fall.DefaultConfig() }
+
+// DetectFall classifies an elevation time series (§6.2): a fall requires
+// a >1/3 elevation drop ending near the ground within a short window.
+func DetectFall(cfg FallConfig, ts, zs []float64) (FallResult, error) {
+	return fall.Detect(cfg, ts, zs)
+}
+
+// EstimatePointing extracts a pointing direction from a tracking run
+// covering one §6.1 gesture (lift, hold, drop).
+func EstimatePointing(array Array, frameInterval float64, run *RunResult) (PointingResult, error) {
+	est := pointing.New(array, pointing.DefaultConfig(frameInterval))
+	return est.Analyze(run.PerAntenna)
+}
+
+// PointingAngleError returns the angle (degrees) between two directions.
+func PointingAngleError(estimate, truth Vec3) float64 {
+	return pointing.AngleError(estimate, truth)
+}
+
+// CompensateSurfaceDepth maps a tracked surface point back toward the
+// body center before comparing with ground truth (§8(a)).
+func CompensateSurfaceDepth(estimate, devicePos Vec3, depth float64) Vec3 {
+	return body.CompensateSurfaceDepth(estimate, devicePos, depth)
+}

@@ -1,0 +1,113 @@
+package witrack
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := NewRandomWalk(DefaultWalkConfig(StandardRegion(), cfg.Subject.CenterHeight(), 10, 4))
+	res := dev.Run(walk)
+	if res.Frames < 700 {
+		t.Fatalf("frames = %d", res.Frames)
+	}
+	valid := 0
+	var sumErr float64
+	for _, s := range res.Samples {
+		if s.Valid && s.T > 2 {
+			valid++
+			est := CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
+			sumErr += est.Dist(s.Truth)
+		}
+	}
+	if valid < 500 {
+		t.Fatalf("valid samples = %d", valid)
+	}
+	if mean := sumErr / float64(valid); mean > 0.6 {
+		t.Fatalf("mean 3D error %.3f m too large", mean)
+	}
+}
+
+func TestPublicFallFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := NewActivityScript(ActivityConfig{
+		Activity:     ActivityFall,
+		Region:       StandardRegion(),
+		CenterHeight: cfg.Subject.CenterHeight(),
+		Seed:         4,
+	})
+	run := dev.Run(script)
+	var ts, zs []float64
+	for _, s := range run.Samples {
+		if s.Valid {
+			ts = append(ts, s.T)
+			zs = append(zs, s.Pos.Z)
+		}
+	}
+	verdict, err := DetectFall(DefaultFallConfig(), ts, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Fall {
+		t.Fatalf("simulated fall not detected: %+v", verdict)
+	}
+}
+
+func TestPublicPointingFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := NewPointingScript(PointingConfig{
+		Position:     Vec3{X: 0.5, Y: 4},
+		CenterHeight: cfg.Subject.CenterHeight(),
+		ArmLength:    cfg.Subject.ArmLength,
+		Azimuth:      0.4,
+		Elevation:    0.1,
+		Seed:         8,
+	})
+	run := dev.Run(script)
+	res, err := EstimatePointing(cfg.Array, cfg.Radio.FrameInterval(), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := script.HandExtended().Sub(script.HandRest()).Unit()
+	if e := PointingAngleError(res.Direction, truth); e > 45 {
+		t.Fatalf("pointing error %.1f deg too large", e)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	if r := DefaultRadio(); math.Abs(r.Resolution()-0.0887) > 0.001 {
+		t.Fatal("radio resolution off")
+	}
+	arr := NewTArray(1, 1.5)
+	if err := arr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(SubjectPanel(11, 1)) != 11 {
+		t.Fatal("panel size")
+	}
+	los := StandardScene(false)
+	tw := StandardScene(true)
+	if len(tw.Walls) != len(los.Walls)+1 {
+		t.Fatal("scene walls")
+	}
+	reg := StandardRegion()
+	if !reg.Contains(Vec3{X: 0, Y: 5}) {
+		t.Fatal("region")
+	}
+}
