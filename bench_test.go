@@ -8,7 +8,10 @@ package witrack
 // produced by `go run ./cmd/witrack-bench -scale paper`.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"witrack/internal/experiments"
 )
@@ -309,4 +312,59 @@ func BenchmarkX2TwoPerson(b *testing.B) {
 	}
 	b.ReportMetric(res.MedianErr2D*100, "median_2d_cm")
 	b.ReportMetric(res.ValidFrac, "valid_frac")
+}
+
+// BenchmarkPipelineThroughput measures the staged pipeline's parallel
+// speedup: frames/sec and allocs/frame with a single processing worker
+// versus one worker per receive antenna (capped at GOMAXPROCS). The
+// fixed seed makes the two runs compute bit-identical samples — only
+// the schedule differs.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	// The pipeline caps workers at the antenna count; label with the
+	// count that actually runs.
+	parallel := runtime.GOMAXPROCS(0)
+	if nRx := len(DefaultConfig().Array.Rx); parallel > nRx {
+		parallel = nRx
+	}
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+	}
+	if parallel > 1 {
+		cases = append(cases, struct {
+			name    string
+			workers int
+		}{fmt.Sprintf("workers=%d", parallel), parallel})
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Seed = 1
+			dev, err := NewDevice(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dev.SetWorkers(bc.workers)
+			walk := NewRandomWalk(DefaultWalkConfig(
+				StandardRegion(), 0.96, 30, 1))
+			var frames int
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				dev.Reset()
+				res := dev.Run(walk)
+				frames += res.Frames
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			b.ReportMetric(float64(frames)/elapsed.Seconds(), "frames/sec")
+			b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(frames), "allocs/frame")
+		})
+	}
 }

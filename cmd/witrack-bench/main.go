@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -213,6 +214,15 @@ func main() {
 		section("X2  §10 extension: two concurrent people")
 		row("per-person median 2D error", "proposed, not evaluated in the paper",
 			fmt.Sprintf("%.2f m (%.0f%% frames with a joint fix; run-to-run variance is high — see EXPERIMENTS.md)", r.MedianErr2D, r.ValidFrac*100))
+	}
+
+	if run("X3") {
+		r, err := experiments.PipelineThroughput(sc.Duration, *seed)
+		check(err)
+		section("X3  staged pipeline throughput (§7 multicore analog)")
+		row("frames/sec serial vs parallel", "pipeline keeps up with the 80 frames/s radio",
+			fmt.Sprintf("%.0f fps (1 worker) vs %.0f fps (%d workers, %.2fx on %d CPUs)",
+				r.SerialFPS, r.ParallelFPS, r.Workers, r.Speedup, runtime.GOMAXPROCS(0)))
 	}
 
 	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,3 @@
+module witrack
+
+go 1.22

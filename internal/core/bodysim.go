@@ -58,7 +58,16 @@ func (b *bodySim) reset() {
 // reflectors returns the subject's moving scatterers per receive antenna
 // for the given state (see Device.reflectors for the physics notes).
 func (b *bodySim) reflectors(st motion.BodyState, tx geom.Vec3, nRx int, dt float64) [][]reflector {
-	out := make([][]reflector, nRx)
+	return b.reflectorsInto(nil, st, tx, nRx, dt)
+}
+
+// reflectorsInto is reflectors reusing dst's per-antenna slices, so the
+// streaming source pays no per-frame allocation once warm.
+func (b *bodySim) reflectorsInto(dst [][]reflector, st motion.BodyState, tx geom.Vec3, nRx int, dt float64) [][]reflector {
+	out := dst
+	if len(out) != nRx {
+		out = make([][]reflector, nRx)
+	}
 
 	if st.Moving || !b.haveFrozen {
 		cl, cr, cv := b.reflCommon.Offsets(dt, st.Moving)
@@ -90,7 +99,7 @@ func (b *bodySim) reflectors(st motion.BodyState, tx geom.Vec3, nRx int, dt floa
 		b.haveFrozen = true
 	}
 	for k := 0; k < nRx; k++ {
-		out[k] = append([]reflector(nil), b.frozenParts[k]...)
+		out[k] = append(out[k][:0], b.frozenParts[k]...)
 	}
 
 	if st.HandActive {

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -84,7 +85,9 @@ type RunResult struct {
 	Frames int
 }
 
-// Device is a simulated WiTrack unit.
+// Device is a simulated WiTrack unit. A device runs one trajectory at a
+// time: Run and Stream drive the same staged pipeline over the device's
+// trackers and RNG and must not be called concurrently on one device.
 type Device struct {
 	cfg      Config
 	synth    *fmcw.Synthesizer
@@ -96,6 +99,13 @@ type Device struct {
 	// RecordSpectrograms retains raw magnitude frames (memory heavy;
 	// used for Fig. 3/Fig. 5 generation).
 	RecordSpectrograms bool
+
+	// Workers is the number of per-antenna pipeline workers (stage 2).
+	// 0 means one per receive antenna — the default and the fastest;
+	// 1 degenerates to a fully serial processing stage (useful for
+	// measuring the parallel speedup). Values above the antenna count
+	// are capped.
+	Workers int
 
 	// sim holds the subject's radar-reflection state (torso patch
 	// wander, gait parts, gesture arm).
@@ -192,8 +202,150 @@ func (d *Device) reflectors(st motion.BodyState) [][]reflector {
 	return d.sim.reflectors(st, d.cfg.Array.Tx, len(d.cfg.Array.Rx), d.cfg.Radio.FrameInterval())
 }
 
+// antennaScratch is one pipeline worker's per-antenna reusable buffers:
+// the path list and the spectrum frame. Each antenna is processed by
+// exactly one goroutine, so the buffers need no synchronization.
+type antennaScratch struct {
+	paths []fmcw.Path
+	spec  dsp.ComplexFrame
+}
+
+// materialize returns antenna k's complex frame for batch b: the eager
+// frame if the source provided one, otherwise the deferred deterministic
+// synthesis — static paths, then each target's paths in order, then the
+// pre-drawn noise — reusing the worker's scratch. The operation order
+// matches the fused serial synthesis exactly, so the result is
+// bit-identical to what the serial loop produced.
+func (w *antennaScratch) materialize(synth *fmcw.Synthesizer, prop *rf.Propagator, k int, b *FrameBatch) dsp.ComplexFrame {
+	if b.synth == nil {
+		return b.Frames[k]
+	}
+	j := &b.synth[k]
+	w.paths = append(w.paths[:0], prop.StaticPaths(k)...)
+	for _, r := range j.targets {
+		w.paths = prop.AppendTargetPaths(w.paths, k, r.pt, r.rcs)
+	}
+	w.spec = synth.PathSpectrum(w.paths, w.spec)
+	fmcw.AddNoise(w.spec, j.noise)
+	return w.spec
+}
+
+// antResult is one antenna's per-frame output inside the pipeline.
+type antResult struct {
+	est track.Estimate
+	mag dsp.Frame // only set when recording spectrograms
+}
+
+// stream drives the staged pipeline over src and calls emit with each
+// fused sample in frame order, together with the frame's per-antenna
+// estimates and (when recording) magnitude frames. emit must not retain
+// the slices. It returns the accumulated signal-processing CPU time
+// (tracking + localization, across all workers) — the paper's §7 budget
+// quantity.
+func (d *Device) stream(ctx context.Context, src FrameSource,
+	emit func(s Sample, ests []track.Estimate, mags []dsp.Frame) bool) time.Duration {
+	nRx := len(d.cfg.Array.Rx)
+	scratch := make([]antennaScratch, nRx)
+	procNS := make([]int64, nRx)
+	var locateNS int64
+
+	proc := func(k int, b *FrameBatch) antResult {
+		frame := scratch[k].materialize(d.synth, d.prop, k, b)
+		start := time.Now()
+		est := d.trackers[k].Push(frame)
+		procNS[k] += time.Since(start).Nanoseconds()
+		var mag dsp.Frame
+		if d.RecordSpectrograms {
+			mag = frame.Mag()
+		}
+		return antResult{est: est, mag: mag}
+	}
+
+	ests := make([]track.Estimate, nRx)
+	mags := make([]dsp.Frame, nRx)
+	fuse := func(b *FrameBatch, rs []antResult) bool {
+		movingCount := 0
+		for k, r := range rs {
+			ests[k] = r.est
+			mags[k] = r.mag
+			if r.est.Moving {
+				movingCount++
+			}
+		}
+		sample := Sample{T: b.T}
+		if len(b.States) > 0 {
+			sample.Truth = b.States[0].Center
+			sample.TruthMoving = b.States[0].Moving
+		}
+		start := time.Now()
+		if pos, err := d.locator.Solve(ests); err == nil {
+			sample.Pos = pos
+			sample.Valid = true
+			sample.Moving = movingCount >= 2
+		}
+		locateNS += time.Since(start).Nanoseconds()
+		return emit(sample, ests, mags)
+	}
+
+	runPipeline(ctx, src, d.Workers, proc, fuse)
+	total := locateNS
+	for _, ns := range procNS {
+		total += ns
+	}
+	return time.Duration(total)
+}
+
+// simSource wraps the device's simulator as the pipeline's stage-1
+// source for the given trajectory.
+func (d *Device) simSource(traj motion.Trajectory) *simSource {
+	return newSimSource(d.synth, d.prop, d.rng,
+		[]*bodySim{d.sim}, []motion.Trajectory{traj},
+		d.cfg.Array.Tx, len(d.cfg.Array.Rx), d.cfg.Radio.FrameInterval(), d.cfg.SlowSynth)
+}
+
+// streamTo launches the pipeline over src in a goroutine and returns
+// the channel its samples are delivered on, closed at end of stream or
+// cancellation.
+func (d *Device) streamTo(ctx context.Context, src FrameSource) <-chan Sample {
+	out := make(chan Sample, pipelineDepth)
+	go func() {
+		defer close(out)
+		d.stream(ctx, src, func(s Sample, _ []track.Estimate, _ []dsp.Frame) bool {
+			select {
+			case out <- s:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return out
+}
+
+// Stream tracks the trajectory and delivers location samples as they
+// are produced, in frame order, on the returned channel — the primary
+// API. The channel is closed when the trajectory ends or ctx is
+// cancelled. For a fixed seed the sample sequence is bit-identical to
+// Run's: the simulation RNG is consumed in serial frame order by the
+// source stage; only deterministic processing fans out.
+func (d *Device) Stream(ctx context.Context, traj motion.Trajectory) <-chan Sample {
+	return d.streamTo(ctx, d.simSource(traj))
+}
+
+// StreamFrom runs the pipeline over an arbitrary frame source (a
+// recorded trace, a hardware front end) instead of the built-in
+// simulator. It returns an error if the source's antenna count does
+// not match the device's array.
+func (d *Device) StreamFrom(ctx context.Context, src FrameSource) (<-chan Sample, error) {
+	if got, want := src.NumRx(), len(d.cfg.Array.Rx); got != want {
+		return nil, fmt.Errorf("core: source has %d antennas, device array has %d", got, want)
+	}
+	return d.streamTo(ctx, src), nil
+}
+
 // Run simulates tracking the trajectory for its full duration and
-// returns the location samples plus diagnostics.
+// returns the location samples plus diagnostics. It is Stream's
+// pipeline run to completion with all diagnostics collected.
 func (d *Device) Run(traj motion.Trajectory) *RunResult {
 	nRx := len(d.cfg.Array.Rx)
 	res := &RunResult{PerAntenna: make([][]track.Estimate, nRx)}
@@ -206,47 +358,20 @@ func (d *Device) Run(traj motion.Trajectory) *RunResult {
 			}
 		}
 	}
-	interval := d.cfg.Radio.FrameInterval()
-	ests := make([]track.Estimate, nRx)
-	for t := 0.0; t <= traj.Duration(); t += interval {
-		st := traj.At(t)
-		refl := d.reflectors(st)
-		frames := make([]dsp.ComplexFrame, nRx)
-		for k := 0; k < nRx; k++ {
-			paths := append([]fmcw.Path(nil), d.prop.StaticPaths(k)...)
-			for _, r := range refl[k] {
-				paths = append(paths, d.prop.TargetPaths(k, r.pt, r.rcs)...)
-			}
-			if d.cfg.SlowSynth {
-				frames[k] = d.synth.SynthesizeComplexFrameSlow(paths, d.rng)
-			} else {
-				frames[k] = d.synth.SynthesizeComplexFrame(paths, d.rng)
-			}
-		}
-		start := time.Now()
-		movingCount := 0
-		for k := 0; k < nRx; k++ {
-			ests[k] = d.trackers[k].Push(frames[k])
-			res.PerAntenna[k] = append(res.PerAntenna[k], ests[k])
-			if ests[k].Moving {
-				movingCount++
-			}
-		}
-		sample := Sample{T: t, Truth: st.Center, TruthMoving: st.Moving}
-		if pos, err := d.locator.Solve(ests); err == nil {
-			sample.Pos = pos
-			sample.Valid = true
-			sample.Moving = movingCount >= 2
-		}
-		res.ProcessingTime += time.Since(start)
-		res.Frames++
-		res.Samples = append(res.Samples, sample)
-		if d.RecordSpectrograms {
+	res.ProcessingTime = d.stream(context.Background(), d.simSource(traj),
+		func(s Sample, ests []track.Estimate, mags []dsp.Frame) bool {
 			for k := 0; k < nRx; k++ {
-				res.Spectrograms[k].Frames = append(res.Spectrograms[k].Frames, frames[k].Mag())
+				res.PerAntenna[k] = append(res.PerAntenna[k], ests[k])
 			}
-		}
-	}
+			res.Samples = append(res.Samples, s)
+			res.Frames++
+			if d.RecordSpectrograms {
+				for k := 0; k < nRx; k++ {
+					res.Spectrograms[k].Frames = append(res.Spectrograms[k].Frames, mags[k])
+				}
+			}
+			return true
+		})
 	return res
 }
 

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"witrack/internal/body"
-	"witrack/internal/dsp"
 	"witrack/internal/fmcw"
 	"witrack/internal/geom"
 	"witrack/internal/locate"
@@ -26,6 +26,10 @@ type MultiDevice struct {
 	locator  *locate.Locator
 	rng      *rand.Rand
 	sims     [2]*bodySim
+
+	// Workers is the per-antenna pipeline worker count (see
+	// Device.Workers); 0 means one per receive antenna.
+	Workers int
 }
 
 // MultiSample is one two-person output frame.
@@ -69,50 +73,38 @@ func NewMultiDevice(cfg Config, subjectB body.Subject) (*MultiDevice, error) {
 	return d, nil
 }
 
-// Run tracks two trajectories simultaneously. The association of output
-// slots to people is resolved globally at the end by matching the first
-// valid fix (the radio cannot know identities; the paper's §10 notes
-// only trajectory consistency is available).
+// Run tracks two trajectories simultaneously on the same staged
+// pipeline Device uses (source -> per-antenna workers -> fusion); only
+// the worker payload (a two-target tracker) and the fusion step (the
+// 2^N assignment disambiguation of SolveTwo) differ. The association of
+// output slots to people is resolved globally at the end by matching
+// the first valid fix (the radio cannot know identities; the paper's
+// §10 notes only trajectory consistency is available).
 func (d *MultiDevice) Run(trajA, trajB motion.Trajectory) *MultiRunResult {
 	nRx := len(d.cfg.Array.Rx)
 	res := &MultiRunResult{}
-	interval := d.cfg.Radio.FrameInterval()
-	dur := trajA.Duration()
-	if trajB.Duration() < dur {
-		dur = trajB.Duration()
+	src := newSimSource(d.synth, d.prop, d.rng,
+		d.sims[:], []motion.Trajectory{trajA, trajB},
+		d.cfg.Array.Tx, nRx, d.cfg.Radio.FrameInterval(), d.cfg.SlowSynth)
+
+	scratch := make([]antennaScratch, nRx)
+	proc := func(k int, b *FrameBatch) []track.Estimate {
+		return d.trackers[k].Push(scratch[k].materialize(d.synth, d.prop, k, b))
 	}
+
 	var prev [2]geom.Vec3
 	havePrev := false
-	for t := 0.0; t <= dur; t += interval {
-		stA := trajA.At(t)
-		stB := trajB.At(t)
-		reflA := d.sims[0].reflectors(stA, d.cfg.Array.Tx, nRx, interval)
-		reflB := d.sims[1].reflectors(stB, d.cfg.Array.Tx, nRx, interval)
-
-		pairs := make([][2]float64, nRx)
+	pairs := make([][2]float64, nRx)
+	fuse := func(b *FrameBatch, ests [][]track.Estimate) bool {
 		ok := true
 		for k := 0; k < nRx; k++ {
-			paths := append([]fmcw.Path(nil), d.prop.StaticPaths(k)...)
-			for _, r := range reflA[k] {
-				paths = append(paths, d.prop.TargetPaths(k, r.pt, r.rcs)...)
-			}
-			for _, r := range reflB[k] {
-				paths = append(paths, d.prop.TargetPaths(k, r.pt, r.rcs)...)
-			}
-			var frame dsp.ComplexFrame
-			if d.cfg.SlowSynth {
-				frame = d.synth.SynthesizeComplexFrameSlow(paths, d.rng)
-			} else {
-				frame = d.synth.SynthesizeComplexFrame(paths, d.rng)
-			}
-			ests := d.trackers[k].Push(frame)
-			if !ests[0].Valid || !ests[1].Valid {
+			if !ests[k][0].Valid || !ests[k][1].Valid {
 				ok = false
 				continue
 			}
-			pairs[k] = [2]float64{ests[0].RoundTrip, ests[1].RoundTrip}
+			pairs[k] = [2]float64{ests[k][0].RoundTrip, ests[k][1].RoundTrip}
 		}
-		sample := MultiSample{T: t, Truth: [2]geom.Vec3{stA.Center, stB.Center}}
+		sample := MultiSample{T: b.T, Truth: [2]geom.Vec3{b.States[0].Center, b.States[1].Center}}
 		if ok {
 			if pos, err := locate.SolveTwo(d.locator, pairs, prev, havePrev); err == nil {
 				sample.Pos = pos
@@ -123,6 +115,9 @@ func (d *MultiDevice) Run(trajA, trajB motion.Trajectory) *MultiRunResult {
 		}
 		res.Samples = append(res.Samples, sample)
 		res.Frames++
+		return true
 	}
+
+	runPipeline(context.Background(), src, d.Workers, proc, fuse)
 	return res
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// pipelineDepth is the per-stage channel buffer: how many frames may be
+// in flight between stages. Small keeps output latency bounded (a frame
+// is 12.5 ms of signal; the paper's §7 budget is 75 ms end to end),
+// while still absorbing stage-time jitter.
+const pipelineDepth = 4
+
+// stageMsg is one antenna's result for one frame, flowing from a worker
+// to the fusion stage.
+type stageMsg[E any] struct {
+	b   *FrameBatch
+	est E
+}
+
+// runPipeline wires the staged streaming pipeline:
+//
+//	source ──► per-antenna workers (×W) ──► fusion
+//
+// The source goroutine pulls batches from src in frame order and
+// broadcasts each to every worker. Worker w owns antennas k ≡ w (mod W)
+// exclusively — their trackers and scratch buffers are touched by no
+// other goroutine — and processes them with proc, emitting one message
+// per antenna per frame on that antenna's ordered channel. The fusion
+// stage (run on the calling goroutine) joins the per-antenna streams
+// frame by frame and hands each complete estimate set to fuse.
+//
+// Ordering and determinism: every per-antenna channel is FIFO and every
+// stage consumes in frame order, so proc sees each antenna's frames in
+// strictly increasing Index order and fuse runs in frame order — the
+// concurrent schedule can differ, the observable sequence cannot.
+//
+// fuse returning false, ctx cancellation, or source exhaustion all shut
+// the pipeline down; runPipeline returns only after every goroutine has
+// exited, so callers may touch worker-owned state afterwards.
+func runPipeline[E any](ctx context.Context, src FrameSource, workers int,
+	proc func(k int, b *FrameBatch) E,
+	fuse func(b *FrameBatch, ests []E) bool) {
+
+	nRx := src.NumRx()
+	if nRx == 0 {
+		return
+	}
+	if workers < 1 || workers > nRx {
+		workers = nRx
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	in := make([]chan *FrameBatch, workers)
+	for w := range in {
+		in[w] = make(chan *FrameBatch, pipelineDepth)
+	}
+	outs := make([]chan stageMsg[E], nRx)
+	for k := range outs {
+		outs[k] = make(chan stageMsg[E], pipelineDepth)
+	}
+
+	var wg sync.WaitGroup
+
+	// Stage 1: source. Single goroutine — it owns the simulation RNG.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for _, c := range in {
+				close(c)
+			}
+		}()
+		for {
+			b := src.Next()
+			if b == nil {
+				return
+			}
+			for w := range in {
+				select {
+				case in[w] <- b:
+				case <-pctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	// Stage 2: per-antenna workers.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				for k := w; k < nRx; k += workers {
+					close(outs[k])
+				}
+			}()
+			for b := range in[w] {
+				for k := w; k < nRx; k += workers {
+					select {
+					case outs[k] <- stageMsg[E]{b: b, est: proc(k, b)}:
+					case <-pctx.Done():
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Stage 3: fusion, on the calling goroutine. A batch is recycled
+	// only after all nRx messages for its frame arrived, which implies
+	// every worker is done touching it.
+	ests := make([]E, nRx)
+loop:
+	for {
+		var b *FrameBatch
+		for k := 0; k < nRx; k++ {
+			select {
+			case m, ok := <-outs[k]:
+				if !ok {
+					break loop
+				}
+				if k == 0 {
+					b = m.b
+				}
+				ests[k] = m.est
+			case <-pctx.Done():
+				break loop
+			}
+		}
+		if !fuse(b, ests) {
+			break
+		}
+		src.Recycle(b)
+	}
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"witrack/internal/dsp"
+	"witrack/internal/fmcw"
+	"witrack/internal/geom"
+	"witrack/internal/motion"
+	"witrack/internal/rf"
+)
+
+// FrameBatch carries one frame interval's worth of per-antenna data
+// through the staged pipeline (source -> per-antenna workers -> fusion).
+type FrameBatch struct {
+	// Index is the frame number, starting at 0.
+	Index int
+	// T is the frame time in seconds: Index * FrameInterval (an integer
+	// frame clock — accumulating floats drifts over long runs).
+	T float64
+	// States holds the ground-truth body state of each tracked subject
+	// at T (one entry for Device, two for MultiDevice; empty when the
+	// source has no ground truth, e.g. recorded hardware traces).
+	States []motion.BodyState
+	// Frames holds one complex FFT frame per receive antenna. Sources
+	// with materialized data (recorded traces, hardware DMA buffers)
+	// fill these eagerly; the simulator leaves them nil and fills the
+	// deferred synthesis jobs instead, so the per-antenna workers do the
+	// deterministic synthesis math in parallel.
+	Frames []dsp.ComplexFrame
+
+	// synth, when non-nil, holds one deferred synthesis job per antenna:
+	// the target scatterers plus the pre-drawn receiver noise. Only the
+	// RNG-consuming work (body wander, noise draws) happens in the
+	// source; everything else is deterministic and runs in the workers
+	// without perturbing a single output bit.
+	synth []synthJob
+}
+
+// synthJob is the deferred deterministic synthesis work for one antenna.
+type synthJob struct {
+	// targets are the moving scatterers visible to this antenna, in
+	// subject order (A's reflectors, then B's).
+	targets []reflector
+	// noise is the frame's receiver noise, drawn in the source in strict
+	// antenna order to preserve the serial RNG sequence.
+	noise dsp.ComplexFrame
+}
+
+// FrameSource is stage 1 of the pipeline: it produces per-antenna
+// complex-frame batches in frame order. Implementations are driven from
+// a single goroutine; Recycle may be called from a different goroutine
+// (the fusion stage) once a batch's processing has fully completed.
+type FrameSource interface {
+	// NumRx returns the number of receive antennas per batch.
+	NumRx() int
+	// Next returns the next frame batch, or nil at end of stream.
+	Next() *FrameBatch
+	// Recycle hands back a fully processed batch; sources may reuse its
+	// buffers for a future Next. A no-op implementation is valid.
+	Recycle(*FrameBatch)
+}
+
+// frameClockEps absorbs the rounding of duration/interval so a duration
+// that is an exact multiple of the frame interval keeps its final frame.
+const frameClockEps = 1e-9
+
+// frameCount returns how many frames cover [0, duration] at the given
+// interval: the integer frame clock replacing the old accumulating
+// float loop (for t := 0.0; t <= dur; t += interval), which drifted on
+// long runs and could drop the final frame.
+func frameCount(duration, interval float64) int {
+	if duration < 0 {
+		return 0
+	}
+	return int(math.Floor(duration/interval+frameClockEps)) + 1
+}
+
+// simSource synthesizes frame batches from simulated trajectories: the
+// current Device/MultiDevice simulator expressed as a FrameSource. Per
+// frame it advances the subjects' reflection processes and pre-draws the
+// receiver noise (the ordered RNG work), deferring the deterministic
+// path-spectrum math to the per-antenna workers. In SlowSynth mode the
+// full time-domain synthesis runs here instead — its RNG use is
+// interleaved per sample and cannot be split.
+type simSource struct {
+	synth    *fmcw.Synthesizer
+	prop     *rf.Propagator
+	rng      *rand.Rand
+	sims     []*bodySim
+	trajs    []motion.Trajectory
+	tx       geom.Vec3
+	nRx      int
+	interval float64
+	frames   int
+	slow     bool
+
+	i     int
+	refl  [][][]reflector // per subject, per antenna; source-local scratch
+	paths []fmcw.Path     // slow-path scratch
+	pool  sync.Pool       // recycled *FrameBatch
+}
+
+// newSimSource builds a simulator source over the given subjects and
+// trajectories (parallel slices). The run length is the shortest
+// trajectory's duration.
+func newSimSource(synth *fmcw.Synthesizer, prop *rf.Propagator, rng *rand.Rand,
+	sims []*bodySim, trajs []motion.Trajectory, tx geom.Vec3, nRx int,
+	interval float64, slow bool) *simSource {
+	dur := math.Inf(1)
+	for _, tr := range trajs {
+		if d := tr.Duration(); d < dur {
+			dur = d
+		}
+	}
+	return &simSource{
+		synth:    synth,
+		prop:     prop,
+		rng:      rng,
+		sims:     sims,
+		trajs:    trajs,
+		tx:       tx,
+		nRx:      nRx,
+		interval: interval,
+		frames:   frameCount(dur, interval),
+		slow:     slow,
+		refl:     make([][][]reflector, len(sims)),
+	}
+}
+
+func (s *simSource) NumRx() int { return s.nRx }
+
+func (s *simSource) Recycle(b *FrameBatch) { s.pool.Put(b) }
+
+func (s *simSource) batch() *FrameBatch {
+	if b, ok := s.pool.Get().(*FrameBatch); ok {
+		return b
+	}
+	return &FrameBatch{}
+}
+
+func (s *simSource) Next() *FrameBatch {
+	if s.i >= s.frames {
+		return nil
+	}
+	i := s.i
+	s.i++
+	t := float64(i) * s.interval
+
+	b := s.batch()
+	b.Index = i
+	b.T = t
+	b.States = b.States[:0]
+	// Ordered RNG work, subject by subject: exactly the draw sequence of
+	// the serial loop (subject A's wander, then B's).
+	for si := range s.sims {
+		st := s.trajs[si].At(t)
+		b.States = append(b.States, st)
+		s.refl[si] = s.sims[si].reflectorsInto(s.refl[si], st, s.tx, s.nRx, s.interval)
+	}
+
+	if s.slow {
+		b.synth = nil
+		if len(b.Frames) != s.nRx {
+			b.Frames = make([]dsp.ComplexFrame, s.nRx)
+		}
+		for k := 0; k < s.nRx; k++ {
+			s.paths = append(s.paths[:0], s.prop.StaticPaths(k)...)
+			for si := range s.sims {
+				for _, r := range s.refl[si][k] {
+					s.paths = s.prop.AppendTargetPaths(s.paths, k, r.pt, r.rcs)
+				}
+			}
+			b.Frames[k] = s.synth.SynthesizeComplexFrameSlow(s.paths, s.rng)
+		}
+		return b
+	}
+
+	b.Frames = nil
+	if len(b.synth) != s.nRx {
+		b.synth = make([]synthJob, s.nRx)
+	}
+	for k := 0; k < s.nRx; k++ {
+		j := &b.synth[k]
+		j.targets = j.targets[:0]
+		for si := range s.sims {
+			j.targets = append(j.targets, s.refl[si][k]...)
+		}
+		// Noise is drawn antenna by antenna, each frame in bin order —
+		// the same generator sequence the fused serial synthesis
+		// consumes (fmcw.NoiseFrame documents the contract).
+		j.noise = s.synth.NoiseFrame(s.rng, j.noise)
+	}
+	return b
+}
+
+// RecordedSource replays pre-captured per-antenna complex frames at a
+// fixed frame interval — the adapter shape an on-disk trace or a
+// hardware front end plugs into the pipeline with.
+type RecordedSource struct {
+	// Interval is the frame interval in seconds.
+	Interval float64
+	// Frames is indexed [frame][antenna].
+	Frames [][]dsp.ComplexFrame
+	// Truth optionally carries per-frame ground truth (may be nil).
+	Truth []motion.BodyState
+
+	i int
+}
+
+// NumRx returns the antenna count of the recording.
+func (r *RecordedSource) NumRx() int {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	return len(r.Frames[0])
+}
+
+// Next returns the next recorded batch, or nil when the trace ends.
+func (r *RecordedSource) Next() *FrameBatch {
+	if r.i >= len(r.Frames) {
+		return nil
+	}
+	i := r.i
+	r.i++
+	b := &FrameBatch{Index: i, T: float64(i) * r.Interval, Frames: r.Frames[i]}
+	if i < len(r.Truth) {
+		b.States = append(b.States, r.Truth[i])
+	}
+	return b
+}
+
+// Recycle is a no-op: the recording owns its frame buffers.
+func (r *RecordedSource) Recycle(*FrameBatch) {}

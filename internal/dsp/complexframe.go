@@ -26,14 +26,23 @@ func (f ComplexFrame) Mag() Frame {
 // SubMag returns |f - g| per bin: the background-subtracted magnitude
 // frame of the paper's §4.2.
 func (f ComplexFrame) SubMag(g ComplexFrame) Frame {
+	return f.SubMagInto(g, nil)
+}
+
+// SubMagInto is SubMag writing into dst when it has the right length
+// (allocating otherwise), so per-frame callers can reuse a scratch
+// buffer. It returns the frame written.
+func (f ComplexFrame) SubMagInto(g ComplexFrame, dst Frame) Frame {
 	if len(f) != len(g) {
 		panic(fmt.Sprintf("dsp: complex frame length mismatch %d vs %d", len(f), len(g)))
 	}
-	out := make(Frame, len(f))
-	for i := range f {
-		out[i] = cmplx.Abs(f[i] - g[i])
+	if len(dst) != len(f) {
+		dst = make(Frame, len(f))
 	}
-	return out
+	for i := range f {
+		dst[i] = cmplx.Abs(f[i] - g[i])
+	}
+	return dst
 }
 
 // Clone returns a copy of the frame.

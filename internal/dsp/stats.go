@@ -87,11 +87,21 @@ func EmpiricalCDF(xs []float64) []CDFPoint {
 // MovingAverage returns the centered moving average of xs with the given
 // odd window size; edges use a shrunken window.
 func MovingAverage(xs []float64, window int) []float64 {
+	return MovingAverageInto(xs, window, nil)
+}
+
+// MovingAverageInto is MovingAverage writing into dst when it has the
+// right length (allocating otherwise), for allocation-free per-frame
+// smoothing. xs and dst must not alias.
+func MovingAverageInto(xs []float64, window int, dst []float64) []float64 {
 	if window < 1 {
 		window = 1
 	}
 	half := window / 2
-	out := make([]float64, len(xs))
+	out := dst
+	if len(out) != len(xs) {
+		out = make([]float64, len(xs))
+	}
 	for i := range xs {
 		lo := i - half
 		if lo < 0 {

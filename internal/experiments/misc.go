@@ -295,3 +295,56 @@ func AblationExtraAntennas(sc Scale, seed int64) (*AblationAntennasResult, error
 	}
 	return &AblationAntennasResult{ThreeRxMedian3D: three, FourRxMedian3D: four}, nil
 }
+
+// PipelineThroughputResult is the X3 artifact: frame throughput of the
+// staged streaming pipeline with a serial processing stage versus one
+// worker per receive antenna (the paper's §7 FPGA+multicore analog).
+type PipelineThroughputResult struct {
+	// SerialFPS is frames/sec with Workers=1.
+	SerialFPS float64
+	// ParallelFPS is frames/sec with one worker per antenna.
+	ParallelFPS float64
+	// Speedup is ParallelFPS / SerialFPS. On a single-CPU host this
+	// hovers near 1: the pipeline still runs, the hardware cannot.
+	Speedup float64
+	// Workers is the parallel worker count used.
+	Workers int
+	// Frames is the number of frames in each measured run.
+	Frames int
+}
+
+// PipelineThroughput times identical fixed-seed runs (bit-identical
+// samples; only the schedule differs) at the two worker counts.
+func PipelineThroughput(duration float64, seed int64) (*PipelineThroughputResult, error) {
+	timeRun := func(workers int) (float64, int, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		dev, err := core.NewDevice(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		dev.Workers = workers
+		walk := motion.NewRandomWalk(motion.DefaultWalkConfig(
+			Region(), cfg.Subject.CenterHeight(), duration, seed+1))
+		start := time.Now()
+		res := dev.Run(walk)
+		elapsed := time.Since(start).Seconds()
+		return float64(res.Frames) / elapsed, res.Frames, nil
+	}
+	serial, frames, err := timeRun(1)
+	if err != nil {
+		return nil, err
+	}
+	parallel, _, err := timeRun(0)
+	if err != nil {
+		return nil, err
+	}
+	nRx := len(core.DefaultConfig().Array.Rx)
+	return &PipelineThroughputResult{
+		SerialFPS:   serial,
+		ParallelFPS: parallel,
+		Speedup:     parallel / serial,
+		Workers:     nRx,
+		Frames:      frames,
+	}, nil
+}

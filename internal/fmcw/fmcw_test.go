@@ -340,3 +340,61 @@ func BenchmarkSynthesizeFrameSlow(b *testing.B) {
 		s.SynthesizeFrameSlow(paths, rng)
 	}
 }
+
+// TestSplitSynthesisBitIdentical is the RNG contract the streaming
+// pipeline depends on: drawing the noise frame first (NoiseFrame) and
+// computing the deterministic spectrum separately (PathSpectrum +
+// AddNoise) must consume the generator identically and reproduce
+// SynthesizeComplexFrame bit for bit.
+func TestSplitSynthesisBitIdentical(t *testing.T) {
+	cfg := Default()
+	s := NewSynthesizer(cfg)
+	paths := []Path{
+		{RoundTrip: 8.0, PowerWatts: 1e-9, Phase: 0.3},
+		{RoundTrip: 12.5, PowerWatts: 4e-10, Phase: 2.1},
+		{RoundTrip: 21.7, PowerWatts: 9e-11, Phase: 5.9},
+	}
+	for trial := 0; trial < 4; trial++ {
+		fused := s.SynthesizeComplexFrame(paths, rand.New(rand.NewSource(int64(trial+1))))
+
+		rng := rand.New(rand.NewSource(int64(trial + 1)))
+		noise := s.NoiseFrame(rng, nil)
+		split := s.PathSpectrum(paths, nil)
+		AddNoise(split, noise)
+
+		if len(fused) != len(split) {
+			t.Fatalf("length mismatch: %d vs %d", len(fused), len(split))
+		}
+		for k := range fused {
+			if fused[k] != split[k] {
+				t.Fatalf("trial %d bin %d: fused %v != split %v", trial, k, fused[k], split[k])
+			}
+		}
+	}
+}
+
+// TestPathSpectrumReusesScratch checks the scratch contract: a
+// wrong-length dst is replaced, a right-length dst is zeroed and reused.
+func TestPathSpectrumReusesScratch(t *testing.T) {
+	cfg := Default()
+	s := NewSynthesizer(cfg)
+	paths := []Path{{RoundTrip: 9.0, PowerWatts: 1e-9, Phase: 1.0}}
+	fresh := s.PathSpectrum(paths, nil)
+
+	scratch := make(dsp.ComplexFrame, cfg.RangeBins())
+	for i := range scratch {
+		scratch[i] = complex(99, -99) // stale garbage must be cleared
+	}
+	reused := s.PathSpectrum(paths, scratch)
+	if &reused[0] != &scratch[0] {
+		t.Fatal("right-length scratch was not reused")
+	}
+	for k := range fresh {
+		if fresh[k] != reused[k] {
+			t.Fatalf("bin %d: fresh %v != reused %v", k, fresh[k], reused[k])
+		}
+	}
+	if short := s.PathSpectrum(paths, make(dsp.ComplexFrame, 3)); len(short) != cfg.RangeBins() {
+		t.Fatalf("wrong-length dst not replaced: len=%d", len(short))
+	}
+}

@@ -180,16 +180,25 @@ func (s *Synthesizer) kernelAt(delta float64) complex128 {
 	return s.kernel[i]*(1-frac) + s.kernel[i+1]*frac
 }
 
-// SynthesizeComplexFrame generates one averaged complex frame directly
-// in the frequency domain. A real tone A*cos(2*pi*f*t + phi) contributes
-// (A/2)*exp(j*phi)*K(k - f/binHz) to bin k (the negative-frequency image
-// falls outside the range bins for all targets beyond ~1.5 m and is
-// neglected). Coherently averaging SweepsPerFrame sweeps leaves the
-// signal term unchanged and divides the noise variance by the number of
-// sweeps.
-func (s *Synthesizer) SynthesizeComplexFrame(paths []Path, rng *rand.Rand) dsp.ComplexFrame {
+// PathSpectrum computes the deterministic (noise-free) signal part of an
+// averaged complex frame directly in the frequency domain. A real tone
+// A*cos(2*pi*f*t + phi) contributes (A/2)*exp(j*phi)*K(k - f/binHz) to
+// bin k (the negative-frequency image falls outside the range bins for
+// all targets beyond ~1.5 m and is neglected).
+//
+// dst is reused as the output when it has the right length (the
+// pipeline's per-antenna workers pass their scratch frame to keep the
+// hot path allocation-free); otherwise a fresh frame is allocated.
+func (s *Synthesizer) PathSpectrum(paths []Path, dst dsp.ComplexFrame) dsp.ComplexFrame {
 	nb := s.cfg.RangeBins()
-	spec := make(dsp.ComplexFrame, nb)
+	spec := dst
+	if len(spec) != nb {
+		spec = make(dsp.ComplexFrame, nb)
+	} else {
+		for k := range spec {
+			spec[k] = 0
+		}
+	}
 	for _, p := range paths {
 		a := p.Amplitude() / 2
 		center := s.cfg.BeatFreq(p.RoundTrip) / s.cfg.BinHz()
@@ -206,6 +215,47 @@ func (s *Synthesizer) SynthesizeComplexFrame(paths []Path, rng *rand.Rand) dsp.C
 			spec[k] += complex(a, 0) * rot * s.kernelAt(float64(k)-center)
 		}
 	}
+	return spec
+}
+
+// NoiseFrame draws one frame's worth of averaged receiver noise into dst
+// (reallocating only if the length is wrong) and returns it. Coherently
+// averaging SweepsPerFrame sweeps leaves the signal term unchanged and
+// divides the noise variance by the number of sweeps.
+//
+// The draw order — per bin, real then imaginary — is the RNG contract
+// the streaming pipeline relies on: drawing all antennas' noise frames
+// up front in antenna order consumes the generator exactly as the serial
+// SynthesizeComplexFrame loop does, which is what keeps the concurrent
+// pipeline bit-identical to the serial one.
+func (s *Synthesizer) NoiseFrame(rng *rand.Rand, dst dsp.ComplexFrame) dsp.ComplexFrame {
+	nb := s.cfg.RangeBins()
+	if len(dst) != nb {
+		dst = make(dsp.ComplexFrame, nb)
+	}
+	avgNoise := s.noisePerComp / math.Sqrt(float64(s.cfg.SweepsPerFrame))
+	for k := range dst {
+		dst[k] = complex(rng.NormFloat64()*avgNoise, rng.NormFloat64()*avgNoise)
+	}
+	return dst
+}
+
+// AddNoise adds a pre-drawn noise frame to a path spectrum in place —
+// the same per-bin additions, in the same order, as the fused
+// SynthesizeComplexFrame, so splitting synthesis across pipeline stages
+// does not perturb a single bit of the output.
+func AddNoise(spec, noise dsp.ComplexFrame) {
+	for k := range spec {
+		spec[k] += noise[k]
+	}
+}
+
+// SynthesizeComplexFrame generates one averaged complex frame: the
+// deterministic path spectrum plus per-bin complex Gaussian receiver
+// noise. It is PathSpectrum + NoiseFrame + AddNoise fused (equivalence
+// is property-tested in fmcw_test.go).
+func (s *Synthesizer) SynthesizeComplexFrame(paths []Path, rng *rand.Rand) dsp.ComplexFrame {
+	spec := s.PathSpectrum(paths, nil)
 	avgNoise := s.noisePerComp / math.Sqrt(float64(s.cfg.SweepsPerFrame))
 	for k := range spec {
 		spec[k] += complex(rng.NormFloat64()*avgNoise, rng.NormFloat64()*avgNoise)

@@ -73,6 +73,13 @@ func NewRandomWalk(cfg WalkConfig) *RandomWalk {
 		}
 	}
 	pos := randPoint()
+	// A non-positive duration builds no segments below; give At a
+	// zero-length pause so a degenerate walk stands still instead of
+	// panicking (a zero-duration trajectory still yields its t=0 frame).
+	if cfg.Duration <= 0 {
+		w.segments = append(w.segments, walkSegment{a: pos, b: pos, pause: true})
+		return w
+	}
 	t := 0.0
 	for t < cfg.Duration {
 		if rng.Float64() < cfg.PauseProb {

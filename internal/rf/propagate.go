@@ -122,9 +122,18 @@ func (p *Propagator) StaticPaths(k int) []fmcw.Path {
 // the direct two-leg path plus first-order wall-bounce ghosts on either
 // leg. The returned slice is freshly allocated.
 func (p *Propagator) TargetPaths(k int, pt geom.Vec3, rcs float64) []fmcw.Path {
+	return p.AppendTargetPaths(nil, k, pt, rcs)
+}
+
+// AppendTargetPaths is TargetPaths appending to dst, so per-frame
+// callers (the pipeline's per-antenna workers) can reuse one path
+// slice across frames. Paths are appended in the same order TargetPaths
+// produces them. The Propagator itself is immutable after construction,
+// so concurrent AppendTargetPaths calls for different antennas are safe.
+func (p *Propagator) AppendTargetPaths(dst []fmcw.Path, k int, pt geom.Vec3, rcs float64) []fmcw.Path {
 	tx := p.Array.Tx
 	rx := p.Array.Rx[k]
-	var out []fmcw.Path
+	out := dst
 
 	gTx := p.Array.BeamGain(pt)
 	gRx := p.Array.RxBeamGain(k, pt)

@@ -20,6 +20,11 @@ type MultiTracker struct {
 	prev       dsp.ComplexFrame
 	tracks     []*mtTrack
 	minBin     int
+
+	// diffBuf and smBuf are per-frame scratch reused across Push calls
+	// (one MultiTracker per antenna, single consumer — see Tracker).
+	diffBuf dsp.Frame
+	smBuf   dsp.Frame
 }
 
 // mtTrack is one target's denoising chain.
@@ -92,12 +97,18 @@ func (m *MultiTracker) Push(frame dsp.ComplexFrame) []Estimate {
 		m.prev = frame.Clone()
 		return out
 	}
-	diff := frame.SubMag(m.prev)
-	m.prev = frame.Clone()
+	diff := frame.SubMagInto(m.prev, m.diffBuf)
+	m.diffBuf = diff
+	if len(m.prev) == len(frame) {
+		copy(m.prev, frame)
+	} else {
+		m.prev = frame.Clone()
+	}
 	for i := 0; i < m.minBin && i < len(diff); i++ {
 		diff[i] = 0
 	}
-	sm := dsp.Frame(dsp.MovingAverage(diff, 3))
+	sm := dsp.Frame(dsp.MovingAverageInto(diff, 3, m.smBuf))
+	m.smBuf = sm
 
 	// Candidate measurements: strong neighborhood maxima, nearest first.
 	// Maxima closer together than minTargetSeparation are one extended

@@ -126,6 +126,13 @@ type Tracker struct {
 	hold   *filter.HoldInterpolator
 	kalman *filter.Kalman1D
 
+	// diffBuf and smBuf are per-frame scratch reused across Push calls so
+	// the streaming hot path stops allocating (the paper's §7 pipeline
+	// runs at 80 frames/s; one tracker per antenna is single-threaded by
+	// construction, so unsynchronized reuse is safe).
+	diffBuf dsp.Frame
+	smBuf   dsp.Frame
+
 	minBin int
 	// holdStreak counts consecutive frames served from the interpolator;
 	// after a long hold the Kalman's velocity state is stale (the person
@@ -171,15 +178,20 @@ func (t *Tracker) threshold() float64 {
 func (t *Tracker) Push(frame dsp.ComplexFrame) Estimate {
 	var diff dsp.Frame
 	if t.background != nil {
-		diff = frame.SubMag(t.background)
+		diff = frame.SubMagInto(t.background, t.diffBuf)
 	} else {
 		if t.prev == nil {
 			t.prev = frame.Clone()
 			return Estimate{}
 		}
-		diff = frame.SubMag(t.prev)
-		t.prev = frame.Clone()
+		diff = frame.SubMagInto(t.prev, t.diffBuf)
+		if len(t.prev) == len(frame) {
+			copy(t.prev, frame)
+		} else {
+			t.prev = frame.Clone()
+		}
 	}
+	t.diffBuf = diff
 
 	// Mask near-field bins.
 	for i := 0; i < t.minBin && i < len(diff); i++ {
@@ -189,7 +201,8 @@ func (t *Tracker) Push(frame dsp.ComplexFrame) Estimate {
 	// the flanks of the (multi-bin) human reflection blob, which would
 	// otherwise register as spurious early local maxima and bias the
 	// contour short.
-	sm := dsp.Frame(dsp.MovingAverage(diff, 3))
+	sm := dsp.Frame(dsp.MovingAverageInto(diff, 3, t.smBuf))
+	t.smBuf = sm
 
 	var peak dsp.Peak
 	var found bool

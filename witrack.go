@@ -19,13 +19,28 @@
 //     paper's physical testbed, with the simulated trajectory serving as
 //     the VICON ground truth.
 //
-// Quick start:
+// Processing runs on a staged streaming pipeline modeled on the paper's
+// §7 FPGA+multicore implementation: a frame source performs the ordered
+// simulation work, one worker per receive antenna does that antenna's
+// synthesis math and §4 tracking concurrently, and a fusion stage
+// intersects the ellipsoids (§5) and emits samples in frame order with
+// bounded latency. Stream is the primary API; Run is the same pipeline
+// drained to completion. For a fixed seed both produce bit-identical
+// samples at any worker count.
+//
+// Quick start (streaming):
 //
 //	cfg := witrack.DefaultConfig()
 //	dev, err := witrack.NewDevice(cfg)
 //	if err != nil { ... }
 //	walk := witrack.NewRandomWalk(witrack.DefaultWalkConfig(
 //	    witrack.StandardRegion(), 0.96, 30, 1))
+//	for s := range dev.Stream(context.Background(), walk) {
+//	    fmt.Println(s.T, s.Pos)
+//	}
+//
+// Or batch, with diagnostics:
+//
 //	result := dev.Run(walk)
 //	for _, s := range result.Samples {
 //	    fmt.Println(s.T, s.Pos)
@@ -33,6 +48,8 @@
 package witrack
 
 import (
+	"context"
+
 	"witrack/internal/body"
 	"witrack/internal/core"
 	"witrack/internal/fall"
@@ -109,6 +126,19 @@ func NewDevice(cfg Config) (*Device, error) {
 
 // Run tracks the trajectory for its full duration.
 func (d *Device) Run(traj Trajectory) *RunResult { return d.inner.Run(traj) }
+
+// Stream tracks the trajectory on the staged concurrent pipeline and
+// delivers 3D location samples as they are produced, in frame order.
+// The channel closes when the trajectory ends or ctx is cancelled. For
+// a fixed seed the sample sequence is bit-identical to Run's.
+func (d *Device) Stream(ctx context.Context, traj Trajectory) <-chan Sample {
+	return d.inner.Stream(ctx, traj)
+}
+
+// SetWorkers sets the number of per-antenna pipeline workers: 0 (the
+// default) uses one per receive antenna; 1 degenerates to a serial
+// processing stage (useful for measuring the parallel speedup).
+func (d *Device) SetWorkers(n int) { d.inner.Workers = n }
 
 // Reset clears tracker state for a fresh run.
 func (d *Device) Reset() { d.inner.Reset() }

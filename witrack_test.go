@@ -1,6 +1,7 @@
 package witrack
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -109,5 +110,49 @@ func TestPublicHelpers(t *testing.T) {
 	reg := StandardRegion()
 	if !reg.Contains(Vec3{X: 0, Y: 5}) {
 		t.Fatal("region")
+	}
+}
+
+// TestPublicStreamFlow exercises the streaming API end to end through
+// the public wrapper: Stream matches Run sample-for-sample for the same
+// seed, and SetWorkers(1) does not change the output.
+func TestPublicStreamFlow(t *testing.T) {
+	mk := func() *Device {
+		cfg := DefaultConfig()
+		cfg.Seed = 3
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dev
+	}
+	walk := NewRandomWalk(DefaultWalkConfig(StandardRegion(), DefaultSubject().CenterHeight(), 5, 4))
+	want := mk().Run(walk).Samples
+
+	dev := mk()
+	var got []Sample
+	for s := range dev.Stream(context.Background(), walk) {
+		got = append(got, s)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream produced %d samples, run %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: stream %+v != run %+v", i, got[i], want[i])
+		}
+	}
+
+	serial := mk()
+	serial.SetWorkers(1)
+	i := 0
+	for s := range serial.Stream(context.Background(), walk) {
+		if s != want[i] {
+			t.Fatalf("workers=1 sample %d: %+v != %+v", i, s, want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("workers=1 produced %d samples, want %d", i, len(want))
 	}
 }
