@@ -316,9 +316,11 @@ func BenchmarkX2TwoPerson(b *testing.B) {
 
 // BenchmarkPipelineThroughput measures the staged pipeline's parallel
 // speedup: frames/sec and allocs/frame with a single processing worker
-// versus one worker per receive antenna (capped at GOMAXPROCS). The
-// fixed seed makes the two runs compute bit-identical samples — only
-// the schedule differs.
+// versus one worker per receive antenna (capped at GOMAXPROCS), plus
+// the full time-domain sweep path (per-sample tone synthesis, window +
+// real-input FFT per sweep, coherent averaging — the processing of the
+// paper's §7 implementation). The fixed seed makes the worker-count
+// variants compute bit-identical samples — only the schedule differs.
 func BenchmarkPipelineThroughput(b *testing.B) {
 	// The pipeline caps workers at the antenna count; label with the
 	// count that actually runs.
@@ -326,29 +328,32 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	if nRx := len(DefaultConfig().Array.Rx); parallel > nRx {
 		parallel = nRx
 	}
-	cases := []struct {
-		name    string
-		workers int
-	}{
-		{"workers=1", 1},
+	type benchCase struct {
+		name     string
+		workers  int
+		slow     bool
+		duration float64
 	}
+	cases := []benchCase{{"workers=1", 1, false, 30}}
 	if parallel > 1 {
-		cases = append(cases, struct {
-			name    string
-			workers int
-		}{fmt.Sprintf("workers=%d", parallel), parallel})
+		cases = append(cases, benchCase{fmt.Sprintf("workers=%d", parallel), parallel, false, 30})
 	}
+	// The time-domain path costs ~50x the spectral path per frame; a
+	// shorter trajectory keeps the 1x smoke run quick while still
+	// averaging hundreds of frames.
+	cases = append(cases, benchCase{"time-domain-sweeps", 0, true, 5})
 	for _, bc := range cases {
 		b.Run(bc.name, func(b *testing.B) {
 			cfg := DefaultConfig()
 			cfg.Seed = 1
+			cfg.SlowSynth = bc.slow
 			dev, err := NewDevice(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			dev.SetWorkers(bc.workers)
 			walk := NewRandomWalk(DefaultWalkConfig(
-				StandardRegion(), 0.96, 30, 1))
+				StandardRegion(), 0.96, bc.duration, 1))
 			var frames int
 			var m0, m1 runtime.MemStats
 			runtime.GC()

@@ -6,10 +6,17 @@
 //
 // Usage:
 //
-//	witrack-bench [-scale quick|paper] [-only E4,E7,...] [-seed 1]
+//	witrack-bench [-scale quick|paper] [-only E4,E7,...] [-seed 1] [-json BENCH_pipeline.json]
+//
+// With -json the headline metrics — pipeline frames/sec, allocs/frame,
+// the time-domain sweep path numbers, and every per-experiment row — are
+// also written to the given path as JSON, seeding the perf trajectory
+// tracked across PRs (the checked-in BENCH_pipeline.json; CI regenerates
+// and uploads it as a build artifact).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +28,35 @@ import (
 	"witrack/internal/motion"
 )
 
+// reportRow is one printed paper-vs-measured row, as serialized by -json.
+type reportRow struct {
+	Label    string `json:"label"`
+	Paper    string `json:"paper"`
+	Measured string `json:"measured"`
+}
+
+// report is the -json artifact.
+type report struct {
+	Scale       string                                `json:"scale"`
+	Seed        int64                                 `json:"seed"`
+	GeneratedAt string                                `json:"generated_at"`
+	GoMaxProcs  int                                   `json:"gomaxprocs"`
+	Pipeline    *experiments.PipelineThroughputResult `json:"pipeline,omitempty"`
+	Experiments map[string][]reportRow                `json:"experiments"`
+	TotalSecs   float64                               `json:"total_seconds"`
+}
+
+// collector accumulates rows under the current section for -json output.
+var collector = struct {
+	section string
+	rows    map[string][]reportRow
+}{rows: map[string][]reportRow{}}
+
 func main() {
 	scaleName := flag.String("scale", "quick", "workload scale: quick, mid, or paper")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	seed := flag.Int64("seed", 1, "base seed")
+	jsonPath := flag.String("json", "", "also write headline metrics to this path as JSON")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -216,16 +248,38 @@ func main() {
 			fmt.Sprintf("%.2f m (%.0f%% frames with a joint fix; run-to-run variance is high — see EXPERIMENTS.md)", r.MedianErr2D, r.ValidFrac*100))
 	}
 
+	var pipeline *experiments.PipelineThroughputResult
 	if run("X3") {
 		r, err := experiments.PipelineThroughput(sc.Duration, *seed)
 		check(err)
+		pipeline = r
 		section("X3  staged pipeline throughput (§7 multicore analog)")
 		row("frames/sec serial vs parallel", "pipeline keeps up with the 80 frames/s radio",
 			fmt.Sprintf("%.0f fps (1 worker) vs %.0f fps (%d workers, %.2fx on %d CPUs)",
 				r.SerialFPS, r.ParallelFPS, r.Workers, r.Speedup, runtime.GOMAXPROCS(0)))
+		row("allocs/frame (fast path)", "-", fmt.Sprintf("%.2f", r.AllocsPerFrame))
+		row("time-domain sweep path", "per-sweep windowed FFT processing (§7)",
+			fmt.Sprintf("%.0f fps, %.2f allocs/frame", r.TimeDomainFPS, r.TimeDomainAllocsPerFrame))
 	}
 
-	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
+	total := time.Since(start)
+	fmt.Printf("\ntotal runtime: %v\n", total.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		rep := report{
+			Scale:       *scaleName,
+			Seed:        *seed,
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Pipeline:    pipeline,
+			Experiments: collector.rows,
+			TotalSecs:   total.Seconds(),
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }
 
 func paperFallRow(act motion.Activity) string {
@@ -241,10 +295,13 @@ func paperFallRow(act motion.Activity) string {
 
 func section(title string) {
 	fmt.Printf("\n== %s ==\n", title)
+	collector.section = strings.Fields(title)[0]
 }
 
 func row(label, paper, measured string) {
 	fmt.Printf("  %-34s paper: %-48s measured: %s\n", label, paper, measured)
+	collector.rows[collector.section] = append(collector.rows[collector.section],
+		reportRow{Label: label, Paper: paper, Measured: measured})
 }
 
 func check(err error) {

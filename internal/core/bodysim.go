@@ -84,17 +84,21 @@ func (b *bodySim) reflectorsInto(dst [][]reflector, st motion.BodyState, tx geom
 
 		legDepth := 0.22 + 0.10*(0.5+0.5*math.Sin(b.gaitPhase))
 		armDepth := 0.12 + 0.07*(0.5+0.5*math.Sin(b.gaitPhase+math.Pi))
-		b.frozenParts = b.frozenParts[:0]
+		if len(b.frozenParts) != nRx {
+			b.frozenParts = make([][]reflector, nRx)
+		}
 		for k := 0; k < nRx; k++ {
 			il, ir, iv := b.reflPerRx[k].Offsets(dt, st.Moving)
 			front := body.SurfacePoint(b.sub, st.Center, tx, cl+il, cr+ir, cv+iv)
 			leg := body.SurfacePoint(b.sub, st.Center, tx, cl+il, cr+ir-legDepth, cv-0.45)
 			arm := body.SurfacePoint(b.sub, st.Center, tx, cl+il, cr+ir-armDepth, cv+0.05)
-			b.frozenParts = append(b.frozenParts, []reflector{
-				{pt: front, rcs: 0.60 * b.sub.RCS},
-				{pt: leg, rcs: 0.22 * b.sub.RCS},
-				{pt: arm, rcs: 0.18 * b.sub.RCS},
-			})
+			// Reuse each antenna's slice across frames: this runs every
+			// moving frame and was one of the last steady-state allocators.
+			b.frozenParts[k] = append(b.frozenParts[k][:0],
+				reflector{pt: front, rcs: 0.60 * b.sub.RCS},
+				reflector{pt: leg, rcs: 0.22 * b.sub.RCS},
+				reflector{pt: arm, rcs: 0.18 * b.sub.RCS},
+			)
 		}
 		b.haveFrozen = true
 	}

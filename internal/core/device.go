@@ -203,31 +203,44 @@ func (d *Device) reflectors(st motion.BodyState) [][]reflector {
 }
 
 // antennaScratch is one pipeline worker's per-antenna reusable buffers:
-// the path list and the spectrum frame. Each antenna is processed by
-// exactly one goroutine, so the buffers need no synchronization.
+// the path list, the spectrum frame, and the time-domain sweep scratch
+// (created on first use; it references the shared immutable FFT plan but
+// its buffers belong to this antenna alone). Each antenna is processed
+// by exactly one goroutine, so the buffers need no synchronization.
 type antennaScratch struct {
 	paths []fmcw.Path
 	spec  dsp.ComplexFrame
+	sweep *fmcw.SweepScratch
 }
 
 // materialize returns antenna k's complex frame for batch b: the eager
 // frame if the source provided one, otherwise the deferred deterministic
-// synthesis — static paths, then each target's paths in order, then the
-// pre-drawn noise — reusing the worker's scratch. The operation order
-// matches the fused serial synthesis exactly, so the result is
-// bit-identical to what the serial loop produced.
+// work — either the fast path's spectral synthesis (static paths, then
+// each target's paths in order, then the pre-drawn noise) or the slow
+// path's window + real-input FFT + coherent averaging of raw sweeps —
+// reusing the worker's scratch. The operation order matches the fused
+// serial synthesis exactly, so the result is bit-identical to what the
+// serial loop produced.
 func (w *antennaScratch) materialize(synth *fmcw.Synthesizer, prop *rf.Propagator, k int, b *FrameBatch) dsp.ComplexFrame {
-	if b.synth == nil {
+	switch {
+	case b.sweeps != nil:
+		if w.sweep == nil {
+			w.sweep = synth.NewSweepScratch()
+		}
+		w.spec = synth.ComplexFrameFromSweepsInto(w.spec, b.sweeps[k], w.sweep)
+		return w.spec
+	case b.synth != nil:
+		j := &b.synth[k]
+		w.paths = append(w.paths[:0], prop.StaticPaths(k)...)
+		for _, r := range j.targets {
+			w.paths = prop.AppendTargetPaths(w.paths, k, r.pt, r.rcs)
+		}
+		w.spec = synth.PathSpectrum(w.paths, w.spec)
+		fmcw.AddNoise(w.spec, j.noise)
+		return w.spec
+	default:
 		return b.Frames[k]
 	}
-	j := &b.synth[k]
-	w.paths = append(w.paths[:0], prop.StaticPaths(k)...)
-	for _, r := range j.targets {
-		w.paths = prop.AppendTargetPaths(w.paths, k, r.pt, r.rcs)
-	}
-	w.spec = synth.PathSpectrum(w.paths, w.spec)
-	fmcw.AddNoise(w.spec, j.noise)
-	return w.spec
 }
 
 // antResult is one antenna's per-frame output inside the pipeline.

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"witrack/internal/motion"
+)
+
+// goldenHash folds a sample stream into a 64-bit FNV-1a hash over the
+// raw float64 bits, so any single-bit divergence anywhere in the run
+// changes the digest.
+func goldenHash(samples []Sample) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(b >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, s := range samples {
+		put(s.T)
+		put(s.Pos.X)
+		put(s.Pos.Y)
+		put(s.Pos.Z)
+		if s.Valid {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	return h.Sum64()
+}
+
+// TestGoldenPipelineBitIdentical pins the full fast-path pipeline output
+// to digests captured from the pre-plan implementation (the seed of this
+// PR, before the planned FFT engine, the workspace-reusing solver, and
+// the zero-allocation hot path went in). Every optimization in that
+// stack was required to be arithmetic-order preserving; if any of them
+// perturbs a single output bit on these fixed seeds, this test fails.
+func TestGoldenPipelineBitIdentical(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		// The digests were captured on amd64; on architectures where the
+		// compiler fuses multiply-adds (arm64) the low-order bits differ
+		// legitimately. They are also a function of the Go toolchain's
+		// math library (captured with go1.22) — if a toolchain bump
+		// shifts math.Sincos/cmplx.Abs low-order bits, re-capture the
+		// digests rather than hunting a pipeline regression. The
+		// arch- and toolchain-independent bit-exactness properties are
+		// covered by the pipeline-vs-serial tests.
+		t.Skipf("golden digests are amd64-specific (GOARCH=%s)", runtime.GOARCH)
+	}
+	cases := []struct {
+		seed     int64
+		duration float64
+		frames   int
+		hash     uint64
+	}{
+		{seed: 1, duration: 10, frames: 801, hash: 0xe12f7acfecfe9912},
+		{seed: 7, duration: 6, frames: 481, hash: 0xc82ae4c22dde2b66},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		cfg.Seed = c.seed
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), 0.96, c.duration, c.seed+1))
+		res := dev.Run(walk)
+		if res.Frames != c.frames {
+			t.Fatalf("seed %d: %d frames, golden run had %d", c.seed, res.Frames, c.frames)
+		}
+		if got := goldenHash(res.Samples); got != c.hash {
+			t.Fatalf("seed %d: output hash %#016x != golden %#016x — the pipeline is no longer bit-identical to the pre-plan implementation", c.seed, got, c.hash)
+		}
+	}
+}
+
+// TestSlowSynthPipelineMatchesSerial extends the pipeline-vs-serial
+// bit-exactness property to the time-domain sweep path: deferring the
+// window + real-input FFT + averaging into the per-antenna workers (the
+// source only draws the RNG-ordered sweeps) must not perturb a single
+// output bit relative to the fully serial slow-synthesis loop.
+func TestSlowSynthPipelineMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow synthesis path")
+	}
+	mk := func() *Device {
+		cfg := DefaultConfig()
+		cfg.Seed = 17
+		cfg.SlowSynth = true
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dev
+	}
+	traj := testWalk(2, 5)
+	want := serialRun(mk(), traj)
+	for _, workers := range []int{0, 1} {
+		dev := mk()
+		dev.Workers = workers
+		res := dev.Run(traj)
+		if res.Frames != len(want) {
+			t.Fatalf("workers=%d: %d frames, serial produced %d", workers, res.Frames, len(want))
+		}
+		for i := range want {
+			if res.Samples[i] != want[i] {
+				t.Fatalf("workers=%d sample %d diverged:\n  pipeline %+v\n  serial   %+v", workers, i, res.Samples[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSteadyStateAllocsPerFrame enforces the PR's allocation budget: a
+// streaming run must average at most 5 heap allocations per frame (the
+// seed sat around 71), on both synthesis paths. The budget includes
+// warm-up, so the steady state is well below it.
+func TestSteadyStateAllocsPerFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming runs")
+	}
+	for _, slow := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Seed = 3
+		cfg.SlowSynth = slow
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk := testWalk(5, 9)
+		dev.Run(walk) // warm every scratch buffer and pool
+		dev.Reset()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		res := dev.Run(walk)
+		runtime.ReadMemStats(&m1)
+		perFrame := float64(m1.Mallocs-m0.Mallocs) / float64(res.Frames)
+		t.Logf("slow=%v: %.2f allocs/frame over %d frames", slow, perFrame, res.Frames)
+		if perFrame > 5 {
+			t.Fatalf("slow=%v: %.2f allocs/frame exceeds the 5/frame budget", slow, perFrame)
+		}
+	}
+}

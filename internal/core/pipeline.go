@@ -24,11 +24,14 @@ type stageMsg[E any] struct {
 //
 // The source goroutine pulls batches from src in frame order and
 // broadcasts each to every worker. Worker w owns antennas k ≡ w (mod W)
-// exclusively — their trackers and scratch buffers are touched by no
-// other goroutine — and processes them with proc, emitting one message
-// per antenna per frame on that antenna's ordered channel. The fusion
-// stage (run on the calling goroutine) joins the per-antenna streams
-// frame by frame and hands each complete estimate set to fuse.
+// exclusively — their trackers and scratch buffers (the antennaScratch
+// path/spectrum buffers and the fmcw.SweepScratch FFT workspace; the
+// dsp.Plan behind it is immutable and shared via the per-size plan
+// cache) are touched by no other goroutine — and processes them with
+// proc, emitting one message per antenna per frame on that antenna's
+// ordered channel. The fusion stage (run on the calling goroutine)
+// joins the per-antenna streams frame by frame and hands each complete
+// estimate set to fuse.
 //
 // Ordering and determinism: every per-antenna channel is FIFO and every
 // stage consumes in frame order, so proc sees each antenna's frames in

@@ -37,6 +37,14 @@ type FrameBatch struct {
 	// source; everything else is deterministic and runs in the workers
 	// without perturbing a single output bit.
 	synth []synthJob
+
+	// sweeps, when non-nil, is the slow path's deferred job: raw
+	// time-domain samples, indexed [antenna][sweep]. Sweep generation
+	// consumes the RNG (tones plus per-sample noise interleave) so it
+	// stays in the source; the windowing, real-input FFT, and coherent
+	// averaging are deterministic and run in the per-antenna workers
+	// against their own plans and scratch.
+	sweeps [][][]float64
 }
 
 // synthJob is the deferred deterministic synthesis work for one antenna.
@@ -163,8 +171,10 @@ func (s *simSource) Next() *FrameBatch {
 
 	if s.slow {
 		b.synth = nil
-		if len(b.Frames) != s.nRx {
-			b.Frames = make([]dsp.ComplexFrame, s.nRx)
+		b.Frames = nil
+		spf := s.synth.Config().SweepsPerFrame
+		if len(b.sweeps) != s.nRx {
+			b.sweeps = make([][][]float64, s.nRx)
 		}
 		for k := 0; k < s.nRx; k++ {
 			s.paths = append(s.paths[:0], s.prop.StaticPaths(k)...)
@@ -173,12 +183,23 @@ func (s *simSource) Next() *FrameBatch {
 					s.paths = s.prop.AppendTargetPaths(s.paths, k, r.pt, r.rcs)
 				}
 			}
-			b.Frames[k] = s.synth.SynthesizeComplexFrameSlow(s.paths, s.rng)
+			// Sweep-by-sweep, each sweep's noise in sample order: the
+			// exact RNG sequence SynthesizeComplexFrameSlow consumes, so
+			// deferring the transforms perturbs no output bit.
+			sw := b.sweeps[k]
+			if len(sw) != spf {
+				sw = make([][]float64, spf)
+			}
+			for j := range sw {
+				sw[j] = s.synth.SynthesizeSweepInto(sw[j], s.paths, s.rng)
+			}
+			b.sweeps[k] = sw
 		}
 		return b
 	}
 
 	b.Frames = nil
+	b.sweeps = nil
 	if len(b.synth) != s.nRx {
 		b.synth = make([]synthJob, s.nRx)
 	}

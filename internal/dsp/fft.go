@@ -1,12 +1,11 @@
 // Package dsp provides the signal-processing primitives the WiTrack
-// pipeline needs: an FFT (the Go standard library has none), window
-// functions, spectrogram construction, local-maximum peak detection, and
-// order statistics. Everything is implemented from scratch on the
-// standard library only.
+// pipeline needs: a planned FFT (the Go standard library has none),
+// window functions, spectrogram construction, local-maximum peak
+// detection, and order statistics. Everything is implemented from
+// scratch on the standard library only.
 package dsp
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
 	"math/cmplx"
@@ -17,67 +16,48 @@ import (
 // ZeroPad to arrange that, which is standard practice for FMCW sweep
 // processing). The transform is unnormalized: IFFT(FFT(x)) == len(x)*x
 // before the 1/N scaling applied by IFFT.
+//
+// FFT is a thin wrapper over the shared plan cache (see Plan / PlanFor):
+// the butterflies read exact precomputed twiddle tables instead of the
+// old numerically drifting w *= wBase recurrence. Repeated-transform
+// callers should hold a Plan directly and call Transform to skip the
+// cache lookup.
 func FFT(x []complex128) {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return
 	}
-	if n&(n-1) != 0 {
-		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	// Danielson-Lanczos butterflies.
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := -2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				even := x[start+k]
-				odd := x[start+k+half] * w
-				x[start+k] = even + odd
-				x[start+k+half] = even - odd
-				w *= wBase
-			}
-		}
-	}
+	PlanFor(len(x)).Transform(x)
 }
 
 // IFFT computes the inverse FFT in place, including the 1/N scaling.
 func IFFT(x []complex128) {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return
 	}
-	for i := range x {
-		x[i] = cmplx.Conj(x[i])
-	}
-	FFT(x)
-	inv := complex(1/float64(n), 0)
-	for i := range x {
-		x[i] = cmplx.Conj(x[i]) * inv
-	}
+	PlanFor(len(x)).Inverse(x)
 }
 
 // DFT computes the discrete Fourier transform naively in O(n^2). It
 // exists as a correctness oracle for FFT in tests and works for any
-// length.
+// length. The twiddles are read from a table indexed (k*t) mod n, which
+// keeps every evaluated angle inside [0, 2*pi) — more accurate than
+// evaluating the exponential at angles that grow with k*t, so the oracle
+// stays meaningful at the tight tolerances the planned FFT achieves.
 func DFT(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	w := make([]complex128, n)
+	for j := range w {
+		sn, cs := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		w[j] = complex(cs, sn)
+	}
 	for k := 0; k < n; k++ {
 		var sum complex128
 		for t := 0; t < n; t++ {
-			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
-			sum += x[t] * cmplx.Exp(complex(0, angle))
+			sum += x[t] * w[(k*t)%n]
 		}
 		out[k] = sum
 	}
@@ -100,25 +80,20 @@ func ZeroPad(x []complex128, n int) []complex128 {
 }
 
 // RealFFTMag computes the magnitude spectrum of a real-valued signal:
-// the signal is windowed, zero-padded to the next power of two, FFT'd,
-// and the magnitudes of the first nBins non-negative-frequency bins are
-// returned. This is exactly the per-sweep processing step of the paper's
-// §4.1 (the FFT "is typically taken over a duration of one sweep").
+// the signal is windowed, zero-padded to the next power of two,
+// transformed with the real-input FFT (half the work of a complex
+// transform), and the magnitudes of the first nBins non-negative-
+// frequency bins are returned. This is exactly the per-sweep processing
+// step of the paper's §4.1 (the FFT "is typically taken over a duration
+// of one sweep").
 //
 // If window is nil a rectangular window is used. nBins may not exceed
 // half the padded length + 1.
 func RealFFTMag(signal []float64, window []float64, nBins int) []float64 {
 	n := NextPow2(len(signal))
-	buf := make([]complex128, n)
-	for i, v := range signal {
-		if window != nil {
-			v *= window[i]
-		}
-		buf[i] = complex(v, 0)
-	}
-	FFT(buf)
-	max := n/2 + 1
-	if nBins > max {
+	p := PlanFor(n)
+	buf := p.RealTransform(make([]complex128, n/2+1), signal, window)
+	if max := n/2 + 1; nBins > max {
 		nBins = max
 	}
 	out := make([]float64, nBins)

@@ -43,47 +43,60 @@ func FirstPeakAbove(f Frame, threshold float64) (Peak, bool) {
 // flank of a wide reflection blob — those would otherwise bias the
 // bottom contour toward shorter distances.
 func NeighborhoodMaxima(f Frame, threshold float64, halfWin int) []Peak {
-	if halfWin < 1 {
-		halfWin = 1
-	}
-	var peaks []Peak
+	return NeighborhoodMaximaInto(f, threshold, halfWin, nil)
+}
+
+// NeighborhoodMaximaInto is NeighborhoodMaxima appending into dst[:0],
+// so per-frame callers can reuse a peak buffer across calls.
+func NeighborhoodMaximaInto(f Frame, threshold float64, halfWin int, dst []Peak) []Peak {
+	peaks := dst[:0]
 	n := len(f)
 	for i := 1; i < n-1; i++ {
-		if f[i] < threshold {
-			continue
-		}
-		isMax := true
-		lo, hi := i-halfWin, i+halfWin
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > n-1 {
-			hi = n - 1
-		}
-		for j := lo; j <= hi; j++ {
-			if j == i {
-				continue
-			}
-			if f[j] > f[i] || (f[j] == f[i] && j < i) {
-				isMax = false
-				break
-			}
-		}
-		if isMax {
+		if ok, _ := neighborhoodMaxAt(f, i, threshold, halfWin); ok {
 			peaks = append(peaks, Peak{Bin: i, Power: f[i]})
 		}
 	}
 	return peaks
 }
 
-// FirstBlobPeak is the production bottom-contour rule: the lowest-bin
-// neighborhood maximum above threshold.
-func FirstBlobPeak(f Frame, threshold float64, halfWin int) (Peak, bool) {
-	peaks := NeighborhoodMaxima(f, threshold, halfWin)
-	if len(peaks) == 0 {
-		return Peak{}, false
+// neighborhoodMaxAt reports whether interior bin i is a strict maximum
+// of its +-halfWin neighborhood and at least threshold.
+func neighborhoodMaxAt(f Frame, i int, threshold float64, halfWin int) (bool, float64) {
+	if halfWin < 1 {
+		halfWin = 1
 	}
-	return peaks[0], true
+	if f[i] < threshold {
+		return false, 0
+	}
+	n := len(f)
+	lo, hi := i-halfWin, i+halfWin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	for j := lo; j <= hi; j++ {
+		if j == i {
+			continue
+		}
+		if f[j] > f[i] || (f[j] == f[i] && j < i) {
+			return false, 0
+		}
+	}
+	return true, f[i]
+}
+
+// FirstBlobPeak is the production bottom-contour rule: the lowest-bin
+// neighborhood maximum above threshold. It scans without materializing
+// the full maxima list — the per-frame hot path allocates nothing.
+func FirstBlobPeak(f Frame, threshold float64, halfWin int) (Peak, bool) {
+	for i := 1; i < len(f)-1; i++ {
+		if ok, p := neighborhoodMaxAt(f, i, threshold, halfWin); ok {
+			return Peak{Bin: i, Power: p}, true
+		}
+	}
+	return Peak{}, false
 }
 
 // StrongestPeak returns the global maximum of the frame; used as the

@@ -19,50 +19,82 @@ func (f Frame) Clone() Frame {
 // primitive of the paper's §4.2 (consecutive-frame differencing removes
 // reflectors whose TOF does not change).
 func (f Frame) Sub(g Frame) Frame {
+	return f.SubInto(g, nil)
+}
+
+// SubInto is Sub writing into dst when it has the right length
+// (allocating otherwise), so per-frame callers can reuse a scratch
+// buffer; dst may alias f or g. It returns the frame written.
+func (f Frame) SubInto(g, dst Frame) Frame {
 	if len(f) != len(g) {
 		panic(fmt.Sprintf("dsp: frame length mismatch %d vs %d", len(f), len(g)))
 	}
-	out := make(Frame, len(f))
-	for i := range f {
-		out[i] = f[i] - g[i]
+	if len(dst) != len(f) {
+		dst = make(Frame, len(f))
 	}
-	return out
+	for i := range f {
+		dst[i] = f[i] - g[i]
+	}
+	return dst
 }
 
 // Abs returns |f| element-wise.
 func (f Frame) Abs() Frame {
-	out := make(Frame, len(f))
+	return f.AbsInto(nil)
+}
+
+// AbsInto is Abs writing into dst when it has the right length
+// (allocating otherwise); dst may alias f for an in-place rectify. It
+// returns the frame written.
+func (f Frame) AbsInto(dst Frame) Frame {
+	if len(dst) != len(f) {
+		dst = make(Frame, len(f))
+	}
 	for i, v := range f {
 		if v < 0 {
 			v = -v
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
 // AverageFrames returns the element-wise mean of the given frames. The
 // paper averages five consecutive sweeps into one frame (12.5 ms): human
 // reflections add coherently while noise adds incoherently (§4.3).
 func AverageFrames(frames []Frame) Frame {
+	return AverageInto(frames, nil)
+}
+
+// AverageInto is AverageFrames accumulating into dst when it has the
+// right length (allocating otherwise); dst must not alias any element
+// of frames (it is zeroed before accumulation). It returns the frame
+// written, or nil when frames is empty.
+func AverageInto(frames []Frame, dst Frame) Frame {
 	if len(frames) == 0 {
 		return nil
 	}
 	n := len(frames[0])
-	out := make(Frame, n)
+	if len(dst) != n {
+		dst = make(Frame, n)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	for _, fr := range frames {
 		if len(fr) != n {
 			panic("dsp: AverageFrames length mismatch")
 		}
 		for i, v := range fr {
-			out[i] += v
+			dst[i] += v
 		}
 	}
 	inv := 1 / float64(len(frames))
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // Spectrogram is a time sequence of frames plus the scale needed to map
@@ -103,7 +135,10 @@ func (s *Spectrogram) BackgroundSubtract() *Spectrogram {
 			out.Frames[i] = make(Frame, len(fr))
 			continue
 		}
-		out.Frames[i] = fr.Sub(s.Frames[i-1]).Abs()
+		// One allocation per output frame (it is retained), with the
+		// rectify running in place on it.
+		d := fr.SubInto(s.Frames[i-1], nil)
+		out.Frames[i] = d.AbsInto(d)
 	}
 	return out
 }

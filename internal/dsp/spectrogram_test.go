@@ -112,3 +112,60 @@ func TestBackgroundSubtractRemovesStatic(t *testing.T) {
 		}
 	}
 }
+
+// TestIntoVariantsMatchAndReuse pins the destination-reusing frame ops:
+// same values as the allocating forms, right-length dst reused (including
+// aliasing), wrong-length dst replaced, and zero steady-state allocations.
+func TestIntoVariantsMatchAndReuse(t *testing.T) {
+	f := Frame{3, -1, 4, -1, 5}
+	g := Frame{1, 1, -2, 2, 0}
+	dst := make(Frame, len(f))
+
+	if out := f.SubInto(g, dst); &out[0] != &dst[0] {
+		t.Fatal("SubInto did not reuse right-length dst")
+	}
+	want := f.Sub(g)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SubInto bin %d: %v != %v", i, dst[i], want[i])
+		}
+	}
+	if out := dst.AbsInto(dst); &out[0] != &dst[0] {
+		t.Fatal("AbsInto did not rectify in place")
+	}
+	wantAbs := want.Abs()
+	for i := range wantAbs {
+		if dst[i] != wantAbs[i] {
+			t.Fatalf("AbsInto bin %d: %v != %v", i, dst[i], wantAbs[i])
+		}
+	}
+
+	frames := []Frame{f, g}
+	avg := make(Frame, len(f))
+	for i := range avg {
+		avg[i] = 99 // stale garbage must be cleared
+	}
+	if out := AverageInto(frames, avg); &out[0] != &avg[0] {
+		t.Fatal("AverageInto did not reuse right-length dst")
+	}
+	wantAvg := AverageFrames(frames)
+	for i := range wantAvg {
+		if avg[i] != wantAvg[i] {
+			t.Fatalf("AverageInto bin %d: %v != %v", i, avg[i], wantAvg[i])
+		}
+	}
+	if AverageInto(nil, avg) != nil {
+		t.Fatal("AverageInto of no frames should be nil")
+	}
+	if short := f.SubInto(g, make(Frame, 2)); len(short) != len(f) {
+		t.Fatalf("SubInto kept a wrong-length dst: len=%d", len(short))
+	}
+
+	if a := testing.AllocsPerRun(20, func() {
+		f.SubInto(g, dst)
+		dst.AbsInto(dst)
+		AverageInto(frames, avg)
+	}); a != 0 {
+		t.Fatalf("Into variants allocate %v per run", a)
+	}
+}

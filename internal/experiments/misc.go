@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 
 	"witrack/internal/baseline/rti"
@@ -298,53 +299,80 @@ func AblationExtraAntennas(sc Scale, seed int64) (*AblationAntennasResult, error
 
 // PipelineThroughputResult is the X3 artifact: frame throughput of the
 // staged streaming pipeline with a serial processing stage versus one
-// worker per receive antenna (the paper's §7 FPGA+multicore analog).
+// worker per receive antenna (the paper's §7 FPGA+multicore analog),
+// plus the steady-state allocation rate and the time-domain sweep path's
+// numbers — the quantities the planned-FFT/zero-allocation work is
+// measured by (see BENCH_pipeline.json).
 type PipelineThroughputResult struct {
 	// SerialFPS is frames/sec with Workers=1.
-	SerialFPS float64
+	SerialFPS float64 `json:"serial_fps"`
 	// ParallelFPS is frames/sec with one worker per antenna.
-	ParallelFPS float64
+	ParallelFPS float64 `json:"parallel_fps"`
 	// Speedup is ParallelFPS / SerialFPS. On a single-CPU host this
 	// hovers near 1: the pipeline still runs, the hardware cannot.
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 	// Workers is the parallel worker count used.
-	Workers int
+	Workers int `json:"workers"`
 	// Frames is the number of frames in each measured run.
-	Frames int
+	Frames int `json:"frames"`
+	// AllocsPerFrame is the heap allocations per frame of the parallel
+	// fast-path run (including warm-up; the steady state is lower).
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	// TimeDomainFPS is frames/sec of the full time-domain sweep path
+	// (SlowSynth: per-sample tone synthesis, window + real-input FFT per
+	// sweep, coherent averaging) with one worker per antenna.
+	TimeDomainFPS float64 `json:"time_domain_fps"`
+	// TimeDomainAllocsPerFrame is the allocation rate of that run.
+	TimeDomainAllocsPerFrame float64 `json:"time_domain_allocs_per_frame"`
 }
 
 // PipelineThroughput times identical fixed-seed runs (bit-identical
-// samples; only the schedule differs) at the two worker counts.
+// samples; only the schedule differs) at the two worker counts, then
+// measures the time-domain sweep path.
 func PipelineThroughput(duration float64, seed int64) (*PipelineThroughputResult, error) {
-	timeRun := func(workers int) (float64, int, error) {
+	timeRun := func(workers int, slow bool) (fps, allocsPerFrame float64, frames int, err error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
+		cfg.SlowSynth = slow
 		dev, err := core.NewDevice(cfg)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		dev.Workers = workers
 		walk := motion.NewRandomWalk(motion.DefaultWalkConfig(
 			Region(), cfg.Subject.CenterHeight(), duration, seed+1))
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		res := dev.Run(walk)
 		elapsed := time.Since(start).Seconds()
-		return float64(res.Frames) / elapsed, res.Frames, nil
+		runtime.ReadMemStats(&m1)
+		return float64(res.Frames) / elapsed,
+			float64(m1.Mallocs-m0.Mallocs) / float64(res.Frames),
+			res.Frames, nil
 	}
-	serial, frames, err := timeRun(1)
+	serial, _, frames, err := timeRun(1, false)
 	if err != nil {
 		return nil, err
 	}
-	parallel, _, err := timeRun(0)
+	parallel, allocs, _, err := timeRun(0, false)
+	if err != nil {
+		return nil, err
+	}
+	timeDomain, tdAllocs, _, err := timeRun(0, true)
 	if err != nil {
 		return nil, err
 	}
 	nRx := len(core.DefaultConfig().Array.Rx)
 	return &PipelineThroughputResult{
-		SerialFPS:   serial,
-		ParallelFPS: parallel,
-		Speedup:     parallel / serial,
-		Workers:     nRx,
-		Frames:      frames,
+		SerialFPS:                serial,
+		ParallelFPS:              parallel,
+		Speedup:                  parallel / serial,
+		Workers:                  nRx,
+		Frames:                   frames,
+		AllocsPerFrame:           allocs,
+		TimeDomainFPS:            timeDomain,
+		TimeDomainAllocsPerFrame: tdAllocs,
 	}, nil
 }

@@ -8,6 +8,13 @@ import "witrack/internal/linalg"
 // Kalman1D is a constant-velocity Kalman filter over a scalar observed
 // quantity (here: the round-trip distance to one receive antenna).
 // State is [position, velocity]; only position is observed.
+//
+// The transition matrix F, its transpose, and the process-noise matrix Q
+// depend only on dt and q, so they are computed once at construction;
+// Update then runs entirely against preallocated 2x2 workspace — the
+// filter runs every frame on every antenna, and its per-call matrix
+// allocations were the single largest allocation source in the
+// pipeline's steady state.
 type Kalman1D struct {
 	dt float64
 	// x is the state estimate; p its covariance.
@@ -17,6 +24,10 @@ type Kalman1D struct {
 	// r is the measurement noise variance.
 	q, r float64
 
+	// Constant matrices (precomputed) and per-update scratch.
+	f, fT, qm   *linalg.Mat
+	m1, m2, ikh *linalg.Mat
+	xt          []float64
 	initialized bool
 }
 
@@ -24,12 +35,25 @@ type Kalman1D struct {
 // intensity q (m^2/s^3, roughly acceleration variance) and measurement
 // variance r (m^2).
 func NewKalman1D(dt, q, r float64) *Kalman1D {
+	f := linalg.FromRows([][]float64{{1, dt}, {0, 1}})
+	// Discrete white-noise acceleration model.
+	qm := linalg.FromRows([][]float64{
+		{q * dt * dt * dt * dt / 4, q * dt * dt * dt / 2},
+		{q * dt * dt * dt / 2, q * dt * dt},
+	})
 	return &Kalman1D{
-		dt: dt,
-		x:  make([]float64, 2),
-		p:  linalg.Identity(2),
-		q:  q,
-		r:  r,
+		dt:  dt,
+		x:   make([]float64, 2),
+		p:   linalg.Identity(2),
+		q:   q,
+		r:   r,
+		f:   f,
+		fT:  f.T(),
+		qm:  qm,
+		m1:  linalg.NewMat(2, 2),
+		m2:  linalg.NewMat(2, 2),
+		ikh: linalg.NewMat(2, 2),
+		xt:  make([]float64, 2),
 	}
 }
 
@@ -44,20 +68,18 @@ func (k *Kalman1D) Initialized() bool { return k.initialized }
 func (k *Kalman1D) Update(z float64) float64 {
 	if !k.initialized {
 		k.x[0], k.x[1] = z, 0
-		k.p = linalg.FromRows([][]float64{{k.r, 0}, {0, 1}})
+		k.p.Data[0], k.p.Data[1] = k.r, 0
+		k.p.Data[2], k.p.Data[3] = 0, 1
 		k.initialized = true
 		return z
 	}
-	dt := k.dt
-	f := linalg.FromRows([][]float64{{1, dt}, {0, 1}})
-	// Discrete white-noise acceleration model.
-	q := linalg.FromRows([][]float64{
-		{k.q * dt * dt * dt * dt / 4, k.q * dt * dt * dt / 2},
-		{k.q * dt * dt * dt / 2, k.q * dt * dt},
-	})
-	// Predict.
-	k.x = f.MulVec(k.x)
-	k.p = linalg.Add(linalg.Mul(linalg.Mul(f, k.p), f.T()), q)
+	// Predict: x = F x, P = F P F^T + Q.
+	copy(k.x, k.f.MulVecInto(k.xt, k.x))
+	linalg.MulInto(k.m1, k.f, k.p)
+	linalg.MulInto(k.m2, k.m1, k.fT)
+	for i := range k.p.Data {
+		k.p.Data[i] = k.m2.Data[i] + k.qm.Data[i]
+	}
 	// Update with scalar measurement z = H x + v, H = [1 0].
 	s := k.p.At(0, 0) + k.r
 	k0 := k.p.At(0, 0) / s
@@ -66,8 +88,10 @@ func (k *Kalman1D) Update(z float64) float64 {
 	k.x[0] += k0 * innov
 	k.x[1] += k1 * innov
 	// Joseph-free covariance update P = (I - K H) P.
-	ikh := linalg.FromRows([][]float64{{1 - k0, 0}, {-k1, 1}})
-	k.p = linalg.Mul(ikh, k.p)
+	k.ikh.Data[0], k.ikh.Data[1] = 1-k0, 0
+	k.ikh.Data[2], k.ikh.Data[3] = -k1, 1
+	linalg.MulInto(k.m1, k.ikh, k.p)
+	copy(k.p.Data, k.m1.Data)
 	return k.x[0]
 }
 

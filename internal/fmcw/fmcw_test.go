@@ -398,3 +398,127 @@ func TestPathSpectrumReusesScratch(t *testing.T) {
 		t.Fatalf("wrong-length dst not replaced: len=%d", len(short))
 	}
 }
+
+// TestSweepOscillatorMatchesTrig pins the phasor tone generator against
+// the direct per-sample trig evaluation it replaced: with the noise
+// floor effectively disabled, every sample must agree to ~1e-12 of the
+// tone amplitude (the resynchronized rotation recurrence drifts less
+// than 1e-14 relative between resyncs).
+func TestSweepOscillatorMatchesTrig(t *testing.T) {
+	cfg := shortConfig()
+	cfg.NoiseFloorWatts = 1e-300
+	s := NewSynthesizer(cfg)
+	rng := rand.New(rand.NewSource(3))
+	paths := []Path{
+		{RoundTrip: 7.3, PowerWatts: 1e-12, Phase: PhaseFor(cfg, 7.3)},
+		{RoundTrip: 19.8, PowerWatts: 3e-13, Phase: PhaseFor(cfg, 19.8)},
+	}
+	got := s.SynthesizeSweep(paths, rng)
+	ns := cfg.SamplesPerSweep()
+	dt := 1 / cfg.SampleRate
+	amp := 0.0
+	want := make([]float64, ns)
+	for _, p := range paths {
+		a := p.Amplitude()
+		amp += a
+		omega := 2 * math.Pi * cfg.BeatFreq(p.RoundTrip) * dt
+		for i := 0; i < ns; i++ {
+			want[i] += a * math.Cos(omega*float64(i)+p.Phase)
+		}
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*amp {
+			t.Fatalf("sample %d: oscillator %g vs trig %g (amp %g)", i, got[i], want[i], amp)
+		}
+	}
+}
+
+// TestSweepsIntoMatchesLegacyComplexFFT checks the RFFT sweep path
+// against the processing it replaced: window each sweep, full complex
+// FFT, truncate, average. The real-input transform must reproduce it to
+// near machine precision.
+func TestSweepsIntoMatchesLegacyComplexFFT(t *testing.T) {
+	cfg := shortConfig()
+	s := NewSynthesizer(cfg)
+	rng := rand.New(rand.NewSource(21))
+	paths := []Path{
+		{RoundTrip: 9.1, PowerWatts: 1e-12, Phase: PhaseFor(cfg, 9.1)},
+		{RoundTrip: 15.6, PowerWatts: 5e-13, Phase: PhaseFor(cfg, 15.6)},
+	}
+	sweeps := make([][]float64, cfg.SweepsPerFrame)
+	for i := range sweeps {
+		sweeps[i] = s.SynthesizeSweep(paths, rng)
+	}
+
+	// Legacy reference: window + complex FFT + truncate + average.
+	n := cfg.FFTSize()
+	nb := cfg.RangeBins()
+	want := make(dsp.ComplexFrame, nb)
+	w := dsp.Hann(cfg.SamplesPerSweep())
+	for _, sw := range sweeps {
+		buf := make([]complex128, n)
+		for i, v := range sw {
+			buf[i] = complex(v*w[i], 0)
+		}
+		dsp.FFT(buf)
+		for i := 0; i < nb; i++ {
+			want[i] += buf[i]
+		}
+	}
+	inv := complex(1/float64(len(sweeps)), 0)
+	for i := range want {
+		want[i] *= inv
+	}
+
+	got := s.FrameFromSweeps(sweeps)
+	scale := 0.0
+	for _, v := range want {
+		if m := real(v)*real(v) + imag(v)*imag(v); m > scale {
+			scale = m
+		}
+	}
+	tol := 1e-11 * math.Sqrt(scale)
+	gotC := s.ComplexFrameFromSweeps(sweeps)
+	for i := range want {
+		re := math.Abs(real(gotC[i]) - real(want[i]))
+		im := math.Abs(imag(gotC[i]) - imag(want[i]))
+		if re > tol || im > tol {
+			t.Fatalf("bin %d: rfft path %v vs complex-fft path %v", i, gotC[i], want[i])
+		}
+		if math.Abs(got[i]-cmplxAbs(want[i])) > tol {
+			t.Fatalf("bin %d magnitude: %v vs %v", i, got[i], cmplxAbs(want[i]))
+		}
+	}
+}
+
+func cmplxAbs(v complex128) float64 { return math.Hypot(real(v), imag(v)) }
+
+// TestSlowSynthesisIntoBitIdenticalAndAllocFree checks the scratch
+// contract of the slow path: the Into entry points reproduce the
+// allocating ones bit for bit under the same seed, and a warm scratch
+// makes steady-state frame synthesis allocation-free.
+func TestSlowSynthesisIntoBitIdenticalAndAllocFree(t *testing.T) {
+	cfg := shortConfig()
+	s := NewSynthesizer(cfg)
+	paths := []Path{{RoundTrip: 11.0, PowerWatts: 1e-12, Phase: PhaseFor(cfg, 11.0)}}
+
+	want := s.SynthesizeComplexFrameSlow(paths, rand.New(rand.NewSource(5)))
+	ws := s.NewSweepScratch()
+	dst := make(dsp.ComplexFrame, cfg.RangeBins())
+	got := s.SynthesizeComplexFrameSlowInto(dst, paths, rand.New(rand.NewSource(5)), ws)
+	if &got[0] != &dst[0] {
+		t.Fatal("right-length dst was not reused")
+	}
+	for k := range want {
+		if want[k] != got[k] {
+			t.Fatalf("bin %d: allocating %v != scratch %v", k, want[k], got[k])
+		}
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	if a := testing.AllocsPerRun(10, func() {
+		s.SynthesizeComplexFrameSlowInto(dst, paths, rng, ws)
+	}); a != 0 {
+		t.Fatalf("warm slow synthesis allocates %v per frame", a)
+	}
+}

@@ -38,6 +38,34 @@ type Synthesizer struct {
 	kernel     []complex128
 	kernelHalf float64 // kernel covers delta in [-kernelHalf, +kernelHalf]
 	kernelStep float64
+	// plan is the shared FFT plan for the sweep FFT size; the time-domain
+	// path runs the real-input transform against it (the input is a real
+	// baseband signal, so conjugate symmetry halves the butterfly work).
+	plan *dsp.Plan
+}
+
+// SweepScratch owns the reusable buffers of the time-domain sweep path:
+// the RFFT output and (for the full slow-synthesis entry points) the
+// per-sweep sample buffers. A scratch must be owned by exactly one
+// goroutine — each pipeline worker holds its own, while the immutable
+// FFT plan behind it is shared by all of them.
+type SweepScratch struct {
+	plan *dsp.Plan
+	// spec receives the RFFT of one sweep (FFTSize/2 + 1 bins).
+	spec []complex128
+	// sweeps are SweepsPerFrame time-domain sample buffers.
+	sweeps [][]float64
+}
+
+// NewSweepScratch builds a scratch sized for this synthesizer's radio
+// configuration. The per-sweep sample buffers are grown lazily by the
+// slow-synthesis entry points, so workers that only transform
+// externally supplied sweeps don't pay for them.
+func (s *Synthesizer) NewSweepScratch() *SweepScratch {
+	return &SweepScratch{
+		plan: s.plan,
+		spec: make([]complex128, s.cfg.FFTSize()/2+1),
+	}
 }
 
 // kernelHalfWidth is how many bins of spectral leakage the fast path
@@ -83,63 +111,98 @@ func NewSynthesizer(cfg Config) *Synthesizer {
 		}
 		s.kernel[i] = acc
 	}
+	s.plan = dsp.PlanFor(n)
 	return s
 }
 
 // Config returns the synthesizer's radio configuration.
 func (s *Synthesizer) Config() Config { return s.cfg }
 
+// oscResync is how many phasor-rotation steps the time-domain tone
+// generator takes between exact trig evaluations. The rotation
+// recurrence accumulates ~1 ulp of error per step, so resynchronizing
+// every 64 samples bounds the relative tone error around 1e-14 — far
+// below the receiver noise floor — while cutting the per-sample cost
+// from a math.Cos call (the old hot spot: >half the slow path's CPU) to
+// one complex multiply.
+const oscResync = 64
+
 // SynthesizeSweep produces the time-domain baseband signal of one sweep:
 // a superposition of beat tones (one per path) plus white Gaussian
 // receiver noise.
 func (s *Synthesizer) SynthesizeSweep(paths []Path, rng *rand.Rand) []float64 {
+	return s.SynthesizeSweepInto(nil, paths, rng)
+}
+
+// SynthesizeSweepInto is SynthesizeSweep writing into dst when it has
+// the right length (allocating otherwise). Each tone is generated by a
+// complex phasor rotated once per sample and resynchronized from exact
+// trig every oscResync samples.
+func (s *Synthesizer) SynthesizeSweepInto(dst []float64, paths []Path, rng *rand.Rand) []float64 {
 	ns := s.cfg.SamplesPerSweep()
-	out := make([]float64, ns)
+	if len(dst) != ns {
+		dst = make([]float64, ns)
+	} else {
+		for t := range dst {
+			dst[t] = 0
+		}
+	}
 	dt := 1 / s.cfg.SampleRate
 	for _, p := range paths {
 		a := p.Amplitude()
-		f := s.cfg.BeatFreq(p.RoundTrip)
-		omega := 2 * math.Pi * f * dt
+		omega := 2 * math.Pi * s.cfg.BeatFreq(p.RoundTrip) * dt
+		sn, cs := math.Sincos(omega)
+		rot := complex(cs, sn)
+		var c complex128
 		for t := 0; t < ns; t++ {
-			out[t] += a * math.Cos(omega*float64(t)+p.Phase)
+			if t%oscResync == 0 {
+				sn, cs = math.Sincos(omega*float64(t) + p.Phase)
+				c = complex(a*cs, a*sn)
+			}
+			dst[t] += real(c)
+			c *= rot
 		}
 	}
 	sigma := math.Sqrt(s.cfg.NoiseFloorWatts)
-	for t := range out {
-		out[t] += rng.NormFloat64() * sigma
+	for t := range dst {
+		dst[t] += rng.NormFloat64() * sigma
 	}
-	return out
-}
-
-// sweepSpectrum windows and FFTs one sweep, returning the complex
-// spectrum truncated to the range bins of interest.
-func (s *Synthesizer) sweepSpectrum(sweep []float64) []complex128 {
-	n := s.cfg.FFTSize()
-	buf := make([]complex128, n)
-	for i, v := range sweep {
-		buf[i] = complex(v*s.window[i], 0)
-	}
-	dsp.FFT(buf)
-	return buf[:s.cfg.RangeBins()]
+	return dst
 }
 
 // ComplexFrameFromSweeps runs the paper's exact per-frame processing on
 // time-domain sweeps: window + FFT each sweep, coherently average the
 // complex spectra, truncated to the range bins of interest.
 func (s *Synthesizer) ComplexFrameFromSweeps(sweeps [][]float64) dsp.ComplexFrame {
+	return s.ComplexFrameFromSweepsInto(nil, sweeps, s.NewSweepScratch())
+}
+
+// ComplexFrameFromSweepsInto is ComplexFrameFromSweeps against
+// caller-owned buffers: the averaged frame lands in dst (reallocated
+// only when the length is wrong) and all intermediate work runs in ws,
+// so a streaming caller allocates nothing. Each sweep is windowed and
+// transformed with the plan's real-input FFT — half the butterflies of
+// the complex transform the signal's conjugate symmetry would waste.
+func (s *Synthesizer) ComplexFrameFromSweepsInto(dst dsp.ComplexFrame, sweeps [][]float64, ws *SweepScratch) dsp.ComplexFrame {
 	nb := s.cfg.RangeBins()
-	acc := make(dsp.ComplexFrame, nb)
+	if len(dst) != nb {
+		dst = make(dsp.ComplexFrame, nb)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	for _, sw := range sweeps {
-		spec := s.sweepSpectrum(sw)
-		for i := range acc {
-			acc[i] += spec[i]
+		ws.spec = ws.plan.RealTransform(ws.spec, sw, s.window)
+		for i := range dst {
+			dst[i] += ws.spec[i]
 		}
 	}
 	inv := complex(1/float64(len(sweeps)), 0)
-	for i := range acc {
-		acc[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return acc
+	return dst
 }
 
 // FrameFromSweeps is ComplexFrameFromSweeps followed by magnitude.
@@ -151,11 +214,22 @@ func (s *Synthesizer) FrameFromSweeps(sweeps [][]float64) dsp.Frame {
 // through the full time-domain path (SweepsPerFrame sweeps of fresh
 // noise).
 func (s *Synthesizer) SynthesizeComplexFrameSlow(paths []Path, rng *rand.Rand) dsp.ComplexFrame {
-	sweeps := make([][]float64, s.cfg.SweepsPerFrame)
-	for i := range sweeps {
-		sweeps[i] = s.SynthesizeSweep(paths, rng)
+	return s.SynthesizeComplexFrameSlowInto(nil, paths, rng, s.NewSweepScratch())
+}
+
+// SynthesizeComplexFrameSlowInto is SynthesizeComplexFrameSlow against
+// caller-owned buffers (see ComplexFrameFromSweepsInto). The RNG draw
+// order — sweep by sweep, each sweep's noise in sample order — is
+// identical to the allocating entry point's, so the two are
+// interchangeable bit for bit under a fixed seed.
+func (s *Synthesizer) SynthesizeComplexFrameSlowInto(dst dsp.ComplexFrame, paths []Path, rng *rand.Rand, ws *SweepScratch) dsp.ComplexFrame {
+	if len(ws.sweeps) != s.cfg.SweepsPerFrame {
+		ws.sweeps = make([][]float64, s.cfg.SweepsPerFrame)
 	}
-	return s.ComplexFrameFromSweeps(sweeps)
+	for i := range ws.sweeps {
+		ws.sweeps[i] = s.SynthesizeSweepInto(ws.sweeps[i], paths, rng)
+	}
+	return s.ComplexFrameFromSweepsInto(dst, ws.sweeps, ws)
 }
 
 // SynthesizeFrameSlow is SynthesizeComplexFrameSlow followed by

@@ -15,6 +15,58 @@ var (
 	ErrInfeasible         = errors.New("geom: round-trip distances are geometrically infeasible")
 )
 
+// Solver solves the paper's §5 localization problem for one fixed
+// antenna array, reusing all linear-algebra workspace across calls: the
+// streaming pipeline localizes every frame (80/s per device), and the
+// per-call matrix and vector allocations of the free-function path were
+// the largest remaining allocation source in the steady state. A Solver
+// must be owned by a single goroutine (the pipeline's fusion stage);
+// independent goroutines take independent Solvers.
+//
+// The arithmetic — linear seed, normal-equation least squares,
+// Gauss-Newton refinement — is operation-for-operation the same as
+// Locate's has always been, so results are bit-identical to the
+// allocating path.
+type Solver struct {
+	a Array
+	// Linear-seed system (n x 3, b) and Gauss-Newton system (jacobian,
+	// residuals, negated residuals).
+	m   *linalg.Mat
+	b   []float64
+	jac *linalg.Mat
+	res []float64
+	neg []float64
+	// Least-squares scratch: at = A^T (3 x n), ata = A^T A (3 x 3),
+	// atb = A^T b, lu the 3x3 factorization workspace, sol the solution.
+	at  *linalg.Mat
+	ata *linalg.Mat
+	atb []float64
+	lu  *linalg.LU
+	sol []float64
+}
+
+// NewSolver builds a reusable solver for the array. Arrays with fewer
+// than 3 receive antennas are accepted but every Locate call on them
+// fails with ErrTooFewMeasurements.
+func NewSolver(a Array) *Solver {
+	s := &Solver{a: a}
+	n := len(a.Rx)
+	if n < 3 {
+		return s
+	}
+	s.m = linalg.NewMat(n, 3)
+	s.b = make([]float64, n)
+	s.jac = linalg.NewMat(n, 3)
+	s.res = make([]float64, n)
+	s.neg = make([]float64, n)
+	s.at = linalg.NewMat(3, n)
+	s.ata = linalg.NewMat(3, 3)
+	s.atb = make([]float64, 3)
+	s.lu = linalg.NewLU(3)
+	s.sol = make([]float64, 3)
+	return s
+}
+
 // Locate solves the paper's §5 problem: given the round-trip distance
 // r[k] = |P-Tx| + |P-Rx[k]| measured on each receive antenna, find the
 // 3D point P. Each measurement constrains P to an ellipsoid with foci
@@ -30,23 +82,23 @@ var (
 // Gauss-Newton refinement then polishes the solution against the raw
 // (non-squared) distance residuals, which is the maximum-likelihood
 // estimate under Gaussian TOF noise.
-func Locate(a Array, r []float64) (Vec3, error) {
+func (s *Solver) Locate(r []float64) (Vec3, error) {
 	if len(r) < 3 {
 		return Vec3{}, ErrTooFewMeasurements
 	}
-	if len(r) != len(a.Rx) {
-		return Vec3{}, fmt.Errorf("geom: %d measurements for %d antennas", len(r), len(a.Rx))
+	if len(r) != len(s.a.Rx) {
+		return Vec3{}, fmt.Errorf("geom: %d measurements for %d antennas", len(r), len(s.a.Rx))
 	}
 	for k, rk := range r {
-		if rk <= a.Tx.Dist(a.Rx[k]) {
+		if rk <= s.a.Tx.Dist(s.a.Rx[k]) {
 			return Vec3{}, ErrInfeasible
 		}
 	}
-	p, err := linearSeed(a, r)
+	p, err := s.linearSeed(r)
 	if err != nil {
 		return Vec3{}, err
 	}
-	p = refine(a, r, p)
+	p = s.refine(r, p)
 	if p.Y < 0 {
 		// The mirror solution: reflect back into the beam half-space.
 		p.Y = -p.Y
@@ -54,17 +106,37 @@ func Locate(a Array, r []float64) (Vec3, error) {
 	return p, nil
 }
 
+// solveSquare solves the square system a x = b into s.sol.
+func (s *Solver) solveSquare(a *linalg.Mat, b []float64) ([]float64, error) {
+	if err := s.lu.Refactor(a); err != nil {
+		return nil, err
+	}
+	return s.lu.SolveVecInto(s.sol, b), nil
+}
+
+// leastSquares solves the overdetermined n x 3 system a x = b via the
+// normal equations, the same sequence linalg.LeastSquares runs, against
+// the solver's scratch.
+func (s *Solver) leastSquares(a *linalg.Mat, b []float64) ([]float64, error) {
+	a.TInto(s.at)
+	linalg.MulInto(s.ata, s.at, a)
+	s.at.MulVecInto(s.atb, b)
+	if err := s.lu.Refactor(s.ata); err != nil {
+		return nil, err
+	}
+	return s.lu.SolveVecInto(s.sol, s.atb), nil
+}
+
 // linearSeed computes the closed-form solution described above. It
 // returns a point with y >= 0.
-func linearSeed(a Array, r []float64) (Vec3, error) {
+func (s *Solver) linearSeed(r []float64) (Vec3, error) {
 	n := len(r)
 	// Work relative to the Tx: q = P - Tx, t = |q|.
 	// For each antenna: 2 q.x rx.x + 2 q.z rx.z - 2 r_k t = |rx|^2 - r_k^2
 	// where rx = Rx[k] - Tx (rx.y == 0 by construction).
-	m := linalg.NewMat(n, 3)
-	b := make([]float64, n)
+	m, b := s.m, s.b
 	for k := 0; k < n; k++ {
-		rx := a.Rx[k].Sub(a.Tx)
+		rx := s.a.Rx[k].Sub(s.a.Tx)
 		m.Set(k, 0, 2*rx.X)
 		m.Set(k, 1, 2*rx.Z)
 		m.Set(k, 2, -2*r[k])
@@ -73,9 +145,9 @@ func linearSeed(a Array, r []float64) (Vec3, error) {
 	var sol []float64
 	var err error
 	if n == 3 {
-		sol, err = linalg.SolveVec(m, b)
+		sol, err = s.solveSquare(m, b)
 	} else {
-		sol, err = linalg.LeastSquares(m, b)
+		sol, err = s.leastSquares(m, b)
 	}
 	if err != nil {
 		return Vec3{}, ErrDegenerate
@@ -93,24 +165,23 @@ func linearSeed(a Array, r []float64) (Vec3, error) {
 		// seed slightly off-plane so refinement can recover.
 		qy = 0.05
 	}
-	return a.Tx.Add(Vec3{qx, qy, qz}), nil
+	return s.a.Tx.Add(Vec3{qx, qy, qz}), nil
 }
 
 // refine runs Gauss-Newton iterations on the residuals
 // f_k(P) = |P-Tx| + |P-Rx[k]| - r[k], which handles both measurement
 // noise (over-constrained case) and the linearization error of the seed.
-func refine(a Array, r []float64, p Vec3) Vec3 {
+func (s *Solver) refine(r []float64, p Vec3) Vec3 {
 	const (
 		maxIter = 25
 		tol     = 1e-10 // meters; far below the 8.8 cm radio resolution
 	)
 	n := len(r)
-	jac := linalg.NewMat(n, 3)
-	res := make([]float64, n)
+	jac, res, neg := s.jac, s.res, s.neg
 	for iter := 0; iter < maxIter; iter++ {
 		for k := 0; k < n; k++ {
-			dTx := p.Sub(a.Tx)
-			dRx := p.Sub(a.Rx[k])
+			dTx := p.Sub(s.a.Tx)
+			dRx := p.Sub(s.a.Rx[k])
 			nTx, nRx := dTx.Norm(), dRx.Norm()
 			if nTx < 1e-9 || nRx < 1e-9 {
 				return p // at an antenna; cannot differentiate
@@ -121,11 +192,10 @@ func refine(a Array, r []float64, p Vec3) Vec3 {
 			jac.Set(k, 2, g.Z)
 			res[k] = nTx + nRx - r[k]
 		}
-		neg := make([]float64, n)
 		for k := range res {
 			neg[k] = -res[k]
 		}
-		step, err := linalg.LeastSquares(jac, neg)
+		step, err := s.leastSquares(jac, neg)
 		if err != nil {
 			return p
 		}
@@ -135,6 +205,13 @@ func refine(a Array, r []float64, p Vec3) Vec3 {
 		}
 	}
 	return p
+}
+
+// Locate is the one-shot form of Solver.Locate for callers outside the
+// per-frame hot path (pointing-gesture analysis, tests): it builds a
+// throwaway workspace per call.
+func Locate(a Array, r []float64) (Vec3, error) {
+	return NewSolver(a).Locate(r)
 }
 
 // ResidualRMS returns the root-mean-square distance residual of point p

@@ -63,13 +63,21 @@ func (m *Mat) Clone() *Mat {
 
 // T returns the transpose of m as a new matrix.
 func (m *Mat) T() *Mat {
-	t := NewMat(m.Cols, m.Rows)
+	return m.TInto(NewMat(m.Cols, m.Rows))
+}
+
+// TInto writes the transpose of m into dst (which must be Cols x Rows)
+// and returns it — the allocation-free form repeated solvers use.
+func (m *Mat) TInto(dst *Mat) *Mat {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("linalg: TInto shape mismatch %dx%d for %dx%d input", dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
-			t.Set(j, i, m.At(i, j))
+			dst.Set(j, i, m.At(i, j))
 		}
 	}
-	return t
+	return dst
 }
 
 // Mul returns a*b. Panics on dimension mismatch.
@@ -77,7 +85,22 @@ func Mul(a, b *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Rows, b.Cols)
+	return MulInto(NewMat(a.Rows, b.Cols), a, b)
+}
+
+// MulInto writes a*b into dst (which must be a.Rows x b.Cols, and may
+// not alias a or b) and returns it. The accumulation order is identical
+// to Mul's, so the two produce bit-identical results.
+func MulInto(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: MulInto dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MulInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
 	for i := 0; i < a.Rows; i++ {
 		for k := 0; k < a.Cols; k++ {
 			aik := a.At(i, k)
@@ -85,11 +108,11 @@ func Mul(a, b *Mat) *Mat {
 				continue
 			}
 			for j := 0; j < b.Cols; j++ {
-				out.Data[i*out.Cols+j] += aik * b.At(k, j)
+				dst.Data[i*dst.Cols+j] += aik * b.At(k, j)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Add returns a+b.
@@ -123,18 +146,26 @@ func Scale(s float64, m *Mat) *Mat {
 
 // MulVec returns m*v where v is treated as a column vector.
 func (m *Mat) MulVec(v []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.Rows), v)
+}
+
+// MulVecInto writes m*v into dst (which must have m.Rows entries and may
+// not alias v) and returns it.
+func (m *Mat) MulVecInto(dst, v []float64) []float64 {
 	if m.Cols != len(v) {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
 	}
-	out := make([]float64, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecInto dst has %d entries, want %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		s := 0.0
 		for j := 0; j < m.Cols; j++ {
 			s += m.At(i, j) * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // MaxAbsDiff returns the largest absolute element-wise difference.

@@ -16,14 +16,38 @@ type LU struct {
 	sign float64
 }
 
+// NewLU returns an empty n x n factorization workspace for use with
+// Refactor — repeated solvers of a fixed size allocate it once and
+// refactor in place every frame.
+func NewLU(n int) *LU {
+	return &LU{lu: NewMat(n, n), piv: make([]int, n)}
+}
+
 // Factor computes the LU factorization of a square matrix.
 func Factor(a *Mat) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, errors.New("linalg: Factor requires a square matrix")
 	}
+	f := NewLU(a.Rows)
+	if err := f.Refactor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactor recomputes the factorization of a into the workspace f, whose
+// size must match a. The arithmetic is identical to Factor's, so the two
+// produce bit-identical factorizations.
+func (f *LU) Refactor(a *Mat) error {
+	if a.Rows != a.Cols {
+		return errors.New("linalg: Factor requires a square matrix")
+	}
 	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f.lu.Rows != n {
+		return errors.New("linalg: Refactor workspace size mismatch")
+	}
+	lu, piv := f.lu, f.piv
+	copy(lu.Data, a.Data)
 	for i := range piv {
 		piv[i] = i
 	}
@@ -37,7 +61,7 @@ func Factor(a *Mat) (*LU, error) {
 			}
 		}
 		if maxAbs < 1e-14 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -55,16 +79,25 @@ func Factor(a *Mat) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 // SolveVec solves A x = b for x given the factorization of A.
 func (f *LU) SolveVec(b []float64) []float64 {
+	return f.SolveVecInto(make([]float64, f.lu.Rows), b)
+}
+
+// SolveVecInto solves A x = b into the caller-owned x (which must have n
+// entries and may not alias b) and returns it.
+func (f *LU) SolveVecInto(x, b []float64) []float64 {
 	n := f.lu.Rows
 	if len(b) != n {
 		panic("linalg: SolveVec dimension mismatch")
 	}
-	x := make([]float64, n)
+	if len(x) != n {
+		panic("linalg: SolveVecInto dst dimension mismatch")
+	}
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}

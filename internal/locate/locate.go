@@ -11,7 +11,10 @@ import (
 	"witrack/internal/track"
 )
 
-// Locator converts synchronized per-antenna estimates to 3D points.
+// Locator converts synchronized per-antenna estimates to 3D points. It
+// carries reusable solver workspace, so a Locator must be driven from a
+// single goroutine at a time (the pipeline's fusion stage is); share an
+// array between goroutines by giving each its own Locator.
 type Locator struct {
 	Array geom.Array
 	// MinZ/MaxZ clamp the solution to the physically possible elevation
@@ -21,6 +24,12 @@ type Locator struct {
 	// (inconsistent round-trip triples can send the intersection to
 	// infinity).
 	MaxRange float64
+
+	// geo is the per-frame geometric solver with its reused workspace;
+	// r, rA, rB are round-trip scratch. All are created lazily so a
+	// hand-constructed Locator{Array: ...} keeps working.
+	geo       *geom.Solver
+	r, rA, rB []float64
 }
 
 // New builds a locator for the antenna array. It returns an error if the
@@ -32,6 +41,14 @@ func New(array geom.Array) (*Locator, error) {
 	return &Locator{Array: array, MinZ: 0, MaxZ: 3, MaxRange: 30}, nil
 }
 
+// solver returns the lazily created geometric solver.
+func (l *Locator) solver() *geom.Solver {
+	if l.geo == nil {
+		l.geo = geom.NewSolver(l.Array)
+	}
+	return l.geo
+}
+
 // ErrNotReady means one or more antennas has no valid estimate yet.
 var ErrNotReady = errors.New("locate: trackers not ready")
 
@@ -41,14 +58,17 @@ var ErrImplausible = errors.New("locate: solution outside plausible volume")
 
 // Solve computes the 3D position from one estimate per receive antenna.
 func (l *Locator) Solve(ests []track.Estimate) (geom.Vec3, error) {
-	r := make([]float64, len(ests))
+	if len(l.r) != len(ests) {
+		l.r = make([]float64, len(ests))
+	}
+	r := l.r
 	for i, e := range ests {
 		if !e.Valid {
 			return geom.Vec3{}, ErrNotReady
 		}
 		r[i] = e.RoundTrip
 	}
-	p, err := geom.Locate(l.Array, r)
+	p, err := l.solver().Locate(r)
 	if err != nil {
 		return geom.Vec3{}, err
 	}

@@ -32,8 +32,11 @@ func SolveTwo(l *Locator, r [][2]float64, prev [2]geom.Vec3, havePrev bool) ([2]
 	best := math.Inf(1)
 	var bestPair [2]geom.Vec3
 	found := false
-	rA := make([]float64, nRx)
-	rB := make([]float64, nRx)
+	if len(l.rA) != nRx {
+		l.rA = make([]float64, nRx)
+		l.rB = make([]float64, nRx)
+	}
+	rA, rB := l.rA, l.rB
 	for mask := 0; mask < 1<<nRx; mask++ {
 		for k := 0; k < nRx; k++ {
 			sel := (mask >> k) & 1
@@ -66,7 +69,7 @@ func SolveTwo(l *Locator, r [][2]float64, prev [2]geom.Vec3, havePrev bool) ([2]
 
 // solveOne runs the single-point pipeline on raw round trips.
 func (l *Locator) solveOne(r []float64) (geom.Vec3, error) {
-	p, err := geom.Locate(l.Array, r)
+	p, err := l.solver().Locate(r)
 	if err != nil {
 		return geom.Vec3{}, err
 	}

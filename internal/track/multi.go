@@ -22,9 +22,29 @@ type MultiTracker struct {
 	minBin     int
 
 	// diffBuf and smBuf are per-frame scratch reused across Push calls
-	// (one MultiTracker per antenna, single consumer — see Tracker).
+	// (one MultiTracker per antenna, single consumer — see Tracker), as
+	// are the peak list and the association working sets. Only the
+	// returned estimate slice is freshly allocated: it travels through
+	// the pipeline's channels and may be read after the next Push.
 	diffBuf dsp.Frame
 	smBuf   dsp.Frame
+	peakBuf []dsp.Peak
+	candBuf []mtCand
+	pairBuf []mtPairing
+	usedBuf []bool
+	claimed []bool
+}
+
+// mtCand is one candidate measurement extracted from a frame.
+type mtCand struct {
+	meters float64
+	power  float64
+}
+
+// mtPairing is one (track, candidate) association hypothesis.
+type mtPairing struct {
+	track, cand int
+	dist        float64
 }
 
 // mtTrack is one target's denoising chain.
@@ -114,47 +134,53 @@ func (m *MultiTracker) Push(frame dsp.ComplexFrame) []Estimate {
 	// Maxima closer together than minTargetSeparation are one extended
 	// reflector (torso + trailing limbs), not two people; keep only the
 	// strongest of each cluster.
-	peaks := dsp.NeighborhoodMaxima(sm, m.threshold(), 3)
-	type cand struct {
-		meters float64
-		power  float64
-	}
-	var cands []cand
-	for _, p := range peaks {
+	m.peakBuf = dsp.NeighborhoodMaximaInto(sm, m.threshold(), 3, m.peakBuf)
+	cands := m.candBuf[:0]
+	for _, p := range m.peakBuf {
 		meters := dsp.RefineParabolic(sm, p.Bin) * m.cfg.BinDistance
 		merged := false
 		for i := range cands {
 			if math.Abs(cands[i].meters-meters) < minTargetSeparation {
 				if p.Power > cands[i].power {
-					cands[i] = cand{meters: meters, power: p.Power}
+					cands[i] = mtCand{meters: meters, power: p.Power}
 				}
 				merged = true
 				break
 			}
 		}
 		if !merged {
-			cands = append(cands, cand{meters: meters, power: p.Power})
+			cands = append(cands, mtCand{meters: meters, power: p.Power})
 		}
 	}
+	m.candBuf = cands
 
 	// Greedy association: each active track claims the nearest unused
 	// candidate within the gate's jump bound.
-	used := make([]bool, len(cands))
-	type pairing struct {
-		track, cand int
-		dist        float64
+	if len(m.usedBuf) < len(cands) {
+		m.usedBuf = make([]bool, len(cands))
 	}
-	var pairs []pairing
+	used := m.usedBuf[:len(cands)]
+	for i := range used {
+		used[i] = false
+	}
+	pairs := m.pairBuf[:0]
 	for ti, tr := range m.tracks {
 		if !tr.active {
 			continue
 		}
 		for ci, c := range cands {
-			pairs = append(pairs, pairing{ti, ci, math.Abs(c.meters - tr.last)})
+			pairs = append(pairs, mtPairing{ti, ci, math.Abs(c.meters - tr.last)})
 		}
 	}
+	m.pairBuf = pairs
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].dist < pairs[j].dist })
-	claimed := make([]bool, m.maxTargets)
+	if len(m.claimed) != m.maxTargets {
+		m.claimed = make([]bool, m.maxTargets)
+	}
+	claimed := m.claimed
+	for i := range claimed {
+		claimed[i] = false
+	}
 	for _, p := range pairs {
 		if claimed[p.track] || used[p.cand] || p.dist > m.cfg.MaxJump {
 			continue
