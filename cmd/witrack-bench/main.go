@@ -7,12 +7,21 @@
 // Usage:
 //
 //	witrack-bench [-scale quick|paper] [-only E4,E7,...] [-seed 1] [-json BENCH_pipeline.json]
+//	              [-baseline BENCH_pipeline.json] [-max-regress 0.20]
 //
 // With -json the headline metrics — pipeline frames/sec, allocs/frame,
 // the time-domain sweep path numbers, and every per-experiment row — are
-// also written to the given path as JSON, seeding the perf trajectory
-// tracked across PRs (the checked-in BENCH_pipeline.json; CI regenerates
-// and uploads it as a build artifact).
+// also written to the given path as JSON. The checked-in
+// BENCH_pipeline.json is the fixed baseline the CI bench gate compares
+// against; regenerate it deliberately after perf-relevant changes (CI
+// writes its fresh measurements to BENCH_new.json and uploads that as
+// an artifact, leaving the baseline untouched).
+//
+// With -baseline the freshly measured pipeline throughput is compared
+// against a previously written report: any frames/sec metric more than
+// -max-regress (default 20%) below the baseline fails the run with exit
+// status 1 — the CI bench-regression gate. Allocation-rate metrics are
+// compared too (they are schedule-independent, so the bound is tight).
 package main
 
 import (
@@ -57,7 +66,17 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	seed := flag.Int64("seed", 1, "base seed")
 	jsonPath := flag.String("json", "", "also write headline metrics to this path as JSON")
+	baselinePath := flag.String("baseline", "", "compare pipeline throughput against this earlier -json report")
+	maxRegress := flag.Float64("max-regress", 0.20, "fail when throughput falls this fraction below -baseline")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "witrack-bench: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		fmt.Fprintf(os.Stderr, "witrack-bench: -max-regress must be in [0, 1), got %g\n", *maxRegress)
+		os.Exit(2)
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -280,6 +299,62 @@ func main() {
 		check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+
+	if *baselinePath != "" {
+		check(compareBaseline(*baselinePath, pipeline, *maxRegress))
+	}
+}
+
+// compareBaseline gates the measured pipeline numbers against an
+// earlier report: throughput may not fall more than maxRegress below
+// the baseline, and the allocation rate may not grow by more than one
+// alloc/frame (allocs are schedule-independent, so that bound is a
+// hard regression signal, not noise).
+func compareBaseline(path string, current *experiments.PipelineThroughputResult, maxRegress float64) error {
+	if current == nil {
+		return fmt.Errorf("-baseline needs the X3 pipeline experiment (add X3 to -only)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if base.Pipeline == nil {
+		return fmt.Errorf("baseline %s has no pipeline metrics", path)
+	}
+	var failures []string
+	throughput := func(label string, got, want float64) {
+		floor := want * (1 - maxRegress)
+		status := "ok"
+		if got < floor {
+			status = "REGRESSION"
+			failures = append(failures, label)
+		}
+		fmt.Printf("bench gate: %-22s %10.0f vs baseline %10.0f (floor %10.0f)  %s\n",
+			label, got, want, floor, status)
+	}
+	throughput("serial fps", current.SerialFPS, base.Pipeline.SerialFPS)
+	throughput("parallel fps", current.ParallelFPS, base.Pipeline.ParallelFPS)
+	throughput("time-domain fps", current.TimeDomainFPS, base.Pipeline.TimeDomainFPS)
+	allocs := func(label string, got, want float64) {
+		status := "ok"
+		if got > want+1 {
+			status = "REGRESSION"
+			failures = append(failures, label)
+		}
+		fmt.Printf("bench gate: %-22s %10.2f vs baseline %10.2f (ceiling %8.2f)  %s\n",
+			label, got, want, want+1, status)
+	}
+	allocs("allocs/frame", current.AllocsPerFrame, base.Pipeline.AllocsPerFrame)
+	allocs("time-domain allocs", current.TimeDomainAllocsPerFrame, base.Pipeline.TimeDomainAllocsPerFrame)
+	if len(failures) > 0 {
+		return fmt.Errorf("pipeline regression vs %s: %s", path, strings.Join(failures, ", "))
+	}
+	fmt.Printf("bench gate: within %.0f%% of %s\n", maxRegress*100, path)
+	return nil
 }
 
 func paperFallRow(act motion.Activity) string {

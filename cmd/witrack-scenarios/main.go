@@ -1,0 +1,157 @@
+// Command witrack-scenarios runs the declarative scenario matrix — N
+// scenarios × M device placements on the streaming pipeline — checks
+// every scenario's expected-metric assertions, and optionally writes a
+// machine-readable report (SCENARIOS.json) for CI to consume.
+//
+// With fixed seeds the report is byte-identical across runs; CI runs
+// the matrix twice and diffs the two reports as a determinism gate.
+// Timing (frames/sec per device) varies run to run and is therefore
+// only included with -timing.
+//
+// Usage:
+//
+//	witrack-scenarios [-json SCENARIOS.json] [-only fall,pointing]
+//	                  [-spec extra.json] [-parallel 4] [-timing] [-list]
+//
+// Exit status: 0 all assertions pass, 1 any scenario fails (or an
+// execution error), 2 bad usage.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"witrack/internal/scenario"
+)
+
+func main() {
+	jsonPath := flag.String("json", "", "write the machine-readable report to this path")
+	only := flag.String("only", "", "comma-separated scenario names to run (default: all)")
+	specPath := flag.String("spec", "", "JSON file with extra scenario specs to append to the canonical matrix")
+	parallel := flag.Int("parallel", 0, "max concurrent scenario×device cells (0 = GOMAXPROCS)")
+	timing := flag.Bool("timing", false, "include wall-clock frames/sec in the report (non-deterministic)")
+	list := flag.Bool("list", false, "list scenario names and exit")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "witrack-scenarios: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	specs := scenario.Canonical()
+	if *specPath != "" {
+		extra, err := scenario.LoadSpecs(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-scenarios:", err)
+			os.Exit(2)
+		}
+		specs = append(specs, extra...)
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		if seen[sp.Name] {
+			fmt.Fprintf(os.Stderr, "witrack-scenarios: duplicate scenario name %q (a -spec entry shadows a canonical scenario?)\n", sp.Name)
+			os.Exit(2)
+		}
+		seen[sp.Name] = true
+	}
+
+	if *list {
+		for _, sp := range specs {
+			fmt.Printf("%-14s %s\n", sp.Name, sp.Description)
+		}
+		return
+	}
+
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var filtered []scenario.Spec
+		for _, sp := range specs {
+			if want[sp.Name] {
+				filtered = append(filtered, sp)
+				delete(want, sp.Name)
+			}
+		}
+		if len(want) > 0 {
+			var unknown []string
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			fmt.Fprintf(os.Stderr, "witrack-scenarios: unknown scenario(s) in -only: %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		specs = filtered
+	}
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "witrack-scenarios: no scenarios selected")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	rep, err := scenario.Run(context.Background(), specs, scenario.Options{
+		Parallel: *parallel,
+		Timing:   *timing,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "witrack-scenarios:", err)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	printReport(out, rep, *timing)
+	fmt.Fprintf(out, "\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "witrack-scenarios: writing report:", err)
+		os.Exit(1)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-scenarios:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "witrack-scenarios: FAILED scenarios: %s\n", strings.Join(rep.Failed, ", "))
+		os.Exit(1)
+	}
+}
+
+// printReport renders the matrix outcome as a human table.
+func printReport(out *bufio.Writer, rep *scenario.Report, timing bool) {
+	fmt.Fprintf(out, "WiTrack scenario matrix — %d scenarios\n", len(rep.Scenarios))
+	for _, res := range rep.Scenarios {
+		verdict := "PASS"
+		if !res.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(out, "\n== %-14s %s  (%s)\n", res.Name, verdict, res.Description)
+		for _, d := range res.Devices {
+			line := fmt.Sprintf("  device %d  sep %.2f m, height %.2f m, %d frames", d.Device, d.Separation, d.Height, d.Frames)
+			if timing && d.FPS > 0 {
+				line += fmt.Sprintf(", %.0f frames/s", d.FPS)
+			}
+			fmt.Fprintln(out, line)
+		}
+		for _, k := range res.Metrics.Keys() {
+			fmt.Fprintf(out, "  %-24s %.4g\n", k, res.Metrics[k])
+		}
+		for _, a := range res.Assertions {
+			fmt.Fprintf(out, "  %s\n", a.String())
+		}
+	}
+}

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	witrack-sim [-duration 30] [-seed 1] [-los] [-sep 1.0] [-every 1.0] [-csv]
+//
+// Exit status: 0 on success, 1 on a run or output error (including a
+// tracker that never acquires), 2 on invalid flags.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math"
@@ -26,6 +30,23 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the full trace as CSV instead of a summary")
 	flag.Parse()
 
+	fail := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "witrack-sim: "+format+"\n", args...)
+		os.Exit(code)
+	}
+	if flag.NArg() > 0 {
+		fail(2, "unexpected arguments: %v", flag.Args())
+	}
+	if *duration <= 0 {
+		fail(2, "-duration must be positive, got %g", *duration)
+	}
+	if *sep <= 0 {
+		fail(2, "-sep must be positive, got %g", *sep)
+	}
+	if *every <= 0 {
+		fail(2, "-every must be positive, got %g", *every)
+	}
+
 	cfg := witrack.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Array = witrack.NewTArray(*sep, 1.5)
@@ -33,23 +54,32 @@ func main() {
 
 	dev, err := witrack.NewDevice(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "witrack-sim:", err)
-		os.Exit(1)
+		fail(1, "%v", err)
 	}
 	walk := witrack.NewRandomWalk(witrack.DefaultWalkConfig(
 		witrack.StandardRegion(), cfg.Subject.CenterHeight(), *duration, *seed+100))
 	res := dev.Run(walk)
 
+	// Buffer the (possibly large) trace and surface write errors — a
+	// closed pipe or full disk must not exit 0.
+	out := bufio.NewWriter(os.Stdout)
+	flush := func() {
+		if err := out.Flush(); err != nil {
+			fail(1, "writing output: %v", err)
+		}
+	}
+
 	if *csv {
-		fmt.Println("t,est_x,est_y,est_z,truth_x,truth_y,truth_z,moving")
+		fmt.Fprintln(out, "t,est_x,est_y,est_z,truth_x,truth_y,truth_z,moving")
 		for _, s := range res.Samples {
 			if !s.Valid {
 				continue
 			}
 			est := witrack.CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
-			fmt.Printf("%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%v\n",
+			fmt.Fprintf(out, "%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%v\n",
 				s.T, est.X, est.Y, est.Z, s.Truth.X, s.Truth.Y, s.Truth.Z, s.Moving)
 		}
+		flush()
 		return
 	}
 
@@ -57,14 +87,14 @@ func main() {
 	if *los {
 		mode = "line-of-sight"
 	}
-	fmt.Printf("WiTrack simulation: %s, %.0f s, antenna separation %.2f m, seed %d\n",
+	fmt.Fprintf(out, "WiTrack simulation: %s, %.0f s, antenna separation %.2f m, seed %d\n",
 		mode, *duration, *sep, *seed)
-	fmt.Printf("radio: %.2f-%.2f GHz sweep (%.2f GHz bandwidth), resolution %.1f cm, %d Hz frame rate\n\n",
+	fmt.Fprintf(out, "radio: %.2f-%.2f GHz sweep (%.2f GHz bandwidth), resolution %.1f cm, %d Hz frame rate\n\n",
 		cfg.Radio.StartFreq/1e9, (cfg.Radio.StartFreq+cfg.Radio.Bandwidth)/1e9,
 		cfg.Radio.Bandwidth/1e9, cfg.Radio.Resolution()*100,
 		int(1/cfg.Radio.FrameInterval()))
 
-	fmt.Printf("%6s  %24s  %24s  %8s\n", "t(s)", "estimate (x,y,z)", "truth (x,y,z)", "err(cm)")
+	fmt.Fprintf(out, "%6s  %24s  %24s  %8s\n", "t(s)", "estimate (x,y,z)", "truth (x,y,z)", "err(cm)")
 	var xs, ys, zs []float64
 	next := 0.0
 	for _, s := range res.Samples {
@@ -76,22 +106,23 @@ func main() {
 		ys = append(ys, math.Abs(est.Y-s.Truth.Y))
 		zs = append(zs, math.Abs(est.Z-s.Truth.Z))
 		if s.T >= next {
-			fmt.Printf("%6.1f  %24s  %24s  %8.1f\n", s.T, est.String(), s.Truth.String(), est.Dist(s.Truth)*100)
+			fmt.Fprintf(out, "%6.1f  %24s  %24s  %8.1f\n", s.T, est.String(), s.Truth.String(), est.Dist(s.Truth)*100)
 			next = s.T + *every
 		}
 	}
 	if len(xs) == 0 {
-		fmt.Println("no valid samples (tracker never acquired)")
-		os.Exit(1)
+		flush()
+		fail(1, "no valid samples (tracker never acquired)")
 	}
-	fmt.Printf("\nper-axis error: median %.1f / %.1f / %.1f cm, 90th pct %.1f / %.1f / %.1f cm (x/y/z)\n",
+	fmt.Fprintf(out, "\nper-axis error: median %.1f / %.1f / %.1f cm, 90th pct %.1f / %.1f / %.1f cm (x/y/z)\n",
 		dsp.Median(append([]float64(nil), xs...))*100,
 		dsp.Median(append([]float64(nil), ys...))*100,
 		dsp.Median(append([]float64(nil), zs...))*100,
 		dsp.Percentile(append([]float64(nil), xs...), 90)*100,
 		dsp.Percentile(append([]float64(nil), ys...), 90)*100,
 		dsp.Percentile(append([]float64(nil), zs...), 90)*100)
-	fmt.Printf("processing: %v total for %d frames (%.0f µs/frame; paper budget 75 ms)\n",
+	fmt.Fprintf(out, "processing: %v total for %d frames (%.0f µs/frame; paper budget 75 ms)\n",
 		res.ProcessingTime.Round(1e6), res.Frames,
 		float64(res.ProcessingTime.Microseconds())/float64(res.Frames))
+	flush()
 }

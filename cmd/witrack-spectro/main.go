@@ -9,9 +9,13 @@
 // Usage:
 //
 //	witrack-spectro -fig 3a > fig3a.csv
+//
+// Exit status: 0 on success, 1 on a run or output error, 2 on invalid
+// flags.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +23,25 @@ import (
 	"witrack/internal/experiments"
 )
 
+var out *bufio.Writer
+
 func main() {
 	fig := flag.String("fig", "3a", "which figure to dump: 3a, 3b, 3c, 6")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	stride := flag.Int("stride", 8, "emit every n-th frame (spectrograms)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "witrack-spectro: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *stride < 1 {
+		fmt.Fprintf(os.Stderr, "witrack-spectro: -stride must be >= 1, got %d\n", *stride)
+		os.Exit(2)
+	}
+
+	// The spectrogram dumps are tens of MB of CSV; buffer them and
+	// surface write errors — a closed pipe or full disk must not exit 0.
+	out = bufio.NewWriter(os.Stdout)
 
 	switch *fig {
 	case "3a", "3b", "3c":
@@ -35,24 +53,25 @@ func main() {
 		case "3b":
 			dumpSpectrogram(sr, false, *stride)
 		default:
-			fmt.Println("t,contour_raw_m,contour_denoised_m")
+			fmt.Fprintln(out, "t,contour_raw_m,contour_denoised_m")
 			for i := range sr.Times {
-				fmt.Printf("%.4f,%.3f,%.3f\n", sr.Times[i], sr.ContourRaw[i], sr.ContourDenoised[i])
+				fmt.Fprintf(out, "%.4f,%.3f,%.3f\n", sr.Times[i], sr.ContourRaw[i], sr.ContourDenoised[i])
 			}
 		}
 	case "6":
 		traces, err := experiments.ElevationTraces(*seed)
 		check(err)
-		fmt.Println("t,activity,z_tracked_m,z_truth_m")
+		fmt.Fprintln(out, "t,activity,z_tracked_m,z_truth_m")
 		for _, tr := range traces {
 			for i := range tr.Times {
-				fmt.Printf("%.4f,%s,%.3f,%.3f\n", tr.Times[i], tr.Activity, tr.Z[i], tr.TruthZ[i])
+				fmt.Fprintf(out, "%.4f,%s,%.3f,%.3f\n", tr.Times[i], tr.Activity, tr.Z[i], tr.TruthZ[i])
 			}
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "witrack-spectro: unknown -fig (use 3a, 3b, 3c, 6)")
+		fmt.Fprintf(os.Stderr, "witrack-spectro: unknown -fig %q (use 3a, 3b, 3c, 6)\n", *fig)
 		os.Exit(2)
 	}
+	check(out.Flush())
 }
 
 func dumpSpectrogram(sr *experiments.SpectrogramResult, raw bool, stride int) {
@@ -60,14 +79,11 @@ func dumpSpectrogram(sr *experiments.SpectrogramResult, raw bool, stride int) {
 	if raw {
 		s = sr.Raw
 	}
-	if stride < 1 {
-		stride = 1
-	}
-	fmt.Println("t,distance_m,power")
+	fmt.Fprintln(out, "t,distance_m,power")
 	for i := 0; i < len(s.Frames); i += stride {
 		t := float64(i) * s.FrameInterval
 		for b, v := range s.Frames[i] {
-			fmt.Printf("%.4f,%.2f,%.4g\n", t, s.Distance(float64(b)), v)
+			fmt.Fprintf(out, "%.4f,%.2f,%.4g\n", t, s.Distance(float64(b)), v)
 		}
 	}
 }

@@ -1,7 +1,10 @@
 // Elderly fall monitoring (the paper's second application, §6.2/§9.5):
 // run the four activity scripts — walking, sitting on a chair, sitting
 // on the floor, and a (simulated) fall — through the through-wall
-// tracker and classify each from the elevation stream alone.
+// tracker and classify each from the elevation stream alone. Each
+// activity is a declarative scenario spec compiled to a device and a
+// trajectory; the full precision/recall protocol is the canonical
+// "fall" scenario (see cmd/witrack-scenarios).
 package main
 
 import (
@@ -22,19 +25,23 @@ func main() {
 		witrack.ActivitySitFloor, witrack.ActivityFall,
 	}
 	for i, act := range activities {
-		cfg := witrack.DefaultConfig()
-		cfg.Seed = 100 + int64(i)*13 + 3
-		dev, err := witrack.NewDevice(cfg)
+		sp := witrack.NewScenario("falldetect-"+act.String(), "one §9.5 activity").
+			Seeded(100 + int64(i)*13 + 3).
+			ThroughWall().
+			Body(witrack.ScenarioBody{Motion: witrack.ScenarioMotion{
+				Kind:     "activity",
+				Activity: act.String(),
+				Seed:     50 + int64(i)*7 + 1,
+			}})
+		c, err := witrack.CompileScenario(sp, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		script := witrack.NewActivityScript(witrack.ActivityConfig{
-			Activity:     act,
-			Region:       witrack.StandardRegion(),
-			CenterHeight: cfg.Subject.CenterHeight(),
-			Seed:         50 + int64(i)*7 + 1,
-		})
-		run := dev.Run(script)
+		dev, err := witrack.NewDevice(c.Config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := dev.Run(c.Trajectories[0])
 
 		var ts, zs []float64
 		for _, s := range run.Samples {

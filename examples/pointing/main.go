@@ -3,6 +3,8 @@
 // WiTrack segments the gesture from the radio reflections of the arm
 // alone, estimates the pointing direction from the lift and the drop,
 // and toggles whichever registered appliance lies closest to the ray.
+// The gesture is a declarative scenario spec — the same shape the
+// canonical "pointing" battery in cmd/witrack-scenarios sweeps.
 // (The paper issued the command over Insteon home-automation drivers;
 // here the appliance registry stands in for that integration.)
 package main
@@ -35,41 +37,50 @@ func main() {
 		{name: "shades", pos: witrack.Vec3{X: 0.5, Y: 9.5, Z: 1.8}},
 	}
 
-	cfg := witrack.DefaultConfig()
-	cfg.Seed = 21
-	dev, err := witrack.NewDevice(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	subject := witrack.DefaultSubject()
 
 	// The user stands at (0.5, 4.5) and points toward the desk lamp.
 	// The pointing direction WiTrack measures is the hand displacement
 	// from rest (beside the body) to fully extended (§6.1), so pick the
 	// arm orientation whose displacement ray passes through the lamp.
 	user := witrack.Vec3{X: 0.5, Y: 4.5}
-	center := witrack.Vec3{X: user.X, Y: user.Y, Z: cfg.Subject.CenterHeight()}
+	center := witrack.Vec3{X: user.X, Y: user.Y, Z: subject.CenterHeight()}
 	rest := center.Add(witrack.Vec3{Z: -0.35})
 	shoulder := center.Add(witrack.Vec3{Z: 0.30})
 	d := appliances[0].pos.Sub(rest).Unit()
 	// Solve |rest + s*d - shoulder| = armLength for the extension s.
 	rs := rest.Sub(shoulder)
 	b := rs.Dot(d)
-	c := rs.Dot(rs) - cfg.Subject.ArmLength*cfg.Subject.ArmLength
+	c := rs.Dot(rs) - subject.ArmLength*subject.ArmLength
 	sExt := -b + math.Sqrt(b*b-c)
 	dir := rest.Add(d.Scale(sExt)).Sub(shoulder).Unit()
 	azimuth := math.Atan2(dir.X, dir.Y)
 	elevation := math.Asin(dir.Z)
 
-	script := witrack.NewPointingScript(witrack.PointingConfig{
-		Position:     user,
-		CenterHeight: cfg.Subject.CenterHeight(),
-		ArmLength:    cfg.Subject.ArmLength,
-		Azimuth:      azimuth,
-		Elevation:    elevation,
-		Seed:         5,
-	})
-	run := dev.Run(script)
+	// The whole deployment — room, device, user, gesture — as one
+	// declarative spec.
+	sp := witrack.NewScenario("point-at-lamp", "one §6.1 gesture").
+		Seeded(21).
+		ThroughWall().
+		Body(witrack.ScenarioBody{Motion: witrack.ScenarioMotion{
+			Kind:         "pointing",
+			X:            user.X,
+			Y:            user.Y,
+			AzimuthDeg:   azimuth * 180 / math.Pi,
+			ElevationDeg: elevation * 180 / math.Pi,
+			Seed:         5,
+		}})
+	compiled, err := witrack.CompileScenario(sp, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := witrack.NewDevice(compiled.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := dev.Run(compiled.Trajectories[0])
 
+	cfg := compiled.Config
 	res, err := witrack.EstimatePointing(cfg.Array, cfg.Radio.FrameInterval(), run)
 	if err != nil {
 		log.Fatal("gesture not recognized:", err)

@@ -1,59 +1,45 @@
 // Through-wall vs line-of-sight comparison (the paper's §9.1 headline
-// experiment): track the same walk with the device inside the room and
-// behind the wall, and report per-axis error statistics for both.
+// experiment), expressed as two canonical scenario specs: the same
+// walk tracked with the device inside the room ("single-track") and
+// behind the front wall ("through-wall"). The scenario runner executes
+// both on the streaming pipeline and reports per-axis error metrics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
-	"sort"
 
 	"witrack"
 )
-
-func medianOf(xs []float64) float64 {
-	sort.Float64s(xs)
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	return xs[len(xs)/2]
-}
-
-func run(throughWall bool, seed int64) (x, y, z []float64) {
-	cfg := witrack.DefaultConfig()
-	cfg.Scene = witrack.StandardScene(throughWall)
-	cfg.Seed = seed
-	dev, err := witrack.NewDevice(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	walk := witrack.NewRandomWalk(witrack.DefaultWalkConfig(
-		witrack.StandardRegion(), cfg.Subject.CenterHeight(), 40, seed+9))
-	for _, s := range dev.Run(walk).Samples {
-		if !s.Valid || s.T < 2 {
-			continue
-		}
-		est := witrack.CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
-		x = append(x, math.Abs(est.X-s.Truth.X))
-		y = append(y, math.Abs(est.Y-s.Truth.Y))
-		z = append(z, math.Abs(est.Z-s.Truth.Z))
-	}
-	return
-}
 
 func main() {
 	fmt.Println("WiTrack: line-of-sight vs through-wall 3D accuracy")
 	fmt.Println("(paper medians: LOS 9.9/8.6/17.7 cm, through-wall 13.1/10.25/21.0 cm)")
 	fmt.Println()
-	for _, tw := range []bool{false, true} {
+
+	// The canonical matrix already contains both configurations as
+	// data; this example just selects and runs them.
+	var specs []witrack.Scenario
+	for _, sp := range witrack.CanonicalScenarios() {
+		if sp.Name == "single-track" || sp.Name == "through-wall" {
+			specs = append(specs, sp)
+		}
+	}
+	rep, err := witrack.RunScenarios(context.Background(), specs, witrack.ScenarioOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, res := range rep.Scenarios {
 		label := "line-of-sight"
-		if tw {
+		if res.Name == "through-wall" {
 			label = "through-wall "
 		}
-		x, y, z := run(tw, 11)
-		fmt.Printf("%s  median error: x %5.1f cm, y %5.1f cm, z %5.1f cm   (%d samples)\n",
-			label, medianOf(x)*100, medianOf(y)*100, medianOf(z)*100, len(x))
+		m := res.Metrics
+		fmt.Printf("%s  median error: x %5.1f cm, y %5.1f cm, z %5.1f cm   (%.0f samples, %d devices)\n",
+			label, m["median_err_x_cm"], m["median_err_y_cm"], m["median_err_z_cm"],
+			m["samples"], len(res.Devices))
 	}
 	fmt.Println()
 	fmt.Println("The through-wall errors are slightly larger (the sheetrock wall")

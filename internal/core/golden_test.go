@@ -125,6 +125,9 @@ func TestSteadyStateAllocsPerFrame(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second streaming runs")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the budget only holds on plain builds")
+	}
 	for _, slow := range []bool{false, true} {
 		cfg := DefaultConfig()
 		cfg.Seed = 3

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation adds heap allocations — allocation
+// budgets are not meaningful under it.
+const raceEnabled = true

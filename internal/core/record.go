@@ -1,0 +1,40 @@
+package core
+
+import (
+	"witrack/internal/dsp"
+	"witrack/internal/motion"
+)
+
+// Record simulates the trajectory and captures every per-antenna
+// complex frame into a replayable RecordedSource, together with the
+// ground truth — the trace-capture half of the record/replay loop
+// (StreamFrom is the other half). The frames are exactly what the
+// pipeline workers would have materialized: replaying the recording
+// through StreamFrom on a fresh identically-configured device produces
+// bit-identical samples to running the trajectory directly.
+//
+// Recording consumes the device's simulation RNG just like a run does,
+// so use a fresh device for the capture and another fresh device for
+// the replay. The capture is memory heavy (one complex frame per
+// antenna per 12.5 ms of signal); keep trajectories short.
+func (d *Device) Record(traj motion.Trajectory) *RecordedSource {
+	src := d.simSource(traj)
+	nRx := len(d.cfg.Array.Rx)
+	scratch := make([]antennaScratch, nRx)
+	rec := &RecordedSource{Interval: d.cfg.Radio.FrameInterval()}
+	for {
+		b := src.Next()
+		if b == nil {
+			return rec
+		}
+		frames := make([]dsp.ComplexFrame, nRx)
+		for k := 0; k < nRx; k++ {
+			frames[k] = append(dsp.ComplexFrame(nil), scratch[k].materialize(d.synth, d.prop, k, b)...)
+		}
+		rec.Frames = append(rec.Frames, frames)
+		if len(b.States) > 0 {
+			rec.Truth = append(rec.Truth, b.States[0])
+		}
+		src.Recycle(b)
+	}
+}

@@ -5,7 +5,7 @@ import (
 
 	"witrack/internal/core"
 	"witrack/internal/geom"
-	"witrack/internal/rf"
+	"witrack/internal/scenario"
 )
 
 // AccuracyResult is the outcome of E3/E4 (Fig. 8): the CDF of per-axis
@@ -23,11 +23,12 @@ type AccuracyResult struct {
 func Accuracy3D(throughWall bool, sc Scale, seed int64) (*AccuracyResult, error) {
 	res := &AccuracyResult{}
 	for run := 0; run < sc.Runs; run++ {
-		cfg := core.DefaultConfig()
-		cfg.Scene = rf.StandardScene(throughWall)
-		cfg.Subject = subjectFor(run, seed)
-		cfg.Seed = seed + int64(run)*101
-		err := runTracking(cfg, sc.Duration, seed+int64(run)*13+7,
+		sp := walkSpec("accuracy-3d", seed+int64(run)*101, run, seed,
+			sc.Duration, seed+int64(run)*13+7)
+		if throughWall {
+			sp.ThroughWall()
+		}
+		err := runTracking(sp,
 			func(s core.Sample, est geom.Vec3, _ float64) {
 				res.Errors.Add(est.X-s.Truth.X, est.Y-s.Truth.Y, est.Z-s.Truth.Z)
 				res.Samples++
@@ -51,10 +52,9 @@ type DistanceBin struct {
 func AccuracyVsDistance(sc Scale, seed int64) ([]DistanceBin, error) {
 	bins := map[int]*AxisErrors{}
 	for run := 0; run < sc.Runs; run++ {
-		cfg := core.DefaultConfig()
-		cfg.Subject = subjectFor(run, seed)
-		cfg.Seed = seed + int64(run)*97
-		err := runTracking(cfg, sc.Duration, seed+int64(run)*11+3,
+		sp := walkSpec("accuracy-vs-distance", seed+int64(run)*97, run, seed,
+			sc.Duration, seed+int64(run)*11+3).ThroughWall()
+		err := runTracking(sp,
 			func(s core.Sample, est geom.Vec3, dist float64) {
 				m := int(dist + 0.5)
 				if bins[m] == nil {
@@ -96,11 +96,11 @@ func AccuracyVsSeparation(separations []float64, sc Scale, seed int64) ([]Separa
 	for si, sep := range separations {
 		pt := SeparationPoint{Separation: sep}
 		for run := 0; run < runsPer; run++ {
-			cfg := core.DefaultConfig()
-			cfg.Array = geom.NewTArray(sep, 1.5)
-			cfg.Subject = subjectFor(run+si*runsPer, seed)
-			cfg.Seed = seed + int64(si*1000+run)*89
-			err := runTracking(cfg, sc.Duration, seed+int64(si*100+run)*7+1,
+			sp := walkSpec("accuracy-vs-separation", seed+int64(si*1000+run)*89,
+				run+si*runsPer, seed, sc.Duration, seed+int64(si*100+run)*7+1).
+				ThroughWall().
+				Device(scenario.DeviceSpec{Separation: sep})
+			err := runTracking(sp,
 				func(s core.Sample, est geom.Vec3, _ float64) {
 					pt.Errors.Add(est.X-s.Truth.X, est.Y-s.Truth.Y, est.Z-s.Truth.Z)
 				})

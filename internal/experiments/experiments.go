@@ -3,6 +3,12 @@
 // experiment is a pure function of a Scale (how much workload to run)
 // and a seed, and returns a structured result that cmd/witrack-bench
 // renders as paper-style rows and bench_test.go asserts against.
+//
+// The workloads themselves are declarative scenario specs: every
+// tracking run is assembled by the scenario compiler, and the protocol
+// experiments (§9.4 pointing, §9.5 fall study) delegate to the
+// scenario package's protocol runners. The experiment functions are
+// thin wrappers that sweep spec parameters and summarize the samples.
 package experiments
 
 import (
@@ -14,7 +20,7 @@ import (
 	"witrack/internal/dsp"
 	"witrack/internal/geom"
 	"witrack/internal/motion"
-	"witrack/internal/rf"
+	"witrack/internal/scenario"
 )
 
 // Scale controls experiment workload size.
@@ -41,11 +47,9 @@ func QuickScale() Scale {
 	return Scale{Runs: 8, Duration: 20, Gestures: 16, ActivityReps: 6}
 }
 
-// Region returns the standard tracked area as a motion region.
-func Region() motion.Region {
-	a := rf.StandardArea()
-	return motion.Region{XMin: a.XMin, XMax: a.XMax, YMin: a.YMin, YMax: a.YMax}
-}
+// Region returns the standard tracked area as a motion region (the
+// scenario compiler's definition; one source of truth for workloads).
+func Region() motion.Region { return scenario.Region() }
 
 // AxisErrors accumulates per-axis absolute localization errors.
 type AxisErrors struct {
@@ -80,31 +84,40 @@ func percentile(xs []float64, p float64) float64 {
 	return dsp.Percentile(append([]float64(nil), xs...), p)
 }
 
-// runTracking executes one walk run and feeds per-sample errors (and the
-// subject-device distance) to the sink.
-func runTracking(cfg core.Config, duration float64, walkSeed int64,
-	sink func(s core.Sample, est geom.Vec3, dist float64)) error {
-	dev, err := core.NewDevice(cfg)
+// walkSpec assembles the one-walk-run scenario all accuracy
+// experiments share: panel subject number run walking for duration
+// seconds, simulation seeded with devSeed, motion with walkSeed.
+func walkSpec(name string, devSeed int64, run int, panelSeed int64,
+	duration float64, walkSeed int64) *scenario.Spec {
+	return scenario.New(name, "").
+		Seeded(devSeed).
+		Body(scenario.BodySpec{
+			Subject: scenario.SubjectSpec{PanelSize: 11, PanelSeed: panelSeed, PanelIndex: run},
+			Motion:  scenario.MotionSpec{Kind: scenario.MotionWalk, Duration: duration, Seed: walkSeed},
+		})
+}
+
+// runTracking compiles one tracking scenario (device 0), executes it,
+// and feeds per-sample errors (and the subject-device distance) to the
+// sink.
+func runTracking(sp *scenario.Spec, sink func(s core.Sample, est geom.Vec3, dist float64)) error {
+	c, err := scenario.Compile(sp, 0)
 	if err != nil {
 		return err
 	}
-	walk := motion.NewRandomWalk(motion.DefaultWalkConfig(
-		Region(), cfg.Subject.CenterHeight(), duration, walkSeed))
-	res := dev.Run(walk)
+	dev, err := core.NewDevice(c.Config)
+	if err != nil {
+		return err
+	}
+	res := dev.Run(c.Trajectories[0])
 	for _, s := range res.Samples {
 		if !s.Valid || s.T < 2 {
 			continue
 		}
-		est := body.CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
-		sink(s, est, s.Truth.Dist(cfg.Array.Tx))
+		est := body.CompensateSurfaceDepth(s.Pos, c.Config.Array.Tx, c.Config.Subject.SurfaceDepth)
+		sink(s, est, s.Truth.Dist(c.Config.Array.Tx))
 	}
 	return nil
-}
-
-// subjectFor rotates through the 11-subject panel.
-func subjectFor(run int, seed int64) body.Subject {
-	panel := body.Panel(11, seed)
-	return panel[run%len(panel)]
 }
 
 // FormatCDF renders an empirical CDF as "value:fraction" pairs at the

@@ -5,9 +5,7 @@ import (
 
 	"witrack/internal/body"
 	"witrack/internal/core"
-	"witrack/internal/geom"
-	"witrack/internal/motion"
-	"witrack/internal/rf"
+	"witrack/internal/scenario"
 )
 
 // StaticUserResult is the X1 artifact (§10 extension): localizing a
@@ -22,42 +20,59 @@ type StaticUserResult struct {
 	MedianErrCalibrated float64
 }
 
-// StaticUser demonstrates the §10 static-user extension.
+// StaticUser demonstrates the §10 static-user extension: the same
+// static-presence scenario run uncalibrated and with empty-room
+// background calibration (the canonical "static" scenario is the
+// calibrated configuration).
 func StaticUser(seed int64) (*StaticUserResult, error) {
-	cfg := core.DefaultConfig()
-	cfg.Seed = seed
-	truth := geom.Vec3{X: 0.5, Y: 5, Z: cfg.Subject.CenterHeight()}
-	still := motion.Stationary{Position: truth, Seconds: 10}
+	staticSpec := func(calibrateFrames int) *scenario.Spec {
+		return scenario.New("static-user", "§10 static presence").
+			Seeded(seed).ThroughWall().
+			Static(0.5, 5, 10).
+			Device(scenario.DeviceSpec{CalibrateFrames: calibrateFrames})
+	}
+	run := func(calibrateFrames int) (*core.RunResult, *scenario.Compiled, error) {
+		c, err := scenario.Compile(staticSpec(calibrateFrames), 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		dev, err := core.NewDevice(c.Config)
+		if err != nil {
+			return nil, nil, err
+		}
+		if c.CalibrateFrames > 0 {
+			dev.CalibrateBackground(c.CalibrateFrames)
+		}
+		return dev.Run(c.Trajectories[0]), c, nil
+	}
 
-	dev, err := core.NewDevice(cfg)
+	res := &StaticUserResult{}
+	uncal, _, err := run(0)
 	if err != nil {
 		return nil, err
 	}
-	res := &StaticUserResult{}
-	run := dev.Run(still)
 	valid := 0
-	for _, s := range run.Samples {
+	for _, s := range uncal.Samples {
 		if s.Valid {
 			valid++
 		}
 	}
-	res.ValidFracUncalibrated = float64(valid) / float64(run.Frames)
+	res.ValidFracUncalibrated = float64(valid) / float64(uncal.Frames)
 
-	dev2, err := core.NewDevice(cfg)
+	cal, c, err := run(40)
 	if err != nil {
 		return nil, err
 	}
-	dev2.CalibrateBackground(40)
-	run2 := dev2.Run(still)
+	truth := c.Trajectories[0].At(0).Center
 	var errs []float64
-	for _, s := range run2.Samples {
+	for _, s := range cal.Samples {
 		if !s.Valid {
 			continue
 		}
-		est := body.CompensateSurfaceDepth(s.Pos, cfg.Array.Tx, cfg.Subject.SurfaceDepth)
+		est := body.CompensateSurfaceDepth(s.Pos, c.Config.Array.Tx, c.Config.Subject.SurfaceDepth)
 		errs = append(errs, est.Dist(truth))
 	}
-	res.ValidFracCalibrated = float64(len(errs)) / float64(run2.Frames)
+	res.ValidFracCalibrated = float64(len(errs)) / float64(cal.Frames)
 	if len(errs) > 0 {
 		res.MedianErrCalibrated = median(errs)
 	}
@@ -77,21 +92,31 @@ type TwoPersonResult struct {
 
 // TwoPerson demonstrates the §10 multi-person extension: two subjects in
 // separate depth bands of an uncluttered line-of-sight space, tracked
-// via per-antenna two-TOF extraction and 2^3-assignment disambiguation.
+// via per-antenna two-TOF extraction and 2^3-assignment disambiguation —
+// the same shape as the canonical "multi-person" scenario.
 func TwoPerson(duration float64, seed int64) (*TwoPersonResult, error) {
-	cfg := core.DefaultConfig()
-	cfg.Seed = seed
-	cfg.Scene = rf.EmptyScene()
-	subjectB := body.Panel(11, seed+2)[3]
-	dev, err := core.NewMultiDevice(cfg, subjectB)
+	sp := scenario.New("two-person", "§10 concurrent movers").
+		Seeded(seed).EmptyRoom().
+		Body(scenario.BodySpec{Motion: scenario.MotionSpec{
+			Kind: scenario.MotionWalk, Duration: duration, Seed: seed + 3,
+			Region: &scenario.RegionSpec{XMin: -3, XMax: -0.8, YMin: 3, YMax: 4.5},
+		}}).
+		Body(scenario.BodySpec{
+			Subject: scenario.SubjectSpec{PanelSize: 11, PanelSeed: seed + 2, PanelIndex: 3},
+			Motion: scenario.MotionSpec{
+				Kind: scenario.MotionWalk, Duration: duration, Seed: seed + 4,
+				Region: &scenario.RegionSpec{XMin: 0.8, XMax: 3, YMin: 5.8, YMax: 7.5},
+			},
+		})
+	c, err := scenario.Compile(sp, 0)
 	if err != nil {
 		return nil, err
 	}
-	a := motion.NewRandomWalk(motion.DefaultWalkConfig(
-		motion.Region{XMin: -3, XMax: -0.8, YMin: 3, YMax: 4.5}, cfg.Subject.CenterHeight(), duration, seed+3))
-	b := motion.NewRandomWalk(motion.DefaultWalkConfig(
-		motion.Region{XMin: 0.8, XMax: 3, YMin: 5.8, YMax: 7.5}, subjectB.CenterHeight(), duration, seed+4))
-	run := dev.Run(a, b)
+	dev, err := core.NewMultiDevice(c.Config, c.SubjectB)
+	if err != nil {
+		return nil, err
+	}
+	run := dev.Run(c.Trajectories[0], c.Trajectories[1])
 
 	var errs []float64
 	valid := 0

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 
 	"witrack/internal/core"
 	"witrack/internal/dsp"
-	"witrack/internal/fall"
 	"witrack/internal/motion"
+	"witrack/internal/scenario"
 )
 
 // SpectrogramResult is the E2 (Fig. 3) artifact: the raw spectrogram,
@@ -201,61 +202,26 @@ type FallStudyResult struct {
 // FallStudy reproduces §9.5: ActivityReps runs of each of the four
 // activities, elevation tracked through the wall, classified offline by
 // the fall detector. The paper: 132 experiments, precision 96.9%,
-// recall 93.9%, F = 94.4%.
+// recall 93.9%, F = 94.4%. The protocol itself lives in the scenario
+// package (the canonical "fall" scenario runs the same code); this is
+// the paper-table adapter.
 func FallStudy(sc Scale, seed int64) (*FallStudyResult, error) {
-	res := &FallStudyResult{
-		Detected: map[motion.Activity]int{},
-		Total:    map[motion.Activity]int{},
+	sp := scenario.New("fall-study", "§9.5 protocol").
+		Seeded(seed).ThroughWall().
+		Body(scenario.BodySpec{
+			Subject: scenario.SubjectSpec{PanelSize: 11, PanelSeed: seed},
+			Motion:  scenario.MotionSpec{Kind: scenario.MotionFallStudy},
+		}).
+		Repeat(sc.ActivityReps)
+	out, err := scenario.RunFallStudy(context.Background(), sp, 0)
+	if err != nil {
+		return nil, err
 	}
-	fcfg := fall.DefaultConfig()
-	for _, act := range motion.Activities() {
-		for rep := 0; rep < sc.ActivityReps; rep++ {
-			cfg := core.DefaultConfig()
-			cfg.Subject = subjectFor(rep, seed)
-			cfg.Seed = seed + int64(rep)*59 + int64(act)*7
-			dev, err := core.NewDevice(cfg)
-			if err != nil {
-				return nil, err
-			}
-			script := motion.NewActivityScript(motion.ActivityConfig{
-				Activity: act, Region: Region(),
-				CenterHeight: cfg.Subject.CenterHeight(),
-				Seed:         seed + int64(rep)*17 + int64(act)*131,
-			})
-			run := dev.Run(script)
-			var ts, zs []float64
-			for _, s := range run.Samples {
-				if s.Valid {
-					ts = append(ts, s.T)
-					zs = append(zs, s.Pos.Z)
-				}
-			}
-			verdict, err := fall.Detect(fcfg, ts, zs)
-			if err != nil {
-				return nil, err
-			}
-			res.Total[act]++
-			if verdict.Fall {
-				res.Detected[act]++
-			}
-		}
-	}
-	tp := float64(res.Detected[motion.ActivityFall])
-	fp := 0.0
-	for _, act := range motion.Activities() {
-		if act != motion.ActivityFall {
-			fp += float64(res.Detected[act])
-		}
-	}
-	fn := float64(res.Total[motion.ActivityFall]) - tp
-	if tp+fp > 0 {
-		res.Precision = tp / (tp + fp)
-	}
-	if tp+fn > 0 {
-		res.Recall = tp / (tp + fn)
-	}
-	if res.Precision+res.Recall > 0 {
-		res.FMeasure = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
-	}
-	return res, nil
+	return &FallStudyResult{
+		Detected:  out.Detected,
+		Total:     out.Total,
+		Precision: out.Precision,
+		Recall:    out.Recall,
+		FMeasure:  out.FMeasure,
+	}, nil
 }

@@ -11,7 +11,7 @@ import (
 	"witrack/internal/geom"
 	"witrack/internal/motion"
 	"witrack/internal/rf"
-	"witrack/internal/track"
+	"witrack/internal/scenario"
 )
 
 // ResolutionResult is the E1 artifact.
@@ -131,10 +131,9 @@ func VsRTI(sc Scale, seed int64) (*RTIComparison, error) {
 	// WiTrack 2D (xy Euclidean) errors from a through-wall run.
 	var wErrs []float64
 	for run := 0; run < sc.Runs; run++ {
-		cfg := core.DefaultConfig()
-		cfg.Subject = subjectFor(run, seed)
-		cfg.Seed = seed + int64(run)*71
-		err := runTracking(cfg, sc.Duration, seed+int64(run)*29,
+		sp := walkSpec("vs-rti", seed+int64(run)*71, run, seed,
+			sc.Duration, seed+int64(run)*29).ThroughWall()
+		err := runTracking(sp,
 			func(s core.Sample, est geom.Vec3, _ float64) {
 				wErrs = append(wErrs, est.XY().Dist(s.Truth.XY()))
 			})
@@ -177,14 +176,14 @@ type AblationContourResult struct {
 // AblationContourVsPeak re-runs the through-wall accuracy workload with
 // the tracker's peak rule swapped, quantifying §4.3's design choice.
 func AblationContourVsPeak(sc Scale, seed int64) (*AblationContourResult, error) {
-	run := func(mode track.Mode) (float64, error) {
+	run := func(mode string) (float64, error) {
 		var errs []float64
 		for r := 0; r < sc.Runs; r++ {
-			cfg := core.DefaultConfig()
-			cfg.Subject = subjectFor(r, seed)
-			cfg.Seed = seed + int64(r)*53
-			cfg.TrackerOverride = func(tc *track.Config) { tc.Mode = mode }
-			err := runTracking(cfg, sc.Duration, seed+int64(r)*37,
+			sp := walkSpec("ablation-contour", seed+int64(r)*53, r, seed,
+				sc.Duration, seed+int64(r)*37).
+				ThroughWall().
+				Device(scenario.DeviceSpec{Tracker: scenario.TrackerSpec{Mode: mode}})
+			err := runTracking(sp,
 				func(s core.Sample, est geom.Vec3, _ float64) {
 					errs = append(errs, est.Dist(s.Truth))
 				})
@@ -194,11 +193,11 @@ func AblationContourVsPeak(sc Scale, seed int64) (*AblationContourResult, error)
 		}
 		return median(errs), nil
 	}
-	contour, err := run(track.ModeContour)
+	contour, err := run("contour")
 	if err != nil {
 		return nil, err
 	}
-	strongest, err := run(track.ModeStrongest)
+	strongest, err := run("strongest")
 	if err != nil {
 		return nil, err
 	}
@@ -214,14 +213,14 @@ type AblationDenoiseResult struct {
 
 // AblationDenoising quantifies the §4.4 stages by disabling them.
 func AblationDenoising(sc Scale, seed int64) (*AblationDenoiseResult, error) {
-	run := func(override func(*track.Config)) (float64, error) {
+	run := func(tracker scenario.TrackerSpec) (float64, error) {
 		var errs []float64
 		for r := 0; r < sc.Runs; r++ {
-			cfg := core.DefaultConfig()
-			cfg.Subject = subjectFor(r, seed)
-			cfg.Seed = seed + int64(r)*41
-			cfg.TrackerOverride = override
-			err := runTracking(cfg, sc.Duration, seed+int64(r)*23,
+			sp := walkSpec("ablation-denoise", seed+int64(r)*41, r, seed,
+				sc.Duration, seed+int64(r)*23).
+				ThroughWall().
+				Device(scenario.DeviceSpec{Tracker: tracker})
+			err := runTracking(sp,
 				func(s core.Sample, est geom.Vec3, _ float64) {
 					errs = append(errs, est.Dist(s.Truth))
 				})
@@ -231,20 +230,18 @@ func AblationDenoising(sc Scale, seed int64) (*AblationDenoiseResult, error) {
 		}
 		return median(errs), nil
 	}
-	full, err := run(nil)
+	full, err := run(scenario.TrackerSpec{})
 	if err != nil {
 		return nil, err
 	}
-	noKalman, err := run(func(tc *track.Config) {
-		// A huge process noise makes the filter follow raw measurements.
-		tc.KalmanQ = 1e6
-	})
+	// A huge process noise makes the filter follow raw measurements.
+	noKalmanQ := 1e6
+	noKalman, err := run(scenario.TrackerSpec{KalmanQ: &noKalmanQ})
 	if err != nil {
 		return nil, err
 	}
-	looseGate, err := run(func(tc *track.Config) {
-		tc.MaxJump = 1e9
-	})
+	looseJump := 1e9
+	looseGate, err := run(scenario.TrackerSpec{MaxJump: &looseJump})
 	if err != nil {
 		return nil, err
 	}
@@ -268,15 +265,11 @@ func AblationExtraAntennas(sc Scale, seed int64) (*AblationAntennasResult, error
 	run := func(fourth bool) (float64, error) {
 		var errs []float64
 		for r := 0; r < sc.Runs; r++ {
-			cfg := core.DefaultConfig()
-			if fourth {
-				arr := geom.NewTArray(1.0, 1.5)
-				arr.Rx = append(arr.Rx, geom.Vec3{X: 0, Y: 0, Z: 1.5 + 1.0})
-				cfg.Array = arr
-			}
-			cfg.Subject = subjectFor(r, seed)
-			cfg.Seed = seed + int64(r)*31
-			err := runTracking(cfg, sc.Duration, seed+int64(r)*19,
+			sp := walkSpec("ablation-antennas", seed+int64(r)*31, r, seed,
+				sc.Duration, seed+int64(r)*19).
+				ThroughWall().
+				Device(scenario.DeviceSpec{ExtraTopRx: fourth})
+			err := runTracking(sp,
 				func(s core.Sample, est geom.Vec3, _ float64) {
 					errs = append(errs, est.Dist(s.Truth))
 				})

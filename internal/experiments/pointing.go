@@ -1,12 +1,9 @@
 package experiments
 
 import (
-	"math"
+	"context"
 
-	"witrack/internal/core"
-	"witrack/internal/geom"
-	"witrack/internal/motion"
-	"witrack/internal/pointing"
+	"witrack/internal/scenario"
 )
 
 // PointingResult is the E7 (Fig. 11) artifact: the distribution of
@@ -28,44 +25,24 @@ func (p *PointingResult) P90() float64 { return percentile(p.ErrorsDeg, 90) }
 // tracked area and point in random directions; the estimator recovers
 // the direction from the radio reflections of the arm alone. Ground
 // truth is the true hand displacement (rest -> extended), mirroring the
-// paper's VICON glove protocol.
+// paper's VICON glove protocol. The gesture battery itself lives in the
+// scenario package (the canonical "pointing" scenario runs the same
+// code); this is the paper-table adapter.
 func Pointing(sc Scale, seed int64) (*PointingResult, error) {
-	res := &PointingResult{}
-	region := Region()
-	for g := 0; g < sc.Gestures; g++ {
-		cfg := core.DefaultConfig()
-		cfg.Subject = subjectFor(g, seed)
-		cfg.Seed = seed + int64(g)*61
-		dev, err := core.NewDevice(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rngPos := float64(g)
-		pos := geom.Vec3{
-			X: region.XMin + math.Mod(rngPos*1.7+1, region.XMax-region.XMin),
-			// Keep gestures in the nearer half: the arm's tiny RCS limits
-			// gesture range (the paper's subjects stood in the VICON
-			// room's focused area).
-			Y: region.YMin + math.Mod(rngPos*0.9+0.3, 3),
-		}
-		script := motion.NewPointingScript(motion.PointingConfig{
-			Position:     pos,
-			CenterHeight: cfg.Subject.CenterHeight(),
-			ArmLength:    cfg.Subject.ArmLength,
-			Azimuth:      geom.Rad(math.Mod(rngPos*37, 90) - 45),
-			Elevation:    geom.Rad(math.Mod(rngPos*23, 30) - 10),
-			Seed:         seed + int64(g)*19,
-		})
-		run := dev.Run(script)
-		res.Attempted++
-		est := pointing.New(cfg.Array, pointing.DefaultConfig(cfg.Radio.FrameInterval()))
-		out, err := est.Analyze(run.PerAntenna)
-		if err != nil {
-			continue
-		}
-		truth := script.HandExtended().Sub(script.HandRest()).Unit()
-		res.ErrorsDeg = append(res.ErrorsDeg, pointing.AngleError(out.Direction, truth))
-		res.Analyzed++
+	sp := scenario.New("pointing-study", "§9.4 protocol").
+		Seeded(seed).ThroughWall().
+		Body(scenario.BodySpec{
+			Subject: scenario.SubjectSpec{PanelSize: 11, PanelSeed: seed},
+			Motion:  scenario.MotionSpec{Kind: scenario.MotionPointingStudy},
+		}).
+		Repeat(sc.Gestures)
+	out, err := scenario.RunPointingStudy(context.Background(), sp, 0)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &PointingResult{
+		ErrorsDeg: out.ErrorsDeg,
+		Attempted: out.Attempted,
+		Analyzed:  out.Analyzed,
+	}, nil
 }

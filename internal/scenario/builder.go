@@ -1,0 +1,73 @@
+package scenario
+
+// Builder-style construction for specs assembled in Go (the JSON codec
+// is the other door into the same Spec). Methods return the spec so
+// declarations chain:
+//
+//	sp := scenario.New("through-wall", "walk behind the wall").
+//		Seeded(31).ThroughWall().
+//		Walk(20, 7).
+//		Device(DeviceSpec{Separation: 1.0}).
+//		Assert("median_err_y_cm", "<=", 20)
+func New(name, description string) *Spec {
+	return &Spec{Name: name, Description: description}
+}
+
+// Seeded sets the base simulation seed.
+func (s *Spec) Seeded(seed int64) *Spec {
+	s.Seed = seed
+	return s
+}
+
+// ThroughWall places the front wall between device and subject.
+func (s *Spec) ThroughWall() *Spec {
+	s.Env.ThroughWall = true
+	return s
+}
+
+// EmptyRoom strips walls and furniture from the scene.
+func (s *Spec) EmptyRoom() *Spec {
+	s.Env.Room = "empty"
+	return s
+}
+
+// Cluttered adds extra static reflectors to the room.
+func (s *Spec) Cluttered(c ...Clutter) *Spec {
+	s.Env.Clutter = append(s.Env.Clutter, c...)
+	return s
+}
+
+// Device adds one device placement to the fleet.
+func (s *Spec) Device(d DeviceSpec) *Spec {
+	s.Devices = append(s.Devices, d)
+	return s
+}
+
+// Body adds a subject with an explicit motion spec.
+func (s *Spec) Body(b BodySpec) *Spec {
+	s.Bodies = append(s.Bodies, b)
+	return s
+}
+
+// Walk adds a default-subject free walk of the given duration and
+// motion seed.
+func (s *Spec) Walk(duration float64, seed int64) *Spec {
+	return s.Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk, Duration: duration, Seed: seed}})
+}
+
+// Static adds a motionless default subject at (x, y).
+func (s *Spec) Static(x, y, duration float64) *Spec {
+	return s.Body(BodySpec{Motion: MotionSpec{Kind: MotionStatic, X: x, Y: y, Duration: duration}})
+}
+
+// Repeat sets the protocol repetition count.
+func (s *Spec) Repeat(n int) *Spec {
+	s.Reps = n
+	return s
+}
+
+// Assert appends one expected-metric gate.
+func (s *Spec) Assert(metric, op string, value float64) *Spec {
+	s.Expect = append(s.Expect, Assertion{Metric: metric, Op: op, Value: value})
+	return s
+}

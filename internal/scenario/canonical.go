@@ -1,0 +1,108 @@
+package scenario
+
+// Canonical returns the checked-in scenario matrix CI gates on: the
+// paper's evaluation axes as data. Every seed is fixed, so the metric
+// values — and therefore SCENARIOS.json — are identical on every run;
+// the Expect bounds carry headroom over the measured values so they
+// gate regressions, not noise.
+func Canonical() []Spec {
+	panel := SubjectSpec{PanelSize: 11, PanelSeed: 5}
+	return []Spec{
+		// Single-person free walk in line of sight — the §9.1 baseline,
+		// run on two array separations to keep the fleet dimension honest.
+		*New("single-track", "free walk, line of sight, 2 array separations").
+			Seeded(101).
+			Walk(20, 7).
+			Device(DeviceSpec{Separation: 1.0}).
+			Device(DeviceSpec{Separation: 1.5}).
+			Assert("valid_frac", ">=", 0.90).
+			Assert("median_err_y_cm", "<=", 16).
+			Assert("median_err_x_cm", "<=", 30).
+			Assert("median_err_z_cm", "<=", 45),
+
+		// The same walk through the sheetrock wall (§9.1's headline
+		// through-wall configuration; ~10 dB round-trip cost).
+		*New("through-wall", "free walk tracked through the front wall").
+			Seeded(101).ThroughWall().
+			Walk(20, 7).
+			Device(DeviceSpec{Separation: 1.0}).
+			Assert("valid_frac", ">=", 0.90).
+			Assert("median_err_y_cm", "<=", 18).
+			Assert("median_err_x_cm", "<=", 32).
+			Assert("median_err_z_cm", "<=", 50),
+
+		// Heavy clutter: extra furniture-scale reflectors on top of the
+		// standard room (the Flash Effect amplified; §4.2).
+		*New("clutter", "through-wall walk in a heavily cluttered room").
+			Seeded(211).ThroughWall().
+			Cluttered(
+				Clutter{X: -1.4, Y: 4.8, Z: 0.9, RCS: 1.2},
+				Clutter{X: 0.8, Y: 7.6, Z: 0.5, RCS: 0.8},
+				Clutter{X: 2.9, Y: 5.5, Z: 1.4, RCS: 1.8},
+			).
+			Walk(20, 13).
+			Device(DeviceSpec{Separation: 1.0}).
+			Assert("valid_frac", ">=", 0.78).
+			Assert("median_err_y_cm", "<=", 20).
+			Assert("median_err_z_cm", "<=", 55),
+
+		// Two concurrent movers in separate depth bands of an empty
+		// line-of-sight space (the §10 multi-person extension).
+		*New("multi-person", "two concurrent walkers, per-antenna two-TOF tracking").
+			Seeded(307).EmptyRoom().
+			Body(BodySpec{Motion: MotionSpec{
+				Kind: MotionWalk, Duration: 15, Seed: 310,
+				Region: &RegionSpec{XMin: -3, XMax: -0.8, YMin: 3, YMax: 4.5},
+			}}).
+			Body(BodySpec{
+				Subject: SubjectSpec{PanelSize: 11, PanelSeed: 309, PanelIndex: 3},
+				Motion: MotionSpec{
+					Kind: MotionWalk, Duration: 15, Seed: 311,
+					Region: &RegionSpec{XMin: 0.8, XMax: 3, YMin: 5.8, YMax: 7.5},
+				},
+			}).
+			Device(DeviceSpec{Separation: 1.0}).
+			Assert("valid_frac", ">=", 0.30).
+			Assert("median_err_2d_cm", "<=", 120),
+
+		// The §9.5 fall study: repetitions of all four activity scripts
+		// through the wall, classified from the elevation stream alone.
+		*New("fall", "§9.5 fall-detection protocol, 4 activities × reps").
+			Seeded(401).ThroughWall().
+			Body(BodySpec{Subject: panel, Motion: MotionSpec{Kind: MotionFallStudy}}).
+			Repeat(6).
+			Device(DeviceSpec{Separation: 1.0}).
+			Assert("fall_recall", ">=", 0.5).
+			Assert("fall_precision", ">=", 0.6).
+			Assert("fall_false_positives", "<=", 2),
+
+		// The §9.4 pointing battery: gestures at scattered spots and
+		// directions, direction recovered from the arm reflections.
+		*New("pointing", "§9.4 pointing-gesture battery").
+			Seeded(503).ThroughWall().
+			Body(BodySpec{Subject: panel, Motion: MotionSpec{Kind: MotionPointingStudy}}).
+			Repeat(8).
+			Device(DeviceSpec{Separation: 1.0}).
+			Assert("pointing_analyzed_frac", ">=", 0.6).
+			Assert("pointing_median_deg", "<=", 25),
+
+		// A motionless person via empty-room background calibration (the
+		// §10 static-user extension; uncalibrated subtraction sees nothing).
+		*New("static", "motionless person, calibrated background subtraction").
+			Seeded(601).ThroughWall().
+			Static(0.5, 5.0, 10).
+			Device(DeviceSpec{Separation: 1.0, CalibrateFrames: 40}).
+			Assert("valid_frac", ">=", 0.5).
+			Assert("median_err_3d_cm", "<=", 50),
+	}
+}
+
+// CanonicalNames lists the canonical scenario names in matrix order.
+func CanonicalNames() []string {
+	specs := Canonical()
+	names := make([]string, len(specs))
+	for i := range specs {
+		names[i] = specs[i].Name
+	}
+	return names
+}

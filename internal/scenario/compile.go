@@ -1,0 +1,242 @@
+package scenario
+
+import (
+	"fmt"
+
+	"witrack/internal/body"
+	"witrack/internal/core"
+	"witrack/internal/geom"
+	"witrack/internal/motion"
+	"witrack/internal/rf"
+	"witrack/internal/track"
+)
+
+// defaults for DeviceSpec zero values.
+const (
+	defaultSeparation = 1.0
+	defaultHeight     = 1.5
+	// deviceSeedStride separates the simulation seeds of the devices in
+	// a fleet so each draws independent noise while the trajectory (whose
+	// seed is spec-level) stays shared.
+	deviceSeedStride = 1_000_003
+)
+
+// Compiled is a runnable scenario cell: the device configuration for
+// one placement plus the bodies' trajectories.
+type Compiled struct {
+	// Config is the assembled deployment for core.NewDevice /
+	// core.NewMultiDevice.
+	Config core.Config
+	// SubjectB is the second subject for two-person scenarios.
+	SubjectB body.Subject
+	// Trajectories holds one trajectory per body, in body order.
+	Trajectories []motion.Trajectory
+	// Workers is the pipeline worker count to apply to the device.
+	Workers int
+	// CalibrateFrames, when positive, asks for empty-room background
+	// calibration before the run.
+	CalibrateFrames int
+}
+
+// Region returns the standard tracked area as a motion region (the
+// VICON-focused 6x5 m^2 analog every workload confines itself to).
+func Region() motion.Region {
+	a := rf.StandardArea()
+	return motion.Region{XMin: a.XMin, XMax: a.XMax, YMin: a.YMin, YMax: a.YMax}
+}
+
+// parseActivity maps the spec's activity name to the motion constant.
+func parseActivity(name string) (motion.Activity, error) {
+	for _, act := range motion.Activities() {
+		if act.String() == name {
+			return act, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown activity %q", name)
+}
+
+// resolveSubject materializes a subject from its spec.
+func resolveSubject(ss SubjectSpec) body.Subject {
+	if ss.PanelSize <= 0 {
+		return body.DefaultSubject()
+	}
+	panel := body.Panel(ss.PanelSize, ss.PanelSeed)
+	return panel[ss.PanelIndex%len(panel)]
+}
+
+// scene builds the rf environment.
+func scene(env Environment) *rf.Scene {
+	var s *rf.Scene
+	if env.Room == "empty" {
+		s = rf.EmptyScene()
+	} else {
+		s = rf.StandardScene(env.ThroughWall)
+	}
+	for _, c := range env.Clutter {
+		s.Statics = append(s.Statics, rf.StaticReflector{
+			Pos: geom.Vec3{X: c.X, Y: c.Y, Z: c.Z}, RCS: c.RCS,
+		})
+	}
+	return s
+}
+
+// trackerOverride converts the serializable tracker tweaks into the
+// core config's override hook; nil when no tweak is set.
+func trackerOverride(ts TrackerSpec) func(*track.Config) {
+	if ts.IsZero() {
+		return nil
+	}
+	return func(tc *track.Config) {
+		switch ts.Mode {
+		case "contour":
+			tc.Mode = track.ModeContour
+		case "strongest":
+			tc.Mode = track.ModeStrongest
+		}
+		if ts.KalmanQ != nil {
+			tc.KalmanQ = *ts.KalmanQ
+		}
+		if ts.MaxJump != nil {
+			tc.MaxJump = *ts.MaxJump
+		}
+	}
+}
+
+// device returns the spec's device at index, or the default placement
+// when the list is empty.
+func (s *Spec) device(index int) DeviceSpec {
+	if index < len(s.Devices) {
+		return s.Devices[index]
+	}
+	return DeviceSpec{}
+}
+
+// deviceCount returns the fleet size (at least one).
+func (s *Spec) deviceCount() int {
+	if len(s.Devices) == 0 {
+		return 1
+	}
+	return len(s.Devices)
+}
+
+// cellSeed derives the simulation seed of device cell index: the spec
+// seed plus the device's explicit offset plus a per-index stride, so a
+// fleet of identical placements still draws independent noise.
+func (s *Spec) cellSeed(index int) int64 {
+	return s.Seed + s.device(index).SeedOffset + int64(index)*deviceSeedStride
+}
+
+// region resolves a motion's region: the spec override or the
+// standard tracked area.
+func (ms MotionSpec) region() motion.Region {
+	if ms.Region != nil {
+		return motion.Region{
+			XMin: ms.Region.XMin, XMax: ms.Region.XMax,
+			YMin: ms.Region.YMin, YMax: ms.Region.YMax,
+		}
+	}
+	return Region()
+}
+
+// trajectory builds one body's trajectory. The subject's standing
+// height feeds the motion generator, so the subject must be resolved
+// first.
+func trajectory(ms MotionSpec, subject body.Subject) (motion.Trajectory, error) {
+	switch ms.Kind {
+	case MotionWalk:
+		return motion.NewRandomWalk(motion.DefaultWalkConfig(
+			ms.region(), subject.CenterHeight(), ms.Duration, ms.Seed)), nil
+	case MotionStatic:
+		return motion.Stationary{
+			Position: geom.Vec3{X: ms.X, Y: ms.Y, Z: subject.CenterHeight()},
+			Seconds:  ms.Duration,
+		}, nil
+	case MotionActivity:
+		act, err := parseActivity(ms.Activity)
+		if err != nil {
+			return nil, err
+		}
+		return motion.NewActivityScript(motion.ActivityConfig{
+			Activity:     act,
+			Region:       ms.region(),
+			CenterHeight: subject.CenterHeight(),
+			Seed:         ms.Seed,
+		}), nil
+	case MotionPointing:
+		return motion.NewPointingScript(motion.PointingConfig{
+			Position:     geom.Vec3{X: ms.X, Y: ms.Y},
+			CenterHeight: subject.CenterHeight(),
+			ArmLength:    subject.ArmLength,
+			Azimuth:      geom.Rad(ms.AzimuthDeg),
+			Elevation:    geom.Rad(ms.ElevationDeg),
+			Seed:         ms.Seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("scenario: motion kind %q has no single trajectory", ms.Kind)
+	}
+}
+
+// cellConfig assembles the deployment configuration of one scenario ×
+// device cell (everything except the trajectories).
+func cellConfig(sp *Spec, deviceIndex int) (core.Config, error) {
+	if err := sp.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	if deviceIndex < 0 || deviceIndex >= sp.deviceCount() {
+		return core.Config{}, fmt.Errorf("scenario %q: device index %d out of range (fleet has %d)",
+			sp.Name, deviceIndex, sp.deviceCount())
+	}
+	ds := sp.device(deviceIndex)
+	cfg := core.DefaultConfig()
+	sep, height := ds.Separation, ds.Height
+	if sep == 0 {
+		sep = defaultSeparation
+	}
+	if height == 0 {
+		height = defaultHeight
+	}
+	cfg.Array = geom.NewTArray(sep, height)
+	if ds.ExtraTopRx {
+		cfg.Array.Rx = append(cfg.Array.Rx, geom.Vec3{X: 0, Y: 0, Z: height + sep})
+	}
+	cfg.Scene = scene(sp.Env)
+	cfg.Seed = sp.cellSeed(deviceIndex)
+	cfg.SlowSynth = ds.SlowSynth
+	cfg.TrackerOverride = trackerOverride(ds.Tracker)
+	cfg.Subject = resolveSubject(sp.Bodies[0].Subject)
+	return cfg, nil
+}
+
+// Compile assembles the runnable form of one scenario × device cell.
+// Protocol motions (fall-study, pointing-study) have no single
+// trajectory and are executed by the runner directly.
+func Compile(sp *Spec, deviceIndex int) (*Compiled, error) {
+	cfg, err := cellConfig(sp, deviceIndex)
+	if err != nil {
+		return nil, err
+	}
+	ds := sp.device(deviceIndex)
+	c := &Compiled{
+		Config:          cfg,
+		Workers:         ds.Workers,
+		CalibrateFrames: ds.CalibrateFrames,
+	}
+	if len(sp.Bodies) == 2 {
+		c.SubjectB = resolveSubject(sp.Bodies[1].Subject)
+	}
+	for i, b := range sp.Bodies {
+		if protocol(b.Motion.Kind) {
+			continue
+		}
+		subject := cfg.Subject
+		if i == 1 {
+			subject = c.SubjectB
+		}
+		traj, err := trajectory(b.Motion, subject)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q body %d: %w", sp.Name, i, err)
+		}
+		c.Trajectories = append(c.Trajectories, traj)
+	}
+	return c, nil
+}

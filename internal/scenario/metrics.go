@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"witrack/internal/dsp"
+)
+
+// Metrics is a named-metric map. All values are plain float64 so the
+// JSON report stays machine-comparable; encoding/json emits keys in
+// sorted order, which keeps the report byte-stable across runs.
+//
+// Vocabulary (not every scenario produces every key):
+//
+//	median_err_x_cm / _y_ / _z_   per-axis median localization error
+//	p90_err_x_cm / _y_ / _z_      per-axis 90th-percentile error
+//	median_err_3d_cm              3D median error
+//	median_err_2d_cm              plan-view median error (two-person)
+//	valid_frac                    fraction of frames with a fix
+//	samples                       error samples that fed the statistics
+//	frames                        frames processed
+//	fall_precision / fall_recall / fall_f  §9.5 detector quality
+//	fall_detected / fall_false_positives   raw counts
+//	pointing_median_deg / pointing_p90_deg §9.4 angle error
+//	pointing_analyzed_frac        gestures the estimator segmented
+type Metrics map[string]float64
+
+// Keys returns the metric names in sorted order.
+func (m Metrics) Keys() []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AssertionResult is one evaluated expectation.
+type AssertionResult struct {
+	Metric string  `json:"metric"`
+	Op     string  `json:"op"`
+	Want   float64 `json:"want"`
+	Got    float64 `json:"got"`
+	// Missing is true when the scenario produced no such metric (always
+	// a failure — a typoed assertion must not pass silently).
+	Missing bool `json:"missing,omitempty"`
+	Pass    bool `json:"pass"`
+}
+
+// String renders the assertion outcome for the CLI table.
+func (a AssertionResult) String() string {
+	verdict := "PASS"
+	if !a.Pass {
+		verdict = "FAIL"
+	}
+	if a.Missing {
+		return fmt.Sprintf("%s  %s %s %g (metric missing)", verdict, a.Metric, a.Op, a.Want)
+	}
+	return fmt.Sprintf("%s  %s = %.4g (want %s %g)", verdict, a.Metric, a.Got, a.Op, a.Want)
+}
+
+// evaluate checks every assertion against the metrics.
+func evaluate(expect []Assertion, m Metrics) []AssertionResult {
+	var out []AssertionResult
+	for _, a := range expect {
+		r := AssertionResult{Metric: a.Metric, Op: a.Op, Want: a.Value}
+		got, ok := m[a.Metric]
+		if !ok {
+			r.Missing = true
+		} else {
+			r.Got = got
+			switch a.Op {
+			case "<=":
+				r.Pass = got <= a.Value
+			case ">=":
+				r.Pass = got >= a.Value
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// median returns the median of xs without disturbing the caller's slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return dsp.Median(append([]float64(nil), xs...))
+}
+
+// percentile returns the p-th percentile of xs.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return dsp.Percentile(append([]float64(nil), xs...), p)
+}

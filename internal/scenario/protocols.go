@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"context"
+	"math"
+
+	"witrack/internal/body"
+	"witrack/internal/core"
+	"witrack/internal/fall"
+	"witrack/internal/geom"
+	"witrack/internal/motion"
+	"witrack/internal/pointing"
+)
+
+// Protocol defaults when Spec.Reps is zero.
+const (
+	defaultFallReps = 6
+	defaultGestures = 16
+)
+
+// panelSubject resolves the protocol subject for repetition rep: the
+// zero SubjectSpec is the median default subject for every rep; a
+// panel spec rotates through the demographic panel (§8(c)).
+func panelSubject(ss SubjectSpec, rep int) body.Subject {
+	ss.PanelIndex = rep
+	return resolveSubject(ss)
+}
+
+// FallStudyOutcome is the §9.5 protocol result: per-activity detection
+// counts and the paper's precision/recall/F quality metrics.
+type FallStudyOutcome struct {
+	// Detected[activity] counts runs classified as falls.
+	Detected map[motion.Activity]int
+	// Total[activity] counts runs performed.
+	Total map[motion.Activity]int
+	// Precision, Recall, FMeasure follow the paper's definitions.
+	Precision, Recall, FMeasure float64
+	// Frames is the total frames processed across all runs.
+	Frames int
+}
+
+// RunFallStudy executes the §9.5 protocol for one scenario × device
+// cell: Reps repetitions of each of the four activity scripts, tracked
+// and classified by the fall detector. Seeds derive deterministically
+// from the cell seed, so the outcome is bit-reproducible. Cancelling
+// ctx aborts between repetitions.
+func RunFallStudy(ctx context.Context, sp *Spec, deviceIndex int) (*FallStudyOutcome, error) {
+	cfgBase, err := cellConfig(sp, deviceIndex)
+	if err != nil {
+		return nil, err
+	}
+	base := sp.cellSeed(deviceIndex)
+	reps := sp.Reps
+	if reps == 0 {
+		reps = defaultFallReps
+	}
+	ss := sp.Bodies[0].Subject
+	fcfg := fall.DefaultConfig()
+	out := &FallStudyOutcome{
+		Detected: map[motion.Activity]int{},
+		Total:    map[motion.Activity]int{},
+	}
+	for _, act := range motion.Activities() {
+		for rep := 0; rep < reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cfg := cfgBase
+			cfg.Subject = panelSubject(ss, rep)
+			cfg.Seed = base + int64(rep)*59 + int64(act)*7
+			dev, err := core.NewDevice(cfg)
+			if err != nil {
+				return nil, err
+			}
+			script := motion.NewActivityScript(motion.ActivityConfig{
+				Activity: act, Region: Region(),
+				CenterHeight: cfg.Subject.CenterHeight(),
+				Seed:         base + int64(rep)*17 + int64(act)*131,
+			})
+			run := dev.Run(script)
+			out.Frames += run.Frames
+			var ts, zs []float64
+			for _, s := range run.Samples {
+				if s.Valid {
+					ts = append(ts, s.T)
+					zs = append(zs, s.Pos.Z)
+				}
+			}
+			verdict, err := fall.Detect(fcfg, ts, zs)
+			if err != nil {
+				return nil, err
+			}
+			out.Total[act]++
+			if verdict.Fall {
+				out.Detected[act]++
+			}
+		}
+	}
+	out.finish()
+	return out, nil
+}
+
+// finish derives precision/recall/F from the counts.
+func (o *FallStudyOutcome) finish() {
+	tp := float64(o.Detected[motion.ActivityFall])
+	fp := float64(o.falsePositives())
+	fn := float64(o.Total[motion.ActivityFall]) - tp
+	o.Precision, o.Recall, o.FMeasure = 0, 0, 0
+	if tp+fp > 0 {
+		o.Precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		o.Recall = tp / (tp + fn)
+	}
+	if o.Precision+o.Recall > 0 {
+		o.FMeasure = 2 * o.Precision * o.Recall / (o.Precision + o.Recall)
+	}
+}
+
+// merge pools another cell's counts (fleet aggregation).
+func (o *FallStudyOutcome) merge(other *FallStudyOutcome) {
+	for _, act := range motion.Activities() {
+		o.Detected[act] += other.Detected[act]
+		o.Total[act] += other.Total[act]
+	}
+	o.Frames += other.Frames
+	o.finish()
+}
+
+// falsePositives counts non-fall activities classified as falls.
+func (o *FallStudyOutcome) falsePositives() int {
+	fp := 0
+	for _, act := range motion.Activities() {
+		if act != motion.ActivityFall {
+			fp += o.Detected[act]
+		}
+	}
+	return fp
+}
+
+// metrics renders the outcome as report metrics.
+func (o *FallStudyOutcome) metrics() Metrics {
+	runs := 0
+	for _, act := range motion.Activities() {
+		runs += o.Total[act]
+	}
+	return Metrics{
+		"fall_precision":       o.Precision,
+		"fall_recall":          o.Recall,
+		"fall_f":               o.FMeasure,
+		"fall_detected":        float64(o.Detected[motion.ActivityFall]),
+		"fall_false_positives": float64(o.falsePositives()),
+		"runs":                 float64(runs),
+	}
+}
+
+// PointingOutcome is the §9.4 protocol result: the distribution of
+// pointing-direction errors.
+type PointingOutcome struct {
+	ErrorsDeg []float64
+	Attempted int
+	Analyzed  int
+	// Frames is the total frames processed across all gestures.
+	Frames int
+}
+
+// RunPointingStudy executes the §9.4 protocol for one cell: Reps
+// gestures at deterministic pseudo-random positions and directions in
+// the tracked area, recovered from the arm's radio reflections alone.
+// Cancelling ctx aborts between gestures.
+func RunPointingStudy(ctx context.Context, sp *Spec, deviceIndex int) (*PointingOutcome, error) {
+	cfgBase, err := cellConfig(sp, deviceIndex)
+	if err != nil {
+		return nil, err
+	}
+	base := sp.cellSeed(deviceIndex)
+	gestures := sp.Reps
+	if gestures == 0 {
+		gestures = defaultGestures
+	}
+	ss := sp.Bodies[0].Subject
+	region := Region()
+	out := &PointingOutcome{}
+	for g := 0; g < gestures; g++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cfg := cfgBase
+		cfg.Subject = panelSubject(ss, g)
+		cfg.Seed = base + int64(g)*61
+		dev, err := core.NewDevice(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// A low-discrepancy scatter of standing spots and aim angles;
+		// gestures stay in the nearer half of the area because the arm's
+		// tiny RCS limits gesture range (the paper's subjects stood in
+		// the VICON room's focused area).
+		rngPos := float64(g)
+		pos := geom.Vec3{
+			X: region.XMin + math.Mod(rngPos*1.7+1, region.XMax-region.XMin),
+			Y: region.YMin + math.Mod(rngPos*0.9+0.3, 3),
+		}
+		script := motion.NewPointingScript(motion.PointingConfig{
+			Position:     pos,
+			CenterHeight: cfg.Subject.CenterHeight(),
+			ArmLength:    cfg.Subject.ArmLength,
+			Azimuth:      geom.Rad(math.Mod(rngPos*37, 90) - 45),
+			Elevation:    geom.Rad(math.Mod(rngPos*23, 30) - 10),
+			Seed:         base + int64(g)*19,
+		})
+		run := dev.Run(script)
+		out.Frames += run.Frames
+		out.Attempted++
+		est := pointing.New(cfg.Array, pointing.DefaultConfig(cfg.Radio.FrameInterval()))
+		res, err := est.Analyze(run.PerAntenna)
+		if err != nil {
+			continue
+		}
+		truth := script.HandExtended().Sub(script.HandRest()).Unit()
+		out.ErrorsDeg = append(out.ErrorsDeg, pointing.AngleError(res.Direction, truth))
+		out.Analyzed++
+	}
+	return out, nil
+}
+
+// merge pools another cell's gestures.
+func (o *PointingOutcome) merge(other *PointingOutcome) {
+	o.ErrorsDeg = append(o.ErrorsDeg, other.ErrorsDeg...)
+	o.Attempted += other.Attempted
+	o.Analyzed += other.Analyzed
+	o.Frames += other.Frames
+}
+
+// metrics renders the outcome as report metrics.
+func (o *PointingOutcome) metrics() Metrics {
+	m := Metrics{
+		"gestures":               float64(o.Attempted),
+		"pointing_analyzed_frac": 0,
+	}
+	if o.Attempted > 0 {
+		m["pointing_analyzed_frac"] = float64(o.Analyzed) / float64(o.Attempted)
+	}
+	if len(o.ErrorsDeg) > 0 {
+		m["pointing_median_deg"] = median(o.ErrorsDeg)
+		m["pointing_p90_deg"] = percentile(o.ErrorsDeg, 90)
+	}
+	return m
+}

@@ -1,0 +1,359 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"witrack/internal/body"
+	"witrack/internal/core"
+	"witrack/internal/motion"
+)
+
+// warmupSeconds is skipped before error statistics accumulate: the
+// trackers need a couple of seconds to acquire (the experiments use the
+// same cutoff).
+const warmupSeconds = 2.0
+
+// Options tunes the fleet runner.
+type Options struct {
+	// Parallel bounds the number of scenario × device cells in flight
+	// at once; 0 means GOMAXPROCS. Each cell owns its devices outright,
+	// so cells are data-race free by construction; the per-size FFT
+	// plan cache (dsp.PlanFor) is the only shared state and is
+	// concurrency-safe.
+	Parallel int
+	// Timing includes wall-clock throughput (frames/sec per device) in
+	// the results. Off by default: timing varies run to run, and the
+	// default report must be byte-identical across runs for CI's
+	// determinism gate.
+	Timing bool
+}
+
+// DeviceResult is one scenario × device cell of the matrix.
+type DeviceResult struct {
+	// Device is the placement index within the scenario.
+	Device int `json:"device"`
+	// Separation/Height echo the placement for readability.
+	Separation float64 `json:"separation"`
+	Height     float64 `json:"height"`
+	// Frames is the number of frames the cell processed.
+	Frames int `json:"frames"`
+	// Metrics holds the cell's own metric values.
+	Metrics Metrics `json:"metrics"`
+	// FPS is wall-clock frames/sec (only with Options.Timing).
+	FPS float64 `json:"fps,omitempty"`
+}
+
+// Result is one scenario's outcome across its device fleet.
+type Result struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description,omitempty"`
+	Devices     []DeviceResult `json:"devices"`
+	// Metrics are the scenario-level aggregates (raw samples pooled
+	// across devices, then summarized — not an average of averages).
+	Metrics    Metrics           `json:"metrics"`
+	Assertions []AssertionResult `json:"assertions,omitempty"`
+	Pass       bool              `json:"pass"`
+}
+
+// Report is the full matrix outcome — the SCENARIOS.json artifact.
+type Report struct {
+	Scenarios []Result `json:"scenarios"`
+	// Failed lists the names of scenarios with failing assertions.
+	Failed []string `json:"failed,omitempty"`
+	Pass   bool     `json:"pass"`
+}
+
+// cellOutcome carries one cell's raw samples for cross-device pooling
+// alongside its rendered DeviceResult.
+type cellOutcome struct {
+	res DeviceResult
+
+	errX, errY, errZ, err3 []float64
+	err2                   []float64
+	valid, frames          int
+
+	fall  *FallStudyOutcome
+	point *PointingOutcome
+}
+
+// Run executes the matrix of scenarios × devices on a bounded worker
+// pool and aggregates per-scenario metrics and assertion verdicts.
+// Every cell derives its seeds deterministically from its spec, so the
+// report (minus Timing) is identical across runs.
+func Run(ctx context.Context, specs []Spec, opts Options) (*Report, error) {
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+
+	type cellKey struct{ spec, device int }
+	var keys []cellKey
+	for si := range specs {
+		for di := 0; di < specs[si].deviceCount(); di++ {
+			keys = append(keys, cellKey{si, di})
+		}
+	}
+
+	outcomes := make(map[cellKey]*cellOutcome, len(keys))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, parallel)
+	for _, key := range keys {
+		key := key
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if cctx.Err() != nil {
+				return
+			}
+			out, err := runCell(cctx, &specs[key.spec], key.device, opts.Timing)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("scenario %q device %d: %w", specs[key.spec].Name, key.device, err)
+					cancel()
+				}
+				return
+			}
+			outcomes[key] = out
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Pass: true}
+	for si := range specs {
+		sp := &specs[si]
+		var cells []*cellOutcome
+		for di := 0; di < sp.deviceCount(); di++ {
+			cells = append(cells, outcomes[cellKey{si, di}])
+		}
+		res := aggregate(sp, cells)
+		if !res.Pass {
+			rep.Pass = false
+			rep.Failed = append(rep.Failed, sp.Name)
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	return rep, nil
+}
+
+// runCell executes one scenario × device cell.
+func runCell(ctx context.Context, sp *Spec, deviceIndex int, timing bool) (*cellOutcome, error) {
+	ds := sp.device(deviceIndex)
+	out := &cellOutcome{res: DeviceResult{
+		Device:     deviceIndex,
+		Separation: ds.Separation,
+		Height:     ds.Height,
+	}}
+	if out.res.Separation == 0 {
+		out.res.Separation = defaultSeparation
+	}
+	if out.res.Height == 0 {
+		out.res.Height = defaultHeight
+	}
+
+	start := time.Now()
+	var err error
+	switch sp.Bodies[0].Motion.Kind {
+	case MotionFallStudy:
+		out.fall, err = RunFallStudy(ctx, sp, deviceIndex)
+		if err == nil {
+			out.res.Metrics = out.fall.metrics()
+			out.res.Frames = out.fall.Frames
+		}
+	case MotionPointingStudy:
+		out.point, err = RunPointingStudy(ctx, sp, deviceIndex)
+		if err == nil {
+			out.res.Metrics = out.point.metrics()
+			out.res.Frames = out.point.Frames
+		}
+	default:
+		err = runTrackingCell(ctx, sp, deviceIndex, out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if timing && out.res.Frames > 0 {
+		if secs := time.Since(start).Seconds(); secs > 0 {
+			out.res.FPS = float64(out.res.Frames) / secs
+		}
+	}
+	return out, nil
+}
+
+// runTrackingCell streams the cell's trajectory (or two-person pair)
+// through the pipeline and collects localization errors.
+func runTrackingCell(ctx context.Context, sp *Spec, deviceIndex int, out *cellOutcome) error {
+	c, err := Compile(sp, deviceIndex)
+	if err != nil {
+		return err
+	}
+
+	if len(c.Trajectories) == 2 {
+		return runTwoPersonCell(ctx, sp, c, out)
+	}
+
+	dev, err := core.NewDevice(c.Config)
+	if err != nil {
+		return err
+	}
+	dev.Workers = c.Workers
+	if c.CalibrateFrames > 0 {
+		dev.CalibrateBackground(c.CalibrateFrames)
+	}
+	// The cell consumes Device.Stream — the production API — rather
+	// than the batch Run, so the scenario matrix exercises exactly the
+	// code path a live deployment uses.
+	for s := range dev.Stream(ctx, c.Trajectories[0]) {
+		out.frames++
+		if !s.Valid {
+			continue
+		}
+		out.valid++
+		if s.T < warmupSeconds {
+			continue
+		}
+		est := body.CompensateSurfaceDepth(s.Pos, c.Config.Array.Tx, c.Config.Subject.SurfaceDepth)
+		out.errX = append(out.errX, math.Abs(est.X-s.Truth.X))
+		out.errY = append(out.errY, math.Abs(est.Y-s.Truth.Y))
+		out.errZ = append(out.errZ, math.Abs(est.Z-s.Truth.Z))
+		out.err3 = append(out.err3, est.Dist(s.Truth))
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	out.res.Frames = out.frames
+	out.res.Metrics = trackingMetrics(out)
+	return nil
+}
+
+// runTwoPersonCell runs the §10 two-person extension on the same
+// pipeline and scores the per-frame optimal assignment (the radio has
+// no identities). MultiDevice.Run is a batch API, so cancellation is
+// only observed between the run and the scoring pass.
+func runTwoPersonCell(ctx context.Context, sp *Spec, c *Compiled, out *cellOutcome) error {
+	dev, err := core.NewMultiDevice(c.Config, c.SubjectB)
+	if err != nil {
+		return err
+	}
+	dev.Workers = c.Workers
+	run := dev.Run(c.Trajectories[0], c.Trajectories[1])
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, s := range run.Samples {
+		out.frames++
+		if !s.Valid {
+			continue
+		}
+		out.valid++
+		if s.T < warmupSeconds+1 {
+			continue
+		}
+		d0 := (s.Pos[0].XY().Dist(s.Truth[0].XY()) + s.Pos[1].XY().Dist(s.Truth[1].XY())) / 2
+		d1 := (s.Pos[0].XY().Dist(s.Truth[1].XY()) + s.Pos[1].XY().Dist(s.Truth[0].XY())) / 2
+		out.err2 = append(out.err2, math.Min(d0, d1))
+	}
+	out.res.Frames = out.frames
+	out.res.Metrics = trackingMetrics(out)
+	return nil
+}
+
+// trackingMetrics summarizes one cell's (or one pooled scenario's)
+// error samples.
+func trackingMetrics(out *cellOutcome) Metrics {
+	m := Metrics{
+		"frames":     float64(out.frames),
+		"valid_frac": 0,
+	}
+	if out.frames > 0 {
+		m["valid_frac"] = float64(out.valid) / float64(out.frames)
+	}
+	if len(out.err3) > 0 {
+		m["samples"] = float64(len(out.err3))
+		m["median_err_x_cm"] = median(out.errX) * 100
+		m["median_err_y_cm"] = median(out.errY) * 100
+		m["median_err_z_cm"] = median(out.errZ) * 100
+		m["p90_err_x_cm"] = percentile(out.errX, 90) * 100
+		m["p90_err_y_cm"] = percentile(out.errY, 90) * 100
+		m["p90_err_z_cm"] = percentile(out.errZ, 90) * 100
+		m["median_err_3d_cm"] = median(out.err3) * 100
+	}
+	if len(out.err2) > 0 {
+		m["samples"] = float64(len(out.err2))
+		m["median_err_2d_cm"] = median(out.err2) * 100
+	}
+	return m
+}
+
+// aggregate pools the fleet's cells into the scenario-level result and
+// evaluates the assertions against the pooled metrics.
+func aggregate(sp *Spec, cells []*cellOutcome) Result {
+	res := Result{Name: sp.Name, Description: sp.Description}
+	pooled := &cellOutcome{}
+	for _, c := range cells {
+		res.Devices = append(res.Devices, c.res)
+		pooled.frames += c.frames
+		pooled.valid += c.valid
+		pooled.errX = append(pooled.errX, c.errX...)
+		pooled.errY = append(pooled.errY, c.errY...)
+		pooled.errZ = append(pooled.errZ, c.errZ...)
+		pooled.err3 = append(pooled.err3, c.err3...)
+		pooled.err2 = append(pooled.err2, c.err2...)
+		if c.fall != nil {
+			if pooled.fall == nil {
+				pooled.fall = &FallStudyOutcome{
+					Detected: map[motion.Activity]int{},
+					Total:    map[motion.Activity]int{},
+				}
+			}
+			pooled.fall.merge(c.fall)
+		}
+		if c.point != nil {
+			if pooled.point == nil {
+				pooled.point = &PointingOutcome{}
+			}
+			pooled.point.merge(c.point)
+		}
+	}
+	switch {
+	case pooled.fall != nil:
+		res.Metrics = pooled.fall.metrics()
+	case pooled.point != nil:
+		res.Metrics = pooled.point.metrics()
+	default:
+		res.Metrics = trackingMetrics(pooled)
+	}
+	res.Assertions = evaluate(sp.Expect, res.Metrics)
+	res.Pass = true
+	for _, a := range res.Assertions {
+		if !a.Pass {
+			res.Pass = false
+		}
+	}
+	return res
+}

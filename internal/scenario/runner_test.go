@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"witrack/internal/core"
+)
+
+// quickMatrix is a reduced matrix for tests: one tracking fleet (two
+// devices), one two-person scenario, and one protocol, with loose
+// assertions.
+func quickMatrix() []Spec {
+	return []Spec{
+		*New("track", "short walk on two placements").
+			Seeded(21).ThroughWall().
+			Walk(8, 4).
+			Device(DeviceSpec{Separation: 1.0}).
+			Device(DeviceSpec{Separation: 1.5}).
+			Assert("valid_frac", ">=", 0.5),
+		*New("pair", "two-person").
+			Seeded(33).EmptyRoom().
+			Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk, Duration: 8, Seed: 34,
+				Region: &RegionSpec{XMin: -3, XMax: -0.8, YMin: 3, YMax: 4.5}}}).
+			Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk, Duration: 8, Seed: 35,
+				Region: &RegionSpec{XMin: 0.8, XMax: 3, YMin: 5.8, YMax: 7.5}}}).
+			Assert("valid_frac", ">=", 0.2),
+		*New("gestures", "two pointing gestures").
+			Seeded(41).
+			Body(BodySpec{Motion: MotionSpec{Kind: MotionPointingStudy}}).
+			Repeat(2),
+	}
+}
+
+// TestRunMatrixDeterministic runs the quick matrix twice — once
+// serially, once with the full worker pool — and requires identical
+// reports: the concurrent schedule must not leak into a single metric
+// bit. This doubles as the MultiDevice fleet race test: under -race the
+// pool executes two-person pipelines concurrently with everything else.
+func TestRunMatrixDeterministic(t *testing.T) {
+	serial, err := Run(context.Background(), quickMatrix(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Run(context.Background(), quickMatrix(), Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(pooled)
+	if string(a) != string(b) {
+		t.Fatalf("schedule leaked into the report:\n serial %s\n pooled %s", a, b)
+	}
+	if len(serial.Scenarios) != 3 {
+		t.Fatalf("%d scenarios in report", len(serial.Scenarios))
+	}
+	if got := len(serial.Scenarios[0].Devices); got != 2 {
+		t.Fatalf("track fleet has %d cells, want 2", got)
+	}
+	for _, res := range serial.Scenarios {
+		if res.Metrics["frames"] == 0 && res.Name != "gestures" {
+			t.Fatalf("%s processed no frames", res.Name)
+		}
+	}
+}
+
+// TestRunEvaluatesAssertions checks pass/fail propagation, including
+// the typo guard for assertions on metrics that don't exist.
+func TestRunEvaluatesAssertions(t *testing.T) {
+	specs := []Spec{
+		*New("impossible", "").Seeded(3).Walk(6, 5).
+			Assert("median_err_y_cm", "<=", 0.0001),
+		*New("typo", "").Seeded(3).Walk(6, 5).
+			Assert("median_err_y_inches", "<=", 10),
+	}
+	rep, err := Run(context.Background(), specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("report should fail")
+	}
+	if !reflect.DeepEqual(rep.Failed, []string{"impossible", "typo"}) {
+		t.Fatalf("failed list: %v", rep.Failed)
+	}
+	typo := rep.Scenarios[1].Assertions[0]
+	if !typo.Missing || typo.Pass {
+		t.Fatalf("missing metric must fail: %+v", typo)
+	}
+}
+
+// TestRunCancellation aborts a matrix mid-flight.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, quickMatrix(), Options{})
+	if err == nil {
+		t.Fatal("cancelled run should error")
+	}
+}
+
+// TestFleetConcurrentMultiDevice drives several two-person MultiDevice
+// pipelines at once on the shared FFT-plan caches — the fleet-scale
+// race check (run under -race in CI).
+func TestFleetConcurrentMultiDevice(t *testing.T) {
+	sp := quickMatrix()[1]
+	var wg sync.WaitGroup
+	results := make([]*cellOutcome, 4)
+	errs := make([]error, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := &cellOutcome{}
+			c, err := Compile(&sp, 0)
+			if err == nil {
+				err = runTwoPersonCell(context.Background(), &sp, c, out)
+			}
+			results[i], errs[i] = out, err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	base, _ := json.Marshal(results[0].res.Metrics)
+	for i := 1; i < len(results); i++ {
+		got, _ := json.Marshal(results[i].res.Metrics)
+		if string(got) != string(base) {
+			t.Fatalf("concurrent two-person runs diverged: %s vs %s", base, got)
+		}
+	}
+}
+
+// TestScenarioCaptureReplay records the frames of a scenario cell and
+// replays them through StreamFrom: the scenario layer must compose
+// with the trace record/replay loop without perturbing a bit.
+func TestScenarioCaptureReplay(t *testing.T) {
+	sp := New("capture", "").Seeded(77).ThroughWall().Walk(5, 6)
+	c, err := Compile(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recDev, err := core.NewDevice(c.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recDev.Record(c.Trajectories[0])
+
+	directDev, err := core.NewDevice(c.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := directDev.Run(c.Trajectories[0]).Samples
+
+	replayDev, err := core.NewDevice(c.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := replayDev.StreamFrom(context.Background(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed []core.Sample
+	for s := range ch {
+		replayed = append(replayed, s)
+	}
+	if len(replayed) != len(direct) {
+		t.Fatalf("replay %d samples vs direct %d", len(replayed), len(direct))
+	}
+	for i := range direct {
+		if direct[i] != replayed[i] {
+			t.Fatalf("sample %d differs between scenario run and trace replay", i)
+		}
+	}
+}

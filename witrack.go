@@ -58,6 +58,7 @@ import (
 	"witrack/internal/motion"
 	"witrack/internal/pointing"
 	"witrack/internal/rf"
+	"witrack/internal/scenario"
 	"witrack/internal/track"
 )
 
@@ -100,6 +101,11 @@ type (
 	FallResult = fall.Result
 	// PointingResult is the estimated pointing direction.
 	PointingResult = pointing.Result
+	// FrameSource is the pipeline's stage-1 frame source interface (a
+	// recorded trace, a hardware front end).
+	FrameSource = core.FrameSource
+	// RecordedSource replays captured per-antenna complex frames.
+	RecordedSource = core.RecordedSource
 )
 
 // The four §9.5 activities.
@@ -134,6 +140,19 @@ func (d *Device) Run(traj Trajectory) *RunResult { return d.inner.Run(traj) }
 func (d *Device) Stream(ctx context.Context, traj Trajectory) <-chan Sample {
 	return d.inner.Stream(ctx, traj)
 }
+
+// StreamFrom runs the pipeline over an arbitrary frame source (a
+// recorded trace, a hardware front end) instead of the built-in
+// simulator.
+func (d *Device) StreamFrom(ctx context.Context, src FrameSource) (<-chan Sample, error) {
+	return d.inner.StreamFrom(ctx, src)
+}
+
+// Record simulates the trajectory and captures every per-antenna frame
+// into a replayable RecordedSource; replaying it through StreamFrom on
+// a fresh identically-configured device is bit-identical to running
+// the trajectory directly.
+func (d *Device) Record(traj Trajectory) *RecordedSource { return d.inner.Record(traj) }
 
 // SetWorkers sets the number of per-antenna pipeline workers: 0 (the
 // default) uses one per receive antenna; 1 degenerates to a serial
@@ -219,4 +238,48 @@ func PointingAngleError(estimate, truth Vec3) float64 {
 // body center before comparing with ground truth (§8(a)).
 func CompensateSurfaceDepth(estimate, devicePos Vec3, depth float64) Vec3 {
 	return body.CompensateSurfaceDepth(estimate, devicePos, depth)
+}
+
+// Scenario system: declarative workload specs (environment, bodies,
+// device placements, expected-metric assertions) executed as a matrix
+// on the streaming pipeline. See cmd/witrack-scenarios for the CLI.
+type (
+	// Scenario is one declarative workload spec (JSON round-trippable).
+	Scenario = scenario.Spec
+	// ScenarioBody is one tracked subject with its motion.
+	ScenarioBody = scenario.BodySpec
+	// ScenarioMotion is a body's motion description.
+	ScenarioMotion = scenario.MotionSpec
+	// ScenarioDevice is one device placement in a scenario's fleet.
+	ScenarioDevice = scenario.DeviceSpec
+	// ScenarioOptions tunes the fleet runner.
+	ScenarioOptions = scenario.Options
+	// ScenarioReport is the matrix outcome (the SCENARIOS.json shape).
+	ScenarioReport = scenario.Report
+	// CompiledScenario is a scenario × device cell compiled to a device
+	// configuration plus trajectories.
+	CompiledScenario = scenario.Compiled
+)
+
+// NewScenario starts a scenario spec (builder-style; see the scenario
+// package for the chainable methods).
+func NewScenario(name, description string) *Scenario {
+	return scenario.New(name, description)
+}
+
+// CanonicalScenarios returns the checked-in scenario matrix CI gates on.
+func CanonicalScenarios() []Scenario { return scenario.Canonical() }
+
+// RunScenarios executes a scenario matrix (N scenarios × M devices)
+// concurrently on the streaming pipeline and aggregates paper-style
+// metrics plus assertion verdicts.
+func RunScenarios(ctx context.Context, specs []Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(ctx, specs, opts)
+}
+
+// CompileScenario assembles one scenario × device cell into a device
+// configuration and trajectories, for callers that want to drive the
+// run themselves (see examples/falldetect, examples/pointing).
+func CompileScenario(sp *Scenario, deviceIndex int) (*CompiledScenario, error) {
+	return scenario.Compile(sp, deviceIndex)
 }
