@@ -1,0 +1,179 @@
+// Command witrack-replay streams recorded .wtrace files back through
+// the tracking pipeline and emits the same metrics the scenario runner
+// scores — without paying synthesis cost. Each trace carries its
+// scenario spec as provenance, so the replaying device is rebuilt
+// exactly as recorded (radio, array, seeds, background calibration);
+// for a fixed trace the metrics are bit-reproducible.
+//
+// With -diff the results are compared against a recorded snapshot
+// (CORPUS.json from witrack-record): any numeric drift — a changed
+// metric value, frame count, or trace set — fails with exit 1. CI runs
+// this over the checked-in golden corpus as the replay regression gate.
+//
+// Usage:
+//
+//	witrack-replay [-json out.json] [-diff CORPUS.json] trace.wtrace...
+//
+// Exit status: 0 success, 1 replay error or snapshot mismatch, 2 bad
+// usage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"witrack/internal/scenario"
+)
+
+func main() {
+	jsonPath := flag.String("json", "", "write the machine-readable replay report to this path")
+	diffPath := flag.String("diff", "", "compare replay metrics against this snapshot (CORPUS.json) and fail on drift")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "witrack-replay: no trace files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var report scenario.ReplayReport
+	for _, path := range flag.Args() {
+		res, err := replayFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "witrack-replay: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		res.Trace = filepath.Base(path)
+		report.Traces = append(report.Traces, *res)
+		fmt.Printf("== %-28s %s (device %d), %d frames\n", res.Trace, res.Name, res.Device, res.Frames)
+		for _, k := range res.Metrics.Keys() {
+			fmt.Printf("  %-24s %.4g\n", k, res.Metrics[k])
+		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-replay:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if *diffPath != "" {
+		snap, err := loadSnapshot(*diffPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-replay:", err)
+			os.Exit(1)
+		}
+		if n := diffReports(snap, &report); n > 0 {
+			fmt.Fprintf(os.Stderr, "witrack-replay: %d difference(s) against snapshot %s\n", n, *diffPath)
+			os.Exit(1)
+		}
+		fmt.Printf("replay matches snapshot %s (%d traces)\n", *diffPath, len(report.Traces))
+	}
+}
+
+func replayFile(path string) (*scenario.ReplayResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scenario.ReplayTrace(context.Background(), f)
+}
+
+func loadSnapshot(path string) (*scenario.ReplayReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap scenario.ReplayReport
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// diffReports compares the snapshot against the replayed results,
+// printing every difference, and returns how many it found. Metric
+// values must match to the bit (the replay pipeline is deterministic;
+// JSON float64 round-trips are exact in Go), so any drift — numeric,
+// missing metric, missing trace — is a regression.
+func diffReports(snap, got *scenario.ReplayReport) int {
+	byTrace := func(rep *scenario.ReplayReport) map[string]scenario.ReplayResult {
+		m := make(map[string]scenario.ReplayResult, len(rep.Traces))
+		for _, r := range rep.Traces {
+			m[r.Trace] = r
+		}
+		return m
+	}
+	want, have := byTrace(snap), byTrace(got)
+	var names []string
+	for name := range want {
+		names = append(names, name)
+	}
+	for name := range have {
+		if _, ok := want[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	diffs := 0
+	report := func(format string, args ...any) {
+		diffs++
+		fmt.Fprintf(os.Stderr, "  DIFF "+format+"\n", args...)
+	}
+	for _, name := range names {
+		w, inSnap := want[name]
+		g, inGot := have[name]
+		switch {
+		case !inSnap:
+			report("%s: replayed but absent from snapshot", name)
+			continue
+		case !inGot:
+			report("%s: in snapshot but not replayed", name)
+			continue
+		}
+		if w.Name != g.Name || w.Device != g.Device {
+			report("%s: identity (%s, device %d) != snapshot (%s, device %d)", name, g.Name, g.Device, w.Name, w.Device)
+		}
+		if w.Frames != g.Frames {
+			report("%s: %d frames != snapshot %d", name, g.Frames, w.Frames)
+		}
+		keys := map[string]bool{}
+		for k := range w.Metrics {
+			keys[k] = true
+		}
+		for k := range g.Metrics {
+			keys[k] = true
+		}
+		var sorted []string
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			wv, okW := w.Metrics[k]
+			gv, okG := g.Metrics[k]
+			switch {
+			case !okW:
+				report("%s: metric %s = %.17g absent from snapshot", name, k, gv)
+			case !okG:
+				report("%s: snapshot metric %s = %.17g not produced", name, k, wv)
+			case math.Float64bits(wv) != math.Float64bits(gv):
+				report("%s: metric %s = %.17g != snapshot %.17g", name, k, gv, wv)
+			}
+		}
+	}
+	return diffs
+}

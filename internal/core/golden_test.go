@@ -1,12 +1,15 @@
 package core
 
 import (
+	"bytes"
+	"context"
 	"hash/fnv"
 	"math"
 	"runtime"
 	"testing"
 
 	"witrack/internal/motion"
+	"witrack/internal/trace"
 )
 
 // goldenHash folds a sample stream into a 64-bit FNV-1a hash over the
@@ -114,6 +117,155 @@ func TestSlowSynthPipelineMatchesSerial(t *testing.T) {
 				t.Fatalf("workers=%d sample %d diverged:\n  pipeline %+v\n  serial   %+v", workers, i, res.Samples[i], want[i])
 			}
 		}
+	}
+}
+
+// recordTraceBytes captures the trajectory on a fresh device into an
+// in-memory .wtrace and returns its bytes.
+func recordTraceBytes(t *testing.T, cfg Config, traj motion.Trajectory) []byte {
+	t.Helper()
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, dev.TraceHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.RecordTo(tw, traj); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// replayTraceBytes streams a .wtrace through a fresh device.
+func replayTraceBytes(t *testing.T, cfg Config, data []byte) []Sample {
+	t.Helper()
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewTraceSource(tr)
+	ch, err := dev.StreamFrom(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Sample
+	for s := range ch {
+		out = append(out, s)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTraceReplayMatchesLive extends the replay-equivalence property to
+// the on-disk trace path on both synthesis paths: a fixed-seed
+// trajectory recorded through trace.Writer and streamed back through
+// trace.Reader + TraceSource must produce digests identical to the live
+// synthesis run — compression, XOR-delta filtering, and the disk format
+// perturb no output bit.
+func TestTraceReplayMatchesLive(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		slow     bool
+		duration float64
+	}{
+		{name: "fast-synth", slow: false, duration: 6},
+		{name: "slow-synth", slow: true, duration: 1.5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("slow synthesis path")
+			}
+			cfg := DefaultConfig()
+			cfg.Seed = 23
+			cfg.SlowSynth = tc.slow
+			traj := testWalk(tc.duration, 29)
+
+			data := recordTraceBytes(t, cfg, traj)
+			t.Logf("trace: %d bytes for %.1f s", len(data), tc.duration)
+
+			liveDev, err := NewDevice(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := liveDev.Run(traj).Samples
+
+			replayed := replayTraceBytes(t, cfg, data)
+			if len(replayed) != len(live) {
+				t.Fatalf("replay produced %d samples, live run %d", len(replayed), len(live))
+			}
+			for i := range live {
+				if live[i] != replayed[i] {
+					t.Fatalf("sample %d diverged:\n  live   %+v\n  replay %+v", i, live[i], replayed[i])
+				}
+			}
+			if h1, h2 := goldenHash(live), goldenHash(replayed); h1 != h2 {
+				t.Fatalf("digest mismatch: live %#016x, replay %#016x", h1, h2)
+			}
+		})
+	}
+}
+
+// TestTraceReplayAllocsPerFrame extends the steady-state allocation
+// budget to the on-disk replay path: streaming a trace through
+// TraceSource (decompression + delta decode into pooled batches) must
+// average at most 5 heap allocations per frame, like live synthesis.
+func TestTraceReplayAllocsPerFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming runs")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the budget only holds on plain builds")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	data := recordTraceBytes(t, cfg, testWalk(6, 31))
+
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := func() int {
+		tr, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := NewTraceSource(tr)
+		ch, err := dev.StreamFrom(context.Background(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := 0
+		for range ch {
+			frames++
+		}
+		if err := src.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return frames
+	}
+
+	replay() // warm the trackers' and decoder path's one-time buffers
+	dev.Reset()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	frames := replay()
+	runtime.ReadMemStats(&m1)
+	perFrame := float64(m1.Mallocs-m0.Mallocs) / float64(frames)
+	t.Logf("%.2f allocs/frame over %d replayed frames", perFrame, frames)
+	if perFrame > 5 {
+		t.Fatalf("%.2f allocs/frame exceeds the 5/frame replay budget", perFrame)
 	}
 }
 

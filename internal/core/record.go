@@ -5,36 +5,60 @@ import (
 	"witrack/internal/motion"
 )
 
+// record simulates the trajectory and hands every materialized frame to
+// sink in frame order, together with the frame's ground truth (nil when
+// the source carries none). The frames are exactly what the pipeline
+// workers would have produced — replaying them through StreamFrom on a
+// fresh identically-configured device is bit-identical to running the
+// trajectory directly. The frame slices are reused between calls; sink
+// must consume them before returning.
+func (d *Device) record(traj motion.Trajectory,
+	sink func(frames []dsp.ComplexFrame, truth *motion.BodyState) error) error {
+	src := d.simSource(traj)
+	nRx := len(d.cfg.Array.Rx)
+	scratch := make([]antennaScratch, nRx)
+	frames := make([]dsp.ComplexFrame, nRx)
+	for {
+		b := src.Next()
+		if b == nil {
+			return nil
+		}
+		for k := 0; k < nRx; k++ {
+			frames[k] = scratch[k].materialize(d.synth, d.prop, k, b)
+		}
+		var truth *motion.BodyState
+		if len(b.States) > 0 {
+			truth = &b.States[0]
+		}
+		if err := sink(frames, truth); err != nil {
+			return err
+		}
+		src.Recycle(b)
+	}
+}
+
 // Record simulates the trajectory and captures every per-antenna
 // complex frame into a replayable RecordedSource, together with the
-// ground truth — the trace-capture half of the record/replay loop
-// (StreamFrom is the other half). The frames are exactly what the
-// pipeline workers would have materialized: replaying the recording
-// through StreamFrom on a fresh identically-configured device produces
-// bit-identical samples to running the trajectory directly.
+// ground truth — the in-memory half of the record/replay loop
+// (RecordTo writes the on-disk .wtrace form; StreamFrom replays either).
 //
 // Recording consumes the device's simulation RNG just like a run does,
 // so use a fresh device for the capture and another fresh device for
 // the replay. The capture is memory heavy (one complex frame per
-// antenna per 12.5 ms of signal); keep trajectories short.
+// antenna per 12.5 ms of signal); keep trajectories short, or stream to
+// disk with RecordTo instead.
 func (d *Device) Record(traj motion.Trajectory) *RecordedSource {
-	src := d.simSource(traj)
-	nRx := len(d.cfg.Array.Rx)
-	scratch := make([]antennaScratch, nRx)
 	rec := &RecordedSource{Interval: d.cfg.Radio.FrameInterval()}
-	for {
-		b := src.Next()
-		if b == nil {
-			return rec
+	d.record(traj, func(frames []dsp.ComplexFrame, truth *motion.BodyState) error {
+		cp := make([]dsp.ComplexFrame, len(frames))
+		for k, f := range frames {
+			cp[k] = append(dsp.ComplexFrame(nil), f...)
 		}
-		frames := make([]dsp.ComplexFrame, nRx)
-		for k := 0; k < nRx; k++ {
-			frames[k] = append(dsp.ComplexFrame(nil), scratch[k].materialize(d.synth, d.prop, k, b)...)
+		rec.Frames = append(rec.Frames, cp)
+		if truth != nil {
+			rec.Truth = append(rec.Truth, *truth)
 		}
-		rec.Frames = append(rec.Frames, frames)
-		if len(b.States) > 0 {
-			rec.Truth = append(rec.Truth, b.States[0])
-		}
-		src.Recycle(b)
-	}
+		return nil
+	})
+	return rec
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"witrack/internal/dsp"
+	"witrack/internal/motion"
+	"witrack/internal/trace"
+)
+
+// TraceHeader returns the .wtrace header describing this device's
+// deployment: the sweep parameters, antenna geometry, seed, and frame
+// clock a replaying device needs to reproduce the recording conditions.
+func (d *Device) TraceHeader() trace.Header {
+	return trace.Header{
+		Seed:     d.cfg.Seed,
+		Interval: d.cfg.Radio.FrameInterval(),
+		NumRx:    len(d.cfg.Array.Rx),
+		Bins:     d.cfg.Radio.RangeBins(),
+		Radio:    d.cfg.Radio,
+		Array:    d.cfg.Array,
+	}
+}
+
+// RecordTo simulates the trajectory and streams every per-antenna
+// complex frame (plus ground truth) into tw — the on-disk counterpart
+// of Record, holding only one frame in memory at a time. It returns the
+// number of frames written. The caller closes tw (the trailer makes the
+// trace verifiable; an unclosed trace reads back as corrupt).
+//
+// Like Record, this consumes the device's simulation RNG exactly as a
+// live run would: record on a fresh device, replay on another.
+func (d *Device) RecordTo(tw *trace.Writer, traj motion.Trajectory) (int, error) {
+	n := 0
+	err := d.record(traj, func(frames []dsp.ComplexFrame, truth *motion.BodyState) error {
+		if err := tw.WriteFrame(frames, truth); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// TraceSource adapts a trace.Reader into the pipeline's FrameSource:
+// the on-disk replay path. Batches and their frame buffers are recycled
+// through a pool and the reader decodes into them in place, so a warm
+// replay stream allocates nothing per frame — replaying a corpus costs
+// decompression, not synthesis.
+//
+// FrameSource has no error channel (Next returns nil at end of stream),
+// so decode failures latch into Err; callers must check it after the
+// stream drains to distinguish a clean end from a corrupt trace.
+type TraceSource struct {
+	r    *trace.Reader
+	pool sync.Pool
+	err  error
+}
+
+// NewTraceSource wraps an opened trace reader.
+func NewTraceSource(r *trace.Reader) *TraceSource {
+	return &TraceSource{r: r}
+}
+
+// Header returns the trace metadata.
+func (s *TraceSource) Header() trace.Header { return s.r.Header() }
+
+// NumRx returns the antenna count of the trace.
+func (s *TraceSource) NumRx() int { return s.r.Header().NumRx }
+
+// Err returns the first decode error, if any. io.EOF (a clean end of
+// trace) is not an error and reports nil.
+func (s *TraceSource) Err() error { return s.err }
+
+// Next decodes the next recorded batch, or returns nil at end of trace
+// or on the first decode error (latched into Err).
+func (s *TraceSource) Next() *FrameBatch {
+	if s.err != nil {
+		return nil
+	}
+	b, _ := s.pool.Get().(*FrameBatch)
+	if b == nil {
+		b = &FrameBatch{}
+	}
+	index := s.r.FramesRead()
+	frames, truth, hasTruth, err := s.r.ReadFrameInto(b.Frames)
+	if err != nil {
+		s.pool.Put(b)
+		if !errors.Is(err, io.EOF) {
+			s.err = err
+		}
+		return nil
+	}
+	b.Index = index
+	b.T = float64(index) * s.r.Header().Interval
+	b.Frames = frames
+	b.States = b.States[:0]
+	if hasTruth {
+		b.States = append(b.States, truth)
+	}
+	b.synth = nil
+	b.sweeps = nil
+	return b
+}
+
+// Recycle returns a fully processed batch to the pool; its frame
+// buffers are decoded into again by a future Next.
+func (s *TraceSource) Recycle(b *FrameBatch) { s.pool.Put(b) }

@@ -204,6 +204,12 @@ func cellConfig(sp *Spec, deviceIndex int) (core.Config, error) {
 	cfg.SlowSynth = ds.SlowSynth
 	cfg.TrackerOverride = trackerOverride(ds.Tracker)
 	cfg.Subject = resolveSubject(sp.Bodies[0].Subject)
+	if ds.Radio.MaxRange > 0 {
+		cfg.Radio.MaxRange = ds.Radio.MaxRange
+	}
+	if ds.Radio.SweepsPerFrame > 0 {
+		cfg.Radio.SweepsPerFrame = ds.Radio.SweepsPerFrame
+	}
 	return cfg, nil
 }
 

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestGoldenCorpusReplay is the replay-backed regression suite: it
+// streams every checked-in golden trace (testdata/corpus) through the
+// pipeline and requires the scored metrics to match the recorded
+// CORPUS.json snapshot byte-for-byte. Because the traces carry the
+// frames, this gates the entire processing side — tracker, locator,
+// scoring — against numeric drift without paying synthesis cost.
+//
+// When metrics legitimately change, refresh the corpus (see README
+// "Record & replay"):
+//
+//	go run ./cmd/witrack-record -corpus \
+//	    -out internal/scenario/testdata/corpus \
+//	    -json internal/scenario/testdata/corpus/CORPUS.json
+func TestGoldenCorpusReplay(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		// Like the core golden digests, the snapshot metrics were
+		// captured on amd64; fused multiply-adds on other architectures
+		// legitimately shift low-order bits. The arch-independent replay
+		// properties are covered by TestRecordCellReplayMatchesLiveCell.
+		t.Skipf("corpus snapshot is amd64-specific (GOARCH=%s)", runtime.GOARCH)
+	}
+	snapPath := filepath.Join("testdata", "corpus", "CORPUS.json")
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("reading snapshot: %v", err)
+	}
+	var snap ReplayReport
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	if len(snap.Traces) < 2 {
+		t.Fatalf("snapshot lists %d traces, want the full corpus", len(snap.Traces))
+	}
+
+	var total int64
+	for _, want := range snap.Traces {
+		want := want
+		t.Run(want.Trace, func(t *testing.T) {
+			path := filepath.Join("testdata", "corpus", want.Trace)
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatalf("snapshot names a missing trace: %v", err)
+			}
+			total += st.Size()
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			got, err := ReplayTrace(context.Background(), f)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if got.Name != want.Name || got.Device != want.Device {
+				t.Fatalf("identity (%s, %d) != snapshot (%s, %d)", got.Name, got.Device, want.Name, want.Device)
+			}
+			if got.Frames != want.Frames {
+				t.Fatalf("replayed %d frames, snapshot has %d", got.Frames, want.Frames)
+			}
+			if len(got.Metrics) != len(want.Metrics) {
+				t.Fatalf("metric set changed: %v != %v", got.Metrics.Keys(), want.Metrics.Keys())
+			}
+			for _, k := range want.Metrics.Keys() {
+				gv, ok := got.Metrics[k]
+				if !ok {
+					t.Fatalf("metric %s missing from replay", k)
+				}
+				if math.Float64bits(gv) != math.Float64bits(want.Metrics[k]) {
+					t.Fatalf("metric %s = %.17g != snapshot %.17g — the replay path drifted; "+
+						"if the change is intentional, refresh the corpus with witrack-record -corpus",
+						k, gv, want.Metrics[k])
+				}
+			}
+			// Byte-for-byte: re-marshal the replayed result with the
+			// snapshot's own encoding and require identical JSON.
+			gotJSON, err := json.Marshal(got.Metrics)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON, err := json.Marshal(want.Metrics)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(wantJSON) {
+				t.Fatalf("metrics JSON diverged:\n  got  %s\n  want %s", gotJSON, wantJSON)
+			}
+		})
+	}
+	// The corpus is checked into git: keep it honest about its budget.
+	const corpusBudget = 1 << 20
+	if total > corpusBudget {
+		t.Fatalf("corpus weighs %d bytes, over the ~1 MB budget — trim durations or MaxRange", total)
+	}
+}

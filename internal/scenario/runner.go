@@ -228,7 +228,18 @@ func runTrackingCell(ctx context.Context, sp *Spec, deviceIndex int, out *cellOu
 	// The cell consumes Device.Stream — the production API — rather
 	// than the batch Run, so the scenario matrix exercises exactly the
 	// code path a live deployment uses.
-	for s := range dev.Stream(ctx, c.Trajectories[0]) {
+	scoreTrackingStream(dev.Stream(ctx, c.Trajectories[0]), c, out)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scoreTrackingStream drains a sample stream and accumulates the cell's
+// localization errors and metrics. It is shared between live synthesis
+// cells and trace replays, so both paths score byte-identically.
+func scoreTrackingStream(ch <-chan core.Sample, c *Compiled, out *cellOutcome) {
+	for s := range ch {
 		out.frames++
 		if !s.Valid {
 			continue
@@ -243,12 +254,8 @@ func runTrackingCell(ctx context.Context, sp *Spec, deviceIndex int, out *cellOu
 		out.errZ = append(out.errZ, math.Abs(est.Z-s.Truth.Z))
 		out.err3 = append(out.err3, est.Dist(s.Truth))
 	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	out.res.Frames = out.frames
 	out.res.Metrics = trackingMetrics(out)
-	return nil
 }
 
 // runTwoPersonCell runs the §10 two-person extension on the same

@@ -93,6 +93,22 @@ type DeviceSpec struct {
 	CalibrateFrames int `json:"calibrate_frames,omitempty"`
 	// Tracker optionally overrides tracker knobs (ablations).
 	Tracker TrackerSpec `json:"tracker,omitempty"`
+	// Radio optionally overrides sweep parameters (compact-corpus and
+	// ablation scenarios).
+	Radio RadioSpec `json:"radio,omitempty"`
+}
+
+// RadioSpec is the serializable subset of FMCW overrides scenarios may
+// apply on top of the paper's default radio. Zero fields keep defaults.
+type RadioSpec struct {
+	// MaxRange caps the round-trip distance of interest in meters,
+	// bounding the FFT bins kept per frame (default 30). Compact trace
+	// corpora shrink it to cut the per-frame payload.
+	MaxRange float64 `json:"max_range,omitempty"`
+	// SweepsPerFrame is how many consecutive sweeps average into one
+	// frame (default 5 = 80 frames/s); larger values trade frame rate
+	// for per-second trace size.
+	SweepsPerFrame int `json:"sweeps_per_frame,omitempty"`
 }
 
 // TrackerSpec is the serializable subset of tracker overrides the
@@ -244,6 +260,9 @@ func (s *Spec) Validate() error {
 		case "", "contour", "strongest":
 		default:
 			return fmt.Errorf("scenario %q device %d: unknown tracker mode %q", s.Name, di, d.Tracker.Mode)
+		}
+		if d.Radio.MaxRange < 0 || d.Radio.SweepsPerFrame < 0 {
+			return fmt.Errorf("scenario %q device %d: negative radio override", s.Name, di)
 		}
 	}
 	for _, a := range s.Expect {

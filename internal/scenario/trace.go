@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"witrack/internal/core"
+	"witrack/internal/trace"
+)
+
+// Recordable reports whether one scenario × device cell can be captured
+// to a .wtrace: a single-body, single-trajectory tracking cell.
+// Protocol motions (fall-study, pointing-study) run many sub-trajectories
+// and two-person cells run on MultiDevice; neither has one frame stream
+// to persist.
+func (s *Spec) Recordable() error {
+	if len(s.Bodies) != 1 {
+		return fmt.Errorf("scenario %q: only single-body cells are recordable", s.Name)
+	}
+	if k := s.Bodies[0].Motion.Kind; protocol(k) {
+		return fmt.Errorf("scenario %q: protocol motion %q has no single frame stream to record", s.Name, k)
+	}
+	return nil
+}
+
+// RecordCell captures one scenario × device cell into w as a .wtrace:
+// it compiles the cell, reproduces the runner's device setup (including
+// background calibration, which consumes the simulation RNG exactly as
+// a live run would), and streams every per-antenna frame plus ground
+// truth to disk. The trace header carries the scenario spec verbatim,
+// so ReplayTrace can rebuild the identical deployment. Returns the
+// number of frames captured.
+func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
+	if err := sp.Recordable(); err != nil {
+		return 0, err
+	}
+	c, err := Compile(sp, deviceIndex)
+	if err != nil {
+		return 0, err
+	}
+	dev, err := core.NewDevice(c.Config)
+	if err != nil {
+		return 0, err
+	}
+	if c.CalibrateFrames > 0 {
+		dev.CalibrateBackground(c.CalibrateFrames)
+	}
+	h := dev.TraceHeader()
+	h.Name = sp.Name
+	h.DeviceIndex = deviceIndex
+	h.CalibrateFrames = c.CalibrateFrames
+	if h.Scenario, err = json.Marshal(sp); err != nil {
+		return 0, fmt.Errorf("scenario %q: encoding provenance: %w", sp.Name, err)
+	}
+	tw, err := trace.NewWriter(w, h)
+	if err != nil {
+		return 0, err
+	}
+	n, err := dev.RecordTo(tw, c.Trajectories[0])
+	if err != nil {
+		tw.Close()
+		return n, err
+	}
+	return n, tw.Close()
+}
+
+// ReplayResult is one replayed trace's outcome — the snapshot unit the
+// corpus regression gate diffs. Metrics come from the same scoring code
+// as live cells, so for a fixed trace they are bit-reproducible.
+type ReplayResult struct {
+	// Trace is the trace's base file name (set by the CLIs; empty when
+	// replaying a stream).
+	Trace string `json:"trace,omitempty"`
+	// Name/Device identify the scenario cell the trace captured.
+	Name   string `json:"name"`
+	Device int    `json:"device"`
+	// Frames is the number of frames replayed.
+	Frames int `json:"frames"`
+	// Metrics holds the cell's metric values.
+	Metrics Metrics `json:"metrics"`
+}
+
+// ReplayReport is the multi-trace outcome — the CORPUS.json artifact.
+type ReplayReport struct {
+	Traces []ReplayResult `json:"traces"`
+}
+
+// ReplayTrace streams a recorded cell back through the pipeline: it
+// rebuilds the recording deployment from the trace's embedded scenario
+// spec (same compile path, same seeds, same calibration), replays the
+// frames via StreamFrom, and scores them exactly like a live cell. The
+// result is bit-identical to what the live run scored — without paying
+// synthesis cost.
+func ReplayTrace(ctx context.Context, r io.Reader) (*ReplayResult, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	h := tr.Header()
+	if len(h.Scenario) == 0 {
+		return nil, fmt.Errorf("scenario: trace %q has no scenario provenance; replay it with core.TraceSource directly", h.Name)
+	}
+	var sp Spec
+	if err := json.Unmarshal(h.Scenario, &sp); err != nil {
+		return nil, fmt.Errorf("scenario: decoding trace provenance: %w", err)
+	}
+	c, err := Compile(&sp, h.DeviceIndex)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Trajectories) != 1 {
+		return nil, fmt.Errorf("scenario %q: trace provenance is not a single-trajectory cell", sp.Name)
+	}
+	// Sanity-check the provenance against the explicit header fields: a
+	// trace whose spec no longer compiles to the recording deployment
+	// (e.g. after a compile-path change) must fail loudly, not replay
+	// against the wrong radio.
+	if got := c.Config.Seed; got != h.Seed {
+		return nil, fmt.Errorf("scenario %q: provenance compiles to seed %d, trace recorded seed %d", sp.Name, got, h.Seed)
+	}
+	if got := len(c.Config.Array.Rx); got != h.NumRx {
+		return nil, fmt.Errorf("scenario %q: provenance compiles to %d antennas, trace has %d", sp.Name, got, h.NumRx)
+	}
+	if got := c.Config.Radio; got != h.Radio {
+		return nil, fmt.Errorf("scenario %q: provenance compiles to radio %+v, trace recorded %+v", sp.Name, got, h.Radio)
+	}
+	if got := c.Config.Radio.FrameInterval(); got != h.Interval {
+		return nil, fmt.Errorf("scenario %q: provenance compiles to frame interval %g, trace recorded %g", sp.Name, got, h.Interval)
+	}
+	if got := c.CalibrateFrames; got != h.CalibrateFrames {
+		return nil, fmt.Errorf("scenario %q: provenance compiles to %d calibration frames, trace recorded %d", sp.Name, got, h.CalibrateFrames)
+	}
+
+	dev, err := core.NewDevice(c.Config)
+	if err != nil {
+		return nil, err
+	}
+	dev.Workers = c.Workers
+	if c.CalibrateFrames > 0 {
+		dev.CalibrateBackground(c.CalibrateFrames)
+	}
+	src := core.NewTraceSource(tr)
+	ch, err := dev.StreamFrom(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	out := &cellOutcome{}
+	scoreTrackingStream(ch, c, out)
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &ReplayResult{
+		Name:    sp.Name,
+		Device:  h.DeviceIndex,
+		Frames:  out.frames,
+		Metrics: out.res.Metrics,
+	}, nil
+}
+
+// Corpus returns the compact scenario set behind the checked-in golden
+// trace corpus: three canonical workloads (line-of-sight walk,
+// through-wall walk, calibrated static presence) on a reduced radio —
+// MaxRange trimmed to the confined walking region and more sweeps
+// averaged per frame — so the three compressed traces stay under ~1 MB
+// total while still exercising the full tracking pipeline. Refresh the
+// corpus with cmd/witrack-record (see README "Record & replay").
+func Corpus() []Spec {
+	// The corpus radio: frames cover 11 m of round-trip range (the
+	// confined region's round trips top out near 10 m) at 16 frames/s.
+	radio := RadioSpec{MaxRange: 11, SweepsPerFrame: 25}
+	// Keep walkers close to the array so their round trips fit MaxRange.
+	near := &RegionSpec{XMin: -1.5, XMax: 1.5, YMin: 3, YMax: 4.6}
+	return []Spec{
+		*New("corpus-walk", "compact line-of-sight walk for the replay corpus").
+			Seeded(701).
+			Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk, Duration: 4.5, Seed: 703, Region: near}}).
+			Device(DeviceSpec{Separation: 1.0, Radio: radio}),
+
+		*New("corpus-wall", "compact through-wall walk for the replay corpus").
+			Seeded(709).ThroughWall().
+			Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk, Duration: 4.5, Seed: 711, Region: near}}).
+			Device(DeviceSpec{Separation: 1.0, Radio: radio}),
+
+		*New("corpus-static", "compact calibrated static presence for the replay corpus").
+			Seeded(719).ThroughWall().
+			Static(0.5, 3.8, 3.5).
+			Device(DeviceSpec{Separation: 1.0, CalibrateFrames: 40, Radio: radio}),
+	}
+}

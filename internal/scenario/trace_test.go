@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"witrack/internal/trace"
+)
+
+// corpusLikeSpec returns a tiny recordable scenario (with background
+// calibration, the trickiest replay-state dependency) for round-trip
+// tests.
+func corpusLikeSpec() *Spec {
+	return New("rt-static", "record/replay round-trip cell").
+		Seeded(97).ThroughWall().
+		Static(0.4, 3.6, 3).
+		Device(DeviceSpec{
+			Separation:      1.0,
+			CalibrateFrames: 20,
+			Radio:           RadioSpec{MaxRange: 11, SweepsPerFrame: 25},
+		})
+}
+
+// metricsBitEqual compares two metric maps value-for-value by IEEE bits.
+func metricsBitEqual(a, b Metrics) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || math.Float64bits(av) != math.Float64bits(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRecordCellReplayMatchesLiveCell is the scenario-level replay
+// equivalence gate: a cell recorded to a .wtrace and replayed through
+// ReplayTrace must score metrics bit-identical to the live runner's
+// cell (same seeds, same calibration, same scoring code).
+func TestRecordCellReplayMatchesLiveCell(t *testing.T) {
+	for _, mk := range []func() *Spec{
+		corpusLikeSpec,
+		func() *Spec {
+			return New("rt-walk", "record/replay walk cell").
+				Seeded(41).
+				Body(BodySpec{Motion: MotionSpec{
+					Kind: MotionWalk, Duration: 3.5, Seed: 43,
+					Region: &RegionSpec{XMin: -1.5, XMax: 1.5, YMin: 3, YMax: 4.6},
+				}}).
+				Device(DeviceSpec{Separation: 1.0, Radio: RadioSpec{MaxRange: 11, SweepsPerFrame: 25}})
+		},
+	} {
+		sp := mk()
+		t.Run(sp.Name, func(t *testing.T) {
+			if err := sp.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			live, err := runCell(context.Background(), sp, 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			frames, err := RecordCell(sp, 0, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frames != live.res.Frames {
+				t.Fatalf("recorded %d frames, live cell processed %d", frames, live.res.Frames)
+			}
+			res, err := ReplayTrace(context.Background(), bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Name != sp.Name || res.Device != 0 {
+				t.Fatalf("replay identity (%s, %d) != (%s, 0)", res.Name, res.Device, sp.Name)
+			}
+			if res.Frames != live.res.Frames {
+				t.Fatalf("replayed %d frames, live cell %d", res.Frames, live.res.Frames)
+			}
+			if !metricsBitEqual(res.Metrics, live.res.Metrics) {
+				t.Fatalf("replay metrics diverged from live cell:\n  live   %v\n  replay %v",
+					live.res.Metrics, res.Metrics)
+			}
+
+			// A second replay of the same bytes must reproduce itself.
+			res2, err := ReplayTrace(context.Background(), bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !metricsBitEqual(res.Metrics, res2.Metrics) {
+				t.Fatal("two replays of the same trace diverged")
+			}
+		})
+	}
+}
+
+func TestRecordableRejectsProtocolAndTwoBody(t *testing.T) {
+	fall := New("f", "").Seeded(1).
+		Body(BodySpec{Motion: MotionSpec{Kind: MotionFallStudy}})
+	if err := fall.Recordable(); err == nil {
+		t.Fatal("protocol scenario must not be recordable")
+	}
+	two := New("t", "").Seeded(1).Walk(3, 2).Walk(3, 3)
+	if err := two.Recordable(); err == nil {
+		t.Fatal("two-body scenario must not be recordable")
+	}
+	var buf bytes.Buffer
+	if _, err := RecordCell(fall, 0, &buf); err == nil {
+		t.Fatal("RecordCell must reject protocol scenarios")
+	}
+}
+
+func TestReplayRejectsMissingProvenance(t *testing.T) {
+	// A raw device capture (valid trace, no scenario spec embedded)
+	// cannot be scenario-replayed.
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, trace.Header{Interval: 0.0125, NumRx: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayTrace(context.Background(), bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("replay of a provenance-free trace must fail")
+	}
+}
+
+func TestReplayRejectsTamperedProvenance(t *testing.T) {
+	sp := corpusLikeSpec()
+	var buf bytes.Buffer
+	if _, err := RecordCell(sp, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode the trace with a header whose recorded deployment no
+	// longer matches what the provenance spec compiles to: replay must
+	// refuse rather than score frames against the wrong device.
+	for name, tamper := range map[string]func(*trace.Header){
+		"seed":      func(h *trace.Header) { h.Seed += 1000 },
+		"radio":     func(h *trace.Header) { h.Radio.MaxRange += 2 },
+		"calibrate": func(h *trace.Header) { h.CalibrateFrames /= 2 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := tr.Header()
+			tamper(&h)
+			var tampered bytes.Buffer
+			tw, err := trace.NewWriter(&tampered, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				frames, truth, hasTruth, err := tr.ReadFrame()
+				if err != nil {
+					break
+				}
+				var tp = &truth
+				if !hasTruth {
+					tp = nil
+				}
+				if err := tw.WriteFrame(frames, tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReplayTrace(context.Background(), bytes.NewReader(tampered.Bytes())); err == nil {
+				t.Fatal("replay must reject provenance that compiles to a different deployment")
+			}
+		})
+	}
+}
+
+// TestCorpusSpecsAreRecordable pins the contract behind the checked-in
+// golden corpus: every corpus spec validates, is recordable, and names
+// itself uniquely (also against the canonical matrix, so -spec users
+// can mix them).
+func TestCorpusSpecsAreRecordable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sp := range Canonical() {
+		seen[sp.Name] = true
+	}
+	corpus := Corpus()
+	if len(corpus) < 2 || len(corpus) > 3 {
+		t.Fatalf("corpus has %d specs, want 2-3", len(corpus))
+	}
+	for i := range corpus {
+		sp := &corpus[i]
+		if err := sp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Recordable(); err != nil {
+			t.Fatal(err)
+		}
+		if seen[sp.Name] {
+			t.Fatalf("corpus scenario %q collides with another scenario name", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+}
+
+// TestRadioSpecOverridesCompile pins the new per-device radio knobs.
+func TestRadioSpecOverridesCompile(t *testing.T) {
+	sp := corpusLikeSpec()
+	c, err := Compile(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Radio.MaxRange != 11 {
+		t.Fatalf("MaxRange override not applied: %g", c.Config.Radio.MaxRange)
+	}
+	if c.Config.Radio.SweepsPerFrame != 25 {
+		t.Fatalf("SweepsPerFrame override not applied: %d", c.Config.Radio.SweepsPerFrame)
+	}
+	if c.Config.Radio.FrameInterval() != 25*0.0025 {
+		t.Fatalf("frame interval %g", c.Config.Radio.FrameInterval())
+	}
+	bad := corpusLikeSpec()
+	bad.Devices[0].Radio.MaxRange = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative radio override must fail validation")
+	}
+}

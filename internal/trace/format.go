@@ -1,0 +1,134 @@
+// Package trace defines the .wtrace on-disk container for recorded
+// WiTrack frame streams: the bit-identical per-antenna complex frames a
+// pipeline run consumes, captured once and replayed as a cheap,
+// deterministic regression corpus (the role the captured RF sweeps play
+// in the paper's evaluation).
+//
+// A trace is a self-describing, versioned binary file:
+//
+//	magic      [6]byte  "WTRACE"
+//	version    uint16   little-endian (currently 1)
+//	headerLen  uint32   little-endian
+//	header     JSON     (Header: radio config, array geometry, seed,
+//	                     frame clock, optional scenario provenance)
+//	headerCRC  uint32   CRC-32 (IEEE) of the header JSON
+//	body       gzip stream of frame blocks, then one trailer block
+//
+// Each frame block inside the gzip stream is length-prefixed and
+// CRC-guarded:
+//
+//	payloadLen uint32   little-endian (never the trailer sentinel)
+//	payload    []byte   one frame record (below)
+//	payloadCRC uint32   CRC-32 (IEEE) of payload
+//
+// A frame record is:
+//
+//	index      uint32   frame number, strictly sequential from 0
+//	truthFlag  uint8    0 = no ground truth, 1 = BodyState follows
+//	truth      [50]byte center xyz (3×f64), moving u8, handActive u8,
+//	                    hand xyz (3×f64) — present only when truthFlag=1
+//	antennas   NumRx ×  (bins uint32, then bins × (re, im) float64 bits)
+//
+// Complex samples are stored as IEEE-754 bit patterns XORed against the
+// same bin of the previous frame (zero for the first frame, or when the
+// bin count changes). The static background dominates most bins and is
+// bit-identical frame to frame, so the XOR zeroes the high bytes and the
+// gzip layer compresses them away — while the transform stays exactly
+// lossless, including NaN payloads. The stream ends with a trailer:
+//
+//	sentinel   uint32   0xFFFFFFFF
+//	frames     uint64   total frame count
+//	trailerCRC uint32   CRC-32 (IEEE) of the count bytes
+//
+// A reader that hits end-of-stream before the trailer, or any CRC or
+// sequencing violation, reports ErrCorrupt — truncated or bit-flipped
+// traces never decode silently and never panic.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"witrack/internal/fmcw"
+	"witrack/internal/geom"
+)
+
+// Magic identifies a .wtrace file.
+var Magic = [6]byte{'W', 'T', 'R', 'A', 'C', 'E'}
+
+// Version is the current container version. Readers reject newer
+// versions (the format is self-describing within a version, not across).
+const Version = 1
+
+// Ext is the conventional file extension.
+const Ext = ".wtrace"
+
+var (
+	// ErrCorrupt reports a malformed, truncated, or bit-flipped trace.
+	ErrCorrupt = errors.New("trace: corrupt or truncated trace")
+	// ErrVersion reports a container version this reader cannot decode.
+	ErrVersion = errors.New("trace: unsupported trace version")
+)
+
+// trailerSentinel marks the trailer block in place of a payload length.
+const trailerSentinel = 0xFFFFFFFF
+
+// maxHeaderLen bounds the JSON header so a corrupt length prefix cannot
+// force a huge allocation.
+const maxHeaderLen = 1 << 20
+
+// maxPayloadLen bounds one frame block for the same reason. A default
+// radio records ~13 KB per frame; 16 MB leaves room for much larger
+// arrays without letting a flipped bit allocate gigabytes.
+const maxPayloadLen = 1 << 24
+
+// Header is the self-describing trace metadata, stored as JSON so the
+// file documents itself (and survives field additions). Interval and
+// NumRx are required; everything else is provenance that lets tooling
+// rebuild the deployment that produced the frames.
+type Header struct {
+	// Name labels the trace (scenario name for scenario captures).
+	Name string `json:"name,omitempty"`
+	// DeviceIndex is the device placement within the scenario's fleet.
+	DeviceIndex int `json:"device,omitempty"`
+	// Seed is the simulation seed the recording device ran with.
+	Seed int64 `json:"seed,omitempty"`
+	// Interval is the frame clock in seconds per frame: frame i carries
+	// the signal at t = i*Interval.
+	Interval float64 `json:"interval"`
+	// NumRx is the receive-antenna count of every frame.
+	NumRx int `json:"num_rx"`
+	// Bins is the per-antenna frame length (informational; the
+	// per-record length prefixes are authoritative).
+	Bins int `json:"bins,omitempty"`
+	// Frames is the expected frame count (informational; the trailer is
+	// authoritative). Zero when the recorder streamed an unknown length.
+	Frames int `json:"frames,omitempty"`
+	// Radio is the FMCW sweep configuration of the recording device.
+	Radio fmcw.Config `json:"radio"`
+	// Array is the antenna geometry of the recording device.
+	Array geom.Array `json:"array"`
+	// CalibrateFrames, when positive, records that the device installed
+	// an empty-room background calibration of that many frames before
+	// the capture; a replaying device must do the same.
+	CalibrateFrames int `json:"calibrate_frames,omitempty"`
+	// Scenario is the verbatim scenario spec JSON that produced this
+	// trace (empty for raw device captures). Replay tooling recompiles
+	// it so the replaying device matches the recording one exactly.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+}
+
+// Validate checks the header fields a reader depends on.
+func (h *Header) Validate() error {
+	if h.Interval <= 0 {
+		return fmt.Errorf("%w: non-positive frame interval %g", ErrCorrupt, h.Interval)
+	}
+	if h.NumRx <= 0 {
+		return fmt.Errorf("%w: non-positive antenna count %d", ErrCorrupt, h.NumRx)
+	}
+	if h.Bins < 0 || h.Frames < 0 || h.CalibrateFrames < 0 {
+		return fmt.Errorf("%w: negative header count", ErrCorrupt)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"witrack/internal/dsp"
+	"witrack/internal/geom"
+	"witrack/internal/motion"
+)
+
+// fuzzFrames derives a small frame stream from raw fuzz bytes: the
+// antenna count, bin counts, truth flags, and every complex bit pattern
+// (including NaNs, infinities, and denormals) come straight from data,
+// so the round-trip property is exercised over arbitrary payloads.
+func fuzzFrames(data []byte) (nRx int, frames [][]dsp.ComplexFrame, truths []*motion.BodyState) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	next64 := func() float64 {
+		var w uint64
+		for i := 0; i < 8; i++ {
+			w = w<<8 | uint64(next())
+		}
+		return math.Float64frombits(w)
+	}
+	nRx = 1 + int(next()%3)
+	n := int(next() % 5)
+	for f := 0; f < n; f++ {
+		fr := make([]dsp.ComplexFrame, nRx)
+		for k := range fr {
+			fr[k] = make(dsp.ComplexFrame, int(next()%9))
+			for i := range fr[k] {
+				fr[k][i] = complex(next64(), next64())
+			}
+		}
+		frames = append(frames, fr)
+		if next()%2 == 0 {
+			truths = append(truths, &motion.BodyState{
+				Center:     geom.Vec3{X: next64(), Y: next64(), Z: next64()},
+				Moving:     next()%2 == 0,
+				HandActive: next()%2 == 0,
+				Hand:       geom.Vec3{X: next64(), Y: next64(), Z: next64()},
+			})
+		} else {
+			truths = append(truths, nil)
+		}
+	}
+	return nRx, frames, truths
+}
+
+// drainTrace decodes data as a .wtrace until EOF or error. It must
+// never panic, whatever the bytes are.
+func drainTrace(data []byte) error {
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	var dst []dsp.ComplexFrame
+	for {
+		var err error
+		if dst, _, _, err = tr.ReadFrameInto(dst); err != nil {
+			return err
+		}
+	}
+}
+
+// FuzzTraceRoundTrip proves two properties over arbitrary inputs:
+// encode→decode is bit-exact lossless (frames, truth, special float
+// values included), and damaged inputs — raw fuzz bytes as a file,
+// truncations, bit flips — are reported as errors, never panics and
+// never silently wrong frames.
+func FuzzTraceRoundTrip(f *testing.F) {
+	// Seed with a real trace plus damaged variants so coverage starts
+	// past the preamble.
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, testHeader(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	fr := []dsp.ComplexFrame{{complex(1, 2), complex(3, 4)}, {complex(5, 6)}}
+	truth := motion.BodyState{Center: geom.Vec3{X: 1, Y: 2, Z: 3}, Moving: true}
+	if err := tw.WriteFrame(fr, &truth); err != nil {
+		f.Fatal(err)
+	}
+	if err := tw.WriteFrame(fr, nil); err != nil {
+		f.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	seed := buf.Bytes()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:len(seed)-3])
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("WTRACE garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Property 1: arbitrary bytes decode defensively (error or clean
+		// EOF, never a panic).
+		drainTrace(data)
+
+		// Property 2: a trace built from fuzz-derived frames round-trips
+		// bit-exactly.
+		nRx, frames, truths := fuzzFrames(data)
+		var buf bytes.Buffer
+		tw, err := NewWriter(&buf, testHeader(nRx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range frames {
+			if err := tw.WriteFrame(frames[i], truths[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		encoded := buf.Bytes()
+
+		tr, err := NewReader(bytes.NewReader(encoded))
+		if err != nil {
+			t.Fatalf("decoding just-encoded trace: %v", err)
+		}
+		var dst []dsp.ComplexFrame
+		for i := range frames {
+			var truth motion.BodyState
+			var hasTruth bool
+			dst, truth, hasTruth, err = tr.ReadFrameInto(dst)
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if hasTruth != (truths[i] != nil) {
+				t.Fatalf("frame %d: truth flag diverged", i)
+			}
+			if hasTruth && !bodyStateBitsEqual(truth, *truths[i]) {
+				t.Fatalf("frame %d: truth not bit-identical", i)
+			}
+			for k := 0; k < nRx; k++ {
+				if !bitsEqual(dst[k], frames[i][k]) {
+					t.Fatalf("frame %d antenna %d not bit-identical", i, k)
+				}
+			}
+		}
+		if _, _, _, err := tr.ReadFrameInto(dst); err != io.EOF {
+			t.Fatalf("want io.EOF after round trip, got %v", err)
+		}
+
+		// Property 3: every truncation of the encoding errors (no
+		// truncated trace passes for complete), and a bit flip at a
+		// data-derived position never panics.
+		if len(encoded) > 0 {
+			cut := int(uint(len(data)) * 31 % uint(len(encoded)))
+			if err := drainTrace(encoded[:cut]); err == nil {
+				t.Fatalf("truncation to %d/%d bytes decoded cleanly", cut, len(encoded))
+			}
+			pos := int(uint(len(data))*37%uint(len(encoded)) | 1)
+			mutated := append([]byte(nil), encoded...)
+			mutated[pos%len(mutated)] ^= 1 << (uint(len(data)) % 8)
+			drainTrace(mutated)
+		}
+	})
+}
+
+func bodyStateBitsEqual(a, b motion.BodyState) bool {
+	vec := func(u, v geom.Vec3) bool {
+		return math.Float64bits(u.X) == math.Float64bits(v.X) &&
+			math.Float64bits(u.Y) == math.Float64bits(v.Y) &&
+			math.Float64bits(u.Z) == math.Float64bits(v.Z)
+	}
+	return vec(a.Center, b.Center) && vec(a.Hand, b.Hand) &&
+		a.Moving == b.Moving && a.HandActive == b.HandActive
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"witrack/internal/dsp"
+	"witrack/internal/motion"
+)
+
+// Reader streams frames out of a .wtrace container. It validates the
+// magic, version, and every CRC as it goes; any violation — including a
+// stream that ends before the trailer — surfaces as an error wrapping
+// ErrCorrupt, never as a panic or a silently short trace.
+type Reader struct {
+	zr   *gzip.Reader
+	h    Header
+	buf  []byte
+	prev [][]uint64
+	n    int
+	done bool
+	err  error // sticky
+}
+
+// NewReader parses the container preamble and prepares the compressed
+// body for streaming.
+func NewReader(r io.Reader) (*Reader, error) {
+	var pre [12]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading preamble: %v", ErrCorrupt, err)
+	}
+	if [6]byte(pre[:6]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, pre[:6])
+	}
+	if v := binary.LittleEndian.Uint16(pre[6:8]); v != Version {
+		return nil, fmt.Errorf("%w: version %d (this reader handles %d)", ErrVersion, v, Version)
+	}
+	hdrLen := binary.LittleEndian.Uint32(pre[8:12])
+	if hdrLen == 0 || hdrLen > maxHeaderLen {
+		return nil, fmt.Errorf("%w: header length %d out of range", ErrCorrupt, hdrLen)
+	}
+	hdr := make([]byte, hdrLen+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
+	}
+	body, sum := hdr[:hdrLen], binary.LittleEndian.Uint32(hdr[hdrLen:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: header CRC %#08x != stored %#08x", ErrCorrupt, got, sum)
+	}
+	var h Header
+	if err := json.Unmarshal(body, &h); err != nil {
+		return nil, fmt.Errorf("%w: decoding header: %v", ErrCorrupt, err)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: opening compressed body: %v", ErrCorrupt, err)
+	}
+	zr.Multistream(false)
+	return &Reader{zr: zr, h: h, prev: make([][]uint64, h.NumRx)}, nil
+}
+
+// Header returns the trace metadata.
+func (tr *Reader) Header() Header { return tr.h }
+
+// FramesRead returns how many frames have been decoded so far.
+func (tr *Reader) FramesRead() int { return tr.n }
+
+// ReadFrame decodes the next frame into freshly allocated buffers.
+// It returns io.EOF after the last frame (the trailer has then been
+// verified), or an error wrapping ErrCorrupt on any damage.
+func (tr *Reader) ReadFrame() ([]dsp.ComplexFrame, motion.BodyState, bool, error) {
+	return tr.ReadFrameInto(nil)
+}
+
+// ReadFrameInto is ReadFrame decoding into dst, reusing its per-antenna
+// slices when they have the right length (resizing them otherwise), so
+// a streaming replay loop allocates nothing once warm. It returns the
+// frame slice (which is dst when dst had the right shape), the ground
+// truth, and whether the frame carried one.
+func (tr *Reader) ReadFrameInto(dst []dsp.ComplexFrame) ([]dsp.ComplexFrame, motion.BodyState, bool, error) {
+	var truth motion.BodyState
+	if tr.err != nil {
+		return nil, truth, false, tr.err
+	}
+	if tr.done {
+		return nil, truth, false, io.EOF
+	}
+
+	var pre [4]byte
+	if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
+		return nil, truth, false, tr.fail("stream ended before trailer: %v", err)
+	}
+	plen := binary.LittleEndian.Uint32(pre[:])
+	if plen == trailerSentinel {
+		return nil, truth, false, tr.finish()
+	}
+	if plen > maxPayloadLen {
+		return nil, truth, false, tr.fail("frame record length %d exceeds limit", plen)
+	}
+	if cap(tr.buf) < int(plen) {
+		tr.buf = make([]byte, plen)
+	}
+	payload := tr.buf[:plen]
+	if _, err := io.ReadFull(tr.zr, payload); err != nil {
+		return nil, truth, false, tr.fail("truncated frame record: %v", err)
+	}
+	if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
+		return nil, truth, false, tr.fail("truncated frame CRC: %v", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(pre[:]); got != want {
+		return nil, truth, false, tr.fail("frame %d CRC %#08x != stored %#08x", tr.n, got, want)
+	}
+
+	c := cursor{b: payload}
+	if idx := c.u32(); int(idx) != tr.n {
+		if c.bad {
+			return nil, truth, false, tr.fail("frame record too short")
+		}
+		return nil, truth, false, tr.fail("frame index %d out of sequence (want %d)", idx, tr.n)
+	}
+	hasTruth := false
+	switch flag := c.u8(); flag {
+	case 0:
+	case 1:
+		hasTruth = true
+		truth = c.bodyState()
+	default:
+		if c.bad {
+			return nil, truth, false, tr.fail("frame record too short")
+		}
+		return nil, truth, false, tr.fail("frame %d: bad truth flag %d", tr.n, flag)
+	}
+
+	if len(dst) != tr.h.NumRx {
+		dst = make([]dsp.ComplexFrame, tr.h.NumRx)
+	}
+	for k := 0; k < tr.h.NumRx; k++ {
+		// Bound-check in uint64 before converting: a corrupt 2^31..2^32
+		// bin count must not go negative (and panic in make) on 32-bit
+		// platforms, nor overflow the 16*bins product.
+		bins32 := c.u32()
+		if c.bad || uint64(bins32)*16 > uint64(c.rem()) {
+			return nil, truth, false, tr.fail("frame %d antenna %d: record too short for %d bins", tr.n, k, bins32)
+		}
+		bins := int(bins32)
+		if len(dst[k]) != bins {
+			dst[k] = make(dsp.ComplexFrame, bins)
+		}
+		if len(tr.prev[k]) != 2*bins {
+			tr.prev[k] = make([]uint64, 2*bins)
+		}
+		p := tr.prev[k]
+		for i := 0; i < bins; i++ {
+			re := c.u64() ^ p[2*i]
+			im := c.u64() ^ p[2*i+1]
+			p[2*i], p[2*i+1] = re, im
+			dst[k][i] = complex(math.Float64frombits(re), math.Float64frombits(im))
+		}
+	}
+	if c.bad {
+		return nil, truth, false, tr.fail("frame %d: record too short", tr.n)
+	}
+	if c.rem() != 0 {
+		return nil, truth, false, tr.fail("frame %d: %d trailing bytes in record", tr.n, c.rem())
+	}
+	tr.n++
+	return dst, truth, hasTruth, nil
+}
+
+// finish verifies the trailer and the compressed stream's own footer,
+// then marks the trace cleanly consumed.
+func (tr *Reader) finish() error {
+	var t [12]byte
+	if _, err := io.ReadFull(tr.zr, t[:]); err != nil {
+		return tr.fail("truncated trailer: %v", err)
+	}
+	if got, want := crc32.ChecksumIEEE(t[:8]), binary.LittleEndian.Uint32(t[8:]); got != want {
+		return tr.fail("trailer CRC %#08x != stored %#08x", got, want)
+	}
+	if count := binary.LittleEndian.Uint64(t[:8]); count != uint64(tr.n) {
+		return tr.fail("trailer says %d frames, decoded %d", count, tr.n)
+	}
+	// Drain the gzip stream: this forces the decompressor to verify its
+	// own CRC/length footer (catching traces truncated inside the final
+	// deflate block) and rejects garbage between trailer and stream end.
+	var one [1]byte
+	switch _, err := tr.zr.Read(one[:]); err {
+	case io.EOF:
+	case nil:
+		return tr.fail("data after trailer")
+	default:
+		return tr.fail("verifying stream end: %v", err)
+	}
+	tr.done = true
+	return io.EOF
+}
+
+// fail records and returns a corruption error; every later read returns
+// the same error.
+func (tr *Reader) fail(format string, args ...any) error {
+	tr.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	return tr.err
+}
+
+// cursor decodes a frame payload with explicit bounds checks: any
+// overrun sets bad instead of panicking, so corrupt length fields are
+// reported as errors.
+type cursor struct {
+	b   []byte
+	i   int
+	bad bool
+}
+
+func (c *cursor) rem() int { return len(c.b) - c.i }
+
+func (c *cursor) u8() byte {
+	if c.rem() < 1 {
+		c.bad = true
+		return 0
+	}
+	v := c.b[c.i]
+	c.i++
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.rem() < 4 {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.i:])
+	c.i += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.rem() < 8 {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.i:])
+	c.i += 8
+	return v
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) bodyState() motion.BodyState {
+	var s motion.BodyState
+	if c.rem() < bodyStateLen {
+		c.bad = true
+		return s
+	}
+	s.Center.X, s.Center.Y, s.Center.Z = c.f64(), c.f64(), c.f64()
+	s.Moving = c.u8() != 0
+	s.HandActive = c.u8() != 0
+	s.Hand.X, s.Hand.Y, s.Hand.Z = c.f64(), c.f64(), c.f64()
+	return s
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"witrack/internal/dsp"
+	"witrack/internal/motion"
+)
+
+// Writer streams frames into a .wtrace container. Frames are encoded,
+// XOR-delta filtered, and compressed as they arrive, so a recording
+// session holds only one frame in memory. Close writes the trailer;
+// a trace without one reads back as corrupt, which is the point — a
+// recorder killed mid-capture must not leave a silently short corpus.
+type Writer struct {
+	w      io.Writer
+	zw     *gzip.Writer
+	nRx    int
+	buf    []byte
+	prev   [][]uint64 // per antenna, previous frame's raw bits (re, im interleaved)
+	n      int
+	closed bool
+	err    error
+}
+
+// NewWriter validates the header and writes the container preamble
+// (magic, version, header JSON, header CRC) to w. The caller owns w;
+// Close flushes the compressor but does not close w.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	hdr, err := json.Marshal(&h)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encoding header: %w", err)
+	}
+	if len(hdr) > maxHeaderLen {
+		return nil, fmt.Errorf("trace: header JSON is %d bytes (max %d)", len(hdr), maxHeaderLen)
+	}
+	pre := make([]byte, 0, len(Magic)+2+4+len(hdr)+4)
+	pre = append(pre, Magic[:]...)
+	pre = binary.LittleEndian.AppendUint16(pre, Version)
+	pre = binary.LittleEndian.AppendUint32(pre, uint32(len(hdr)))
+	pre = append(pre, hdr...)
+	pre = binary.LittleEndian.AppendUint32(pre, crc32.ChecksumIEEE(hdr))
+	if _, err := w.Write(pre); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	zw, err := gzip.NewWriterLevel(w, gzip.BestCompression)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &Writer{w: w, zw: zw, nRx: h.NumRx, prev: make([][]uint64, h.NumRx)}, nil
+}
+
+// Frames returns how many frames have been written.
+func (tw *Writer) Frames() int { return tw.n }
+
+// WriteFrame appends one frame: the per-antenna complex frames (one per
+// receive antenna, in antenna order) plus optional ground truth. The
+// slices are fully encoded before WriteFrame returns, so callers may
+// reuse their buffers.
+func (tw *Writer) WriteFrame(frames []dsp.ComplexFrame, truth *motion.BodyState) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		return fmt.Errorf("trace: WriteFrame after Close")
+	}
+	if len(frames) != tw.nRx {
+		return fmt.Errorf("trace: frame has %d antennas, header says %d", len(frames), tw.nRx)
+	}
+
+	b := tw.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, uint32(tw.n))
+	if truth != nil {
+		b = append(b, 1)
+		b = appendBodyState(b, truth)
+	} else {
+		b = append(b, 0)
+	}
+	for k, f := range frames {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f)))
+		if len(tw.prev[k]) != 2*len(f) {
+			tw.prev[k] = make([]uint64, 2*len(f))
+		}
+		p := tw.prev[k]
+		for i, v := range f {
+			re, im := math.Float64bits(real(v)), math.Float64bits(imag(v))
+			b = binary.LittleEndian.AppendUint64(b, re^p[2*i])
+			b = binary.LittleEndian.AppendUint64(b, im^p[2*i+1])
+			p[2*i], p[2*i+1] = re, im
+		}
+	}
+	tw.buf = b
+
+	if len(b) > maxPayloadLen {
+		tw.err = fmt.Errorf("trace: frame record is %d bytes (max %d)", len(b), maxPayloadLen)
+		return tw.err
+	}
+	var pre [4]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(len(b)))
+	if _, err := tw.zw.Write(pre[:]); err != nil {
+		tw.err = fmt.Errorf("trace: %w", err)
+		return tw.err
+	}
+	if _, err := tw.zw.Write(b); err != nil {
+		tw.err = fmt.Errorf("trace: %w", err)
+		return tw.err
+	}
+	binary.LittleEndian.PutUint32(pre[:], crc32.ChecksumIEEE(b))
+	if _, err := tw.zw.Write(pre[:]); err != nil {
+		tw.err = fmt.Errorf("trace: %w", err)
+		return tw.err
+	}
+	tw.n++
+	return nil
+}
+
+// Close writes the trailer (sentinel, frame count, CRC) and flushes the
+// compressor. The underlying writer is left open.
+func (tw *Writer) Close() error {
+	if tw.closed {
+		return tw.err
+	}
+	tw.closed = true
+	if tw.err != nil {
+		tw.zw.Close()
+		return tw.err
+	}
+	var t [16]byte
+	binary.LittleEndian.PutUint32(t[0:], trailerSentinel)
+	binary.LittleEndian.PutUint64(t[4:], uint64(tw.n))
+	binary.LittleEndian.PutUint32(t[12:], crc32.ChecksumIEEE(t[4:12]))
+	if _, err := tw.zw.Write(t[:]); err != nil {
+		tw.err = fmt.Errorf("trace: %w", err)
+		tw.zw.Close()
+		return tw.err
+	}
+	if err := tw.zw.Close(); err != nil {
+		tw.err = fmt.Errorf("trace: %w", err)
+	}
+	return tw.err
+}
+
+// bodyStateLen is the encoded size of a BodyState record: 6 float64
+// fields plus 2 flag bytes.
+const bodyStateLen = 6*8 + 2
+
+// appendBodyState encodes the ground-truth record.
+func appendBodyState(b []byte, s *motion.BodyState) []byte {
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Center.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Center.Y))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Center.Z))
+	b = append(b, boolByte(s.Moving), boolByte(s.HandActive))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Hand.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Hand.Y))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Hand.Z))
+	return b
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -49,6 +49,7 @@ package witrack
 
 import (
 	"context"
+	"io"
 
 	"witrack/internal/body"
 	"witrack/internal/core"
@@ -59,6 +60,7 @@ import (
 	"witrack/internal/pointing"
 	"witrack/internal/rf"
 	"witrack/internal/scenario"
+	"witrack/internal/trace"
 	"witrack/internal/track"
 )
 
@@ -153,6 +155,18 @@ func (d *Device) StreamFrom(ctx context.Context, src FrameSource) (<-chan Sample
 // a fresh identically-configured device is bit-identical to running
 // the trajectory directly.
 func (d *Device) Record(traj Trajectory) *RecordedSource { return d.inner.Record(traj) }
+
+// RecordTo is Record streaming to an on-disk .wtrace (compressed,
+// CRC-guarded, self-describing — see the trace package): only one frame
+// is held in memory at a time. The caller closes tw. Returns the number
+// of frames written.
+func (d *Device) RecordTo(tw *TraceWriter, traj Trajectory) (int, error) {
+	return d.inner.RecordTo(tw, traj)
+}
+
+// TraceHeader returns the .wtrace header describing this device's
+// deployment, ready to open a TraceWriter with.
+func (d *Device) TraceHeader() TraceHeader { return d.inner.TraceHeader() }
 
 // SetWorkers sets the number of per-antenna pipeline workers: 0 (the
 // default) uses one per receive antenna; 1 degenerates to a serial
@@ -282,4 +296,58 @@ func RunScenarios(ctx context.Context, specs []Scenario, opts ScenarioOptions) (
 // run themselves (see examples/falldetect, examples/pointing).
 func CompileScenario(sp *Scenario, deviceIndex int) (*CompiledScenario, error) {
 	return scenario.Compile(sp, deviceIndex)
+}
+
+// Record & replay: the .wtrace on-disk trace format (versioned,
+// compressed, CRC-guarded) plus the scenario-level capture/replay
+// hooks. See cmd/witrack-record and cmd/witrack-replay for the CLIs
+// and README "Record & replay" for the corpus workflow.
+type (
+	// TraceHeader is the self-describing .wtrace metadata (radio, array,
+	// seed, frame clock, scenario provenance).
+	TraceHeader = trace.Header
+	// TraceWriter streams frames into a .wtrace container.
+	TraceWriter = trace.Writer
+	// TraceReader streams frames out of a .wtrace container.
+	TraceReader = trace.Reader
+	// TraceSource adapts a TraceReader into a pipeline FrameSource for
+	// Device.StreamFrom.
+	TraceSource = core.TraceSource
+	// ScenarioReplayResult is one replayed trace's scored outcome.
+	ScenarioReplayResult = scenario.ReplayResult
+	// ScenarioReplayReport is the multi-trace replay outcome (the
+	// CORPUS.json shape).
+	ScenarioReplayReport = scenario.ReplayReport
+)
+
+// NewTraceWriter opens a .wtrace stream over w.
+func NewTraceWriter(w io.Writer, h TraceHeader) (*TraceWriter, error) {
+	return trace.NewWriter(w, h)
+}
+
+// NewTraceReader opens a .wtrace stream over r, validating the magic,
+// version, and header.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// NewTraceSource wraps an opened trace reader as a FrameSource; check
+// its Err after the stream drains to distinguish a clean end of trace
+// from corruption.
+func NewTraceSource(r *TraceReader) *TraceSource { return core.NewTraceSource(r) }
+
+// CorpusScenarios returns the compact scenario set behind the
+// checked-in golden trace corpus.
+func CorpusScenarios() []Scenario { return scenario.Corpus() }
+
+// RecordScenarioCell captures one scenario × device cell into w as a
+// .wtrace with the spec embedded as provenance; ReplayScenarioTrace
+// reproduces the live cell's metrics from it bit-identically.
+func RecordScenarioCell(sp *Scenario, deviceIndex int, w io.Writer) (int, error) {
+	return scenario.RecordCell(sp, deviceIndex, w)
+}
+
+// ReplayScenarioTrace streams a recorded cell back through the pipeline
+// and scores it exactly like a live scenario cell — without paying
+// synthesis cost.
+func ReplayScenarioTrace(ctx context.Context, r io.Reader) (*ScenarioReplayResult, error) {
+	return scenario.ReplayTrace(ctx, r)
 }

@@ -1,6 +1,7 @@
 package witrack
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"testing"
@@ -154,5 +155,90 @@ func TestPublicStreamFlow(t *testing.T) {
 	}
 	if i != len(want) {
 		t.Fatalf("workers=1 produced %d samples, want %d", i, len(want))
+	}
+}
+
+func TestPublicTraceRecordReplayFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	walk := NewRandomWalk(DefaultWalkConfig(StandardRegion(), DefaultSubject().CenterHeight(), 4, 6))
+
+	recDev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, recDev.TraceHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := recDev.RecordTo(tw, walk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("recorded no frames")
+	}
+
+	liveDev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := liveDev.Run(walk).Samples
+
+	replayDev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Header().Seed; got != cfg.Seed {
+		t.Fatalf("trace header seed %d != %d", got, cfg.Seed)
+	}
+	src := NewTraceSource(tr)
+	ch, err := replayDev.StreamFrom(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for s := range ch {
+		if s != want[i] {
+			t.Fatalf("replayed sample %d: %+v != live %+v", i, s, want[i])
+		}
+		i++
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("replay produced %d samples, live run %d", i, len(want))
+	}
+}
+
+func TestPublicScenarioTraceFlow(t *testing.T) {
+	specs := CorpusScenarios()
+	if len(specs) == 0 {
+		t.Fatal("no corpus scenarios")
+	}
+	sp := specs[0]
+	var buf bytes.Buffer
+	frames, err := RecordScenarioCell(&sp, 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayScenarioTrace(context.Background(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != sp.Name || res.Frames != frames {
+		t.Fatalf("replay result %+v does not match recording (%s, %d frames)", res, sp.Name, frames)
+	}
+	if res.Metrics["valid_frac"] <= 0 {
+		t.Fatalf("replay scored no valid frames: %v", res.Metrics)
 	}
 }
