@@ -11,7 +11,13 @@
 // Usage:
 //
 //	witrack-scenarios [-json SCENARIOS.json] [-only fall,pointing]
-//	                  [-spec extra.json] [-parallel 4] [-timing] [-list]
+//	                  [-cells '^single-track/0$'] [-spec extra.json]
+//	                  [-parallel 4] [-timing] [-list]
+//
+// -cells restricts the run to the scenario × device cells whose key
+// "<scenario>/<deviceIndex>" matches the regexp, so CI can shard the
+// N×M matrix across parallel jobs (each shard writes its own report;
+// cells score identically regardless of which shard runs them).
 //
 // Exit status: 0 all assertions pass, 1 any scenario fails (or an
 // execution error), 2 bad usage.
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 	"time"
 
@@ -33,6 +40,7 @@ import (
 func main() {
 	jsonPath := flag.String("json", "", "write the machine-readable report to this path")
 	only := flag.String("only", "", "comma-separated scenario names to run (default: all)")
+	cells := flag.String("cells", "", "regexp selecting scenario/deviceIndex cells to run (matrix sharding)")
 	specPath := flag.String("spec", "", "JSON file with extra scenario specs to append to the canonical matrix")
 	parallel := flag.Int("parallel", 0, "max concurrent scenario×device cells (0 = GOMAXPROCS)")
 	timing := flag.Bool("timing", false, "include wall-clock frames/sec in the report (non-deterministic)")
@@ -94,11 +102,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "witrack-scenarios: no scenarios selected")
 		os.Exit(2)
 	}
+	var cellFilter *regexp.Regexp
+	if *cells != "" {
+		var err error
+		if cellFilter, err = regexp.Compile(*cells); err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-scenarios: bad -cells regexp:", err)
+			os.Exit(2)
+		}
+	}
 
 	start := time.Now()
 	rep, err := scenario.Run(context.Background(), specs, scenario.Options{
 		Parallel: *parallel,
 		Timing:   *timing,
+		Cells:    cellFilter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "witrack-scenarios:", err)

@@ -1,0 +1,115 @@
+// Multi-person tracking (the paper's §10 extension, generalized to k
+// targets): two and three people walk concurrently in separate depth
+// bands of a line-of-sight space; each receive antenna extracts one
+// time-of-flight per person and the k-target fusion disambiguates the
+// (k!)^nRx candidate-to-target assignments by residual and trajectory
+// continuity. Driven through the public MultiDevice streaming API with
+// per-person errors scored under the best per-frame assignment (the
+// radio has no identities).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"witrack"
+)
+
+// band returns a walk trajectory confined to one depth band.
+func band(region witrack.Region, centerHeight, duration float64, seed int64) witrack.Trajectory {
+	return witrack.NewRandomWalk(witrack.DefaultWalkConfig(region, centerHeight, duration, seed))
+}
+
+// run tracks k concurrent walkers and reports the median per-person
+// plan-view error under the optimal output-to-truth pairing.
+func run(k int) {
+	cfg := witrack.DefaultConfig()
+	cfg.Seed = 307
+	cfg.Scene = witrack.EmptyScene() // uncluttered line of sight: §10 assumes resolvable direct reflections
+
+	panel := witrack.SubjectPanel(11, 5)
+	others := []witrack.Subject{panel[3], panel[7]}[:k-1]
+	dev, err := witrack.NewMultiDevice(cfg, others...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const duration = 15.0
+	regions := []witrack.Region{
+		{XMin: -3, XMax: -1, YMin: 3, YMax: 4.3},
+		{XMin: 0.8, XMax: 3, YMin: 5.6, YMax: 7.0},
+		{XMin: -2.5, XMax: -0.2, YMin: 8.2, YMax: 9},
+	}
+	trajs := []witrack.Trajectory{band(regions[0], cfg.Subject.CenterHeight(), duration, 310)}
+	for i, sub := range others {
+		trajs = append(trajs, band(regions[i+1], sub.CenterHeight(), duration, 311+int64(i)))
+	}
+
+	ch, err := dev.Stream(context.Background(), trajs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var errs []float64
+	frames, valid := 0, 0
+	for s := range ch {
+		frames++
+		if !s.Valid {
+			continue
+		}
+		valid++
+		if s.T < 3 {
+			continue // acquisition warm-up
+		}
+		errs = append(errs, bestAssignmentError(s))
+	}
+
+	if len(errs) == 0 {
+		fmt.Printf("%d people: no joint fixes\n", k)
+		return
+	}
+	sort.Float64s(errs)
+	fmt.Printf("%d people: median per-person 2D error %.2f m  (%d/%d frames with a joint fix)\n",
+		k, errs[len(errs)/2], valid, frames)
+}
+
+// bestAssignmentError is the mean per-person plan-view error under the
+// best of the k! output-to-truth permutations.
+func bestAssignmentError(s witrack.MultiSample) float64 {
+	k := len(s.Pos)
+	used := make([]bool, k)
+	best := math.Inf(1)
+	var walk func(i int, sum float64)
+	walk = func(i int, sum float64) {
+		if i == k {
+			if m := sum / float64(k); m < best {
+				best = m
+			}
+			return
+		}
+		for j := 0; j < k; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			walk(i+1, sum+s.Pos[i].XY().Dist(s.Truth[j].XY()))
+			used[j] = false
+		}
+	}
+	walk(0, 0)
+	return best
+}
+
+func main() {
+	fmt.Println("WiTrack §10 extension: concurrent multi-person tracking")
+	fmt.Println("(each antenna resolves k TOFs; SolveK disambiguates the joint assignment)")
+	fmt.Println()
+	run(2)
+	run(3)
+	fmt.Println()
+	fmt.Println("Three concurrent people are harder than two — more frames lack a")
+	fmt.Println("clean TOF per person per antenna — but the same assignment search")
+	fmt.Println("keeps every tracked slot on its own target.")
+}

@@ -6,118 +6,290 @@ import (
 	"math/rand"
 
 	"witrack/internal/body"
+	"witrack/internal/dsp"
 	"witrack/internal/fmcw"
 	"witrack/internal/geom"
 	"witrack/internal/locate"
 	"witrack/internal/motion"
 	"witrack/internal/rf"
+	"witrack/internal/trace"
 	"witrack/internal/track"
 )
 
-// MultiDevice tracks two concurrent movers — the paper's §10 extension:
-// per-antenna multi-TOF extraction, assignment disambiguation across the
-// 2^3 ellipsoid combinations, and trajectory-continuity scoring.
+// MultiDevice tracks k concurrent movers — the paper's §10 extension
+// generalized: per-antenna k-TOF extraction, assignment disambiguation
+// across the (k!)^nRx candidate-to-target bijections (locate.SolveK),
+// and trajectory-continuity scoring. It runs the same staged streaming
+// pipeline Device uses; only the worker payload (a k-target tracker)
+// and the fusion step (the joint assignment search) differ.
 type MultiDevice struct {
 	cfg      Config
-	subjects [2]body.Subject
+	subjects []body.Subject
 	synth    *fmcw.Synthesizer
 	prop     *rf.Propagator
 	trackers []*track.MultiTracker
 	locator  *locate.Locator
 	rng      *rand.Rand
-	sims     [2]*bodySim
+	sims     []*bodySim
 
 	// Workers is the per-antenna pipeline worker count (see
 	// Device.Workers); 0 means one per receive antenna.
 	Workers int
 }
 
-// MultiSample is one two-person output frame.
+// MultiSample is one k-person output frame. Pos and Truth are in
+// subject order and freshly allocated per sample (safe to retain).
 type MultiSample struct {
 	T     float64
-	Pos   [2]geom.Vec3
+	Pos   []geom.Vec3
 	Valid bool
-	Truth [2]geom.Vec3
+	Truth []geom.Vec3
 }
 
-// MultiRunResult is the output of a two-person run.
+// MultiRunResult is the output of a k-person run.
 type MultiRunResult struct {
 	Samples []MultiSample
 	Frames  int
 }
 
-// NewMultiDevice builds a two-person tracker; cfg.Subject tracks person
-// A, subjectB person B.
-func NewMultiDevice(cfg Config, subjectB body.Subject) (*MultiDevice, error) {
+// NewMultiDevice builds a k-person tracker: cfg.Subject is subject 0,
+// the variadic others are subjects 1..k-1. The two-person §10
+// configuration is NewMultiDevice(cfg, subjectB); with no extra
+// subjects the device degenerates to a single-target tracker on the
+// multi-target pipeline.
+func NewMultiDevice(cfg Config, others ...body.Subject) (*MultiDevice, error) {
+	// Building the base device first validates cfg and — deliberately —
+	// reproduces the historical constructor's RNG draw order, keeping
+	// the k=2 path bit-identical to the original two-person device.
 	base, err := NewDevice(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	d := &MultiDevice{
 		cfg:      cfg,
-		subjects: [2]body.Subject{cfg.Subject, subjectB},
+		subjects: append([]body.Subject{cfg.Subject}, others...),
 		synth:    base.synth,
 		prop:     base.prop,
 		locator:  base.locator,
 		rng:      base.rng,
 	}
+	k := len(d.subjects)
 	tc := track.DefaultConfig(cfg.Radio.BinDistance(), cfg.Radio.FrameInterval(), d.synth.NoiseBinSigma())
 	if cfg.TrackerOverride != nil {
 		cfg.TrackerOverride(&tc)
 	}
 	for range cfg.Array.Rx {
-		d.trackers = append(d.trackers, track.NewMulti(tc, 2))
+		d.trackers = append(d.trackers, track.NewMulti(tc, k))
 	}
-	d.sims[0] = newBodySim(d.subjects[0], len(cfg.Array.Rx), d.rng)
-	d.sims[1] = newBodySim(d.subjects[1], len(cfg.Array.Rx), d.rng)
+	for _, sub := range d.subjects {
+		d.sims = append(d.sims, newBodySim(sub, len(cfg.Array.Rx), d.rng))
+	}
 	return d, nil
 }
 
-// Run tracks two trajectories simultaneously on the same staged
-// pipeline Device uses (source -> per-antenna workers -> fusion); only
-// the worker payload (a two-target tracker) and the fusion step (the
-// 2^N assignment disambiguation of SolveTwo) differ. The association of
-// output slots to people is resolved globally at the end by matching
-// the first valid fix (the radio cannot know identities; the paper's
-// §10 notes only trajectory consistency is available).
-func (d *MultiDevice) Run(trajA, trajB motion.Trajectory) *MultiRunResult {
-	nRx := len(d.cfg.Array.Rx)
-	res := &MultiRunResult{}
-	src := newSimSource(d.synth, d.prop, d.rng,
-		d.sims[:], []motion.Trajectory{trajA, trajB},
-		d.cfg.Array.Tx, nRx, d.cfg.Radio.FrameInterval(), d.cfg.SlowSynth)
+// Config returns the device configuration.
+func (d *MultiDevice) Config() Config { return d.cfg }
 
+// NumSubjects returns k, the concurrent-target count.
+func (d *MultiDevice) NumSubjects() int { return len(d.subjects) }
+
+// stream drives the staged pipeline over src and calls emit with each
+// fused k-person sample in frame order. The association of output
+// slots to people is carried frame to frame by SolveK's continuity
+// term (the radio cannot know identities; the paper's §10 notes only
+// trajectory consistency is available).
+func (d *MultiDevice) stream(ctx context.Context, src FrameSource, emit func(s MultiSample) bool) {
+	nRx := len(d.cfg.Array.Rx)
+	k := len(d.subjects)
 	scratch := make([]antennaScratch, nRx)
-	proc := func(k int, b *FrameBatch) []track.Estimate {
-		return d.trackers[k].Push(scratch[k].materialize(d.synth, d.prop, k, b))
+	proc := func(a int, b *FrameBatch) []track.Estimate {
+		return d.trackers[a].Push(scratch[a].materialize(d.synth, d.prop, a, b))
 	}
 
-	var prev [2]geom.Vec3
+	prev := make([]geom.Vec3, k)
 	havePrev := false
-	pairs := make([][2]float64, nRx)
+	cands := make([][]float64, nRx)
+	candBuf := make([]float64, nRx*k)
+	for a := range cands {
+		cands[a] = candBuf[a*k : (a+1)*k : (a+1)*k]
+	}
 	fuse := func(b *FrameBatch, ests [][]track.Estimate) bool {
 		ok := true
-		for k := 0; k < nRx; k++ {
-			if !ests[k][0].Valid || !ests[k][1].Valid {
+		for a := 0; a < nRx; a++ {
+			valid := true
+			for c := 0; c < k; c++ {
+				if !ests[a][c].Valid {
+					valid = false
+					break
+				}
+			}
+			if !valid {
 				ok = false
 				continue
 			}
-			pairs[k] = [2]float64{ests[k][0].RoundTrip, ests[k][1].RoundTrip}
+			for c := 0; c < k; c++ {
+				cands[a][c] = ests[a][c].RoundTrip
+			}
 		}
-		sample := MultiSample{T: b.T, Truth: [2]geom.Vec3{b.States[0].Center, b.States[1].Center}}
+		sample := MultiSample{T: b.T}
+		if len(b.States) > 0 {
+			sample.Truth = make([]geom.Vec3, len(b.States))
+			for i := range b.States {
+				sample.Truth[i] = b.States[i].Center
+			}
+		}
 		if ok {
-			if pos, err := locate.SolveTwo(d.locator, pairs, prev, havePrev); err == nil {
+			if pos, err := locate.SolveK(d.locator, cands, prev, havePrev); err == nil {
 				sample.Pos = pos
 				sample.Valid = true
-				prev = pos
+				copy(prev, pos)
 				havePrev = true
 			}
 		}
-		res.Samples = append(res.Samples, sample)
-		res.Frames++
-		return true
+		return emit(sample)
 	}
 
-	runPipeline(context.Background(), src, d.Workers, proc, fuse)
+	runPipeline(ctx, src, d.Workers, proc, fuse)
+}
+
+// simSource wraps the device's simulator as the pipeline source for
+// the given trajectories (one per subject, in subject order).
+func (d *MultiDevice) simSource(trajs []motion.Trajectory) (*simSource, error) {
+	if len(trajs) != len(d.subjects) {
+		return nil, fmt.Errorf("core: %d trajectories for %d subjects", len(trajs), len(d.subjects))
+	}
+	return newSimSource(d.synth, d.prop, d.rng,
+		d.sims, trajs,
+		d.cfg.Array.Tx, len(d.cfg.Array.Rx), d.cfg.Radio.FrameInterval(), d.cfg.SlowSynth), nil
+}
+
+// Run tracks one trajectory per subject simultaneously for the
+// shortest trajectory's duration and returns all samples. It panics if
+// the trajectory count does not match the subject count (a programming
+// error, like a misconfigured tracker).
+func (d *MultiDevice) Run(trajs ...motion.Trajectory) *MultiRunResult {
+	src, err := d.simSource(trajs)
+	if err != nil {
+		panic(err)
+	}
+	res := &MultiRunResult{}
+	d.stream(context.Background(), src, func(s MultiSample) bool {
+		res.Samples = append(res.Samples, s)
+		res.Frames++
+		return true
+	})
 	return res
+}
+
+// streamTo launches the pipeline over src in a goroutine and returns
+// the delivery channel, closed at end of stream or cancellation.
+func (d *MultiDevice) streamTo(ctx context.Context, src FrameSource) <-chan MultiSample {
+	out := make(chan MultiSample, pipelineDepth)
+	go func() {
+		defer close(out)
+		d.stream(ctx, src, func(s MultiSample) bool {
+			select {
+			case out <- s:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return out
+}
+
+// Stream tracks one trajectory per subject and delivers k-person
+// samples as they are produced, in frame order — the streaming
+// counterpart of Run (bit-identical samples for a fixed seed). The
+// channel closes when the shortest trajectory ends or ctx is
+// cancelled.
+func (d *MultiDevice) Stream(ctx context.Context, trajs ...motion.Trajectory) (<-chan MultiSample, error) {
+	src, err := d.simSource(trajs)
+	if err != nil {
+		return nil, err
+	}
+	return d.streamTo(ctx, src), nil
+}
+
+// StreamFrom runs the k-person pipeline over an arbitrary frame source
+// (a recorded multi-person trace, a hardware front end) instead of the
+// built-in simulator.
+func (d *MultiDevice) StreamFrom(ctx context.Context, src FrameSource) (<-chan MultiSample, error) {
+	if got, want := src.NumRx(), len(d.cfg.Array.Rx); got != want {
+		return nil, fmt.Errorf("core: source has %d antennas, device array has %d", got, want)
+	}
+	return d.streamTo(ctx, src), nil
+}
+
+// TraceHeader returns the .wtrace header describing this device's
+// deployment — identical in shape to Device.TraceHeader; the subject
+// count is carried by the per-frame truth records (and, for scenario
+// captures, the embedded spec provenance).
+func (d *MultiDevice) TraceHeader() trace.Header {
+	return trace.Header{
+		Seed:     d.cfg.Seed,
+		Interval: d.cfg.Radio.FrameInterval(),
+		NumRx:    len(d.cfg.Array.Rx),
+		Bins:     d.cfg.Radio.RangeBins(),
+		Radio:    d.cfg.Radio,
+		Array:    d.cfg.Array,
+	}
+}
+
+// record simulates the trajectories and hands every materialized frame
+// to sink in frame order together with all subjects' ground truth —
+// the k-person counterpart of Device.record. The slices are reused
+// between calls; sink must consume them before returning.
+func (d *MultiDevice) record(trajs []motion.Trajectory,
+	sink func(frames []dsp.ComplexFrame, truths []motion.BodyState) error) error {
+	src, err := d.simSource(trajs)
+	if err != nil {
+		return err
+	}
+	nRx := len(d.cfg.Array.Rx)
+	scratch := make([]antennaScratch, nRx)
+	frames := make([]dsp.ComplexFrame, nRx)
+	for {
+		b := src.Next()
+		if b == nil {
+			return nil
+		}
+		for a := 0; a < nRx; a++ {
+			frames[a] = scratch[a].materialize(d.synth, d.prop, a, b)
+		}
+		if err := sink(frames, b.States); err != nil {
+			return err
+		}
+		src.Recycle(b)
+	}
+}
+
+// RecordTo simulates one trajectory per subject and streams every
+// per-antenna complex frame (plus all k ground-truth states) into tw —
+// MultiDevice's counterpart of Device.RecordTo, holding one frame in
+// memory at a time. The caller closes tw. Replaying the trace through
+// StreamFrom on a fresh identically-configured MultiDevice is
+// bit-identical to running the trajectories directly.
+func (d *MultiDevice) RecordTo(tw *trace.Writer, trajs ...motion.Trajectory) (int, error) {
+	n := 0
+	err := d.record(trajs, func(frames []dsp.ComplexFrame, truths []motion.BodyState) error {
+		if err := tw.WriteFrameTruths(frames, truths); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// Reset clears tracker and body-simulation state so the device can run
+// a fresh set of trajectories.
+func (d *MultiDevice) Reset() {
+	for _, tr := range d.trackers {
+		tr.Reset()
+	}
+	for _, s := range d.sims {
+		s.reset()
+	}
 }

@@ -1,14 +1,249 @@
 package core
 
 import (
+	"bytes"
+	"context"
+	"hash/fnv"
 	"math"
+	"runtime"
 	"testing"
 
 	"witrack/internal/body"
 	"witrack/internal/dsp"
+	"witrack/internal/geom"
 	"witrack/internal/motion"
 	"witrack/internal/rf"
+	"witrack/internal/trace"
 )
+
+// multiGoldenHash folds a k-person sample stream into a 64-bit FNV-1a
+// digest over the raw float64 bits (the MultiSample analog of
+// goldenHash). Pos is padded with zeros to k entries so invalid frames
+// (nil Pos) fold exactly like the historical fixed-size [2]geom.Vec3
+// representation the golden digests were captured from.
+func multiGoldenHash(samples []MultiSample, k int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(b >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, s := range samples {
+		put(s.T)
+		for i := 0; i < k; i++ {
+			var p geom.Vec3
+			if i < len(s.Pos) {
+				p = s.Pos[i]
+			}
+			put(p.X)
+			put(p.Y)
+			put(p.Z)
+		}
+		if s.Valid {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	return h.Sum64()
+}
+
+// twoPersonFixture builds the standard two-person test cell: empty
+// room, separate depth bands, panel subject B.
+func twoPersonFixture(t *testing.T, seed int64, duration float64) (*MultiDevice, motion.Trajectory, motion.Trajectory) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scene = rf.EmptyScene()
+	subjectB := body.Panel(11, 5)[3]
+	dev, err := NewMultiDevice(cfg, subjectB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := motion.NewRandomWalk(motion.DefaultWalkConfig(
+		motion.Region{XMin: -3, XMax: -0.8, YMin: 3, YMax: 4.5}, cfg.Subject.CenterHeight(), duration, seed+1))
+	right := motion.NewRandomWalk(motion.DefaultWalkConfig(
+		motion.Region{XMin: 0.8, XMax: 3, YMin: 5.8, YMax: 7.5}, subjectB.CenterHeight(), duration, seed+2))
+	return dev, left, right
+}
+
+// TestGoldenMultiDeviceBitIdentical pins the k=2 path of the k-target
+// refactor to digests captured from the pre-refactor two-person
+// implementation (hardcoded [2]-array MultiDevice + SolveTwo's bitmask
+// enumeration). If the generalized SolveK fusion, the N-subject device,
+// or the streaming rebuild perturbs a single output bit on these fixed
+// seeds, this fails.
+func TestGoldenMultiDeviceBitIdentical(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden digests are amd64-specific (GOARCH=%s)", runtime.GOARCH)
+	}
+	cases := []struct {
+		seed     int64
+		duration float64
+		frames   int
+		hash     uint64
+	}{
+		{seed: 17, duration: 8, frames: 641, hash: 0x97c6c859e85a550d},
+		{seed: 29, duration: 5, frames: 401, hash: 0x9727576379ae5108},
+	}
+	for _, c := range cases {
+		dev, left, right := twoPersonFixture(t, c.seed, c.duration)
+		res := dev.Run(left, right)
+		if res.Frames != c.frames {
+			t.Fatalf("seed %d: %d frames, golden run had %d", c.seed, res.Frames, c.frames)
+		}
+		if got := multiGoldenHash(res.Samples, 2); got != c.hash {
+			t.Fatalf("seed %d: output hash %#016x != golden %#016x — the k=2 path is no longer bit-identical to the two-person implementation", c.seed, got, c.hash)
+		}
+	}
+}
+
+// TestMultiStreamMatchesRun pins Stream as the streaming counterpart
+// of Run: same pipeline, bit-identical samples for a fixed seed.
+func TestMultiStreamMatchesRun(t *testing.T) {
+	devRun, left, right := twoPersonFixture(t, 41, 4)
+	want := devRun.Run(left, right)
+
+	devStream, _, _ := twoPersonFixture(t, 41, 4)
+	ch, err := devStream.Stream(context.Background(), left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []MultiSample
+	for s := range ch {
+		got = append(got, s)
+	}
+	if len(got) != len(want.Samples) {
+		t.Fatalf("stream produced %d samples, run %d", len(got), len(want.Samples))
+	}
+	if h1, h2 := multiGoldenHash(got, 2), multiGoldenHash(want.Samples, 2); h1 != h2 {
+		t.Fatalf("stream digest %#016x != run digest %#016x", h1, h2)
+	}
+}
+
+// TestMultiRecordReplayMatchesLive extends the record/replay
+// bit-identity property to the k-person device: a two-person cell
+// recorded through MultiDevice.RecordTo and streamed back through
+// TraceSource + StreamFrom must reproduce the live run exactly,
+// including both subjects' ground truth.
+func TestMultiRecordReplayMatchesLive(t *testing.T) {
+	recDev, left, right := twoPersonFixture(t, 53, 3)
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, recDev.TraceHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := recDev.RecordTo(tw, left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	liveDev, _, _ := twoPersonFixture(t, 53, 3)
+	live := liveDev.Run(left, right)
+	if n != live.Frames {
+		t.Fatalf("recorded %d frames, live run produced %d", n, live.Frames)
+	}
+
+	replayDev, _, _ := twoPersonFixture(t, 53, 3)
+	tr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewTraceSource(tr)
+	ch, err := replayDev.StreamFrom(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed []MultiSample
+	for s := range ch {
+		replayed = append(replayed, s)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(live.Samples) {
+		t.Fatalf("replay produced %d samples, live %d", len(replayed), len(live.Samples))
+	}
+	for i := range live.Samples {
+		l, r := live.Samples[i], replayed[i]
+		if l.T != r.T || l.Valid != r.Valid || len(l.Pos) != len(r.Pos) || len(l.Truth) != len(r.Truth) {
+			t.Fatalf("sample %d shape diverged: live %+v, replay %+v", i, l, r)
+		}
+		for j := range l.Pos {
+			if l.Pos[j] != r.Pos[j] {
+				t.Fatalf("sample %d pos %d diverged: %v != %v", i, j, l.Pos[j], r.Pos[j])
+			}
+		}
+		for j := range l.Truth {
+			if l.Truth[j] != r.Truth[j] {
+				t.Fatalf("sample %d truth %d diverged: %v != %v", i, j, l.Truth[j], r.Truth[j])
+			}
+		}
+	}
+}
+
+// TestThreePersonTracking exercises the generalized k=3 path end to
+// end: three subjects in separate depth bands, tracked concurrently.
+func TestThreePersonTracking(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 71
+	cfg.Scene = rf.EmptyScene()
+	subjectB := body.Panel(11, 5)[3]
+	subjectC := body.Panel(11, 5)[7]
+	dev, err := NewMultiDevice(cfg, subjectB, subjectC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.NumSubjects() != 3 {
+		t.Fatalf("NumSubjects = %d, want 3", dev.NumSubjects())
+	}
+	walk := func(region motion.Region, h float64, seed int64) motion.Trajectory {
+		return motion.NewRandomWalk(motion.DefaultWalkConfig(region, h, 20, seed))
+	}
+	trajs := []motion.Trajectory{
+		walk(motion.Region{XMin: -3, XMax: -1, YMin: 2.5, YMax: 3.8}, cfg.Subject.CenterHeight(), 72),
+		walk(motion.Region{XMin: 0.8, XMax: 3, YMin: 5.6, YMax: 7.0}, subjectB.CenterHeight(), 73),
+		walk(motion.Region{XMin: -2.5, XMax: -0.2, YMin: 8.6, YMax: 10.0}, subjectC.CenterHeight(), 74),
+	}
+	res := dev.Run(trajs...)
+
+	valid := 0
+	var errSum float64
+	for _, s := range res.Samples {
+		if !s.Valid || s.T < 4 {
+			continue
+		}
+		valid++
+		// Optimal per-frame assignment over the 3! permutations (the
+		// radio has no identities).
+		best := math.Inf(1)
+		perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		for _, p := range perms {
+			d := 0.0
+			for i, j := range p {
+				d += s.Pos[i].XY().Dist(s.Truth[j].XY())
+			}
+			if d/3 < best {
+				best = d / 3
+			}
+		}
+		errSum += best
+	}
+	if valid < 300 {
+		t.Fatalf("only %d valid three-person fixes out of %d frames", valid, res.Frames)
+	}
+	mean := errSum / float64(valid)
+	t.Logf("three-person mean per-person 2D error: %.3f m over %d fixes", mean, valid)
+	if mean > 1.2 {
+		t.Fatalf("three-person tracking mean error %.3f m too large", mean)
+	}
+}
 
 // TestTwoPersonTracking exercises the §10 extension end to end: two
 // subjects walk in separate halves of the room; the multi-device must

@@ -159,10 +159,10 @@ func serialMultiRun(d *MultiDevice, trajA, trajB motion.Trajectory) []MultiSampl
 			}
 			pairs[k] = [2]float64{ests[0].RoundTrip, ests[1].RoundTrip}
 		}
-		sample := MultiSample{T: t, Truth: [2]geom.Vec3{stA.Center, stB.Center}}
+		sample := MultiSample{T: t, Truth: []geom.Vec3{stA.Center, stB.Center}}
 		if ok {
 			if pos, err := locate.SolveTwo(d.locator, pairs, prev, havePrev); err == nil {
-				sample.Pos = pos
+				sample.Pos = pos[:]
 				sample.Valid = true
 				prev = pos
 				havePrev = true
@@ -171,6 +171,25 @@ func serialMultiRun(d *MultiDevice, trajA, trajB motion.Trajectory) []MultiSampl
 		out = append(out, sample)
 	}
 	return out
+}
+
+// multiSamplesEqual compares k-person samples field by field (the Pos
+// and Truth slices make MultiSample non-comparable).
+func multiSamplesEqual(a, b MultiSample) bool {
+	if a.T != b.T || a.Valid != b.Valid || len(a.Pos) != len(b.Pos) || len(a.Truth) != len(b.Truth) {
+		return false
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			return false
+		}
+	}
+	for i := range a.Truth {
+		if a.Truth[i] != b.Truth[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestMultiRunMatchesSerial extends the equivalence property to the
@@ -196,7 +215,7 @@ func TestMultiRunMatchesSerial(t *testing.T) {
 		t.Fatalf("pipeline produced %d samples, serial %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !multiSamplesEqual(got[i], want[i]) {
 			t.Fatalf("multi sample %d diverged:\n  pipeline %+v\n  serial   %+v", i, got[i], want[i])
 		}
 	}

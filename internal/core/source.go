@@ -21,7 +21,7 @@ type FrameBatch struct {
 	// frame clock — accumulating floats drifts over long runs).
 	T float64
 	// States holds the ground-truth body state of each tracked subject
-	// at T (one entry for Device, two for MultiDevice; empty when the
+	// at T (one entry for Device, k for MultiDevice; empty when the
 	// source has no ground truth, e.g. recorded hardware traces).
 	States []motion.BodyState
 	// Frames holds one complex FFT frame per receive antenna. Sources

@@ -85,7 +85,7 @@ func (s *TraceSource) Next() *FrameBatch {
 		b = &FrameBatch{}
 	}
 	index := s.r.FramesRead()
-	frames, truth, hasTruth, err := s.r.ReadFrameInto(b.Frames)
+	frames, truths, err := s.r.ReadFrameTruthsInto(b.Frames, b.States[:0])
 	if err != nil {
 		s.pool.Put(b)
 		if !errors.Is(err, io.EOF) {
@@ -96,10 +96,7 @@ func (s *TraceSource) Next() *FrameBatch {
 	b.Index = index
 	b.T = float64(index) * s.r.Header().Interval
 	b.Frames = frames
-	b.States = b.States[:0]
-	if hasTruth {
-		b.States = append(b.States, truth)
-	}
+	b.States = truths
 	b.synth = nil
 	b.sweeps = nil
 	return b

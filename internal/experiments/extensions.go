@@ -112,11 +112,11 @@ func TwoPerson(duration float64, seed int64) (*TwoPersonResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	dev, err := core.NewMultiDevice(c.Config, c.SubjectB)
+	dev, err := core.NewMultiDevice(c.Config, c.Subjects[1:]...)
 	if err != nil {
 		return nil, err
 	}
-	run := dev.Run(c.Trajectories[0], c.Trajectories[1])
+	run := dev.Run(c.Trajectories...)
 
 	var errs []float64
 	valid := 0

@@ -26,10 +26,15 @@ type Locator struct {
 	MaxRange float64
 
 	// geo is the per-frame geometric solver with its reused workspace;
-	// r, rA, rB are round-trip scratch. All are created lazily so a
-	// hand-constructed Locator{Array: ...} keeps working.
-	geo       *geom.Solver
-	r, rA, rB []float64
+	// r is round-trip scratch, ks the SolveK assignment workspace, and
+	// pair2/prev2 the SolveTwo wrapper's conversion scratch. All are
+	// created lazily so a hand-constructed Locator{Array: ...} keeps
+	// working.
+	geo   *geom.Solver
+	r     []float64
+	ks    kScratch
+	pair2 [][]float64
+	prev2 []geom.Vec3
 }
 
 // New builds a locator for the antenna array. It returns an error if the

@@ -65,6 +65,33 @@ func Canonical() []Spec {
 			Assert("valid_frac", ">=", 0.30).
 			Assert("median_err_2d_cm", "<=", 120),
 
+		// Three concurrent movers in separate depth bands — the k-target
+		// generalization of the §10 extension (per-antenna 3-TOF
+		// extraction, (3!)^nRx assignment search in locate.SolveK).
+		*New("three-person", "three concurrent walkers, k-target TOF assignment").
+			Seeded(317).EmptyRoom().
+			Body(BodySpec{Motion: MotionSpec{
+				Kind: MotionWalk, Duration: 15, Seed: 320,
+				Region: &RegionSpec{XMin: -3, XMax: -1, YMin: 3, YMax: 4.3},
+			}}).
+			Body(BodySpec{
+				Subject: SubjectSpec{PanelSize: 11, PanelSeed: 309, PanelIndex: 3},
+				Motion: MotionSpec{
+					Kind: MotionWalk, Duration: 15, Seed: 321,
+					Region: &RegionSpec{XMin: 0.8, XMax: 3, YMin: 5.6, YMax: 7.0},
+				},
+			}).
+			Body(BodySpec{
+				Subject: SubjectSpec{PanelSize: 11, PanelSeed: 309, PanelIndex: 7},
+				Motion: MotionSpec{
+					Kind: MotionWalk, Duration: 15, Seed: 322,
+					Region: &RegionSpec{XMin: -2.5, XMax: -0.2, YMin: 8.2, YMax: 9},
+				},
+			}).
+			Device(DeviceSpec{Separation: 1.0}).
+			Assert("valid_frac", ">=", 0.5).
+			Assert("median_err_2d_cm", "<=", 120),
+
 		// The §9.5 fall study: repetitions of all four activity scripts
 		// through the wall, classified from the elevation stream alone.
 		*New("fall", "§9.5 fall-detection protocol, 4 activities × reps").

@@ -27,8 +27,10 @@ type Compiled struct {
 	// Config is the assembled deployment for core.NewDevice /
 	// core.NewMultiDevice.
 	Config core.Config
-	// SubjectB is the second subject for two-person scenarios.
-	SubjectB body.Subject
+	// Subjects holds every resolved subject in body order;
+	// Subjects[0] == Config.Subject. Multi-person cells hand
+	// Subjects[1:] to core.NewMultiDevice.
+	Subjects []body.Subject
 	// Trajectories holds one trajectory per body, in body order.
 	Trajectories []motion.Trajectory
 	// Workers is the pipeline worker count to apply to the device.
@@ -227,18 +229,15 @@ func Compile(sp *Spec, deviceIndex int) (*Compiled, error) {
 		Workers:         ds.Workers,
 		CalibrateFrames: ds.CalibrateFrames,
 	}
-	if len(sp.Bodies) == 2 {
-		c.SubjectB = resolveSubject(sp.Bodies[1].Subject)
+	c.Subjects = append(c.Subjects, cfg.Subject)
+	for _, b := range sp.Bodies[1:] {
+		c.Subjects = append(c.Subjects, resolveSubject(b.Subject))
 	}
 	for i, b := range sp.Bodies {
 		if protocol(b.Motion.Kind) {
 			continue
 		}
-		subject := cfg.Subject
-		if i == 1 {
-			subject = c.SubjectB
-		}
-		traj, err := trajectory(b.Motion, subject)
+		traj, err := trajectory(b.Motion, c.Subjects[i])
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q body %d: %w", sp.Name, i, err)
 		}

@@ -98,9 +98,10 @@ func TestGoldenCorpusReplay(t *testing.T) {
 			}
 		})
 	}
-	// The corpus is checked into git: keep it honest about its budget.
-	const corpusBudget = 1 << 20
+	// The corpus is checked into git: keep it honest about its budget
+	// (raised from 1 MB when the two-person cell joined the corpus).
+	const corpusBudget = 3 << 19
 	if total > corpusBudget {
-		t.Fatalf("corpus weighs %d bytes, over the ~1 MB budget — trim durations or MaxRange", total)
+		t.Fatalf("corpus weighs %d bytes, over the ~1.5 MB budget — trim durations or MaxRange", total)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"regexp"
 	"runtime"
 	"sync"
 	"time"
@@ -31,6 +32,17 @@ type Options struct {
 	// default report must be byte-identical across runs for CI's
 	// determinism gate.
 	Timing bool
+	// Cells, when non-nil, restricts the matrix to the cells whose key
+	// "<scenario>/<deviceIndex>" matches — the sharding hook that lets
+	// CI split the N×M matrix across parallel jobs. Scenarios with no
+	// matching cell are omitted from the report; scenarios with a
+	// partial fleet aggregate over the selected cells only.
+	Cells *regexp.Regexp
+}
+
+// CellKey renders the matrix coordinate Options.Cells matches against.
+func CellKey(scenario string, deviceIndex int) string {
+	return fmt.Sprintf("%s/%d", scenario, deviceIndex)
 }
 
 // DeviceResult is one scenario × device cell of the matrix.
@@ -100,8 +112,14 @@ func Run(ctx context.Context, specs []Spec, opts Options) (*Report, error) {
 	var keys []cellKey
 	for si := range specs {
 		for di := 0; di < specs[si].deviceCount(); di++ {
+			if opts.Cells != nil && !opts.Cells.MatchString(CellKey(specs[si].Name, di)) {
+				continue
+			}
 			keys = append(keys, cellKey{si, di})
 		}
+	}
+	if len(keys) == 0 && opts.Cells != nil {
+		return nil, fmt.Errorf("scenario: no cells match the filter %v", opts.Cells)
 	}
 
 	outcomes := make(map[cellKey]*cellOutcome, len(keys))
@@ -149,7 +167,12 @@ func Run(ctx context.Context, specs []Spec, opts Options) (*Report, error) {
 		sp := &specs[si]
 		var cells []*cellOutcome
 		for di := 0; di < sp.deviceCount(); di++ {
-			cells = append(cells, outcomes[cellKey{si, di}])
+			if out, ok := outcomes[cellKey{si, di}]; ok {
+				cells = append(cells, out)
+			}
+		}
+		if len(cells) == 0 {
+			continue // every cell filtered out by Options.Cells
 		}
 		res := aggregate(sp, cells)
 		if !res.Pass {
@@ -213,8 +236,8 @@ func runTrackingCell(ctx context.Context, sp *Spec, deviceIndex int, out *cellOu
 		return err
 	}
 
-	if len(c.Trajectories) == 2 {
-		return runTwoPersonCell(ctx, sp, c, out)
+	if len(c.Trajectories) >= 2 {
+		return runMultiPersonCell(ctx, c, out)
 	}
 
 	dev, err := core.NewDevice(c.Config)
@@ -258,21 +281,33 @@ func scoreTrackingStream(ch <-chan core.Sample, c *Compiled, out *cellOutcome) {
 	out.res.Metrics = trackingMetrics(out)
 }
 
-// runTwoPersonCell runs the §10 two-person extension on the same
-// pipeline and scores the per-frame optimal assignment (the radio has
-// no identities). MultiDevice.Run is a batch API, so cancellation is
-// only observed between the run and the scoring pass.
-func runTwoPersonCell(ctx context.Context, sp *Spec, c *Compiled, out *cellOutcome) error {
-	dev, err := core.NewMultiDevice(c.Config, c.SubjectB)
+// runMultiPersonCell runs the generalized §10 k-person extension on
+// the streaming pipeline and scores the per-frame optimal assignment.
+func runMultiPersonCell(ctx context.Context, c *Compiled, out *cellOutcome) error {
+	dev, err := core.NewMultiDevice(c.Config, c.Subjects[1:]...)
 	if err != nil {
 		return err
 	}
 	dev.Workers = c.Workers
-	run := dev.Run(c.Trajectories[0], c.Trajectories[1])
+	ch, err := dev.Stream(ctx, c.Trajectories...)
+	if err != nil {
+		return err
+	}
+	scoreMultiStream(ch, out)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for _, s := range run.Samples {
+	return nil
+}
+
+// scoreMultiStream drains a k-person sample stream and accumulates the
+// cell's per-person plan-view errors under the per-frame optimal
+// assignment (an OSPA-style metric: the radio has no identities, so
+// every frame is scored against the best of the k! output-to-truth
+// permutations). Shared between live multi-person cells and trace
+// replays, so both paths score byte-identically.
+func scoreMultiStream(ch <-chan core.MultiSample, out *cellOutcome) {
+	for s := range ch {
 		out.frames++
 		if !s.Valid {
 			continue
@@ -281,13 +316,51 @@ func runTwoPersonCell(ctx context.Context, sp *Spec, c *Compiled, out *cellOutco
 		if s.T < warmupSeconds+1 {
 			continue
 		}
-		d0 := (s.Pos[0].XY().Dist(s.Truth[0].XY()) + s.Pos[1].XY().Dist(s.Truth[1].XY())) / 2
-		d1 := (s.Pos[0].XY().Dist(s.Truth[1].XY()) + s.Pos[1].XY().Dist(s.Truth[0].XY())) / 2
-		out.err2 = append(out.err2, math.Min(d0, d1))
+		// A frame without full ground truth (legal in the trace format)
+		// cannot be error-scored; skipping it keeps a truth-stripped
+		// trace from reporting a vacuous zero error.
+		if len(s.Truth) < len(s.Pos) {
+			continue
+		}
+		out.err2 = append(out.err2, optimalAssignmentError(s))
 	}
 	out.res.Frames = out.frames
 	out.res.Metrics = trackingMetrics(out)
-	return nil
+}
+
+// optimalAssignmentError returns the mean per-person plan-view error of
+// the sample under the best output-to-truth permutation, enumerated in
+// lexicographic order (for k=2 this reproduces the historical
+// min(direct, swapped) scoring bit for bit).
+func optimalAssignmentError(s core.MultiSample) float64 {
+	k := len(s.Pos)
+	if len(s.Truth) < k {
+		k = len(s.Truth)
+	}
+	if k == 0 {
+		return 0
+	}
+	used := make([]bool, k)
+	best := math.Inf(1)
+	var walk func(i int, sum float64)
+	walk = func(i int, sum float64) {
+		if i == k {
+			if m := sum / float64(k); m < best {
+				best = m
+			}
+			return
+		}
+		for j := 0; j < k; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			walk(i+1, sum+s.Pos[i].XY().Dist(s.Truth[j].XY()))
+			used[j] = false
+		}
+	}
+	walk(0, 0)
+	return best
 }
 
 // trackingMetrics summarizes one cell's (or one pooled scenario's)

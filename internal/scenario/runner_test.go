@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"reflect"
+	"regexp"
 	"sync"
 	"testing"
 
@@ -67,6 +68,44 @@ func TestRunMatrixDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunCellFilter pins the sharding hook: a Cells regexp restricts
+// the matrix to matching scenario×device cells, scenarios with no
+// matching cell vanish from the report, and a sharded union reproduces
+// the unsharded cells exactly (cells derive their seeds independently
+// of the schedule, so splitting the matrix cannot move a metric bit).
+func TestRunCellFilter(t *testing.T) {
+	specs := quickMatrix()
+	full, err := Run(context.Background(), specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 1: only device 1 of the "track" fleet.
+	shard, err := Run(context.Background(), specs, Options{Cells: regexp.MustCompile(`^track/1$`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shard.Scenarios) != 1 || shard.Scenarios[0].Name != "track" {
+		t.Fatalf("filtered report has %+v, want only track", shard.Failed)
+	}
+	if got := len(shard.Scenarios[0].Devices); got != 1 {
+		t.Fatalf("filtered fleet has %d cells, want 1", got)
+	}
+	if shard.Scenarios[0].Devices[0].Device != 1 {
+		t.Fatalf("filtered cell is device %d, want 1", shard.Scenarios[0].Devices[0].Device)
+	}
+	a, _ := json.Marshal(shard.Scenarios[0].Devices[0])
+	b, _ := json.Marshal(full.Scenarios[0].Devices[1])
+	if string(a) != string(b) {
+		t.Fatalf("sharded cell diverged from the full-matrix cell:\n shard %s\n full  %s", a, b)
+	}
+
+	// A filter matching nothing is a usage error, not an empty report.
+	if _, err := Run(context.Background(), specs, Options{Cells: regexp.MustCompile(`^nope$`)}); err == nil {
+		t.Fatal("empty cell selection should error")
+	}
+}
+
 // TestRunEvaluatesAssertions checks pass/fail propagation, including
 // the typo guard for assertions on metrics that don't exist.
 func TestRunEvaluatesAssertions(t *testing.T) {
@@ -117,7 +156,7 @@ func TestFleetConcurrentMultiDevice(t *testing.T) {
 			out := &cellOutcome{}
 			c, err := Compile(&sp, 0)
 			if err == nil {
-				err = runTwoPersonCell(context.Background(), &sp, c, out)
+				err = runMultiPersonCell(context.Background(), c, out)
 			}
 			results[i], errs[i] = out, err
 		}(i)

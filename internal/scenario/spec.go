@@ -36,8 +36,8 @@ type Spec struct {
 	// Devices lists the device placements the scenario runs on. Empty
 	// means one default device.
 	Devices []DeviceSpec `json:"devices,omitempty"`
-	// Bodies lists the tracked subjects (1 for single-person scenarios,
-	// 2 for concurrent two-person tracking). Protocol motions
+	// Bodies lists the tracked subjects: 1 for single-person scenarios,
+	// 2..MaxBodies for concurrent k-person tracking. Protocol motions
 	// (fall-study, pointing-study) require exactly one body.
 	Bodies []BodySpec `json:"bodies"`
 	// Reps is the repetition count for protocol motions (fall-study
@@ -212,6 +212,13 @@ func protocol(kind string) bool {
 	return kind == MotionFallStudy || kind == MotionPointingStudy
 }
 
+// MaxBodies caps concurrent tracked subjects per scenario. The k-target
+// fusion enumerates (k!)^nRx joint TOF assignments per frame, so the
+// cap keeps the worst canonical deployment (4 receive antennas) at
+// (4!)^4 ≈ 332k assignments — branch-and-bound prunes most of them,
+// but the ceiling keeps a misauthored spec from going combinatorial.
+const MaxBodies = 4
+
 // Validate checks the spec is well-formed and runnable.
 func (s *Spec) Validate() error {
 	if s.Name == "" {
@@ -222,8 +229,8 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("scenario %q: unknown room %q", s.Name, s.Env.Room)
 	}
-	if len(s.Bodies) < 1 || len(s.Bodies) > 2 {
-		return fmt.Errorf("scenario %q: %d bodies (want 1 or 2)", s.Name, len(s.Bodies))
+	if len(s.Bodies) < 1 || len(s.Bodies) > MaxBodies {
+		return fmt.Errorf("scenario %q: %d bodies (want 1..%d)", s.Name, len(s.Bodies), MaxBodies)
 	}
 	for i, b := range s.Bodies {
 		m := b.Motion
@@ -245,10 +252,15 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %q body %d: unknown motion kind %q", s.Name, i, m.Kind)
 		}
 	}
-	if len(s.Bodies) == 2 {
+	if len(s.Bodies) >= 2 {
 		for i, b := range s.Bodies {
 			if k := b.Motion.Kind; k != MotionWalk {
-				return fmt.Errorf("scenario %q: two-person tracking supports walk motion only (body %d is %q)", s.Name, i, k)
+				return fmt.Errorf("scenario %q: multi-person tracking supports walk motion only (body %d is %q)", s.Name, i, k)
+			}
+		}
+		for di, d := range s.Devices {
+			if d.CalibrateFrames > 0 {
+				return fmt.Errorf("scenario %q device %d: background calibration is not supported for multi-person cells", s.Name, di)
 			}
 		}
 	}

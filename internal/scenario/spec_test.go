@@ -94,7 +94,9 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		{"zero duration walk", New("x", "").Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk}})},
 		{"bad activity", New("x", "").Body(BodySpec{Motion: MotionSpec{Kind: MotionActivity, Activity: "moonwalk"}})},
 		{"bad room", func() *Spec { s := New("x", "").Walk(5, 1); s.Env.Room = "dungeon"; return s }()},
-		{"three bodies", New("x", "").Walk(5, 1).Walk(5, 2).Walk(5, 3)},
+		{"five bodies", New("x", "").Walk(5, 1).Walk(5, 2).Walk(5, 3).Walk(5, 4).Walk(5, 5)},
+		{"multi-person non-walk", New("x", "").Walk(5, 1).Walk(5, 2).Static(0, 5, 5)},
+		{"multi-person calibration", New("x", "").Walk(5, 1).Walk(5, 2).Device(DeviceSpec{CalibrateFrames: 10})},
 		{"two-person protocol", New("x", "").Walk(5, 1).Body(BodySpec{Motion: MotionSpec{Kind: MotionFallStudy}})},
 		{"bad op", New("x", "").Walk(5, 1).Assert("valid_frac", "==", 1)},
 		{"bad tracker mode", New("x", "").Walk(5, 1).Device(DeviceSpec{Tracker: TrackerSpec{Mode: "psychic"}})},

@@ -11,16 +11,14 @@ import (
 )
 
 // Recordable reports whether one scenario × device cell can be captured
-// to a .wtrace: a single-body, single-trajectory tracking cell.
-// Protocol motions (fall-study, pointing-study) run many sub-trajectories
-// and two-person cells run on MultiDevice; neither has one frame stream
-// to persist.
+// to a .wtrace: a tracking cell with one trajectory per body (single-
+// or multi-person). Protocol motions (fall-study, pointing-study) run
+// many sub-trajectories and have no single frame stream to persist.
 func (s *Spec) Recordable() error {
-	if len(s.Bodies) != 1 {
-		return fmt.Errorf("scenario %q: only single-body cells are recordable", s.Name)
-	}
-	if k := s.Bodies[0].Motion.Kind; protocol(k) {
-		return fmt.Errorf("scenario %q: protocol motion %q has no single frame stream to record", s.Name, k)
+	for _, b := range s.Bodies {
+		if k := b.Motion.Kind; protocol(k) {
+			return fmt.Errorf("scenario %q: protocol motion %q has no single frame stream to record", s.Name, k)
+		}
 	}
 	return nil
 }
@@ -29,9 +27,10 @@ func (s *Spec) Recordable() error {
 // it compiles the cell, reproduces the runner's device setup (including
 // background calibration, which consumes the simulation RNG exactly as
 // a live run would), and streams every per-antenna frame plus ground
-// truth to disk. The trace header carries the scenario spec verbatim,
-// so ReplayTrace can rebuild the identical deployment. Returns the
-// number of frames captured.
+// truth to disk — multi-person cells record on MultiDevice with one
+// truth record per subject. The trace header carries the scenario spec
+// verbatim, so ReplayTrace can rebuild the identical deployment.
+// Returns the number of frames captured.
 func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
 	if err := sp.Recordable(); err != nil {
 		return 0, err
@@ -40,14 +39,27 @@ func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	dev, err := core.NewDevice(c.Config)
-	if err != nil {
-		return 0, err
+
+	var h trace.Header
+	var record func(tw *trace.Writer) (int, error)
+	if len(c.Trajectories) >= 2 {
+		dev, err := core.NewMultiDevice(c.Config, c.Subjects[1:]...)
+		if err != nil {
+			return 0, err
+		}
+		h = dev.TraceHeader()
+		record = func(tw *trace.Writer) (int, error) { return dev.RecordTo(tw, c.Trajectories...) }
+	} else {
+		dev, err := core.NewDevice(c.Config)
+		if err != nil {
+			return 0, err
+		}
+		if c.CalibrateFrames > 0 {
+			dev.CalibrateBackground(c.CalibrateFrames)
+		}
+		h = dev.TraceHeader()
+		record = func(tw *trace.Writer) (int, error) { return dev.RecordTo(tw, c.Trajectories[0]) }
 	}
-	if c.CalibrateFrames > 0 {
-		dev.CalibrateBackground(c.CalibrateFrames)
-	}
-	h := dev.TraceHeader()
 	h.Name = sp.Name
 	h.DeviceIndex = deviceIndex
 	h.CalibrateFrames = c.CalibrateFrames
@@ -58,7 +70,7 @@ func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := dev.RecordTo(tw, c.Trajectories[0])
+	n, err := record(tw)
 	if err != nil {
 		tw.Close()
 		return n, err
@@ -110,8 +122,8 @@ func ReplayTrace(ctx context.Context, r io.Reader) (*ReplayResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(c.Trajectories) != 1 {
-		return nil, fmt.Errorf("scenario %q: trace provenance is not a single-trajectory cell", sp.Name)
+	if len(c.Trajectories) < 1 {
+		return nil, fmt.Errorf("scenario %q: trace provenance is not a tracking cell", sp.Name)
 	}
 	// Sanity-check the provenance against the explicit header fields: a
 	// trace whose spec no longer compiles to the recording deployment
@@ -133,21 +145,34 @@ func ReplayTrace(ctx context.Context, r io.Reader) (*ReplayResult, error) {
 		return nil, fmt.Errorf("scenario %q: provenance compiles to %d calibration frames, trace recorded %d", sp.Name, got, h.CalibrateFrames)
 	}
 
-	dev, err := core.NewDevice(c.Config)
-	if err != nil {
-		return nil, err
-	}
-	dev.Workers = c.Workers
-	if c.CalibrateFrames > 0 {
-		dev.CalibrateBackground(c.CalibrateFrames)
-	}
 	src := core.NewTraceSource(tr)
-	ch, err := dev.StreamFrom(ctx, src)
-	if err != nil {
-		return nil, err
-	}
 	out := &cellOutcome{}
-	scoreTrackingStream(ch, c, out)
+	if len(c.Trajectories) >= 2 {
+		dev, err := core.NewMultiDevice(c.Config, c.Subjects[1:]...)
+		if err != nil {
+			return nil, err
+		}
+		dev.Workers = c.Workers
+		ch, err := dev.StreamFrom(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		scoreMultiStream(ch, out)
+	} else {
+		dev, err := core.NewDevice(c.Config)
+		if err != nil {
+			return nil, err
+		}
+		dev.Workers = c.Workers
+		if c.CalibrateFrames > 0 {
+			dev.CalibrateBackground(c.CalibrateFrames)
+		}
+		ch, err := dev.StreamFrom(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		scoreTrackingStream(ch, c, out)
+	}
 	if err := src.Err(); err != nil {
 		return nil, err
 	}
@@ -163,12 +188,13 @@ func ReplayTrace(ctx context.Context, r io.Reader) (*ReplayResult, error) {
 }
 
 // Corpus returns the compact scenario set behind the checked-in golden
-// trace corpus: three canonical workloads (line-of-sight walk,
-// through-wall walk, calibrated static presence) on a reduced radio —
-// MaxRange trimmed to the confined walking region and more sweeps
-// averaged per frame — so the three compressed traces stay under ~1 MB
-// total while still exercising the full tracking pipeline. Refresh the
-// corpus with cmd/witrack-record (see README "Record & replay").
+// trace corpus: four canonical workloads (line-of-sight walk,
+// through-wall walk, calibrated static presence, two-person tracking)
+// on a reduced radio — MaxRange trimmed to the confined walking region
+// and more sweeps averaged per frame — so the compressed traces stay
+// under ~1.5 MB total while still exercising the full tracking
+// pipeline, single- and multi-person. Refresh the corpus with
+// cmd/witrack-record (see README "Record & replay").
 func Corpus() []Spec {
 	// The corpus radio: frames cover 11 m of round-trip range (the
 	// confined region's round trips top out near 10 m) at 16 frames/s.
@@ -190,5 +216,22 @@ func Corpus() []Spec {
 			Seeded(719).ThroughWall().
 			Static(0.5, 3.8, 3.5).
 			Device(DeviceSpec{Separation: 1.0, CalibrateFrames: 40, Radio: radio}),
+
+		// Two concurrent walkers in separate round-trip bands (gap kept
+		// above the tracker's merge separation), recorded on MultiDevice
+		// with both truth records per frame — the multi-person replay
+		// seam. The motion seeds are chosen so both walkers move from
+		// the start: at the corpus's 16 frames/s an initial pause
+		// starves the trackers of moving frames and the cell never
+		// acquires a joint fix (then the gate would pin no positions).
+		*New("corpus-duo", "compact two-person cell for the replay corpus").
+			Seeded(727).EmptyRoom().
+			Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk, Duration: 4.5, Seed: 741,
+				Region: &RegionSpec{XMin: -1.2, XMax: 1.2, YMin: 3, YMax: 3.8}}}).
+			Body(BodySpec{
+				Subject: SubjectSpec{PanelSize: 11, PanelSeed: 309, PanelIndex: 3},
+				Motion: MotionSpec{Kind: MotionWalk, Duration: 4.5, Seed: 743,
+					Region: &RegionSpec{XMin: -0.8, XMax: 0.8, YMin: 4.8, YMax: 5.2}}}).
+			Device(DeviceSpec{Separation: 1.0, Radio: radio}),
 	}
 }

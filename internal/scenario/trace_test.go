@@ -53,6 +53,21 @@ func TestRecordCellReplayMatchesLiveCell(t *testing.T) {
 				}}).
 				Device(DeviceSpec{Separation: 1.0, Radio: RadioSpec{MaxRange: 11, SweepsPerFrame: 25}})
 		},
+		func() *Spec {
+			return New("rt-duo", "record/replay two-person cell").
+				Seeded(47).EmptyRoom().
+				Body(BodySpec{Motion: MotionSpec{
+					Kind: MotionWalk, Duration: 3.5, Seed: 48,
+					Region: &RegionSpec{XMin: -1.2, XMax: 1.2, YMin: 3, YMax: 3.8},
+				}}).
+				Body(BodySpec{
+					Subject: SubjectSpec{PanelSize: 11, PanelSeed: 309, PanelIndex: 3},
+					Motion: MotionSpec{
+						Kind: MotionWalk, Duration: 3.5, Seed: 49,
+						Region: &RegionSpec{XMin: -0.8, XMax: 0.8, YMin: 4.8, YMax: 5.2},
+					}}).
+				Device(DeviceSpec{Separation: 1.0, Radio: RadioSpec{MaxRange: 11, SweepsPerFrame: 25}})
+		},
 	} {
 		sp := mk()
 		t.Run(sp.Name, func(t *testing.T) {
@@ -99,15 +114,16 @@ func TestRecordCellReplayMatchesLiveCell(t *testing.T) {
 	}
 }
 
-func TestRecordableRejectsProtocolAndTwoBody(t *testing.T) {
+func TestRecordableRejectsProtocols(t *testing.T) {
 	fall := New("f", "").Seeded(1).
 		Body(BodySpec{Motion: MotionSpec{Kind: MotionFallStudy}})
 	if err := fall.Recordable(); err == nil {
 		t.Fatal("protocol scenario must not be recordable")
 	}
+	// Multi-person tracking cells record on MultiDevice.
 	two := New("t", "").Seeded(1).Walk(3, 2).Walk(3, 3)
-	if err := two.Recordable(); err == nil {
-		t.Fatal("two-body scenario must not be recordable")
+	if err := two.Recordable(); err != nil {
+		t.Fatalf("two-body tracking cell should be recordable: %v", err)
 	}
 	var buf bytes.Buffer
 	if _, err := RecordCell(fall, 0, &buf); err == nil {
@@ -190,8 +206,17 @@ func TestCorpusSpecsAreRecordable(t *testing.T) {
 		seen[sp.Name] = true
 	}
 	corpus := Corpus()
-	if len(corpus) < 2 || len(corpus) > 3 {
-		t.Fatalf("corpus has %d specs, want 2-3", len(corpus))
+	if len(corpus) < 3 || len(corpus) > 5 {
+		t.Fatalf("corpus has %d specs, want 3-5", len(corpus))
+	}
+	multi := 0
+	for i := range corpus {
+		if len(corpus[i].Bodies) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("corpus has no multi-person cell — the k-person replay seam is uncovered")
 	}
 	for i := range corpus {
 		sp := &corpus[i]

@@ -24,9 +24,11 @@
 // A frame record is:
 //
 //	index      uint32   frame number, strictly sequential from 0
-//	truthFlag  uint8    0 = no ground truth, 1 = BodyState follows
-//	truth      [50]byte center xyz (3×f64), moving u8, handActive u8,
-//	                    hand xyz (3×f64) — present only when truthFlag=1
+//	truthCount uint8    number of ground-truth BodyStates that follow
+//	                    (0 = none, 1 = single tracked subject, k>1 =
+//	                    multi-person capture; at most MaxTruths)
+//	truths     truthCount × [50]byte center xyz (3×f64), moving u8,
+//	                    handActive u8, hand xyz (3×f64)
 //	antennas   NumRx ×  (bins uint32, then bins × (re, im) float64 bits)
 //
 // Complex samples are stored as IEEE-754 bit patterns XORed against the
@@ -73,6 +75,11 @@ var (
 
 // trailerSentinel marks the trailer block in place of a payload length.
 const trailerSentinel = 0xFFFFFFFF
+
+// MaxTruths bounds the per-frame ground-truth count: far above any
+// plausible concurrent-subject count, low enough that a flipped count
+// byte is caught as corruption instead of a silent mis-decode.
+const MaxTruths = 16
 
 // maxHeaderLen bounds the JSON header so a corrupt length prefix cannot
 // force a huge allocation.

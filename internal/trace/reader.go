@@ -22,6 +22,7 @@ type Reader struct {
 	h    Header
 	buf  []byte
 	prev [][]uint64
+	tbuf []motion.BodyState // ReadFrameInto's reusable truth scratch
 	n    int
 	done bool
 	err  error // sticky
@@ -83,60 +84,80 @@ func (tr *Reader) ReadFrame() ([]dsp.ComplexFrame, motion.BodyState, bool, error
 // ReadFrameInto is ReadFrame decoding into dst, reusing its per-antenna
 // slices when they have the right length (resizing them otherwise), so
 // a streaming replay loop allocates nothing once warm. It returns the
-// frame slice (which is dst when dst had the right shape), the ground
-// truth, and whether the frame carried one.
+// frame slice (which is dst when dst had the right shape), the first
+// ground-truth state, and whether the frame carried one. Multi-person
+// traces surface only subject 0 here; use ReadFrameTruthsInto for the
+// full truth set.
 func (tr *Reader) ReadFrameInto(dst []dsp.ComplexFrame) ([]dsp.ComplexFrame, motion.BodyState, bool, error) {
-	var truth motion.BodyState
+	frames, truths, err := tr.ReadFrameTruthsInto(dst, tr.tbuf[:0])
+	if truths != nil {
+		tr.tbuf = truths // keep the decoded buffer for the next frame
+	}
+	if err != nil || len(truths) == 0 {
+		return frames, motion.BodyState{}, false, err
+	}
+	return frames, truths[0], true, nil
+}
+
+// ReadFrameTruthsInto decodes the next frame with every ground-truth
+// BodyState it carries (one per tracked subject, in subject order; nil
+// for truthless frames), decoding frames into dst and truths into
+// tdst, both reused when correctly sized. It returns io.EOF after the
+// last frame, or an error wrapping ErrCorrupt on any damage.
+func (tr *Reader) ReadFrameTruthsInto(dst []dsp.ComplexFrame, tdst []motion.BodyState) ([]dsp.ComplexFrame, []motion.BodyState, error) {
 	if tr.err != nil {
-		return nil, truth, false, tr.err
+		return nil, nil, tr.err
 	}
 	if tr.done {
-		return nil, truth, false, io.EOF
+		return nil, nil, io.EOF
 	}
 
 	var pre [4]byte
 	if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
-		return nil, truth, false, tr.fail("stream ended before trailer: %v", err)
+		return nil, nil, tr.fail("stream ended before trailer: %v", err)
 	}
 	plen := binary.LittleEndian.Uint32(pre[:])
 	if plen == trailerSentinel {
-		return nil, truth, false, tr.finish()
+		return nil, nil, tr.finish()
 	}
 	if plen > maxPayloadLen {
-		return nil, truth, false, tr.fail("frame record length %d exceeds limit", plen)
+		return nil, nil, tr.fail("frame record length %d exceeds limit", plen)
 	}
 	if cap(tr.buf) < int(plen) {
 		tr.buf = make([]byte, plen)
 	}
 	payload := tr.buf[:plen]
 	if _, err := io.ReadFull(tr.zr, payload); err != nil {
-		return nil, truth, false, tr.fail("truncated frame record: %v", err)
+		return nil, nil, tr.fail("truncated frame record: %v", err)
 	}
 	if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
-		return nil, truth, false, tr.fail("truncated frame CRC: %v", err)
+		return nil, nil, tr.fail("truncated frame CRC: %v", err)
 	}
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(pre[:]); got != want {
-		return nil, truth, false, tr.fail("frame %d CRC %#08x != stored %#08x", tr.n, got, want)
+		return nil, nil, tr.fail("frame %d CRC %#08x != stored %#08x", tr.n, got, want)
 	}
 
 	c := cursor{b: payload}
 	if idx := c.u32(); int(idx) != tr.n {
 		if c.bad {
-			return nil, truth, false, tr.fail("frame record too short")
+			return nil, nil, tr.fail("frame record too short")
 		}
-		return nil, truth, false, tr.fail("frame index %d out of sequence (want %d)", idx, tr.n)
+		return nil, nil, tr.fail("frame index %d out of sequence (want %d)", idx, tr.n)
 	}
-	hasTruth := false
-	switch flag := c.u8(); flag {
-	case 0:
-	case 1:
-		hasTruth = true
-		truth = c.bodyState()
-	default:
+	count := int(c.u8())
+	if c.bad {
+		return nil, nil, tr.fail("frame record too short")
+	}
+	if count > MaxTruths {
+		return nil, nil, tr.fail("frame %d: truth count %d exceeds limit %d", tr.n, count, MaxTruths)
+	}
+	truths := tdst[:0]
+	for i := 0; i < count; i++ {
+		s := c.bodyState()
 		if c.bad {
-			return nil, truth, false, tr.fail("frame record too short")
+			return nil, nil, tr.fail("frame %d: record too short for %d truth states", tr.n, count)
 		}
-		return nil, truth, false, tr.fail("frame %d: bad truth flag %d", tr.n, flag)
+		truths = append(truths, s)
 	}
 
 	if len(dst) != tr.h.NumRx {
@@ -148,7 +169,7 @@ func (tr *Reader) ReadFrameInto(dst []dsp.ComplexFrame) ([]dsp.ComplexFrame, mot
 		// platforms, nor overflow the 16*bins product.
 		bins32 := c.u32()
 		if c.bad || uint64(bins32)*16 > uint64(c.rem()) {
-			return nil, truth, false, tr.fail("frame %d antenna %d: record too short for %d bins", tr.n, k, bins32)
+			return nil, nil, tr.fail("frame %d antenna %d: record too short for %d bins", tr.n, k, bins32)
 		}
 		bins := int(bins32)
 		if len(dst[k]) != bins {
@@ -166,13 +187,16 @@ func (tr *Reader) ReadFrameInto(dst []dsp.ComplexFrame) ([]dsp.ComplexFrame, mot
 		}
 	}
 	if c.bad {
-		return nil, truth, false, tr.fail("frame %d: record too short", tr.n)
+		return nil, nil, tr.fail("frame %d: record too short", tr.n)
 	}
 	if c.rem() != 0 {
-		return nil, truth, false, tr.fail("frame %d: %d trailing bytes in record", tr.n, c.rem())
+		return nil, nil, tr.fail("frame %d: %d trailing bytes in record", tr.n, c.rem())
 	}
 	tr.n++
-	return dst, truth, hasTruth, nil
+	if count == 0 {
+		truths = nil
+	}
+	return dst, truths, nil
 }
 
 // finish verifies the trailer and the compressed stream's own footer,

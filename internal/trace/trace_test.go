@@ -81,6 +81,98 @@ func encode(t *testing.T, h Header, frames [][]dsp.ComplexFrame, truths []motion
 	return buf.Bytes()
 }
 
+// TestMultiTruthRoundTrip pins the k-person truth records: a trace
+// written with several BodyStates per frame reads them all back, and a
+// single-truth frame encodes byte-identically through WriteFrame and
+// WriteFrameTruths — so the multi-person extension cannot disturb the
+// existing single-person corpus.
+func TestMultiTruthRoundTrip(t *testing.T) {
+	const nRx, bins, n, k = 3, 17, 8, 3
+	frames, base := testFrames(nRx, bins, n, 5)
+	truths := make([][]motion.BodyState, n)
+	for f := range truths {
+		truths[f] = make([]motion.BodyState, k)
+		for s := 0; s < k; s++ {
+			truths[f][s] = base[f]
+			truths[f][s].Center.X += float64(s)
+		}
+	}
+
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, testHeader(nRx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range frames {
+		if err := tw.WriteFrameTruths(frames[f], truths[f]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst []dsp.ComplexFrame
+	var tdst []motion.BodyState
+	for f := 0; f < n; f++ {
+		var got []motion.BodyState
+		dst, got, err = tr.ReadFrameTruthsInto(dst, tdst[:0])
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		tdst = got
+		if len(got) != k {
+			t.Fatalf("frame %d: %d truths, want %d", f, len(got), k)
+		}
+		for s := 0; s < k; s++ {
+			if got[s] != truths[f][s] {
+				t.Fatalf("frame %d subject %d: %+v != %+v", f, s, got[s], truths[f][s])
+			}
+		}
+		for a := 0; a < nRx; a++ {
+			if !bitsEqual(dst[a], frames[f][a]) {
+				t.Fatalf("frame %d antenna %d diverged", f, a)
+			}
+		}
+	}
+	if _, _, err := tr.ReadFrameTruthsInto(dst, tdst[:0]); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF after last frame, got %v", err)
+	}
+
+	// Single-truth frames: both writer entry points, identical bytes.
+	one, oneTruths := testFrames(nRx, bins, 4, 6)
+	var viaFlag, viaSlice bytes.Buffer
+	twA, _ := NewWriter(&viaFlag, testHeader(nRx))
+	twB, _ := NewWriter(&viaSlice, testHeader(nRx))
+	for f := range one {
+		if err := twA.WriteFrame(one[f], &oneTruths[f]); err != nil {
+			t.Fatal(err)
+		}
+		if err := twB.WriteFrameTruths(one[f], oneTruths[f:f+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := twA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := twB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaFlag.Bytes(), viaSlice.Bytes()) {
+		t.Fatal("WriteFrame and WriteFrameTruths(k=1) produced different bytes")
+	}
+
+	// The truth-count byte is bounded: an oversized set must refuse.
+	twC, _ := NewWriter(&bytes.Buffer{}, testHeader(nRx))
+	if err := twC.WriteFrameTruths(frames[0], make([]motion.BodyState, MaxTruths+1)); err == nil {
+		t.Fatal("truth count beyond MaxTruths should error")
+	}
+}
+
 // bitsEqual compares complex frames by their IEEE bit patterns (NaN-safe).
 func bitsEqual(a, b dsp.ComplexFrame) bool {
 	if len(a) != len(b) {

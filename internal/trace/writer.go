@@ -24,6 +24,7 @@ type Writer struct {
 	nRx    int
 	buf    []byte
 	prev   [][]uint64 // per antenna, previous frame's raw bits (re, im interleaved)
+	one    [1]motion.BodyState
 	n      int
 	closed bool
 	err    error
@@ -63,10 +64,22 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 func (tw *Writer) Frames() int { return tw.n }
 
 // WriteFrame appends one frame: the per-antenna complex frames (one per
-// receive antenna, in antenna order) plus optional ground truth. The
-// slices are fully encoded before WriteFrame returns, so callers may
-// reuse their buffers.
+// receive antenna, in antenna order) plus optional single-subject
+// ground truth. The slices are fully encoded before WriteFrame returns,
+// so callers may reuse their buffers.
 func (tw *Writer) WriteFrame(frames []dsp.ComplexFrame, truth *motion.BodyState) error {
+	if truth == nil {
+		return tw.WriteFrameTruths(frames, nil)
+	}
+	tw.one[0] = *truth
+	return tw.WriteFrameTruths(frames, tw.one[:])
+}
+
+// WriteFrameTruths is WriteFrame carrying one ground-truth BodyState
+// per tracked subject (the multi-person capture path). Single-subject
+// and empty truth sets encode byte-identically to WriteFrame, so the
+// two entry points are interchangeable for k <= 1.
+func (tw *Writer) WriteFrameTruths(frames []dsp.ComplexFrame, truths []motion.BodyState) error {
 	if tw.err != nil {
 		return tw.err
 	}
@@ -76,14 +89,15 @@ func (tw *Writer) WriteFrame(frames []dsp.ComplexFrame, truth *motion.BodyState)
 	if len(frames) != tw.nRx {
 		return fmt.Errorf("trace: frame has %d antennas, header says %d", len(frames), tw.nRx)
 	}
+	if len(truths) > MaxTruths {
+		return fmt.Errorf("trace: %d ground-truth states per frame (max %d)", len(truths), MaxTruths)
+	}
 
 	b := tw.buf[:0]
 	b = binary.LittleEndian.AppendUint32(b, uint32(tw.n))
-	if truth != nil {
-		b = append(b, 1)
-		b = appendBodyState(b, truth)
-	} else {
-		b = append(b, 0)
+	b = append(b, byte(len(truths)))
+	for i := range truths {
+		b = appendBodyState(b, &truths[i])
 	}
 	for k, f := range frames {
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(f)))

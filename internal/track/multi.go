@@ -93,6 +93,11 @@ func NewMulti(cfg Config, maxTargets int) *MultiTracker {
 	return m
 }
 
+// MaxTargets returns the tracker's slot count — the k the fusion layer
+// sizes its per-antenna candidate sets to. Push always returns exactly
+// this many estimates, in stable slot order.
+func (m *MultiTracker) MaxTargets() int { return m.maxTargets }
+
 // Reset clears all track state.
 func (m *MultiTracker) Reset() {
 	m.prev = nil

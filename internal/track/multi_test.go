@@ -116,6 +116,85 @@ func TestNewMultiPanicsOnBadConfig(t *testing.T) {
 	NewMulti(Config{}, 2)
 }
 
+// threeMoverPaths is twoMoverPaths with a third reflector.
+func threeMoverPaths(cfg fmcw.Config, d1, d2, d3 float64) []fmcw.Path {
+	return []fmcw.Path{
+		{RoundTrip: d1, PowerWatts: 3e-14, Phase: fmcw.PhaseFor(cfg, d1)},
+		{RoundTrip: d2, PowerWatts: 3e-14, Phase: fmcw.PhaseFor(cfg, d2)},
+		{RoundTrip: d3, PowerWatts: 3e-14, Phase: fmcw.PhaseFor(cfg, d3)},
+	}
+}
+
+// TestMultiThreeMoverSlotStability drives three movers whose round
+// trips converge to a near-crossing and then separate again; each slot
+// must keep following its own target throughout — no slot swaps. This
+// is the association seam the k-target fusion depends on: SolveK's
+// continuity scoring assumes slot t is the same physical target frame
+// to frame.
+func TestMultiThreeMoverSlotStability(t *testing.T) {
+	cfg := fmcw.Default()
+	cfg.SweepTime = 0.5e-3
+	synth := fmcw.NewSynthesizer(cfg)
+	tc := DefaultConfig(cfg.BinDistance(), cfg.FrameInterval(), synth.NoiseBinSigma())
+	trk := NewMulti(tc, 3)
+	if trk.MaxTargets() != 3 {
+		t.Fatalf("MaxTargets = %d, want 3", trk.MaxTargets())
+	}
+	rng := rand.New(rand.NewSource(11))
+	dt := cfg.FrameInterval()
+
+	// A walks away, B walks toward the device, C paces deep in the
+	// room. A and B approach to ~1.6 m (just above the merge
+	// separation) around the middle of the run, then diverge — the
+	// crossing-like encounter a greedy nearest association is most
+	// likely to scramble.
+	truth := func(i int) (a, b, c float64) {
+		ti := dt * float64(i)
+		a = 6 + 1.1*ti
+		b = 14 - 1.1*ti
+		if a > b-1.6 {
+			mid := (6 + 14) / 2.0
+			a = math.Min(a, mid-0.8)
+			b = math.Max(b, mid+0.8)
+		}
+		c = 24 - 0.8*ti
+		return
+	}
+
+	var slotErr [3]float64
+	var slotN [3]int
+	for i := 0; i < 400; i++ {
+		a, b, c := truth(i)
+		ests := trk.Push(synth.SynthesizeComplexFrame(threeMoverPaths(cfg, a, b, c), rng))
+		if len(ests) != 3 {
+			t.Fatalf("Push returned %d estimates, want 3", len(ests))
+		}
+		if i <= 30 {
+			continue
+		}
+		// Nearest-first seeding fixes the slot order: A (closest), B, C.
+		want := [3]float64{a, b, c}
+		for s := 0; s < 3; s++ {
+			if ests[s].Valid && ests[s].Moving {
+				slotErr[s] += math.Abs(ests[s].RoundTrip - want[s])
+				slotN[s]++
+			}
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if slotN[s] < 150 {
+			t.Fatalf("slot %d tracked only %d frames", s, slotN[s])
+		}
+		mean := slotErr[s] / float64(slotN[s])
+		t.Logf("slot %d: mean |err| %.3f m over %d frames", s, mean, slotN[s])
+		// A swapped slot would carry a multi-meter error (the targets
+		// stay >1.6 m apart); a stable one tracks within the gate.
+		if mean > 0.5 {
+			t.Fatalf("slot %d mean error %.3f m — slots swapped across the encounter", s, mean)
+		}
+	}
+}
+
 func TestNewMultiClampsTargets(t *testing.T) {
 	cfg := DefaultConfig(0.1, 0.0125, 1e-7)
 	m := NewMulti(cfg, 0)

@@ -180,6 +180,75 @@ func (d *Device) Reset() { d.inner.Reset() }
 // used for figure generation).
 func (d *Device) SetRecordSpectrograms(on bool) { d.inner.RecordSpectrograms = on }
 
+// Multi-person tracking: the §10 extension generalized to k concurrent
+// targets. Each receive antenna extracts k time-of-flight candidates
+// per frame; locate.SolveK searches the (k!)^nRx candidate-to-target
+// assignments (branch-and-bound, residual RMS + capped trajectory
+// continuity) and the fusion stage emits one position per subject.
+type (
+	// MultiSample is one k-person output frame (positions and truths in
+	// subject order).
+	MultiSample = core.MultiSample
+	// MultiRunResult is the full output of a k-person run.
+	MultiRunResult = core.MultiRunResult
+)
+
+// MultiDevice is a WiTrack unit tracking k concurrent movers.
+type MultiDevice struct {
+	inner *core.MultiDevice
+}
+
+// NewMultiDevice builds a k-person tracker: cfg.Subject is subject 0,
+// the variadic others are subjects 1..k-1 (the two-person §10
+// configuration is NewMultiDevice(cfg, subjectB)).
+func NewMultiDevice(cfg Config, others ...Subject) (*MultiDevice, error) {
+	d, err := core.NewMultiDevice(cfg, others...)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiDevice{inner: d}, nil
+}
+
+// NumSubjects returns k, the concurrent-target count.
+func (d *MultiDevice) NumSubjects() int { return d.inner.NumSubjects() }
+
+// Run tracks one trajectory per subject simultaneously for the
+// shortest trajectory's duration. It panics if the trajectory count
+// does not match NumSubjects (a programming error); Stream returns an
+// error instead.
+func (d *MultiDevice) Run(trajs ...Trajectory) *MultiRunResult { return d.inner.Run(trajs...) }
+
+// Stream tracks one trajectory per subject and delivers k-person
+// samples in frame order; bit-identical to Run for a fixed seed.
+func (d *MultiDevice) Stream(ctx context.Context, trajs ...Trajectory) (<-chan MultiSample, error) {
+	return d.inner.Stream(ctx, trajs...)
+}
+
+// StreamFrom runs the k-person pipeline over an arbitrary frame source
+// (a recorded multi-person trace, a hardware front end).
+func (d *MultiDevice) StreamFrom(ctx context.Context, src FrameSource) (<-chan MultiSample, error) {
+	return d.inner.StreamFrom(ctx, src)
+}
+
+// RecordTo streams the k-person cell's per-antenna frames (plus every
+// subject's ground truth) into an on-disk .wtrace; replaying it through
+// StreamFrom on a fresh identically-configured MultiDevice reproduces
+// the live run bit for bit.
+func (d *MultiDevice) RecordTo(tw *TraceWriter, trajs ...Trajectory) (int, error) {
+	return d.inner.RecordTo(tw, trajs...)
+}
+
+// TraceHeader returns the .wtrace header describing this device's
+// deployment, ready to open a TraceWriter with.
+func (d *MultiDevice) TraceHeader() TraceHeader { return d.inner.TraceHeader() }
+
+// SetWorkers sets the per-antenna pipeline worker count (see
+// Device.SetWorkers).
+func (d *MultiDevice) SetWorkers(n int) { d.inner.Workers = n }
+
+// Reset clears tracker state for a fresh run.
+func (d *MultiDevice) Reset() { d.inner.Reset() }
+
 // DefaultConfig returns the paper's through-wall deployment: default
 // radio, 1 m T array mounted at 1.5 m, standard room, median subject.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -195,6 +264,11 @@ func NewTArray(separation, height float64) Array {
 // StandardScene builds the standard evaluation room; throughWall selects
 // whether the front wall stands between device and subject (§9.1).
 func StandardScene(throughWall bool) *Scene { return rf.StandardScene(throughWall) }
+
+// EmptyScene builds a scene with no walls or static reflectors — the
+// uncluttered line-of-sight space the §10 multi-person extension
+// assumes (each person's direct reflection individually resolvable).
+func EmptyScene() *Scene { return rf.EmptyScene() }
 
 // StandardRegion returns the standard tracked area (the VICON-focused
 // 6x5 m^2 analog).

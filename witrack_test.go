@@ -158,6 +158,116 @@ func TestPublicStreamFlow(t *testing.T) {
 	}
 }
 
+// TestPublicMultiPersonFlow drives the k-person surface end to end
+// through the public API: build a 3-person device, stream a concurrent
+// run, and record/replay a two-person cell bit-identically.
+func TestPublicMultiPersonFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 307
+	cfg.Scene = EmptyScene()
+	panel := SubjectPanel(11, 5)
+
+	dev, err := NewMultiDevice(cfg, panel[3], panel[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.NumSubjects() != 3 {
+		t.Fatalf("NumSubjects = %d, want 3", dev.NumSubjects())
+	}
+	walk := func(r Region, h, dur float64, seed int64) Trajectory {
+		return NewRandomWalk(DefaultWalkConfig(r, h, dur, seed))
+	}
+	trajs := []Trajectory{
+		walk(Region{XMin: -3, XMax: -1, YMin: 3, YMax: 4.3}, DefaultSubject().CenterHeight(), 6, 310),
+		walk(Region{XMin: 0.8, XMax: 3, YMin: 5.6, YMax: 7.0}, panel[3].CenterHeight(), 6, 311),
+		walk(Region{XMin: -2.5, XMax: -0.2, YMin: 8.2, YMax: 9}, panel[7].CenterHeight(), 6, 312),
+	}
+	ch, err := dev.Stream(context.Background(), trajs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := 0
+	for s := range ch {
+		if s.Valid {
+			valid++
+			if len(s.Pos) != 3 || len(s.Truth) != 3 {
+				t.Fatalf("sample carries %d positions / %d truths, want 3", len(s.Pos), len(s.Truth))
+			}
+		}
+	}
+	if valid < 50 {
+		t.Fatalf("only %d valid three-person fixes", valid)
+	}
+
+	// Trajectory-count mismatch must surface as an error, not a panic.
+	if _, err := dev.Stream(context.Background(), trajs[0]); err == nil {
+		t.Fatal("Stream with one trajectory for three subjects should error")
+	}
+
+	// Record/replay round trip on a two-person device.
+	cfg2 := DefaultConfig()
+	cfg2.Seed = 31
+	cfg2.Scene = EmptyScene()
+	pair := []Trajectory{
+		walk(Region{XMin: -3, XMax: -0.8, YMin: 3, YMax: 4.5}, DefaultSubject().CenterHeight(), 3, 32),
+		walk(Region{XMin: 0.8, XMax: 3, YMin: 5.8, YMax: 7.5}, panel[3].CenterHeight(), 3, 33),
+	}
+	recDev, err := NewMultiDevice(cfg2, panel[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, recDev.TraceHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recDev.RecordTo(tw, pair...); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	liveDev, err := NewMultiDevice(cfg2, panel[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := liveDev.Run(pair...)
+
+	replayDev, err := NewMultiDevice(cfg2, panel[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewTraceSource(tr)
+	rch, err := replayDev.StreamFrom(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for s := range rch {
+		l := live.Samples[i]
+		if s.T != l.T || s.Valid != l.Valid || len(s.Pos) != len(l.Pos) {
+			t.Fatalf("replay sample %d diverged: %+v != %+v", i, s, l)
+		}
+		for j := range s.Pos {
+			if s.Pos[j] != l.Pos[j] {
+				t.Fatalf("replay sample %d pos %d: %v != %v", i, j, s.Pos[j], l.Pos[j])
+			}
+		}
+		i++
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != live.Frames {
+		t.Fatalf("replayed %d frames, live run %d", i, live.Frames)
+	}
+}
+
 func TestPublicTraceRecordReplayFlow(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 5
