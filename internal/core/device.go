@@ -32,6 +32,13 @@ type Config struct {
 	// SlowSynth switches frame generation to the full time-domain path
 	// (identical statistics, ~100x slower; used for validation runs).
 	SlowSynth bool
+	// Precision selects the arithmetic width of the time-domain sweep
+	// processing (the SlowSynth windowed-FFT hot loop). The default,
+	// dsp.Float64, is bit-for-bit pinned by the golden digests;
+	// dsp.Float32 halves the memory bandwidth of that loop and keeps
+	// every spectrum bin within dsp.Plan32.ErrorBound of the float64
+	// result. The fast spectral-synthesis path is float64 either way.
+	Precision dsp.Precision
 	// TrackerOverride, when non-nil, customizes the per-antenna tracker
 	// configuration after defaults are applied.
 	TrackerOverride func(*track.Config)
@@ -95,6 +102,10 @@ type Device struct {
 	trackers []*track.Tracker
 	locator  *locate.Locator
 	rng      *rand.Rand
+	// ring recycles FrameBatch buffers across the device's runs: one
+	// trajectory at a time, so successive Run/Stream calls reuse the
+	// frame memory the previous run warmed up.
+	ring *batchRing
 
 	// RecordSpectrograms retains raw magnitude frames (memory heavy;
 	// used for Fig. 3/Fig. 5 generation).
@@ -167,6 +178,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		prop:    rf.NewPropagator(cfg.Scene, cfg.Array, cfg.Radio),
 		locator: loc,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		ring:    newBatchRing(ringCapacity),
 	}
 	d.sim = newBodySim(cfg.Subject, len(cfg.Array.Rx), d.rng)
 	tc := track.DefaultConfig(cfg.Radio.BinDistance(), cfg.Radio.FrameInterval(), synth.NoiseBinSigma())
@@ -211,6 +223,7 @@ type antennaScratch struct {
 	paths []fmcw.Path
 	spec  dsp.ComplexFrame
 	sweep *fmcw.SweepScratch
+	prec  dsp.Precision
 }
 
 // materialize returns antenna k's complex frame for batch b: the eager
@@ -225,7 +238,7 @@ func (w *antennaScratch) materialize(synth *fmcw.Synthesizer, prop *rf.Propagato
 	switch {
 	case b.sweeps != nil:
 		if w.sweep == nil {
-			w.sweep = synth.NewSweepScratch()
+			w.sweep = synth.NewSweepScratchPrecision(w.prec)
 		}
 		w.spec = synth.ComplexFrameFromSweepsInto(w.spec, b.sweeps[k], w.sweep)
 		return w.spec
@@ -259,6 +272,9 @@ func (d *Device) stream(ctx context.Context, src FrameSource,
 	emit func(s Sample, ests []track.Estimate, mags []dsp.Frame) bool) time.Duration {
 	nRx := len(d.cfg.Array.Rx)
 	scratch := make([]antennaScratch, nRx)
+	for k := range scratch {
+		scratch[k].prec = d.cfg.Precision
+	}
 	procNS := make([]int64, nRx)
 	var locateNS int64
 
@@ -313,7 +329,7 @@ func (d *Device) stream(ctx context.Context, src FrameSource,
 func (d *Device) simSource(traj motion.Trajectory) *simSource {
 	return newSimSource(d.synth, d.prop, d.rng,
 		[]*bodySim{d.sim}, []motion.Trajectory{traj},
-		d.cfg.Array.Tx, len(d.cfg.Array.Rx), d.cfg.Radio.FrameInterval(), d.cfg.SlowSynth)
+		d.cfg.Array.Tx, len(d.cfg.Array.Rx), d.cfg.Radio.FrameInterval(), d.cfg.SlowSynth, d.ring)
 }
 
 // streamTo launches the pipeline over src in a goroutine and returns
@@ -361,17 +377,28 @@ func (d *Device) StreamFrom(ctx context.Context, src FrameSource) (<-chan Sample
 // pipeline run to completion with all diagnostics collected.
 func (d *Device) Run(traj motion.Trajectory) *RunResult {
 	nRx := len(d.cfg.Array.Rx)
-	res := &RunResult{PerAntenna: make([][]track.Estimate, nRx)}
+	src := d.simSource(traj)
+	// The source knows the run length up front; pre-sizing the result
+	// slices keeps append-growth reallocations out of the streaming loop.
+	nFrames := src.Frames()
+	res := &RunResult{
+		Samples:    make([]Sample, 0, nFrames),
+		PerAntenna: make([][]track.Estimate, nRx),
+	}
+	for k := range res.PerAntenna {
+		res.PerAntenna[k] = make([]track.Estimate, 0, nFrames)
+	}
 	if d.RecordSpectrograms {
 		res.Spectrograms = make([]*dsp.Spectrogram, nRx)
 		for k := range res.Spectrograms {
 			res.Spectrograms[k] = &dsp.Spectrogram{
 				BinDistance:   d.cfg.Radio.BinDistance(),
 				FrameInterval: d.cfg.Radio.FrameInterval(),
+				Frames:        make([]dsp.Frame, 0, nFrames),
 			}
 		}
 	}
-	res.ProcessingTime = d.stream(context.Background(), d.simSource(traj),
+	res.ProcessingTime = d.stream(context.Background(), src,
 		func(s Sample, ests []track.Estimate, mags []dsp.Frame) bool {
 			for k := 0; k < nRx; k++ {
 				res.PerAntenna[k] = append(res.PerAntenna[k], ests[k])

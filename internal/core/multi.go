@@ -31,6 +31,7 @@ type MultiDevice struct {
 	locator  *locate.Locator
 	rng      *rand.Rand
 	sims     []*bodySim
+	ring     *batchRing
 
 	// Workers is the per-antenna pipeline worker count (see
 	// Device.Workers); 0 means one per receive antenna.
@@ -72,6 +73,7 @@ func NewMultiDevice(cfg Config, others ...body.Subject) (*MultiDevice, error) {
 		prop:     base.prop,
 		locator:  base.locator,
 		rng:      base.rng,
+		ring:     base.ring,
 	}
 	k := len(d.subjects)
 	tc := track.DefaultConfig(cfg.Radio.BinDistance(), cfg.Radio.FrameInterval(), d.synth.NoiseBinSigma())
@@ -102,6 +104,9 @@ func (d *MultiDevice) stream(ctx context.Context, src FrameSource, emit func(s M
 	nRx := len(d.cfg.Array.Rx)
 	k := len(d.subjects)
 	scratch := make([]antennaScratch, nRx)
+	for a := range scratch {
+		scratch[a].prec = d.cfg.Precision
+	}
 	proc := func(a int, b *FrameBatch) []track.Estimate {
 		return d.trackers[a].Push(scratch[a].materialize(d.synth, d.prop, a, b))
 	}
@@ -160,7 +165,7 @@ func (d *MultiDevice) simSource(trajs []motion.Trajectory) (*simSource, error) {
 	}
 	return newSimSource(d.synth, d.prop, d.rng,
 		d.sims, trajs,
-		d.cfg.Array.Tx, len(d.cfg.Array.Rx), d.cfg.Radio.FrameInterval(), d.cfg.SlowSynth), nil
+		d.cfg.Array.Tx, len(d.cfg.Array.Rx), d.cfg.Radio.FrameInterval(), d.cfg.SlowSynth, d.ring), nil
 }
 
 // Run tracks one trajectory per subject simultaneously for the
@@ -172,7 +177,7 @@ func (d *MultiDevice) Run(trajs ...motion.Trajectory) *MultiRunResult {
 	if err != nil {
 		panic(err)
 	}
-	res := &MultiRunResult{}
+	res := &MultiRunResult{Samples: make([]MultiSample, 0, src.Frames())}
 	d.stream(context.Background(), src, func(s MultiSample) bool {
 		res.Samples = append(res.Samples, s)
 		res.Frames++
@@ -249,6 +254,9 @@ func (d *MultiDevice) record(trajs []motion.Trajectory,
 	}
 	nRx := len(d.cfg.Array.Rx)
 	scratch := make([]antennaScratch, nRx)
+	for a := range scratch {
+		scratch[a].prec = d.cfg.Precision
+	}
 	frames := make([]dsp.ComplexFrame, nRx)
 	for {
 		b := src.Next()

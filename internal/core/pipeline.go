@@ -11,6 +11,15 @@ import (
 // while still absorbing stage-time jitter.
 const pipelineDepth = 4
 
+// maxBurst is how many frames a worker drains from its input channel per
+// blocking receive. The first frame of a burst pays the full channel
+// synchronization cost (possible goroutine park/unpark); the rest are
+// collected with non-blocking receives while the channel already has
+// them buffered, so a backlogged pipeline amortizes its per-frame
+// synchronization across the burst. Bounded by the channel depth — a
+// worker can never see more than that many frames waiting.
+const maxBurst = pipelineDepth
+
 // stageMsg is one antenna's result for one frame, flowing from a worker
 // to the fusion stage.
 type stageMsg[E any] struct {
@@ -90,7 +99,12 @@ func runPipeline[E any](ctx context.Context, src FrameSource, workers int,
 		}
 	}()
 
-	// Stage 2: per-antenna workers.
+	// Stage 2: per-antenna workers. Each blocking receive is followed by
+	// a non-blocking drain of whatever else the input channel already
+	// buffered (up to maxBurst frames total), so when the worker is the
+	// bottleneck it pays one synchronization for a whole burst of frames.
+	// Frames are processed and emitted strictly in receive order, so
+	// bursting changes scheduling cost, never the observable sequence.
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -100,12 +114,34 @@ func runPipeline[E any](ctx context.Context, src FrameSource, workers int,
 					close(outs[k])
 				}
 			}()
-			for b := range in[w] {
-				for k := w; k < nRx; k += workers {
+			burst := make([]*FrameBatch, 0, maxBurst)
+			for {
+				b, ok := <-in[w]
+				if !ok {
+					return
+				}
+				burst = append(burst[:0], b)
+			drain:
+				for len(burst) < maxBurst {
 					select {
-					case outs[k] <- stageMsg[E]{b: b, est: proc(k, b)}:
-					case <-pctx.Done():
-						return
+					case b2, ok2 := <-in[w]:
+						if !ok2 {
+							// Channel closed: process what we have; the
+							// next blocking receive observes the close.
+							break drain
+						}
+						burst = append(burst, b2)
+					default:
+						break drain
+					}
+				}
+				for _, b := range burst {
+					for k := w; k < nRx; k += workers {
+						select {
+						case outs[k] <- stageMsg[E]{b: b, est: proc(k, b)}:
+						case <-pctx.Done():
+							return
+						}
 					}
 				}
 			}

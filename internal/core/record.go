@@ -17,6 +17,9 @@ func (d *Device) record(traj motion.Trajectory,
 	src := d.simSource(traj)
 	nRx := len(d.cfg.Array.Rx)
 	scratch := make([]antennaScratch, nRx)
+	for k := range scratch {
+		scratch[k].prec = d.cfg.Precision
+	}
 	frames := make([]dsp.ComplexFrame, nRx)
 	for {
 		b := src.Next()

@@ -1,0 +1,71 @@
+package core
+
+import "sync"
+
+// batchRing is a fixed-capacity recycling ring for *FrameBatch buffers —
+// the arena the pipeline's frame memory lives in. The source gets a
+// batch, fills it, and broadcasts it to the workers; once the fusion
+// stage has consumed every per-antenna result the batch is put back and
+// its buffers (noise frames, sweep buffers, truth states) are reused by
+// a future frame. Unlike sync.Pool the ring never surrenders buffers to
+// the garbage collector, so a steady-state run re-allocates nothing —
+// buffer lifetime is explicit: exactly one owner between get and put.
+//
+// The ring is shared by a device's whole pipeline (source goroutine and
+// fusion stage touch it from different goroutines), so get/put take a
+// mutex; at pipeline depth the ring holds single-digit entries and the
+// critical section is an index swap, so contention is unmeasurable
+// against per-frame processing cost.
+//
+// Ownership bugs are detected eagerly: putting a batch that is already
+// in the ring (a double put, which would hand two future frames the same
+// buffers) panics, in plain and -race builds alike.
+type batchRing struct {
+	mu  sync.Mutex
+	buf []*FrameBatch
+	n   int
+}
+
+// newBatchRing builds a ring that retains at most capacity recycled
+// batches; beyond that, put drops the batch for the GC (which only
+// happens if a pipeline holds more frames in flight than the ring was
+// sized for).
+func newBatchRing(capacity int) *batchRing {
+	return &batchRing{buf: make([]*FrameBatch, capacity)}
+}
+
+// get returns a recycled batch, or a fresh one when the ring is empty
+// (cold start, or more frames in flight than the ring's capacity).
+func (r *batchRing) get() *FrameBatch {
+	r.mu.Lock()
+	if r.n > 0 {
+		r.n--
+		b := r.buf[r.n]
+		r.buf[r.n] = nil
+		r.mu.Unlock()
+		b.pooled = false
+		return b
+	}
+	r.mu.Unlock()
+	return &FrameBatch{}
+}
+
+// put recycles a fully processed batch. A batch already in the ring is a
+// caller ownership bug — recycling it twice would alias two in-flight
+// frames onto one buffer — and panics immediately rather than corrupting
+// frames downstream.
+func (r *batchRing) put(b *FrameBatch) {
+	if b == nil {
+		return
+	}
+	if b.pooled {
+		panic("core: FrameBatch recycled twice (double put)")
+	}
+	b.pooled = true
+	r.mu.Lock()
+	if r.n < len(r.buf) {
+		r.buf[r.n] = b
+		r.n++
+	}
+	r.mu.Unlock()
+}

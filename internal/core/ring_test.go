@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"witrack/internal/dsp"
+	"witrack/internal/motion"
+)
+
+// TestBatchRingDoublePut verifies the ring's ownership check: recycling
+// the same batch twice must panic instead of silently aliasing two
+// future frames onto one buffer.
+func TestBatchRingDoublePut(t *testing.T) {
+	r := newBatchRing(4)
+	b := r.get()
+	r.put(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double put did not panic")
+		}
+	}()
+	r.put(b)
+}
+
+// TestBatchRingGetAfterPutReusable verifies the get/put cycle: a
+// recycled batch comes back out reusable (pooled flag cleared, so a
+// later legitimate put succeeds), and the ring hands back the same
+// buffer rather than allocating.
+func TestBatchRingGetAfterPutReusable(t *testing.T) {
+	r := newBatchRing(4)
+	b := r.get()
+	r.put(b)
+	b2 := r.get()
+	if b2 != b {
+		t.Fatal("ring did not recycle the stored batch")
+	}
+	r.put(b2) // must not panic: get cleared the pooled flag
+}
+
+// TestBatchRingOverflowDrops verifies that a full ring drops extra
+// batches for the GC instead of growing without bound.
+func TestBatchRingOverflowDrops(t *testing.T) {
+	r := newBatchRing(2)
+	a, b, c := &FrameBatch{}, &FrameBatch{}, &FrameBatch{}
+	r.put(a)
+	r.put(b)
+	r.put(c) // dropped
+	if r.n != 2 {
+		t.Fatalf("ring holds %d batches, want capacity 2", r.n)
+	}
+}
+
+// TestBatchRingConcurrentHammer drives the ring from many goroutines at
+// once — the -race build's shot at catching unsynchronized access, and
+// the double-put panic's shot at catching an ownership bug under real
+// contention. Each goroutine owns every batch it gets until it puts it
+// back, mirroring the pipeline's source/fusion split.
+func TestBatchRingConcurrentHammer(t *testing.T) {
+	r := newBatchRing(8)
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			held := make([]*FrameBatch, 0, 4)
+			for i := 0; i < iters; i++ {
+				b := r.get()
+				if b.pooled {
+					panic("got a batch still marked pooled")
+				}
+				// Touch the buffers the pipeline reuses, so -race sees
+				// any sharing between two goroutines holding "the same"
+				// batch.
+				b.Index = g*iters + i
+				b.States = append(b.States[:0], motion.BodyState{})
+				held = append(held, b)
+				if len(held) == cap(held) || i%3 == 0 {
+					for _, h := range held {
+						r.put(h)
+					}
+					held = held[:0]
+				}
+			}
+			for _, h := range held {
+				r.put(h)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFloat32DeviceWithinTolerance is the end-to-end precision oracle:
+// a SlowSynth run with Precision=Float32 must track the same trajectory
+// as the float64 run to within a loose position tolerance — the
+// spectrum-level 2^-23-scale error must not destabilize the nonlinear
+// tracking stages (peak picking, contour gating, ellipsoid
+// intersection).
+func TestFloat32DeviceWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow synthesis path")
+	}
+	run := func(prec dsp.Precision) *RunResult {
+		cfg := DefaultConfig()
+		cfg.Seed = 21
+		cfg.SlowSynth = true
+		cfg.Precision = prec
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), cfg.Subject.CenterHeight(), 4, 33))
+		return dev.Run(walk)
+	}
+	r64 := run(dsp.Float64)
+	r32 := run(dsp.Float32)
+	if r64.Frames != r32.Frames {
+		t.Fatalf("frame counts differ: %d vs %d", r64.Frames, r32.Frames)
+	}
+	both, flips := 0, 0
+	worst := 0.0
+	for i := range r64.Samples {
+		a, b := r64.Samples[i], r32.Samples[i]
+		if a.Valid != b.Valid {
+			flips++
+			continue
+		}
+		if !a.Valid {
+			continue
+		}
+		both++
+		if d := a.Pos.Dist(b.Pos); d > worst {
+			worst = d
+		}
+	}
+	if both == 0 {
+		t.Fatal("no frames valid under both precisions")
+	}
+	t.Logf("%d frames compared, %d validity flips, worst position difference %.2g m", both, flips, worst)
+	if flips > r64.Frames/20 {
+		t.Fatalf("%d/%d frames flipped validity between precisions", flips, r64.Frames)
+	}
+	if worst > 0.25 {
+		t.Fatalf("float32 run diverges from float64 by %.3f m", worst)
+	}
+}

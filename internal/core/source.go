@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 	"math/rand"
-	"sync"
 
 	"witrack/internal/dsp"
 	"witrack/internal/fmcw"
@@ -45,6 +44,11 @@ type FrameBatch struct {
 	// averaging are deterministic and run in the per-antenna workers
 	// against their own plans and scratch.
 	sweeps [][][]float64
+
+	// pooled marks a batch currently resting in a batchRing; the ring
+	// uses it to panic on double puts instead of aliasing two in-flight
+	// frames onto one buffer.
+	pooled bool
 }
 
 // synthJob is the deferred deterministic synthesis work for one antenna.
@@ -108,15 +112,17 @@ type simSource struct {
 	i     int
 	refl  [][][]reflector // per subject, per antenna; source-local scratch
 	paths []fmcw.Path     // slow-path scratch
-	pool  sync.Pool       // recycled *FrameBatch
+	ring  *batchRing      // recycled *FrameBatch frame buffers
 }
 
 // newSimSource builds a simulator source over the given subjects and
 // trajectories (parallel slices). The run length is the shortest
-// trajectory's duration.
+// trajectory's duration. ring is the recycling ring the batches live
+// in; a device passes its own so frame buffers warmed by one run are
+// reused by the next (a source never outlives its run).
 func newSimSource(synth *fmcw.Synthesizer, prop *rf.Propagator, rng *rand.Rand,
 	sims []*bodySim, trajs []motion.Trajectory, tx geom.Vec3, nRx int,
-	interval float64, slow bool) *simSource {
+	interval float64, slow bool, ring *batchRing) *simSource {
 	dur := math.Inf(1)
 	for _, tr := range trajs {
 		if d := tr.Duration(); d < dur {
@@ -135,19 +141,28 @@ func newSimSource(synth *fmcw.Synthesizer, prop *rf.Propagator, rng *rand.Rand,
 		frames:   frameCount(dur, interval),
 		slow:     slow,
 		refl:     make([][][]reflector, len(sims)),
+		ring:     ring,
 	}
 }
+
+// ringCapacity bounds how many recycled batches a source retains. The
+// pipeline keeps at most depth frames buffered per stage channel plus a
+// handful in flight, so this comfortably covers every batch the pipeline
+// can have live at once — the ring never drops a buffer in practice and,
+// unlike the sync.Pool it replaced, never loses them to a GC cycle
+// either (the pool's per-GC flush was a steady trickle of re-allocated
+// noise frames on long runs).
+const ringCapacity = 32
 
 func (s *simSource) NumRx() int { return s.nRx }
 
-func (s *simSource) Recycle(b *FrameBatch) { s.pool.Put(b) }
+// Frames returns the total number of frames the source will produce —
+// the streaming consumers use it to pre-size their result buffers.
+func (s *simSource) Frames() int { return s.frames }
 
-func (s *simSource) batch() *FrameBatch {
-	if b, ok := s.pool.Get().(*FrameBatch); ok {
-		return b
-	}
-	return &FrameBatch{}
-}
+func (s *simSource) Recycle(b *FrameBatch) { s.ring.put(b) }
+
+func (s *simSource) batch() *FrameBatch { return s.ring.get() }
 
 func (s *simSource) Next() *FrameBatch {
 	if s.i >= s.frames {

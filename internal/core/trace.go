@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"io"
-	"sync"
 
 	"witrack/internal/dsp"
 	"witrack/internal/motion"
@@ -46,22 +45,22 @@ func (d *Device) RecordTo(tw *trace.Writer, traj motion.Trajectory) (int, error)
 
 // TraceSource adapts a trace.Reader into the pipeline's FrameSource:
 // the on-disk replay path. Batches and their frame buffers are recycled
-// through a pool and the reader decodes into them in place, so a warm
-// replay stream allocates nothing per frame — replaying a corpus costs
-// decompression, not synthesis.
+// through a fixed ring and the reader decodes into them in place, so a
+// warm replay stream allocates nothing per frame — replaying a corpus
+// costs decompression, not synthesis.
 //
 // FrameSource has no error channel (Next returns nil at end of stream),
 // so decode failures latch into Err; callers must check it after the
 // stream drains to distinguish a clean end from a corrupt trace.
 type TraceSource struct {
 	r    *trace.Reader
-	pool sync.Pool
+	ring *batchRing
 	err  error
 }
 
 // NewTraceSource wraps an opened trace reader.
 func NewTraceSource(r *trace.Reader) *TraceSource {
-	return &TraceSource{r: r}
+	return &TraceSource{r: r, ring: newBatchRing(ringCapacity)}
 }
 
 // Header returns the trace metadata.
@@ -80,14 +79,11 @@ func (s *TraceSource) Next() *FrameBatch {
 	if s.err != nil {
 		return nil
 	}
-	b, _ := s.pool.Get().(*FrameBatch)
-	if b == nil {
-		b = &FrameBatch{}
-	}
+	b := s.ring.get()
 	index := s.r.FramesRead()
 	frames, truths, err := s.r.ReadFrameTruthsInto(b.Frames, b.States[:0])
 	if err != nil {
-		s.pool.Put(b)
+		s.ring.put(b)
 		if !errors.Is(err, io.EOF) {
 			s.err = err
 		}
@@ -102,6 +98,6 @@ func (s *TraceSource) Next() *FrameBatch {
 	return b
 }
 
-// Recycle returns a fully processed batch to the pool; its frame
+// Recycle returns a fully processed batch to the ring; its frame
 // buffers are decoded into again by a future Next.
-func (s *TraceSource) Recycle(b *FrameBatch) { s.pool.Put(b) }
+func (s *TraceSource) Recycle(b *FrameBatch) { s.ring.put(b) }

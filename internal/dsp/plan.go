@@ -99,21 +99,52 @@ func (p *Plan) Transform(x []complex128) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("dsp: Transform on %d samples with a %d-point plan", len(x), p.n))
 	}
-	for _, s := range p.swaps {
-		x[s[0]], x[s[1]] = x[s[1]], x[s[0]]
+	p.transformStrided(x, 1, p.n)
+}
+
+// TransformBatch computes the in-place unnormalized FFT of each of the
+// batch contiguous size-n segments of x (len(x) must be batch*n). The
+// butterflies are stage-interleaved across segments — one pass over the
+// stage's twiddle table serves the whole batch, so the table stays hot
+// in cache instead of being re-streamed per transform — but no arithmetic
+// crosses a segment boundary: segment i's output is bit-identical to
+// Transform on that segment alone. It allocates nothing.
+func (p *Plan) TransformBatch(x []complex128, batch int) {
+	if batch < 0 || len(x) != batch*p.n {
+		panic(fmt.Sprintf("dsp: TransformBatch of %d samples is not %d × %d-point", len(x), batch, p.n))
+	}
+	p.transformStrided(x, batch, p.n)
+}
+
+// transformStrided runs the planned FFT on batch segments of size n
+// starting stride samples apart (stride >= n; the gap lets RFFTBatch
+// batch over the half-size prefixes of its n/2+1-bin output segments).
+// Each butterfly stage sweeps all segments before the next stage starts,
+// amortizing twiddle-table reads across the batch. Per-segment arithmetic
+// and its order are exactly Transform's, so results are bit-identical to
+// sequential single transforms.
+func (p *Plan) transformStrided(x []complex128, batch, stride int) {
+	for bi := 0; bi < batch; bi++ {
+		seg := x[bi*stride : bi*stride+p.n]
+		for _, s := range p.swaps {
+			seg[s[0]], seg[s[1]] = seg[s[1]], seg[s[0]]
+		}
 	}
 	n := p.n
 	for si, tw := range p.stages {
 		half := 1 << uint(si)
 		size := half << 1
-		for start := 0; start < n; start += size {
-			a := x[start : start+half : start+half]
-			b := x[start+half : start+size : start+size]
-			for k := range a {
-				even := a[k]
-				odd := b[k] * tw[k]
-				a[k] = even + odd
-				b[k] = even - odd
+		for bi := 0; bi < batch; bi++ {
+			seg := x[bi*stride : bi*stride+n]
+			for start := 0; start < n; start += size {
+				a := seg[start : start+half : start+half]
+				b := seg[start+half : start+size : start+size]
+				for k := range a {
+					even := a[k]
+					odd := b[k] * tw[k]
+					a[k] = even + odd
+					b[k] = even - odd
+				}
 			}
 		}
 	}
@@ -149,6 +180,56 @@ func (p *Plan) Inverse(x []complex128) {
 // (len(window) >= len(x)); sample i is multiplied by window[i] before
 // the transform, fusing the windowing pass into the packing pass.
 func (p *Plan) RealTransform(dst []complex128, x []float64, window []float64) []complex128 {
+	if p.n == 1 {
+		if len(dst) != 1 {
+			dst = make([]complex128, 1)
+		}
+		p.packReal(dst, x, window)
+		return dst
+	}
+	h := p.n / 2
+	if len(dst) != h+1 {
+		dst = make([]complex128, h+1)
+	}
+	p.packReal(dst, x, window)
+	p.half.Transform(dst[:h])
+	p.unpackReal(dst)
+	return dst
+}
+
+// RFFTBatch runs RealTransform on each of the batch real sweeps at once:
+// sweep i's n/2+1 non-negative-frequency bins land in
+// dst[i*(n/2+1):(i+1)*(n/2+1)] (dst is reallocated only when its length
+// is not batch*(n/2+1)). All sweeps are packed first, then one
+// stage-interleaved half-size batch FFT runs them through the shared
+// twiddle tables together, then all are unpacked — per-sweep arithmetic
+// is exactly RealTransform's, so each output segment is bit-identical to
+// the sequential call, while the twiddle tables are streamed from memory
+// once per stage instead of once per sweep.
+func (p *Plan) RFFTBatch(dst []complex128, sweeps [][]float64, window []float64) []complex128 {
+	batch := len(sweeps)
+	h := p.n / 2
+	seg := h + 1
+	if len(dst) != batch*seg {
+		dst = make([]complex128, batch*seg)
+	}
+	for i, sw := range sweeps {
+		p.packReal(dst[i*seg:i*seg+seg], sw, window)
+	}
+	if p.n == 1 {
+		return dst
+	}
+	p.half.transformStrided(dst, batch, seg)
+	for i := range sweeps {
+		p.unpackReal(dst[i*seg : i*seg+seg])
+	}
+	return dst
+}
+
+// packReal writes the real-input packing of x into dst: for n == 1 the
+// single (windowed) sample, otherwise z[k] = x[2k] + i*x[2k+1]
+// (windowed, zero-padded) into dst[:n/2] with dst[n/2] untouched.
+func (p *Plan) packReal(dst []complex128, x []float64, window []float64) {
 	if len(x) > p.n {
 		x = x[:p.n]
 	}
@@ -156,9 +237,6 @@ func (p *Plan) RealTransform(dst []complex128, x []float64, window []float64) []
 		panic(fmt.Sprintf("dsp: window of %d samples cannot cover %d-sample signal", len(window), len(x)))
 	}
 	if p.n == 1 {
-		if len(dst) != 1 {
-			dst = make([]complex128, 1)
-		}
 		v := 0.0
 		if len(x) > 0 {
 			v = x[0]
@@ -167,13 +245,9 @@ func (p *Plan) RealTransform(dst []complex128, x []float64, window []float64) []
 			}
 		}
 		dst[0] = complex(v, 0)
-		return dst
+		return
 	}
 	h := p.n / 2
-	if len(dst) != h+1 {
-		dst = make([]complex128, h+1)
-	}
-	// Pack: z[k] = x[2k] + i*x[2k+1] (windowed, zero-padded).
 	lim := (len(x) + 1) / 2
 	for k := 0; k < lim; k++ {
 		var re, im float64
@@ -194,12 +268,16 @@ func (p *Plan) RealTransform(dst []complex128, x []float64, window []float64) []
 	for k := lim; k < h; k++ {
 		dst[k] = 0
 	}
-	p.half.Transform(dst[:h])
-	// Unpack. With Z the half-size transform, E[k] = (Z[k]+conj(Z[h-k]))/2
-	// and O[k] = -i/2*(Z[k]-conj(Z[h-k])) are the spectra of the even and
-	// odd samples, and X[k] = E[k] + W^k*O[k], X[h-k] = conj(E[k]-W^k*O[k])
-	// with W = exp(-2*pi*i/n). The k and h-k bins are computed pairwise so
-	// the unpack runs in place.
+}
+
+// unpackReal converts the in-place half-size transform in dst[:n/2] into
+// the real signal's n/2+1 spectrum bins. With Z the half-size transform,
+// E[k] = (Z[k]+conj(Z[h-k]))/2 and O[k] = -i/2*(Z[k]-conj(Z[h-k])) are
+// the spectra of the even and odd samples, and X[k] = E[k] + W^k*O[k],
+// X[h-k] = conj(E[k]-W^k*O[k]) with W = exp(-2*pi*i/n). The k and h-k
+// bins are computed pairwise so the unpack runs in place.
+func (p *Plan) unpackReal(dst []complex128) {
+	h := p.n / 2
 	z0 := dst[0]
 	dst[0] = complex(real(z0)+imag(z0), 0)
 	dst[h] = complex(real(z0)-imag(z0), 0)
@@ -212,7 +290,6 @@ func (p *Plan) RealTransform(dst []complex128, x []float64, window []float64) []
 		dst[k] = e + wo
 		dst[h-k] = complex(real(e)-real(wo), -(imag(e) - imag(wo)))
 	}
-	return dst
 }
 
 // planCache shares immutable plans across the process, one per size, so

@@ -1,0 +1,269 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Plan32 is the single-precision twin of Plan: the same precomputed
+// bit-reversal swaps and per-stage twiddle tables, narrowed to
+// complex64. Running the butterflies in float32 halves the bytes the
+// FFT hot loop streams through the cache hierarchy — the memory
+// bandwidth of the transform, not its arithmetic, is what bounds the
+// batched sweep path — at the cost of ~2^-23 relative rounding per
+// stage. The float64 path stays the golden-pinned default; Plan32 backs
+// the opt-in Precision == Float32 sweep path, which is gated by the
+// tolerance oracle ErrorBound describes rather than bit-exact digests.
+//
+// Like Plan, a Plan32 is immutable after construction and safe for
+// concurrent use; use Plan32For to share instances per size.
+type Plan32 struct {
+	n      int
+	swaps  [][2]int32 // shared with the float64 plan (indices only)
+	stages [][]complex64
+	half   *Plan32
+	realTw []complex64
+}
+
+// NewPlan32 builds a single-precision plan for size n (a power of two),
+// narrowing the float64 plan's exactly-evaluated twiddle tables — each
+// entry is the correctly rounded float32 of the trig value, never a
+// drifting recurrence.
+func NewPlan32(n int) *Plan32 {
+	return newPlan32(PlanFor(n))
+}
+
+func newPlan32(p64 *Plan) *Plan32 {
+	p := &Plan32{n: p64.n, swaps: p64.swaps}
+	p.stages = make([][]complex64, len(p64.stages))
+	for i, tw := range p64.stages {
+		t := make([]complex64, len(tw))
+		for k, w := range tw {
+			t[k] = complex64(w)
+		}
+		p.stages[i] = t
+	}
+	if p64.half != nil {
+		p.half = newPlan32(p64.half)
+		p.realTw = make([]complex64, len(p64.realTw))
+		for k, w := range p64.realTw {
+			p.realTw[k] = complex64(w)
+		}
+	}
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *Plan32) Size() int { return p.n }
+
+// ErrorBound returns the tolerance the float32 sweep path is gated by:
+// the maximum per-bin absolute error of an RFFTBatch output, normalized
+// by the largest bin magnitude of the float64 reference spectrum. One
+// unit of 2^-23 relative rounding enters per butterfly stage (plus the
+// input narrowing and the unpack pass), so the bound is
+// (stages+3) * 2^-23 — conservative because stage errors accumulate
+// stochastically, not linearly; the oracle tests verify real errors sit
+// well inside it.
+func (p *Plan32) ErrorBound() float64 {
+	const eps32 = 1.0 / (1 << 23)
+	return float64(len(p.stages)+3) * eps32
+}
+
+// Transform computes the in-place unnormalized single-precision FFT of
+// x, which must have exactly the plan's size. It allocates nothing.
+func (p *Plan32) Transform(x []complex64) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: Transform on %d samples with a %d-point plan", len(x), p.n))
+	}
+	p.transformStrided(x, 1, p.n)
+}
+
+// TransformBatch is Plan.TransformBatch in single precision: batch
+// contiguous size-n segments of x, stage-interleaved through the shared
+// float32 twiddle tables, each segment bit-identical to Transform on it
+// alone.
+func (p *Plan32) TransformBatch(x []complex64, batch int) {
+	if batch < 0 || len(x) != batch*p.n {
+		panic(fmt.Sprintf("dsp: TransformBatch of %d samples is not %d × %d-point", len(x), batch, p.n))
+	}
+	p.transformStrided(x, batch, p.n)
+}
+
+func (p *Plan32) transformStrided(x []complex64, batch, stride int) {
+	for bi := 0; bi < batch; bi++ {
+		seg := x[bi*stride : bi*stride+p.n]
+		for _, s := range p.swaps {
+			seg[s[0]], seg[s[1]] = seg[s[1]], seg[s[0]]
+		}
+	}
+	n := p.n
+	for si, tw := range p.stages {
+		half := 1 << uint(si)
+		size := half << 1
+		for bi := 0; bi < batch; bi++ {
+			seg := x[bi*stride : bi*stride+n]
+			for start := 0; start < n; start += size {
+				a := seg[start : start+half : start+half]
+				b := seg[start+half : start+size : start+size]
+				for k := range a {
+					even := a[k]
+					odd := b[k] * tw[k]
+					a[k] = even + odd
+					b[k] = even - odd
+				}
+			}
+		}
+	}
+}
+
+// RealTransform is Plan.RealTransform in single precision: the windowed,
+// zero-padded real signal's n/2+1 non-negative-frequency bins, via one
+// half-size complex64 FFT. The input samples are narrowed to float32 as
+// they are packed, so the whole hot loop — packing, butterflies, unpack
+// — touches only 8-byte complex64 values.
+func (p *Plan32) RealTransform(dst []complex64, x []float64, window []float32) []complex64 {
+	if p.n == 1 {
+		if len(dst) != 1 {
+			dst = make([]complex64, 1)
+		}
+		p.packReal(dst, x, window)
+		return dst
+	}
+	h := p.n / 2
+	if len(dst) != h+1 {
+		dst = make([]complex64, h+1)
+	}
+	p.packReal(dst, x, window)
+	p.half.Transform(dst[:h])
+	p.unpackReal(dst)
+	return dst
+}
+
+// RFFTBatch is Plan.RFFTBatch in single precision: all sweeps packed,
+// one stage-interleaved half-size batch FFT, all unpacked. Each output
+// segment is bit-identical to the sequential RealTransform call.
+func (p *Plan32) RFFTBatch(dst []complex64, sweeps [][]float64, window []float32) []complex64 {
+	batch := len(sweeps)
+	h := p.n / 2
+	seg := h + 1
+	if len(dst) != batch*seg {
+		dst = make([]complex64, batch*seg)
+	}
+	for i, sw := range sweeps {
+		p.packReal(dst[i*seg:i*seg+seg], sw, window)
+	}
+	if p.n == 1 {
+		return dst
+	}
+	p.half.transformStrided(dst, batch, seg)
+	for i := range sweeps {
+		p.unpackReal(dst[i*seg : i*seg+seg])
+	}
+	return dst
+}
+
+func (p *Plan32) packReal(dst []complex64, x []float64, window []float32) {
+	if len(x) > p.n {
+		x = x[:p.n]
+	}
+	if window != nil && len(window) < len(x) {
+		panic(fmt.Sprintf("dsp: window of %d samples cannot cover %d-sample signal", len(window), len(x)))
+	}
+	if p.n == 1 {
+		v := float32(0)
+		if len(x) > 0 {
+			v = float32(x[0])
+			if window != nil {
+				v *= window[0]
+			}
+		}
+		dst[0] = complex(v, 0)
+		return
+	}
+	h := p.n / 2
+	lim := (len(x) + 1) / 2
+	for k := 0; k < lim; k++ {
+		var re, im float32
+		if j := 2 * k; j < len(x) {
+			re = float32(x[j])
+			if window != nil {
+				re *= window[j]
+			}
+		}
+		if j := 2*k + 1; j < len(x) {
+			im = float32(x[j])
+			if window != nil {
+				im *= window[j]
+			}
+		}
+		dst[k] = complex(re, im)
+	}
+	for k := lim; k < h; k++ {
+		dst[k] = 0
+	}
+}
+
+func (p *Plan32) unpackReal(dst []complex64) {
+	h := p.n / 2
+	z0 := dst[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k <= h/2; k++ {
+		zk := dst[k]
+		zm := dst[h-k]
+		e := complex((real(zk)+real(zm))/2, (imag(zk)-imag(zm))/2)
+		o := complex((imag(zk)+imag(zm))/2, (real(zm)-real(zk))/2)
+		wo := p.realTw[k] * o
+		dst[k] = e + wo
+		dst[h-k] = complex(real(e)-real(wo), -(imag(e) - imag(wo)))
+	}
+}
+
+// Window32 narrows a float64 window to float32 for the single-precision
+// sweep path (each coefficient correctly rounded once, up front).
+func Window32(w []float64) []float32 {
+	out := make([]float32, len(w))
+	for i, v := range w {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// MaxSpectrumError returns the largest per-bin absolute difference
+// between a float32 spectrum and its float64 reference, normalized by
+// the reference's largest bin magnitude — the quantity Plan32.ErrorBound
+// bounds and the CI oracle gates. A zero reference reports 0.
+func MaxSpectrumError(got []complex64, want []complex128) float64 {
+	maxMag := 0.0
+	for _, w := range want {
+		if m := math.Hypot(real(w), imag(w)); m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxMag == 0 {
+		return 0
+	}
+	maxErr := 0.0
+	for i, w := range want {
+		g := complex128(got[i])
+		if e := math.Hypot(real(g-w), imag(g-w)); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr / maxMag
+}
+
+// plan32Cache shares single-precision plans per size, mirroring the
+// float64 planCache.
+var plan32Cache sync.Map // int -> *Plan32
+
+// Plan32For returns the shared single-precision plan for size n,
+// building and caching it on first use.
+func Plan32For(n int) *Plan32 {
+	if v, ok := plan32Cache.Load(n); ok {
+		return v.(*Plan32)
+	}
+	v, _ := plan32Cache.LoadOrStore(n, NewPlan32(n))
+	return v.(*Plan32)
+}

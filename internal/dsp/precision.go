@@ -1,0 +1,26 @@
+package dsp
+
+// Precision selects the floating-point width of the time-domain sweep
+// hot loop (window + real-input FFT + coherent averaging). Float64 is
+// the default and is pinned bit-for-bit by the golden digests; Float32
+// halves the memory traffic of the FFT butterflies and is gated by a
+// tolerance-bounded oracle against the Float64 path instead
+// (Plan32.ErrorBound documents the bound).
+type Precision uint8
+
+const (
+	// Float64 runs the sweep path at full double precision (default).
+	Float64 Precision = iota
+	// Float32 runs the windowed-FFT hot loop in single precision.
+	Float32
+)
+
+// String names the precision for reports and labels.
+func (p Precision) String() string {
+	switch p {
+	case Float32:
+		return "float32"
+	default:
+		return "float64"
+	}
+}

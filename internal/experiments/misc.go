@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"math"
+	"math/cmplx"
 	"math/rand"
 	"runtime"
 	"time"
 
 	"witrack/internal/baseline/rti"
 	"witrack/internal/core"
+	"witrack/internal/dsp"
 	"witrack/internal/fmcw"
 	"witrack/internal/geom"
 	"witrack/internal/motion"
@@ -317,16 +320,58 @@ type PipelineThroughputResult struct {
 	TimeDomainFPS float64 `json:"time_domain_fps"`
 	// TimeDomainAllocsPerFrame is the allocation rate of that run.
 	TimeDomainAllocsPerFrame float64 `json:"time_domain_allocs_per_frame"`
+	// Float32TimeDomainFPS is TimeDomainFPS with Precision=Float32 (the
+	// complex64 windowed-FFT fast path).
+	Float32TimeDomainFPS float64 `json:"float32_time_domain_fps"`
+	// Float32TimeDomainAllocsPerFrame is the allocation rate of that run.
+	Float32TimeDomainAllocsPerFrame float64 `json:"float32_time_domain_allocs_per_frame"`
+	// Float32MaxError is the measured float32-vs-float64 spectrum error
+	// (largest per-bin deviation relative to the frame's peak magnitude,
+	// over a set of realistic frames); it must stay below
+	// Float32ErrorBound, the dsp.Plan32 analytic bound.
+	Float32MaxError   float64 `json:"float32_max_error"`
+	Float32ErrorBound float64 `json:"float32_error_bound"`
+	// SerializedHost is true when the measurement ran with a single
+	// schedulable CPU (GOMAXPROCS=1 or a one-core machine): every
+	// speedup in this result is then a measure of pipeline overhead,
+	// not of parallel scaling, and should not be gated on.
+	SerializedHost bool `json:"serialized_host"`
+	// SpeedupCurve is the measured scaling surface: frame throughput on
+	// a four-antenna array across a GOMAXPROCS × worker-count sweep,
+	// each point's speedup relative to the one-worker run at the same
+	// GOMAXPROCS.
+	SpeedupCurve []SpeedupPoint `json:"speedup_curve,omitempty"`
+}
+
+// SpeedupPoint is one cell of the scaling sweep.
+type SpeedupPoint struct {
+	// GOMAXPROCS is the scheduler width the point ran under.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workers is the per-antenna pipeline worker count.
+	Workers int `json:"workers"`
+	// FPS is the measured frame throughput.
+	FPS float64 `json:"fps"`
+	// Speedup is FPS over the Workers=1 FPS at the same GOMAXPROCS.
+	Speedup float64 `json:"speedup"`
 }
 
 // PipelineThroughput times identical fixed-seed runs (bit-identical
 // samples; only the schedule differs) at the two worker counts, then
-// measures the time-domain sweep path.
+// measures the time-domain sweep path at both precisions, the float32
+// spectrum-error oracle, and the GOMAXPROCS × worker scaling curve.
 func PipelineThroughput(duration float64, seed int64) (*PipelineThroughputResult, error) {
-	timeRun := func(workers int, slow bool) (fps, allocsPerFrame float64, frames int, err error) {
+	timeRun := func(workers int, slow, fourRx bool, prec dsp.Precision) (fps, allocsPerFrame float64, frames int, err error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
 		cfg.SlowSynth = slow
+		cfg.Precision = prec
+		if fourRx {
+			// The default T array has three receive antennas, capping the
+			// worker count at three; the scaling sweep completes the "+"
+			// with a fourth Rx above the Tx so a four-worker point exists.
+			sep := cfg.Array.Rx[1].X
+			cfg.Array.Rx = append(cfg.Array.Rx, geom.Vec3{X: 0, Y: 0, Z: cfg.Array.Tx.Z + sep})
+		}
 		dev, err := core.NewDevice(cfg)
 		if err != nil {
 			return 0, 0, 0, err
@@ -334,6 +379,13 @@ func PipelineThroughput(duration float64, seed int64) (*PipelineThroughputResult
 		dev.Workers = workers
 		walk := motion.NewRandomWalk(motion.DefaultWalkConfig(
 			Region(), cfg.Subject.CenterHeight(), duration, seed+1))
+		// A short warm-up run populates the device's recycling ring (and
+		// the runtime's size-class caches), so the measured run reports
+		// steady-state allocation behavior instead of cold-start costs.
+		warm := motion.NewRandomWalk(motion.DefaultWalkConfig(
+			Region(), cfg.Subject.CenterHeight(), 2, seed+2))
+		dev.Run(warm)
+		dev.Reset()
 		var m0, m1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
@@ -345,27 +397,109 @@ func PipelineThroughput(duration float64, seed int64) (*PipelineThroughputResult
 			float64(m1.Mallocs-m0.Mallocs) / float64(res.Frames),
 			res.Frames, nil
 	}
-	serial, _, frames, err := timeRun(1, false)
+	serial, _, frames, err := timeRun(1, false, false, dsp.Float64)
 	if err != nil {
 		return nil, err
 	}
-	parallel, allocs, _, err := timeRun(0, false)
+	parallel, allocs, _, err := timeRun(0, false, false, dsp.Float64)
 	if err != nil {
 		return nil, err
 	}
-	timeDomain, tdAllocs, _, err := timeRun(0, true)
+	timeDomain, tdAllocs, _, err := timeRun(0, true, false, dsp.Float64)
 	if err != nil {
 		return nil, err
 	}
+	td32, td32Allocs, _, err := timeRun(0, true, false, dsp.Float32)
+	if err != nil {
+		return nil, err
+	}
+
+	maxErr, bound := float32SpectrumOracle(seed)
+
 	nRx := len(core.DefaultConfig().Array.Rx)
-	return &PipelineThroughputResult{
-		SerialFPS:                serial,
-		ParallelFPS:              parallel,
-		Speedup:                  parallel / serial,
-		Workers:                  nRx,
-		Frames:                   frames,
-		AllocsPerFrame:           allocs,
-		TimeDomainFPS:            timeDomain,
-		TimeDomainAllocsPerFrame: tdAllocs,
-	}, nil
+	res := &PipelineThroughputResult{
+		SerialFPS:                       serial,
+		ParallelFPS:                     parallel,
+		Speedup:                         parallel / serial,
+		Workers:                         nRx,
+		Frames:                          frames,
+		AllocsPerFrame:                  allocs,
+		TimeDomainFPS:                   timeDomain,
+		TimeDomainAllocsPerFrame:        tdAllocs,
+		Float32TimeDomainFPS:            td32,
+		Float32TimeDomainAllocsPerFrame: td32Allocs,
+		Float32MaxError:                 maxErr,
+		Float32ErrorBound:               bound,
+		SerializedHost:                  runtime.NumCPU() == 1 || runtime.GOMAXPROCS(0) == 1,
+	}
+
+	// Scaling sweep: GOMAXPROCS × workers on the four-antenna array.
+	// Each GOMAXPROCS column is normalized by its own one-worker run, so
+	// a point isolates pipeline scaling from scheduler width.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	procsSeen := map[int]bool{}
+	for _, procs := range []int{1, 2, 4} {
+		if procs > runtime.NumCPU() || procsSeen[procs] {
+			continue
+		}
+		procsSeen[procs] = true
+		runtime.GOMAXPROCS(procs)
+		base := 0.0
+		for _, workers := range []int{1, 2, 4} {
+			fps, _, _, err := timeRun(workers, false, true, dsp.Float64)
+			if err != nil {
+				return nil, err
+			}
+			if workers == 1 {
+				base = fps
+			}
+			res.SpeedupCurve = append(res.SpeedupCurve, SpeedupPoint{
+				GOMAXPROCS: procs,
+				Workers:    workers,
+				FPS:        fps,
+				Speedup:    fps / base,
+			})
+		}
+	}
+	return res, nil
+}
+
+// float32SpectrumOracle measures the float32 sweep path against the
+// float64 reference over a set of realistic frames: the worst per-bin
+// deviation relative to each frame's peak magnitude, together with the
+// analytic bound it must stay under.
+func float32SpectrumOracle(seed int64) (maxErr, bound float64) {
+	s := fmcw.NewSynthesizer(fmcw.Default())
+	rng := rand.New(rand.NewSource(seed))
+	ws64 := s.NewSweepScratch()
+	ws32 := s.NewSweepScratchPrecision(dsp.Float32)
+	spf := fmcw.Default().SweepsPerFrame
+	sweeps := make([][]float64, spf)
+	for frame := 0; frame < 8; frame++ {
+		rt := 4 + 8*rng.Float64()
+		paths := []fmcw.Path{
+			{RoundTrip: rt, PowerWatts: 1e-6, Phase: rng.Float64() * 2 * math.Pi},
+			{RoundTrip: rt + 3, PowerWatts: 1e-9, Phase: rng.Float64() * 2 * math.Pi},
+		}
+		for i := range sweeps {
+			sweeps[i] = s.SynthesizeSweep(paths, rng)
+		}
+		want := s.ComplexFrameFromSweepsInto(nil, sweeps, ws64)
+		got := s.ComplexFrameFromSweepsInto(nil, sweeps, ws32)
+		peak := 0.0
+		for _, w := range want {
+			if m := cmplx.Abs(w); m > peak {
+				peak = m
+			}
+		}
+		if peak == 0 {
+			continue
+		}
+		for i := range want {
+			if e := cmplx.Abs(got[i]-want[i]) / peak; e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	return maxErr, s.Float32ErrorBound()
 }

@@ -75,9 +75,15 @@ func (g *OutlierGate) RejectionRate() float64 {
 // measurements rather than the single latest one: the body's reflecting
 // patch wanders over seconds, and a one-frame snapshot would freeze an
 // arbitrary patch offset into every interpolated output.
+// The window is a fixed ring and the sort scratch is reused, so a warm
+// interpolator allocates nothing per frame; the median only depends on
+// the window's multiset of values, so the ring is output-identical to
+// the sliding slice it replaced.
 type HoldInterpolator struct {
-	buf  []float64
-	have bool
+	buf    []float64 // ring storage, capacity HoldWindow
+	head   int       // overwrite position once the ring is full
+	sorted []float64 // reusable sort scratch for Hold
+	have   bool
 }
 
 // HoldWindow is how many confident measurements (~2 s at the default
@@ -86,9 +92,17 @@ const HoldWindow = 160
 
 // Observe records a confident measurement and returns it.
 func (h *HoldInterpolator) Observe(z float64) float64 {
-	h.buf = append(h.buf, z)
-	if len(h.buf) > HoldWindow {
-		h.buf = h.buf[1:]
+	if h.buf == nil {
+		h.buf = make([]float64, 0, HoldWindow)
+	}
+	if len(h.buf) < HoldWindow {
+		h.buf = append(h.buf, z)
+	} else {
+		h.buf[h.head] = z
+		h.head++
+		if h.head == HoldWindow {
+			h.head = 0
+		}
 	}
 	h.have = true
 	return z
@@ -99,7 +113,10 @@ func (h *HoldInterpolator) Hold() (float64, bool) {
 	if !h.have {
 		return 0, false
 	}
-	tmp := append([]float64(nil), h.buf...)
+	if cap(h.sorted) < len(h.buf) {
+		h.sorted = make([]float64, 0, cap(h.buf))
+	}
+	tmp := append(h.sorted[:0], h.buf...)
 	sort.Float64s(tmp)
 	return tmp[len(tmp)/2], true
 }
@@ -108,13 +125,19 @@ func (h *HoldInterpolator) Hold() (float64, bool) {
 func (h *HoldInterpolator) Reset() {
 	h.have = false
 	h.buf = h.buf[:0]
+	h.head = 0
 }
 
 // MedianWindow is a sliding median filter, useful as a pre-Kalman spike
-// suppressor and in the pointing pipeline's contour denoising.
+// suppressor and in the pointing pipeline's contour denoising. Like
+// HoldInterpolator it keeps the window in a fixed ring with a reusable
+// sort scratch: a warm filter allocates nothing per sample, and the
+// median is identical to the sliding-slice implementation it replaced.
 type MedianWindow struct {
-	size int
-	buf  []float64
+	size   int
+	buf    []float64 // ring storage, capacity size
+	head   int       // overwrite position once the ring is full
+	sorted []float64 // reusable sort scratch
 }
 
 // NewMedianWindow creates a sliding median filter of the given odd size.
@@ -125,19 +148,28 @@ func NewMedianWindow(size int) *MedianWindow {
 	if size%2 == 0 {
 		size++
 	}
-	return &MedianWindow{size: size}
+	return &MedianWindow{
+		size:   size,
+		buf:    make([]float64, 0, size),
+		sorted: make([]float64, 0, size),
+	}
 }
 
 // Push adds a sample and returns the median of the window so far.
 func (m *MedianWindow) Push(z float64) float64 {
-	m.buf = append(m.buf, z)
-	if len(m.buf) > m.size {
-		m.buf = m.buf[1:]
+	if len(m.buf) < m.size {
+		m.buf = append(m.buf, z)
+	} else {
+		m.buf[m.head] = z
+		m.head++
+		if m.head == m.size {
+			m.head = 0
+		}
 	}
-	tmp := append([]float64(nil), m.buf...)
+	tmp := append(m.sorted[:0], m.buf...)
 	sort.Float64s(tmp)
 	return tmp[len(tmp)/2]
 }
 
 // Reset clears the window.
-func (m *MedianWindow) Reset() { m.buf = m.buf[:0] }
+func (m *MedianWindow) Reset() { m.buf = m.buf[:0]; m.head = 0 }

@@ -28,6 +28,9 @@ import (
 type Synthesizer struct {
 	cfg    Config
 	window []float64
+	// window32 is the window narrowed to float32 for the Precision ==
+	// Float32 sweep path (each coefficient correctly rounded once).
+	window32 []float32
 	// winSum is sum(w[n]) — the DC gain of the window.
 	winSum float64
 	// noisePerComp is the per-component (Re/Im) standard deviation of
@@ -45,27 +48,65 @@ type Synthesizer struct {
 }
 
 // SweepScratch owns the reusable buffers of the time-domain sweep path:
-// the RFFT output and (for the full slow-synthesis entry points) the
-// per-sweep sample buffers. A scratch must be owned by exactly one
+// the RFFT batch arena and (for the full slow-synthesis entry points)
+// the per-sweep sample buffers. A scratch must be owned by exactly one
 // goroutine — each pipeline worker holds its own, while the immutable
-// FFT plan behind it is shared by all of them.
+// FFT plans behind it are shared by all of them.
+//
+// A scratch carries the Precision knob: Float64 (the default) runs the
+// golden-pinned double-precision path, Float32 routes the windowed-FFT
+// hot loop through the shared Plan32 for half the memory traffic.
 type SweepScratch struct {
+	prec dsp.Precision
 	plan *dsp.Plan
-	// spec receives the RFFT of one sweep (FFTSize/2 + 1 bins).
+	// spec is the float64 RFFT batch arena: one frame's sweeps are
+	// transformed in a single RFFTBatch call, SweepsPerFrame segments of
+	// FFTSize/2 + 1 bins each.
 	spec []complex128
+	// plan32/spec32 are the single-precision twins, built only when the
+	// scratch runs at Float32.
+	plan32 *dsp.Plan32
+	spec32 []complex64
 	// sweeps are SweepsPerFrame time-domain sample buffers.
 	sweeps [][]float64
 }
 
-// NewSweepScratch builds a scratch sized for this synthesizer's radio
-// configuration. The per-sweep sample buffers are grown lazily by the
-// slow-synthesis entry points, so workers that only transform
+// NewSweepScratch builds a float64 scratch sized for this synthesizer's
+// radio configuration. The per-sweep sample buffers are grown lazily by
+// the slow-synthesis entry points, so workers that only transform
 // externally supplied sweeps don't pay for them.
 func (s *Synthesizer) NewSweepScratch() *SweepScratch {
-	return &SweepScratch{
+	return s.NewSweepScratchPrecision(dsp.Float64)
+}
+
+// NewSweepScratchPrecision builds a scratch running the sweep hot loop
+// at the given precision. The batch arenas are allocated up front (one
+// frame's worth of RFFT output), so the steady-state path allocates
+// nothing.
+func (s *Synthesizer) NewSweepScratchPrecision(prec dsp.Precision) *SweepScratch {
+	bins := s.cfg.FFTSize()/2 + 1
+	ws := &SweepScratch{
+		prec: prec,
 		plan: s.plan,
-		spec: make([]complex128, s.cfg.FFTSize()/2+1),
+		spec: make([]complex128, s.cfg.SweepsPerFrame*bins),
 	}
+	if prec == dsp.Float32 {
+		ws.plan32 = dsp.Plan32For(s.cfg.FFTSize())
+		ws.spec32 = make([]complex64, s.cfg.SweepsPerFrame*bins)
+	}
+	return ws
+}
+
+// Precision reports which sweep path the scratch drives.
+func (ws *SweepScratch) Precision() dsp.Precision { return ws.prec }
+
+// Float32ErrorBound returns the tolerance the Float32 sweep path is
+// gated by: the maximum per-bin error of a transformed sweep relative to
+// the float64 reference's peak bin (see dsp.Plan32.ErrorBound). The
+// coherent frame average only shrinks it — averaging is a convex
+// combination of per-sweep spectra.
+func (s *Synthesizer) Float32ErrorBound() float64 {
+	return dsp.Plan32For(s.cfg.FFTSize()).ErrorBound()
 }
 
 // kernelHalfWidth is how many bins of spectral leakage the fast path
@@ -84,7 +125,7 @@ func NewSynthesizer(cfg Config) *Synthesizer {
 	}
 	ns := cfg.SamplesPerSweep()
 	w := dsp.Hann(ns)
-	s := &Synthesizer{cfg: cfg, window: w}
+	s := &Synthesizer{cfg: cfg, window: w, window32: dsp.Window32(w)}
 	sumW, sumW2 := 0.0, 0.0
 	for _, v := range w {
 		sumW += v
@@ -180,9 +221,14 @@ func (s *Synthesizer) ComplexFrameFromSweeps(sweeps [][]float64) dsp.ComplexFram
 // ComplexFrameFromSweepsInto is ComplexFrameFromSweeps against
 // caller-owned buffers: the averaged frame lands in dst (reallocated
 // only when the length is wrong) and all intermediate work runs in ws,
-// so a streaming caller allocates nothing. Each sweep is windowed and
-// transformed with the plan's real-input FFT — half the butterflies of
-// the complex transform the signal's conjugate symmetry would waste.
+// so a streaming caller allocates nothing. The frame's sweeps are
+// windowed and transformed in one RFFTBatch call — all sweeps share a
+// single pass over each stage's twiddle table, and each sweep's bins are
+// bit-identical to a sequential RealTransform (the accumulation order is
+// also unchanged, so the float64 path stays pinned to the golden
+// digests). At Precision == Float32 the batch runs through the shared
+// Plan32 instead and the averaged complex64 bins are widened into dst;
+// that path is gated by Float32ErrorBound, not bit-exactness.
 func (s *Synthesizer) ComplexFrameFromSweepsInto(dst dsp.ComplexFrame, sweeps [][]float64, ws *SweepScratch) dsp.ComplexFrame {
 	nb := s.cfg.RangeBins()
 	if len(dst) != nb {
@@ -192,10 +238,25 @@ func (s *Synthesizer) ComplexFrameFromSweepsInto(dst dsp.ComplexFrame, sweeps []
 			dst[i] = 0
 		}
 	}
-	for _, sw := range sweeps {
-		ws.spec = ws.plan.RealTransform(ws.spec, sw, s.window)
+	seg := s.cfg.FFTSize()/2 + 1
+	if ws.prec == dsp.Float32 {
+		ws.spec32 = ws.plan32.RFFTBatch(ws.spec32, sweeps, s.window32)
+		inv := float32(1) / float32(len(sweeps))
 		for i := range dst {
-			dst[i] += ws.spec[i]
+			var acc complex64
+			for j := range sweeps {
+				acc += ws.spec32[j*seg+i]
+			}
+			acc *= complex(inv, 0)
+			dst[i] = complex128(acc)
+		}
+		return dst
+	}
+	ws.spec = ws.plan.RFFTBatch(ws.spec, sweeps, s.window)
+	for j := range sweeps {
+		bins := ws.spec[j*seg : j*seg+nb]
+		for i := range dst {
+			dst[i] += bins[i]
 		}
 	}
 	inv := complex(1/float64(len(sweeps)), 0)

@@ -1,0 +1,142 @@
+package fmcw
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"witrack/internal/dsp"
+)
+
+// frameMaxRelError is the frame-level oracle metric: largest per-bin
+// absolute difference between the float32 and float64 frames, over the
+// float64 frame's peak magnitude.
+func frameMaxRelError(got, want dsp.ComplexFrame) float64 {
+	maxMag := 0.0
+	for _, w := range want {
+		if m := cmplx.Abs(w); m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxMag == 0 {
+		return 0
+	}
+	maxErr := 0.0
+	for i := range want {
+		if e := cmplx.Abs(got[i] - want[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr / maxMag
+}
+
+// testPaths builds a realistic path set: a strong static reflector plus
+// two weaker movers, the shape of a through-wall frame.
+func testPaths(rng *rand.Rand) []Path {
+	mk := func(rt, pow float64) Path {
+		return Path{RoundTrip: rt, PowerWatts: pow, Phase: rng.Float64() * 2 * math.Pi}
+	}
+	return []Path{
+		mk(4+rng.Float64(), 1e-6),
+		mk(8+3*rng.Float64(), 1e-9),
+		mk(10+4*rng.Float64(), 3e-10),
+	}
+}
+
+// TestFloat32SweepPathWithinBound is the precision oracle at the frame
+// level: identical time-domain sweeps processed by the Float32 scratch
+// must land within Float32ErrorBound of the float64 frames, and the
+// error must be nonzero (the two paths genuinely differ; the oracle is
+// measuring something).
+func TestFloat32SweepPathWithinBound(t *testing.T) {
+	s := NewSynthesizer(Default())
+	rng := rand.New(rand.NewSource(99))
+	ws64 := s.NewSweepScratch()
+	ws32 := s.NewSweepScratchPrecision(dsp.Float32)
+	if ws32.Precision() != dsp.Float32 {
+		t.Fatal("scratch does not carry the requested precision")
+	}
+	bound := s.Float32ErrorBound()
+	worst := 0.0
+	for frame := 0; frame < 8; frame++ {
+		paths := testPaths(rng)
+		sweeps := make([][]float64, s.cfg.SweepsPerFrame)
+		for i := range sweeps {
+			sweeps[i] = s.SynthesizeSweep(paths, rng)
+		}
+		want := s.ComplexFrameFromSweepsInto(nil, sweeps, ws64)
+		got := s.ComplexFrameFromSweepsInto(nil, sweeps, ws32)
+		if err := frameMaxRelError(got, want); err > worst {
+			worst = err
+		}
+	}
+	t.Logf("worst frame error %.3g relative to peak (bound %.3g)", worst, bound)
+	if worst > bound {
+		t.Fatalf("float32 sweep path error %.3g exceeds the stated bound %.3g", worst, bound)
+	}
+	if worst == 0 {
+		t.Fatal("float32 path is bit-identical to float64 — the oracle is not measuring the fast path")
+	}
+}
+
+// TestFloat64SweepPathUnchangedByBatching pins the batched float64 path
+// to the historical sweep-at-a-time processing: transforming each sweep
+// with RealTransform and accumulating serially must equal the RFFTBatch
+// frame bit for bit (this is what keeps the golden digests valid).
+func TestFloat64SweepPathUnchangedByBatching(t *testing.T) {
+	s := NewSynthesizer(Default())
+	rng := rand.New(rand.NewSource(7))
+	ws := s.NewSweepScratch()
+	for frame := 0; frame < 4; frame++ {
+		paths := testPaths(rng)
+		sweeps := make([][]float64, s.cfg.SweepsPerFrame)
+		for i := range sweeps {
+			sweeps[i] = s.SynthesizeSweep(paths, rng)
+		}
+		got := s.ComplexFrameFromSweepsInto(nil, sweeps, ws)
+
+		nb := s.cfg.RangeBins()
+		want := make(dsp.ComplexFrame, nb)
+		var spec []complex128
+		for _, sw := range sweeps {
+			spec = s.plan.RealTransform(spec, sw, s.window)
+			for i := range want {
+				want[i] += spec[i]
+			}
+		}
+		inv := complex(1/float64(len(sweeps)), 0)
+		for i := range want {
+			want[i] *= inv
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("frame %d bin %d: batched %v != sweep-at-a-time %v", frame, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFloat32ScratchAllocFree verifies the Float32 arena contract: a
+// warm scratch processes frames with zero heap allocations, like the
+// float64 path.
+func TestFloat32ScratchAllocFree(t *testing.T) {
+	s := NewSynthesizer(Default())
+	rng := rand.New(rand.NewSource(3))
+	paths := testPaths(rng)
+	sweeps := make([][]float64, s.cfg.SweepsPerFrame)
+	for i := range sweeps {
+		sweeps[i] = s.SynthesizeSweep(paths, rng)
+	}
+	for _, prec := range []dsp.Precision{dsp.Float64, dsp.Float32} {
+		ws := s.NewSweepScratchPrecision(prec)
+		dst := make(dsp.ComplexFrame, s.cfg.RangeBins())
+		dst = s.ComplexFrameFromSweepsInto(dst, sweeps, ws) // warm
+		allocs := testing.AllocsPerRun(50, func() {
+			dst = s.ComplexFrameFromSweepsInto(dst, sweeps, ws)
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: %.1f allocs per warm frame, want 0", prec, allocs)
+		}
+	}
+}
