@@ -10,12 +10,16 @@
 // metric value, frame count, or trace set — fails with exit 1. CI runs
 // this over the checked-in golden corpus as the replay regression gate.
 //
+// With -recover, CRC-damaged records are resynchronized past instead
+// of aborting the replay; each result reports its skip count, and the
+// run fails only when a trace skips more than -max-skips records.
+//
 // Usage:
 //
-//	witrack-replay [-json out.json] [-diff CORPUS.json] trace.wtrace...
+//	witrack-replay [-json out.json] [-diff CORPUS.json] [-recover [-max-skips n]] trace.wtrace...
 //
-// Exit status: 0 success, 1 replay error or snapshot mismatch, 2 bad
-// usage.
+// Exit status: 0 success, 1 replay error, snapshot mismatch, or
+// corruption beyond -max-skips, 2 bad usage.
 package main
 
 import (
@@ -34,6 +38,8 @@ import (
 func main() {
 	jsonPath := flag.String("json", "", "write the machine-readable replay report to this path")
 	diffPath := flag.String("diff", "", "compare replay metrics against this snapshot (CORPUS.json) and fail on drift")
+	recoverFlag := flag.Bool("recover", false, "resynchronize past CRC-damaged records instead of aborting")
+	maxSkips := flag.Int("max-skips", 0, "with -recover: fail when a trace skips more than this many damaged records")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "witrack-replay: no trace files given")
@@ -42,8 +48,9 @@ func main() {
 	}
 
 	var report scenario.ReplayReport
+	tooCorrupt := false
 	for _, path := range flag.Args() {
-		res, err := replayFile(path)
+		res, err := replayFile(path, scenario.ReplayOptions{Recover: *recoverFlag})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "witrack-replay: %s: %v\n", path, err)
 			os.Exit(1)
@@ -51,6 +58,13 @@ func main() {
 		res.Trace = filepath.Base(path)
 		report.Traces = append(report.Traces, *res)
 		fmt.Printf("== %-28s %s (device %d), %d frames\n", res.Trace, res.Name, res.Device, res.Frames)
+		if res.Skips > 0 {
+			fmt.Printf("  %-24s %d damaged record(s) skipped\n", "skips", res.Skips)
+			if res.Skips > *maxSkips {
+				tooCorrupt = true
+				fmt.Fprintf(os.Stderr, "witrack-replay: %s: %d skipped records exceed -max-skips %d\n", path, res.Skips, *maxSkips)
+			}
+		}
 		for _, k := range res.Metrics.Keys() {
 			fmt.Printf("  %-24s %.4g\n", k, res.Metrics[k])
 		}
@@ -80,15 +94,18 @@ func main() {
 		}
 		fmt.Printf("replay matches snapshot %s (%d traces)\n", *diffPath, len(report.Traces))
 	}
+	if tooCorrupt {
+		os.Exit(1)
+	}
 }
 
-func replayFile(path string) (*scenario.ReplayResult, error) {
+func replayFile(path string, opts scenario.ReplayOptions) (*scenario.ReplayResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return scenario.ReplayTrace(context.Background(), f)
+	return scenario.ReplayTraceOpts(context.Background(), f, opts)
 }
 
 func loadSnapshot(path string) (*scenario.ReplayReport, error) {

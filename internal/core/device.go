@@ -13,6 +13,7 @@ import (
 
 	"witrack/internal/body"
 	"witrack/internal/dsp"
+	"witrack/internal/fault"
 	"witrack/internal/fmcw"
 	"witrack/internal/geom"
 	"witrack/internal/locate"
@@ -68,6 +69,11 @@ type Sample struct {
 	// Moving reports whether this frame carried fresh motion energy on
 	// at least two antennas (false = interpolated/held output).
 	Moving bool
+	// Degraded reports that the fix was solved on a reduced antenna
+	// subset because one or more antennas were unhealthy (dark, NaN-
+	// poisoned) — still a real 3D fix, but with worse dilution of
+	// precision. Always false on unmonitored (fault-free) runs.
+	Degraded bool
 	// Truth is the simulated ground-truth body center at T (the VICON
 	// substitute; empty when tracking real hardware).
 	Truth geom.Vec3
@@ -117,6 +123,25 @@ type Device struct {
 	// measuring the parallel speedup). Values above the antenna count
 	// are capped.
 	Workers int
+
+	// MonitorHealth turns on per-antenna health tracking even without an
+	// installed injector: unhealthy frames (NaN/Inf bins, all-zero) are
+	// quarantined before they reach the trackers, sustained damage takes
+	// the antenna out of the solve, and fixes from a reduced antenna set
+	// are flagged Degraded. Use it when streaming untrusted input (a
+	// recovered corrupt trace, live hardware). InjectFaults implies it.
+	MonitorHealth bool
+
+	// FrameDeadline, when positive, arms a watchdog on every run: a
+	// source that takes longer than this to produce a frame ends the run
+	// with a descriptive RunError instead of wedging the pipeline
+	// forever. Zero (the default) trusts the source.
+	FrameDeadline time.Duration
+
+	// faults, when non-nil, is the deterministic injector driving this
+	// device's chaos runs; runErr latches why the last run ended early.
+	faults *fault.Injector
+	runErr error
 
 	// sim holds the subject's radar-reflection state (torso patch
 	// wander, gait parts, gesture arm).
@@ -224,6 +249,15 @@ type antennaScratch struct {
 	spec  dsp.ComplexFrame
 	sweep *fmcw.SweepScratch
 	prec  dsp.Precision
+
+	// Fault-injection and health-monitoring state (used only on
+	// monitored pipelines): faultBuf is the corruption scratch copy,
+	// last/haveLast the stale-frame history for Stuck windows, badStreak
+	// the consecutive-unhealthy count behind the dark escalation.
+	faultBuf  dsp.ComplexFrame
+	last      dsp.ComplexFrame
+	haveLast  bool
+	badStreak int
 }
 
 // materialize returns antenna k's complex frame for batch b: the eager
@@ -258,8 +292,9 @@ func (w *antennaScratch) materialize(synth *fmcw.Synthesizer, prop *rf.Propagato
 
 // antResult is one antenna's per-frame output inside the pipeline.
 type antResult struct {
-	est track.Estimate
-	mag dsp.Frame // only set when recording spectrograms
+	est  track.Estimate
+	mag  dsp.Frame // only set when recording spectrograms
+	dark bool      // monitored pipelines: exclude this antenna from the solve
 }
 
 // stream drives the staged pipeline over src and calls emit with each
@@ -278,25 +313,49 @@ func (d *Device) stream(ctx context.Context, src FrameSource,
 	procNS := make([]int64, nRx)
 	var locateNS int64
 
+	// Monitored pipelines (an installed injector, or MonitorHealth)
+	// take a health-checked processing path; unmonitored pipelines run
+	// the exact historical code, bit for bit.
+	d.runErr = nil
+	monitor := d.faults != nil || d.MonitorHealth
+	src, wd := guardSource(src, d.faults, d.FrameDeadline)
+
 	proc := func(k int, b *FrameBatch) antResult {
 		frame := scratch[k].materialize(d.synth, d.prop, k, b)
 		start := time.Now()
-		est := d.trackers[k].Push(frame)
-		procNS[k] += time.Since(start).Nanoseconds()
-		var mag dsp.Frame
-		if d.RecordSpectrograms {
-			mag = frame.Mag()
+		var r antResult
+		if monitor {
+			if d.faults != nil {
+				frame = scratch[k].injectFault(d.faults, b.Index, k, frame)
+			}
+			healthy, dark := scratch[k].health(frame)
+			if healthy {
+				r.est = d.trackers[k].Push(frame)
+			} else {
+				// Quarantine: the damaged frame must reach neither the
+				// tracker's background state nor its measurement chain.
+				r.est = d.trackers[k].Coast()
+				r.dark = dark
+			}
+		} else {
+			r.est = d.trackers[k].Push(frame)
 		}
-		return antResult{est: est, mag: mag}
+		procNS[k] += time.Since(start).Nanoseconds()
+		if d.RecordSpectrograms {
+			r.mag = frame.Mag()
+		}
+		return r
 	}
 
 	ests := make([]track.Estimate, nRx)
 	mags := make([]dsp.Frame, nRx)
+	healthy := make([]bool, nRx)
 	fuse := func(b *FrameBatch, rs []antResult) bool {
 		movingCount := 0
 		for k, r := range rs {
 			ests[k] = r.est
 			mags[k] = r.mag
+			healthy[k] = !r.dark
 			if r.est.Moving {
 				movingCount++
 			}
@@ -307,7 +366,14 @@ func (d *Device) stream(ctx context.Context, src FrameSource,
 			sample.TruthMoving = b.States[0].Moving
 		}
 		start := time.Now()
-		if pos, err := d.locator.Solve(ests); err == nil {
+		if monitor {
+			if pos, used, err := d.locator.SolveMasked(ests, healthy); err == nil {
+				sample.Pos = pos
+				sample.Valid = true
+				sample.Moving = movingCount >= 2
+				sample.Degraded = used < nRx
+			}
+		} else if pos, err := d.locator.Solve(ests); err == nil {
 			sample.Pos = pos
 			sample.Valid = true
 			sample.Moving = movingCount >= 2
@@ -317,6 +383,10 @@ func (d *Device) stream(ctx context.Context, src FrameSource,
 	}
 
 	runPipeline(ctx, src, d.Workers, proc, fuse)
+	if wd != nil {
+		wd.shutdown()
+		d.runErr = wd.err
+	}
 	total := locateNS
 	for _, ns := range procNS {
 		total += ns

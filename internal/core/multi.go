@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"witrack/internal/body"
 	"witrack/internal/dsp"
+	"witrack/internal/fault"
 	"witrack/internal/fmcw"
 	"witrack/internal/geom"
 	"witrack/internal/locate"
@@ -36,6 +38,14 @@ type MultiDevice struct {
 	// Workers is the per-antenna pipeline worker count (see
 	// Device.Workers); 0 means one per receive antenna.
 	Workers int
+
+	// MonitorHealth/FrameDeadline mirror Device's robustness knobs (see
+	// Device.MonitorHealth and Device.FrameDeadline).
+	MonitorHealth bool
+	FrameDeadline time.Duration
+
+	faults *fault.Injector
+	runErr error
 }
 
 // MultiSample is one k-person output frame. Pos and Truth are in
@@ -44,7 +54,10 @@ type MultiSample struct {
 	T     float64
 	Pos   []geom.Vec3
 	Valid bool
-	Truth []geom.Vec3
+	// Degraded marks a joint fix solved on a reduced antenna subset (see
+	// Sample.Degraded).
+	Degraded bool
+	Truth    []geom.Vec3
 }
 
 // MultiRunResult is the output of a k-person run.
@@ -107,8 +120,28 @@ func (d *MultiDevice) stream(ctx context.Context, src FrameSource, emit func(s M
 	for a := range scratch {
 		scratch[a].prec = d.cfg.Precision
 	}
-	proc := func(a int, b *FrameBatch) []track.Estimate {
-		return d.trackers[a].Push(scratch[a].materialize(d.synth, d.prop, a, b))
+
+	d.runErr = nil
+	monitor := d.faults != nil || d.MonitorHealth
+	src, wd := guardSource(src, d.faults, d.FrameDeadline)
+
+	type multiResult struct {
+		ests []track.Estimate
+		dark bool
+	}
+	proc := func(a int, b *FrameBatch) multiResult {
+		frame := scratch[a].materialize(d.synth, d.prop, a, b)
+		if !monitor {
+			return multiResult{ests: d.trackers[a].Push(frame)}
+		}
+		if d.faults != nil {
+			frame = scratch[a].injectFault(d.faults, b.Index, a, frame)
+		}
+		healthy, dark := scratch[a].health(frame)
+		if !healthy {
+			return multiResult{ests: d.trackers[a].Coast(), dark: dark}
+		}
+		return multiResult{ests: d.trackers[a].Push(frame)}
 	}
 
 	prev := make([]geom.Vec3, k)
@@ -118,22 +151,34 @@ func (d *MultiDevice) stream(ctx context.Context, src FrameSource, emit func(s M
 	for a := range cands {
 		cands[a] = candBuf[a*k : (a+1)*k : (a+1)*k]
 	}
-	fuse := func(b *FrameBatch, ests [][]track.Estimate) bool {
+	// maskedCands compacts the healthy antennas' candidate rows for the
+	// degraded sub-array assignment search.
+	maskedCands := make([][]float64, 0, nRx)
+	fuse := func(b *FrameBatch, rs []multiResult) bool {
 		ok := true
+		healthyCount := 0
+		var mask uint64
 		for a := 0; a < nRx; a++ {
+			ests := rs[a].ests
 			valid := true
 			for c := 0; c < k; c++ {
-				if !ests[a][c].Valid {
+				if !ests[c].Valid {
 					valid = false
 					break
 				}
 			}
-			if !valid {
+			if !valid || rs[a].dark {
 				ok = false
+			}
+			if valid && !rs[a].dark {
+				healthyCount++
+				mask |= 1 << uint(a)
+			}
+			if !valid {
 				continue
 			}
 			for c := 0; c < k; c++ {
-				cands[a][c] = ests[a][c].RoundTrip
+				cands[a][c] = ests[c].RoundTrip
 			}
 		}
 		sample := MultiSample{T: b.T}
@@ -143,18 +188,43 @@ func (d *MultiDevice) stream(ctx context.Context, src FrameSource, emit func(s M
 				sample.Truth[i] = b.States[i].Center
 			}
 		}
-		if ok {
+		switch {
+		case ok:
 			if pos, err := locate.SolveK(d.locator, cands, prev, havePrev); err == nil {
 				sample.Pos = pos
 				sample.Valid = true
 				copy(prev, pos)
 				havePrev = true
 			}
+		case monitor && healthyCount >= 3:
+			// Graceful degradation: the joint assignment search runs on
+			// the healthy antennas' sub-array. A tracker that merely has
+			// not acquired yet (invalid estimate) degrades the fix just
+			// like a dark antenna — both starve the solve of a row.
+			if sub, err := d.locator.Sub(mask); err == nil {
+				maskedCands = maskedCands[:0]
+				for a := 0; a < nRx; a++ {
+					if mask&(1<<uint(a)) != 0 {
+						maskedCands = append(maskedCands, cands[a])
+					}
+				}
+				if pos, err := locate.SolveK(sub, maskedCands, prev, havePrev); err == nil {
+					sample.Pos = pos
+					sample.Valid = true
+					sample.Degraded = true
+					copy(prev, pos)
+					havePrev = true
+				}
+			}
 		}
 		return emit(sample)
 	}
 
 	runPipeline(ctx, src, d.Workers, proc, fuse)
+	if wd != nil {
+		wd.shutdown()
+		d.runErr = wd.err
+	}
 }
 
 // simSource wraps the device's simulator as the pipeline source for

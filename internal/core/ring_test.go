@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"witrack/internal/dsp"
+	"witrack/internal/fault"
 	"witrack/internal/motion"
 )
 
@@ -144,5 +146,57 @@ func TestFloat32DeviceWithinTolerance(t *testing.T) {
 	}
 	if worst > 0.25 {
 		t.Fatalf("float32 run diverges from float64 by %.3f m", worst)
+	}
+}
+
+// TestRingSurvivesCancelDuringOutage hammers mid-run cancellation while
+// the fault injector is actively dropping and corrupting frames: the
+// teardown paths (faultSource recycling dropped batches, the pipeline
+// draining in-flight batches, the watchdog recycling its orphan) must
+// neither leak ring slots nor double-put a batch — a double put panics,
+// and the -race lane catches any unsynchronized recycling. The same
+// device (and so the same ring) is reused across every iteration, then
+// must still complete a clean full run.
+func TestRingSurvivesCancelDuringOutage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 77
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.InjectFaults(fault.Schedule{Seed: 13, Windows: []fault.Window{
+		{Kind: fault.DropFrame, Start: 0, Prob: 0.3},
+		{Kind: fault.Dark, Antenna: 1, Start: 5},
+		{Kind: fault.NaN, Antenna: 0, Start: 0, Prob: 0.2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 24
+	for i := 0; i < rounds; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), cfg.Subject.CenterHeight(), 3, int64(i+1)))
+		ch := dev.Stream(ctx, walk)
+		// Cancel at a different depth each round: mid-acquisition, during
+		// the outage, while frames are being dropped.
+		stopAfter := (i * 7) % 40
+		n := 0
+		for range ch {
+			if n == stopAfter {
+				cancel()
+			}
+			n++
+		}
+		cancel()
+		dev.Reset()
+	}
+	// The ring must still cycle cleanly: a full uncancelled run completes
+	// and yields the expected number of surviving frames.
+	walk := motion.NewRandomWalk(motion.DefaultWalkConfig(testRegion(), cfg.Subject.CenterHeight(), 3, 99))
+	res := dev.Run(walk)
+	if res.Frames == 0 {
+		t.Fatal("no frames after cancellation rounds")
+	}
+	if dev.ring.n > ringCapacity {
+		t.Fatalf("ring holds %d batches, capacity %d", dev.ring.n, ringCapacity)
 	}
 }

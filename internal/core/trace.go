@@ -73,6 +73,10 @@ func (s *TraceSource) NumRx() int { return s.r.Header().NumRx }
 // trace) is not an error and reports nil.
 func (s *TraceSource) Err() error { return s.err }
 
+// Skipped reports how many corrupt records the underlying reader has
+// skipped so far (always zero unless the reader is in recover mode).
+func (s *TraceSource) Skipped() int { return s.r.Skipped() }
+
 // Next decodes the next recorded batch, or returns nil at end of trace
 // or on the first decode error (latched into Err).
 func (s *TraceSource) Next() *FrameBatch {
@@ -80,7 +84,6 @@ func (s *TraceSource) Next() *FrameBatch {
 		return nil
 	}
 	b := s.ring.get()
-	index := s.r.FramesRead()
 	frames, truths, err := s.r.ReadFrameTruthsInto(b.Frames, b.States[:0])
 	if err != nil {
 		s.ring.put(b)
@@ -89,6 +92,9 @@ func (s *TraceSource) Next() *FrameBatch {
 		}
 		return nil
 	}
+	// The recorded index, not the decode count: in recover mode a skipped
+	// record leaves a gap in Index/T exactly like a dropped frame would.
+	index := s.r.FrameIndex()
 	b.Index = index
 	b.T = float64(index) * s.r.Header().Interval
 	b.Frames = frames

@@ -1,0 +1,303 @@
+// Package fault is the deterministic fault-injection harness: seeded,
+// schedule-driven injectors that corrupt the frame stream the way real
+// deployments do — dark antennas, dropped frames, NaN/Inf bursts,
+// amplitude spikes, stuck front ends — so the pipeline's degradation
+// behavior is testable, assertable, and bit-reproducible.
+//
+// Every injection decision is a pure function of (schedule seed, frame
+// index, antenna, window): no injector state feeds the draw, so the
+// same schedule produces the same faults at any pipeline worker count
+// and on every run — chaos scenarios gate in CI exactly like accuracy
+// scenarios.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"witrack/internal/dsp"
+)
+
+// Kind is one fault mechanism.
+type Kind uint8
+
+const (
+	// None is the absence of a fault (the zero value).
+	None Kind = iota
+	// DropFrame discards a whole frame batch at the source — the lost
+	// frame never reaches any antenna worker (RF sync slip, DMA overrun).
+	DropFrame
+	// Dark silences one antenna: its frame is all zeros (disconnected
+	// cable, dead LNA). Sustained darkness is what the pipeline's health
+	// monitor escalates into excluding the antenna from the solve.
+	Dark
+	// NaN poisons a burst of bins with NaN/Inf (ADC glitch, FFT overflow
+	// in a hardware front end). The frame is numerically unusable and
+	// must be quarantined before it reaches the trackers.
+	NaN
+	// Spike multiplies a band of bins by a large factor (interference
+	// burst, AGC misstep). The frame stays finite; the tracker's own
+	// outlier rejection is expected to ride it out.
+	Spike
+	// Stuck re-delivers the antenna's previous frame (wedged DMA ring,
+	// stale buffer). Background subtraction sees zero energy, so the
+	// tracker coasts on its interpolator.
+	Stuck
+)
+
+// kindNames maps Kind to its schedule-spec spelling.
+var kindNames = map[Kind]string{
+	None:      "none",
+	DropFrame: "drop-frame",
+	Dark:      "dark",
+	NaN:       "nan",
+	Spike:     "spike",
+	Stuck:     "stuck",
+}
+
+// String returns the spec spelling of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault.Kind(%d)", uint8(k))
+}
+
+// ParseKind maps a spec spelling back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s && k != None {
+			return k, nil
+		}
+	}
+	return None, fmt.Errorf("fault: unknown kind %q", s)
+}
+
+// Window schedules one fault over a frame interval.
+type Window struct {
+	// Kind is the fault mechanism.
+	Kind Kind
+	// Antenna is the receive antenna the fault strikes; -1 strikes every
+	// antenna. Ignored for DropFrame (a whole-batch fault).
+	Antenna int
+	// Start and End bound the window in frame indexes, [Start, End).
+	// End <= 0 means permanent: the window stays open to end of run.
+	Start, End int
+	// Prob is the per-frame firing probability inside the window; values
+	// <= 0 or >= 1 fire on every frame of the window.
+	Prob float64
+}
+
+// active reports whether the window covers the frame.
+func (w Window) active(frame int) bool {
+	return frame >= w.Start && (w.End <= 0 || frame < w.End)
+}
+
+// covers reports whether the window strikes the antenna.
+func (w Window) covers(rx int) bool {
+	return w.Antenna < 0 || w.Antenna == rx
+}
+
+// Schedule is a full deterministic fault plan: a seed plus the windows.
+type Schedule struct {
+	// Seed drives every probabilistic firing decision (mixed statelessly
+	// with frame, antenna, and window index — see Injector).
+	Seed int64
+	// Windows lists the scheduled faults. Multiple windows may overlap;
+	// for per-antenna faults the first firing window wins.
+	Windows []Window
+}
+
+// Validate checks the schedule against an array of numRx receive
+// antennas.
+func (s Schedule) Validate(numRx int) error {
+	for i, w := range s.Windows {
+		if _, ok := kindNames[w.Kind]; !ok || w.Kind == None {
+			return fmt.Errorf("fault: window %d: invalid kind %d", i, w.Kind)
+		}
+		if w.Kind != DropFrame {
+			if w.Antenna < -1 || w.Antenna >= numRx {
+				return fmt.Errorf("fault: window %d: antenna %d out of range (array has %d, -1 = all)", i, w.Antenna, numRx)
+			}
+		}
+		if w.Start < 0 {
+			return fmt.Errorf("fault: window %d: negative start frame %d", i, w.Start)
+		}
+		if w.End > 0 && w.End <= w.Start {
+			return fmt.Errorf("fault: window %d: empty frame range [%d, %d)", i, w.Start, w.End)
+		}
+		if math.IsNaN(w.Prob) || w.Prob < 0 || w.Prob > 1 {
+			return fmt.Errorf("fault: window %d: probability %v out of [0, 1]", i, w.Prob)
+		}
+	}
+	return nil
+}
+
+// Stats counts what an injector actually did, by mechanism. Counters
+// are totals over the injector's lifetime; for a full (uncancelled) run
+// they are deterministic.
+type Stats struct {
+	// DroppedFrames is the number of whole frame batches discarded.
+	DroppedFrames int64
+	// DarkFrames/NaNFrames/SpikeFrames/StuckFrames count per-antenna
+	// frame corruptions by mechanism (one count per antenna per frame).
+	DarkFrames  int64
+	NaNFrames   int64
+	SpikeFrames int64
+	StuckFrames int64
+}
+
+// InjectedFrames is the total per-antenna frame corruption count.
+func (s Stats) InjectedFrames() int64 {
+	return s.DarkFrames + s.NaNFrames + s.SpikeFrames + s.StuckFrames
+}
+
+// Injector executes a Schedule. Decision methods are safe for
+// concurrent use from the pipeline's worker goroutines: decisions are
+// stateless hashes and the stats counters are atomic.
+type Injector struct {
+	seed    uint64
+	windows []Window
+
+	needHist bool
+
+	dropped atomic.Int64
+	dark    atomic.Int64
+	nan     atomic.Int64
+	spike   atomic.Int64
+	stuck   atomic.Int64
+}
+
+// New builds an injector for the schedule. Validate the schedule
+// against the target array first; New itself accepts any windows.
+func New(s Schedule) *Injector {
+	in := &Injector{
+		seed:    uint64(s.Seed),
+		windows: append([]Window(nil), s.Windows...),
+	}
+	for _, w := range in.windows {
+		if w.Kind == Stuck {
+			in.needHist = true
+		}
+	}
+	return in
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		DroppedFrames: in.dropped.Load(),
+		DarkFrames:    in.dark.Load(),
+		NaNFrames:     in.nan.Load(),
+		SpikeFrames:   in.spike.Load(),
+		StuckFrames:   in.stuck.Load(),
+	}
+}
+
+// NeedsHistory reports whether any window replays stale frames (Stuck),
+// i.e. whether the caller must retain each antenna's last delivered
+// frame.
+func (in *Injector) NeedsHistory() bool { return in.needHist }
+
+// DropFrame decides whether the whole frame batch is discarded, and
+// counts it. Call exactly once per produced frame.
+func (in *Injector) DropFrame(frame int) bool {
+	for wi, w := range in.windows {
+		if w.Kind != DropFrame || !w.active(frame) {
+			continue
+		}
+		if in.roll(frame, -1, wi, w.Prob) {
+			in.dropped.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Antenna decides which fault (if any) strikes antenna rx on the frame
+// — the first firing window wins — and counts it. Call exactly once per
+// (frame, antenna); the decision depends only on (seed, frame, rx,
+// window), so any calling schedule across workers yields the same
+// faults.
+func (in *Injector) Antenna(frame, rx int) Kind {
+	for wi, w := range in.windows {
+		if w.Kind == DropFrame || !w.active(frame) || !w.covers(rx) {
+			continue
+		}
+		if !in.roll(frame, rx, wi, w.Prob) {
+			continue
+		}
+		switch w.Kind {
+		case Dark:
+			in.dark.Add(1)
+		case NaN:
+			in.nan.Add(1)
+		case Spike:
+			in.spike.Add(1)
+		case Stuck:
+			in.stuck.Add(1)
+		}
+		return w.Kind
+	}
+	return None
+}
+
+// Apply corrupts the frame in place according to kind. Stuck is a
+// no-op here — replaying stale frames needs the caller's history (see
+// NeedsHistory). The corruption pattern (burst offset, width) is a
+// stateless function of (seed, frame, rx), so it is reproducible at any
+// worker count.
+func (in *Injector) Apply(kind Kind, frame, rx int, f dsp.ComplexFrame) {
+	if len(f) == 0 {
+		return
+	}
+	switch kind {
+	case Dark:
+		for i := range f {
+			f[i] = 0
+		}
+	case NaN:
+		h := in.mix(frame, rx, -2)
+		start := int(h % uint64(len(f)))
+		width := len(f)/8 + 1
+		nan := math.NaN()
+		for i := 0; i < width; i++ {
+			f[(start+i)%len(f)] = complex(nan, nan)
+		}
+		// One Inf bin: overflow and invalid-operation damage travel
+		// together through real FFT hardware.
+		f[start] = complex(math.Inf(1), nan)
+	case Spike:
+		h := in.mix(frame, rx, -3)
+		start := int(h % uint64(len(f)))
+		width := len(f)/16 + 1
+		for i := 0; i < width; i++ {
+			f[(start+i)%len(f)] *= 50
+		}
+	}
+}
+
+// mix hashes (seed, frame, rx, salt) into a uniform 64-bit value with a
+// splitmix64-style finalizer.
+func (in *Injector) mix(frame, rx, salt int) uint64 {
+	x := in.seed
+	x ^= uint64(frame+1) * 0x9E3779B97F4A7C15
+	x ^= uint64(int64(rx)+2) * 0xBF58476D1CE4E5B9
+	x ^= uint64(int64(salt)+2) * 0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// roll draws the window's firing decision for (frame, rx).
+func (in *Injector) roll(frame, rx, wi int, prob float64) bool {
+	if prob <= 0 || prob >= 1 {
+		return true
+	}
+	h := in.mix(frame, rx, wi)
+	return float64(h>>11)/(1<<53) < prob
+}

@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"witrack/internal/dsp"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{Seed: 1, Windows: []Window{
+		{Kind: Dark, Antenna: 0, Start: 10, End: 20},
+		{Kind: NaN, Antenna: -1, Start: 0, Prob: 0.5},
+		{Kind: DropFrame, Start: 5, End: 6, Prob: 1},
+		{Kind: Stuck, Antenna: 2, Start: 0},
+	}}
+	if err := good.Validate(3); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{Windows: []Window{{Kind: None, Start: 0}}},
+		{Windows: []Window{{Kind: Kind(99), Start: 0}}},
+		{Windows: []Window{{Kind: Dark, Antenna: 3, Start: 0}}},
+		{Windows: []Window{{Kind: Dark, Antenna: -2, Start: 0}}},
+		{Windows: []Window{{Kind: Dark, Antenna: 0, Start: -1}}},
+		{Windows: []Window{{Kind: Dark, Antenna: 0, Start: 10, End: 10}}},
+		{Windows: []Window{{Kind: Dark, Antenna: 0, Prob: 1.5}}},
+		{Windows: []Window{{Kind: Dark, Antenna: 0, Prob: math.NaN()}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(3); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{DropFrame, Dark, NaN, Spike, Stuck} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("none"); err == nil {
+		t.Error("ParseKind accepted \"none\" (not an injectable kind)")
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted an unknown kind")
+	}
+}
+
+// TestDecisionsDeterministic pins the core contract: decisions are pure
+// functions of (seed, frame, antenna), independent of call order — this
+// is what makes fault runs bit-identical at any worker count.
+func TestDecisionsDeterministic(t *testing.T) {
+	sched := Schedule{Seed: 42, Windows: []Window{
+		{Kind: NaN, Antenna: -1, Start: 0, End: 500, Prob: 0.3},
+		{Kind: Spike, Antenna: 1, Start: 100, End: 400, Prob: 0.7},
+		{Kind: DropFrame, Start: 0, End: 500, Prob: 0.1},
+	}}
+	a, b := New(sched), New(sched)
+	// b is driven in reverse order; decisions must still match a's.
+	type key struct{ frame, rx int }
+	want := map[key]Kind{}
+	wantDrop := map[int]bool{}
+	for frame := 0; frame < 500; frame++ {
+		wantDrop[frame] = a.DropFrame(frame)
+		for rx := 0; rx < 3; rx++ {
+			want[key{frame, rx}] = a.Antenna(frame, rx)
+		}
+	}
+	for frame := 499; frame >= 0; frame-- {
+		for rx := 2; rx >= 0; rx-- {
+			if got := b.Antenna(frame, rx); got != want[key{frame, rx}] {
+				t.Fatalf("frame %d rx %d: decision %v != %v under reversed order", frame, rx, got, want[key{frame, rx}])
+			}
+		}
+		if got := b.DropFrame(frame); got != wantDrop[frame] {
+			t.Fatalf("frame %d: drop decision %v != %v under reversed order", frame, got, wantDrop[frame])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge under reordering: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().InjectedFrames() == 0 || a.Stats().DroppedFrames == 0 {
+		t.Fatalf("schedule injected nothing: %+v", a.Stats())
+	}
+}
+
+func TestProbabilityRoughlyCalibrated(t *testing.T) {
+	in := New(Schedule{Seed: 7, Windows: []Window{{Kind: Dark, Antenna: 0, Start: 0, Prob: 0.25}}})
+	n := 0
+	const trials = 20000
+	for frame := 0; frame < trials; frame++ {
+		if in.Antenna(frame, 0) == Dark {
+			n++
+		}
+	}
+	frac := float64(n) / trials
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Prob 0.25 fired at rate %.4f", frac)
+	}
+}
+
+func TestApplyMutations(t *testing.T) {
+	mk := func() dsp.ComplexFrame {
+		f := make(dsp.ComplexFrame, 64)
+		for i := range f {
+			f[i] = complex(float64(i+1), -1)
+		}
+		return f
+	}
+	in := New(Schedule{Seed: 3})
+
+	f := mk()
+	in.Apply(Dark, 0, 0, f)
+	for i, c := range f {
+		if c != 0 {
+			t.Fatalf("Dark left bin %d = %v", i, c)
+		}
+	}
+
+	f = mk()
+	in.Apply(NaN, 10, 1, f)
+	bad := 0
+	for _, c := range f {
+		if cmplx.IsNaN(c) || cmplx.IsInf(c) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("NaN burst left the frame finite")
+	}
+
+	f = mk()
+	ref := mk()
+	in.Apply(Spike, 10, 1, f)
+	changed := 0
+	for i := range f {
+		if cmplx.IsNaN(f[i]) || cmplx.IsInf(f[i]) {
+			t.Fatalf("Spike produced a non-finite bin %d = %v", i, f[i])
+		}
+		if f[i] != ref[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("Spike changed nothing")
+	}
+
+	// Stuck and None leave the frame to the caller.
+	f = mk()
+	in.Apply(Stuck, 0, 0, f)
+	in.Apply(None, 0, 0, f)
+	for i := range f {
+		if f[i] != ref[i] {
+			t.Fatalf("Stuck/None mutated bin %d", i)
+		}
+	}
+
+	// Empty frames never panic.
+	in.Apply(NaN, 0, 0, nil)
+	in.Apply(Spike, 0, 0, dsp.ComplexFrame{})
+}
+
+func TestPermanentWindowAndHistory(t *testing.T) {
+	in := New(Schedule{Seed: 1, Windows: []Window{{Kind: Stuck, Antenna: 0, Start: 50}}})
+	if !in.NeedsHistory() {
+		t.Fatal("Stuck schedule must request history")
+	}
+	if in.Antenna(49, 0) != None {
+		t.Fatal("window fired before Start")
+	}
+	for _, frame := range []int{50, 1000, 1 << 20} {
+		if in.Antenna(frame, 0) != Stuck {
+			t.Fatalf("permanent window closed at frame %d", frame)
+		}
+	}
+	if in.Antenna(60, 1) != None {
+		t.Fatal("antenna-0 window struck antenna 1")
+	}
+	if New(Schedule{Seed: 1, Windows: []Window{{Kind: Dark, Antenna: -1}}}).NeedsHistory() {
+		t.Fatal("Dark-only schedule must not request history")
+	}
+}

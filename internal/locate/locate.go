@@ -35,6 +35,13 @@ type Locator struct {
 	ks    kScratch
 	pair2 [][]float64
 	prev2 []geom.Vec3
+
+	// subs caches the degraded-mode sub-array locators by antenna
+	// bitmask, and subEsts is SolveMasked's estimate-compaction scratch.
+	// Both live on the same single-goroutine discipline as the rest of
+	// the workspace.
+	subs    map[uint64]*Locator
+	subEsts []track.Estimate
 }
 
 // New builds a locator for the antenna array. It returns an error if the
@@ -90,4 +97,82 @@ func (l *Locator) Solve(ests []track.Estimate) (geom.Vec3, error) {
 		p.Z = l.MaxZ
 	}
 	return p, nil
+}
+
+// ErrTooFewHealthy means too few antennas remained healthy for a 3D
+// fix: ellipsoid intersection needs at least three receive antennas
+// (geom.Solver's floor), so a degraded array below that cannot locate.
+var ErrTooFewHealthy = errors.New("locate: too few healthy antennas for a 3D fix")
+
+// maskedAntennaLimit bounds the Sub bitmask width. Real deployments run
+// 3-4 antennas; the limit exists only so the mask arithmetic is safe.
+const maskedAntennaLimit = 64
+
+// Sub returns a locator over the subset of receive antennas whose mask
+// bit is set, sharing the parent's plausibility bounds and cached per
+// mask (the same degradation pattern recurs every frame of an outage,
+// so the sub-array solver workspace is built once). It fails when the
+// subset cannot resolve 3D positions (fewer than three antennas, or a
+// collinear remainder).
+func (l *Locator) Sub(mask uint64) (*Locator, error) {
+	if l.subs == nil {
+		l.subs = make(map[uint64]*Locator)
+	}
+	if s, ok := l.subs[mask]; ok {
+		return s, nil
+	}
+	rx := make([]geom.Vec3, 0, len(l.Array.Rx))
+	for i, p := range l.Array.Rx {
+		if mask&(1<<uint(i)) != 0 {
+			rx = append(rx, p)
+		}
+	}
+	sub, err := New(geom.Array{Tx: l.Array.Tx, Rx: rx, BeamHalfAngle: l.Array.BeamHalfAngle})
+	if err != nil {
+		return nil, err
+	}
+	sub.MinZ, sub.MaxZ, sub.MaxRange = l.MinZ, l.MaxZ, l.MaxRange
+	l.subs[mask] = sub
+	return sub, nil
+}
+
+// SolveMasked computes the 3D position from the subset of estimates
+// whose healthy flag is set — the graceful-degradation entry point.
+// With every antenna healthy it delegates to Solve and is bit-identical
+// to it; with fewer it solves on the cached sub-array (nRx-1 geometry
+// still locates when at least three non-collinear antennas remain) and
+// reports how many antennas the fix used, so callers can flag the
+// sample as degraded.
+func (l *Locator) SolveMasked(ests []track.Estimate, healthy []bool) (geom.Vec3, int, error) {
+	if len(healthy) != len(ests) || len(ests) > maskedAntennaLimit {
+		return geom.Vec3{}, 0, errors.New("locate: SolveMasked needs one health flag per antenna (at most 64)")
+	}
+	n := 0
+	var mask uint64
+	for i, h := range healthy {
+		if h {
+			n++
+			mask |= 1 << uint(i)
+		}
+	}
+	if n == len(ests) {
+		p, err := l.Solve(ests)
+		return p, n, err
+	}
+	if n < 3 {
+		return geom.Vec3{}, n, ErrTooFewHealthy
+	}
+	sub, err := l.Sub(mask)
+	if err != nil {
+		return geom.Vec3{}, n, err
+	}
+	se := l.subEsts[:0]
+	for i, e := range ests {
+		if healthy[i] {
+			se = append(se, e)
+		}
+	}
+	l.subEsts = se
+	p, err := sub.Solve(se)
+	return p, n, err
 }

@@ -1,0 +1,200 @@
+package locate
+
+import (
+	"errors"
+	"testing"
+
+	"witrack/internal/geom"
+)
+
+// plusArray returns the 4-Rx "+" arrangement: the default T plus a
+// fourth antenna above the Tx — the geometry that keeps 3D solvable
+// when any single antenna goes dark.
+func plusArray() geom.Array {
+	arr := geom.NewTArray(1, 1.5)
+	arr.Rx = append(arr.Rx, geom.Vec3{X: 0, Y: 0, Z: 2.5})
+	return arr
+}
+
+// maskOut returns a healthy vector with one antenna down.
+func maskOut(n, down int) []bool {
+	h := make([]bool, n)
+	for i := range h {
+		h[i] = i != down
+	}
+	return h
+}
+
+// TestSolveMaskedEachSingleAntennaDown pins the degraded-solve fixture:
+// on the "+" array, exact round trips with any one antenna masked must
+// recover the point from the remaining three.
+func TestSolveMaskedEachSingleAntennaDown(t *testing.T) {
+	arr := plusArray()
+	l, err := New(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []geom.Vec3{
+		{X: 0.8, Y: 4.5, Z: 1.2},
+		{X: -1.6, Y: 2.8, Z: 0.7},
+		{X: 2.1, Y: 6.0, Z: 1.9},
+	}
+	for _, want := range points {
+		ests := estimates(arr.RoundTrips(want))
+		for down := 0; down < len(arr.Rx); down++ {
+			got, used, err := l.SolveMasked(ests, maskOut(len(arr.Rx), down))
+			if err != nil {
+				t.Fatalf("point %v antenna %d down: %v", want, down, err)
+			}
+			if used != 3 {
+				t.Fatalf("point %v antenna %d down: used %d antennas, want 3", want, down, used)
+			}
+			if got.Dist(want) > 1e-6 {
+				t.Fatalf("point %v antenna %d down: got %v", want, down, got)
+			}
+		}
+	}
+}
+
+// TestSolveMaskedAllHealthyIsSolve: with nothing masked, SolveMasked
+// must be bit-identical to Solve — the invariant that keeps golden
+// digests stable when monitoring is on but nothing is failing.
+func TestSolveMaskedAllHealthyIsSolve(t *testing.T) {
+	arr := plusArray()
+	l, err := New(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Vec3{X: 1.2, Y: 3.7, Z: 1.4}
+	ests := estimates(arr.RoundTrips(want))
+	direct, err := l.Solve(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, used, err := l.SolveMasked(ests, []bool{true, true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 4 || masked != direct {
+		t.Fatalf("SolveMasked(all healthy) = %v used %d; Solve = %v", masked, used, direct)
+	}
+}
+
+// TestSolveMaskedTooFewHealthy: below three healthy antennas there is
+// no 3D fix — the caller gets a typed error, not a bogus position.
+func TestSolveMaskedTooFewHealthy(t *testing.T) {
+	tArr := geom.NewTArray(1, 1.5)
+	l3, err := New(tArr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := estimates(tArr.RoundTrips(geom.Vec3{X: 0, Y: 4, Z: 1}))
+	if _, _, err := l3.SolveMasked(ests, maskOut(3, 1)); !errors.Is(err, ErrTooFewHealthy) {
+		t.Fatalf("3-Rx with one down: err = %v, want ErrTooFewHealthy", err)
+	}
+
+	plus := plusArray()
+	l4, err := New(plus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests4 := estimates(plus.RoundTrips(geom.Vec3{X: 0, Y: 4, Z: 1}))
+	h := maskOut(4, 0)
+	h[1] = false
+	if _, _, err := l4.SolveMasked(ests4, h); !errors.Is(err, ErrTooFewHealthy) {
+		t.Fatalf("4-Rx with two down: err = %v, want ErrTooFewHealthy", err)
+	}
+}
+
+// TestSolveMaskedCollinearRemainderRejected: a surviving subset that is
+// collinear cannot span 3D; Sub must refuse it (via array validation)
+// rather than return garbage intersections.
+func TestSolveMaskedCollinearRemainderRejected(t *testing.T) {
+	arr := geom.NewTArray(1, 1.5)
+	// A fourth antenna on the receive baseline: losing the below-Tx
+	// antenna leaves three collinear ones.
+	arr.Rx = append(arr.Rx, geom.Vec3{X: 2, Y: 0, Z: 1.5})
+	l, err := New(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := estimates(arr.RoundTrips(geom.Vec3{X: 0.5, Y: 4, Z: 1}))
+	if _, _, err := l.SolveMasked(ests, maskOut(4, 2)); err == nil {
+		t.Fatal("collinear surviving subset must not solve")
+	}
+	// Losing a baseline antenna instead leaves a T — fine.
+	if _, _, err := l.SolveMasked(ests, maskOut(4, 3)); err != nil {
+		t.Fatalf("valid surviving subset refused: %v", err)
+	}
+}
+
+// TestSolveMaskedValidation: the healthy vector must match the
+// estimates one-for-one.
+func TestSolveMaskedValidation(t *testing.T) {
+	arr := plusArray()
+	l, _ := New(arr)
+	ests := estimates(arr.RoundTrips(geom.Vec3{X: 0, Y: 4, Z: 1}))
+	if _, _, err := l.SolveMasked(ests, []bool{true, true}); err == nil {
+		t.Fatal("mismatched healthy vector must error")
+	}
+}
+
+// TestSolveKOnSubLocator: the k-person solver runs on a degraded
+// sub-array exactly like on a full one — the path MultiDevice takes
+// when an antenna is dark.
+func TestSolveKOnSubLocator(t *testing.T) {
+	arr := plusArray()
+	l, err := New(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := l.Sub(0b1011) // antenna 2 dark
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sub.Array.Rx); got != 3 {
+		t.Fatalf("sub-array has %d antennas, want 3", got)
+	}
+	targets := []geom.Vec3{
+		{X: -1.0, Y: 3.5, Z: 1.1},
+		{X: 1.4, Y: 5.2, Z: 1.6},
+	}
+	// One candidate set per surviving antenna, both targets' round trips.
+	cands := make([][]float64, len(sub.Array.Rx))
+	for i := range cands {
+		cands[i] = make([]float64, len(targets))
+	}
+	for j, p := range targets {
+		rt := sub.Array.RoundTrips(p)
+		for i := range cands {
+			cands[i][j] = rt[i]
+		}
+	}
+	got, err := SolveK(sub, cands, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(targets) {
+		t.Fatalf("SolveK returned %d positions, want %d", len(got), len(targets))
+	}
+	for j := range targets {
+		// SolveK may return targets in either order; match greedily.
+		best := got[0].Dist(targets[j])
+		for _, g := range got[1:] {
+			if d := g.Dist(targets[j]); d < best {
+				best = d
+			}
+		}
+		if best > 1e-6 {
+			t.Fatalf("target %d: nearest solution %.3g m away", j, best)
+		}
+	}
+	// The cache hands back the same sub-locator on every outage frame.
+	again, err := l.Sub(0b1011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != sub {
+		t.Fatal("Sub did not cache the sub-locator")
+	}
+}

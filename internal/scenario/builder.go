@@ -66,6 +66,13 @@ func (s *Spec) Repeat(n int) *Spec {
 	return s
 }
 
+// Faulted installs the chaos plan: every tracking cell in the fleet
+// runs under the same seeded fault schedule.
+func (s *Spec) Faulted(f FaultSpec) *Spec {
+	s.Fault = &f
+	return s
+}
+
 // Assert appends one expected-metric gate.
 func (s *Spec) Assert(metric, op string, value float64) *Spec {
 	s.Expect = append(s.Expect, Assertion{Metric: metric, Op: op, Value: value})

@@ -31,6 +31,29 @@ func Canonical() []Spec {
 			Assert("median_err_x_cm", "<=", 32).
 			Assert("median_err_z_cm", "<=", 50),
 
+		// The through-wall walk again, on the 4-Rx "+" array, under a
+		// seeded chaos plan: sustained frame loss, an antenna going dark
+		// mid-run, a NaN burst, sporadic amplitude spikes and a stuck
+		// stretch. Gates that tracking degrades gracefully — reduced-
+		// array fixes while the antenna is down, bounded reacquisition —
+		// instead of falling over (the robustness axis; internal/fault).
+		*New("chaos-wall", "through-wall walk under injected antenna and frame faults").
+			Seeded(101).ThroughWall().
+			Walk(20, 7).
+			Device(DeviceSpec{Separation: 1.0, ExtraTopRx: true}).
+			Faulted(FaultSpec{Seed: 811, Windows: []FaultWindow{
+				{Kind: "drop-frame", Prob: 0.05},
+				{Kind: "dark", Antenna: 1, StartS: 6, DurationS: 4},
+				{Kind: "nan", Antenna: 2, StartS: 12, DurationS: 2, Prob: 0.5},
+				{Kind: "spike", Antenna: -1, Prob: 0.05},
+				{Kind: "stuck", Antenna: 0, StartS: 15, DurationS: 1, Prob: 0.5},
+			}}).
+			Assert("valid_frac", ">=", 0.85).
+			Assert("median_err_y_cm", "<=", 20).
+			Assert("degraded_fix_frac", ">=", 0.10).
+			Assert("outage_frames", "<=", 400).
+			Assert("reacquire_max_frames", "<=", 140),
+
 		// Heavy clutter: extra furniture-scale reflectors on top of the
 		// standard room (the Flash Effect amplified; §4.2).
 		*New("clutter", "through-wall walk in a heavily cluttered room").

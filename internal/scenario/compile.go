@@ -5,6 +5,7 @@ import (
 
 	"witrack/internal/body"
 	"witrack/internal/core"
+	"witrack/internal/fault"
 	"witrack/internal/geom"
 	"witrack/internal/motion"
 	"witrack/internal/rf"
@@ -38,6 +39,9 @@ type Compiled struct {
 	// CalibrateFrames, when positive, asks for empty-room background
 	// calibration before the run.
 	CalibrateFrames int
+	// Faults, when non-nil, is the spec's chaos plan compiled to frame
+	// indexes at this cell's frame rate, ready for Device.InjectFaults.
+	Faults *fault.Schedule
 }
 
 // Region returns the standard tracked area as a motion region (the
@@ -215,6 +219,38 @@ func cellConfig(sp *Spec, deviceIndex int) (core.Config, error) {
 	return cfg, nil
 }
 
+// compileFaults converts the spec's chaos plan (authored in seconds)
+// into the frame-indexed schedule the injector executes, at this cell's
+// frame rate. A positive sub-frame duration still yields a one-frame
+// window, so a spec that asks for any fault at all gets one.
+func compileFaults(sp *Spec, interval float64, numRx int) (*fault.Schedule, error) {
+	if sp.Fault == nil {
+		return nil, nil
+	}
+	s := &fault.Schedule{Seed: sp.Fault.Seed}
+	for _, w := range sp.Fault.Windows {
+		kind, err := fault.ParseKind(w.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sp.Name, err)
+		}
+		start := int(w.StartS/interval + 0.5)
+		end := 0
+		if w.DurationS > 0 {
+			end = start + int(w.DurationS/interval+0.5)
+			if end <= start {
+				end = start + 1
+			}
+		}
+		s.Windows = append(s.Windows, fault.Window{
+			Kind: kind, Antenna: w.Antenna, Start: start, End: end, Prob: w.Prob,
+		})
+	}
+	if err := s.Validate(numRx); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sp.Name, err)
+	}
+	return s, nil
+}
+
 // Compile assembles the runnable form of one scenario × device cell.
 // Protocol motions (fall-study, pointing-study) have no single
 // trajectory and are executed by the runner directly.
@@ -228,6 +264,9 @@ func Compile(sp *Spec, deviceIndex int) (*Compiled, error) {
 		Config:          cfg,
 		Workers:         ds.Workers,
 		CalibrateFrames: ds.CalibrateFrames,
+	}
+	if c.Faults, err = compileFaults(sp, cfg.Radio.FrameInterval(), len(cfg.Array.Rx)); err != nil {
+		return nil, err
 	}
 	c.Subjects = append(c.Subjects, cfg.Subject)
 	for _, b := range sp.Bodies[1:] {

@@ -11,6 +11,7 @@ import (
 
 	"witrack/internal/body"
 	"witrack/internal/core"
+	"witrack/internal/fault"
 	"witrack/internal/motion"
 )
 
@@ -89,8 +90,52 @@ type cellOutcome struct {
 	err2                   []float64
 	valid, frames          int
 
+	// Robustness accounting (tallied on every tracking cell; rendered
+	// into metrics only when withFaults is set, so fault-free reports
+	// stay byte-identical). An outage is a run of invalid samples after
+	// first acquisition; its length in frames is the reacquisition
+	// latency once a fix returns.
+	withFaults   bool
+	degraded     int       // valid fixes solved on a reduced antenna set
+	outageSpans  int       // distinct invalid runs after first acquisition
+	outageFrames int       // invalid frames after first acquisition
+	reacquire    []float64 // per-completed-outage reacquisition latency, frames
+	faults       fault.Stats
+
 	fall  *FallStudyOutcome
 	point *PointingOutcome
+}
+
+// observe feeds one sample's validity/degradation into the robustness
+// tallies. acquired/outage are the caller's loop state: whether a first
+// fix has happened, and the length of the current invalid run.
+func (out *cellOutcome) observe(valid, degraded bool, acquired *bool, outage *int) {
+	if !valid {
+		if *acquired {
+			if *outage == 0 {
+				out.outageSpans++
+			}
+			out.outageFrames++
+			*outage++
+		}
+		return
+	}
+	if *outage > 0 {
+		out.reacquire = append(out.reacquire, float64(*outage))
+		*outage = 0
+	}
+	*acquired = true
+	if degraded {
+		out.degraded++
+	}
+}
+
+// recordFaults attaches the injector's counters to a finished cell and
+// re-renders its metrics with the robustness vocabulary included.
+func (out *cellOutcome) recordFaults(st fault.Stats) {
+	out.withFaults = true
+	out.faults = st
+	out.res.Metrics = trackingMetrics(out)
 }
 
 // Run executes the matrix of scenarios × devices on a bounded worker
@@ -248,12 +293,20 @@ func runTrackingCell(ctx context.Context, sp *Spec, deviceIndex int, out *cellOu
 	if c.CalibrateFrames > 0 {
 		dev.CalibrateBackground(c.CalibrateFrames)
 	}
+	if c.Faults != nil {
+		if err := dev.InjectFaults(*c.Faults); err != nil {
+			return err
+		}
+	}
 	// The cell consumes Device.Stream — the production API — rather
 	// than the batch Run, so the scenario matrix exercises exactly the
 	// code path a live deployment uses.
 	scoreTrackingStream(dev.Stream(ctx, c.Trajectories[0]), c, out)
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if c.Faults != nil {
+		out.recordFaults(dev.FaultStats())
 	}
 	return nil
 }
@@ -262,8 +315,10 @@ func runTrackingCell(ctx context.Context, sp *Spec, deviceIndex int, out *cellOu
 // localization errors and metrics. It is shared between live synthesis
 // cells and trace replays, so both paths score byte-identically.
 func scoreTrackingStream(ch <-chan core.Sample, c *Compiled, out *cellOutcome) {
+	acquired, outage := false, 0
 	for s := range ch {
 		out.frames++
+		out.observe(s.Valid, s.Degraded, &acquired, &outage)
 		if !s.Valid {
 			continue
 		}
@@ -289,6 +344,11 @@ func runMultiPersonCell(ctx context.Context, c *Compiled, out *cellOutcome) erro
 		return err
 	}
 	dev.Workers = c.Workers
+	if c.Faults != nil {
+		if err := dev.InjectFaults(*c.Faults); err != nil {
+			return err
+		}
+	}
 	ch, err := dev.Stream(ctx, c.Trajectories...)
 	if err != nil {
 		return err
@@ -296,6 +356,9 @@ func runMultiPersonCell(ctx context.Context, c *Compiled, out *cellOutcome) erro
 	scoreMultiStream(ch, out)
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if c.Faults != nil {
+		out.recordFaults(dev.FaultStats())
 	}
 	return nil
 }
@@ -307,8 +370,10 @@ func runMultiPersonCell(ctx context.Context, c *Compiled, out *cellOutcome) erro
 // permutations). Shared between live multi-person cells and trace
 // replays, so both paths score byte-identically.
 func scoreMultiStream(ch <-chan core.MultiSample, out *cellOutcome) {
+	acquired, outage := false, 0
 	for s := range ch {
 		out.frames++
+		out.observe(s.Valid, s.Degraded, &acquired, &outage)
 		if !s.Valid {
 			continue
 		}
@@ -387,6 +452,31 @@ func trackingMetrics(out *cellOutcome) Metrics {
 		m["samples"] = float64(len(out.err2))
 		m["median_err_2d_cm"] = median(out.err2) * 100
 	}
+	// The robustness vocabulary appears only on chaos cells, so
+	// fault-free reports stay byte-identical to the pre-fault era.
+	if out.withFaults {
+		m["fault_dropped_frames"] = float64(out.faults.DroppedFrames)
+		m["fault_injected_frames"] = float64(out.faults.InjectedFrames())
+		m["degraded_fix_frac"] = 0
+		if out.valid > 0 {
+			m["degraded_fix_frac"] = float64(out.degraded) / float64(out.valid)
+		}
+		m["outage_spans"] = float64(out.outageSpans)
+		m["outage_frames"] = float64(out.outageFrames)
+		m["reacquire_mean_frames"] = 0
+		m["reacquire_max_frames"] = 0
+		if len(out.reacquire) > 0 {
+			sum, max := 0.0, 0.0
+			for _, r := range out.reacquire {
+				sum += r
+				if r > max {
+					max = r
+				}
+			}
+			m["reacquire_mean_frames"] = sum / float64(len(out.reacquire))
+			m["reacquire_max_frames"] = max
+		}
+	}
 	return m
 }
 
@@ -404,6 +494,18 @@ func aggregate(sp *Spec, cells []*cellOutcome) Result {
 		pooled.errZ = append(pooled.errZ, c.errZ...)
 		pooled.err3 = append(pooled.err3, c.err3...)
 		pooled.err2 = append(pooled.err2, c.err2...)
+		if c.withFaults {
+			pooled.withFaults = true
+			pooled.degraded += c.degraded
+			pooled.outageSpans += c.outageSpans
+			pooled.outageFrames += c.outageFrames
+			pooled.reacquire = append(pooled.reacquire, c.reacquire...)
+			pooled.faults.DroppedFrames += c.faults.DroppedFrames
+			pooled.faults.DarkFrames += c.faults.DarkFrames
+			pooled.faults.NaNFrames += c.faults.NaNFrames
+			pooled.faults.SpikeFrames += c.faults.SpikeFrames
+			pooled.faults.StuckFrames += c.faults.StuckFrames
+		}
 		if c.fall != nil {
 			if pooled.fall == nil {
 				pooled.fall = &FallStudyOutcome{

@@ -17,7 +17,10 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+
+	"witrack/internal/fault"
 )
 
 // Spec is one declarative scenario: an environment, one or two bodies
@@ -44,8 +47,45 @@ type Spec struct {
 	// repetitions per activity, pointing-study gesture count). Zero
 	// means the protocol default.
 	Reps int `json:"reps,omitempty"`
+	// Fault, when non-nil, runs the scenario under deterministic fault
+	// injection (chaos scenarios): the schedule is compiled to frame
+	// indexes and installed on every device cell, and the robustness
+	// metrics (fault_*, degraded_fix_frac, outage_*, reacquire_*) join
+	// the assertable vocabulary. Tracking cells only — protocol motions
+	// (fall-study, pointing-study) run many independent sub-trajectories
+	// that a single frame-indexed schedule cannot meaningfully cover.
+	Fault *FaultSpec `json:"fault,omitempty"`
 	// Expect lists the metric assertions CI gates on.
 	Expect []Assertion `json:"expect,omitempty"`
+}
+
+// FaultSpec is the serializable fault-injection plan of a chaos
+// scenario. Windows are authored in seconds (specs think in time) and
+// compiled to frame indexes at the cell's frame rate.
+type FaultSpec struct {
+	// Seed drives every probabilistic firing decision. Independent of
+	// the simulation seed, so the same chaos plan can ride on any cell.
+	Seed int64 `json:"seed,omitempty"`
+	// Windows lists the scheduled faults; first firing window wins per
+	// (frame, antenna).
+	Windows []FaultWindow `json:"windows"`
+}
+
+// FaultWindow schedules one fault mechanism over a time interval.
+type FaultWindow struct {
+	// Kind is the fault mechanism: "drop-frame", "dark", "nan",
+	// "spike", or "stuck" (fault.ParseKind's vocabulary).
+	Kind string `json:"kind"`
+	// Antenna is the receive antenna struck; -1 strikes all. Ignored
+	// for drop-frame.
+	Antenna int `json:"antenna,omitempty"`
+	// StartS is the window start in seconds from the run start.
+	StartS float64 `json:"start_s,omitempty"`
+	// DurationS is the window length in seconds; <= 0 means permanent.
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Prob is the per-frame firing probability; <= 0 or >= 1 fires on
+	// every frame of the window.
+	Prob float64 `json:"prob,omitempty"`
 }
 
 // Environment describes the radio scene.
@@ -275,6 +315,35 @@ func (s *Spec) Validate() error {
 		}
 		if d.Radio.MaxRange < 0 || d.Radio.SweepsPerFrame < 0 {
 			return fmt.Errorf("scenario %q device %d: negative radio override", s.Name, di)
+		}
+	}
+	if s.Fault != nil {
+		if protocol(s.Bodies[0].Motion.Kind) {
+			return fmt.Errorf("scenario %q: fault injection does not apply to protocol motion %q", s.Name, s.Bodies[0].Motion.Kind)
+		}
+		// The smallest fleet array bounds the antenna indexes a window
+		// may target (every device runs the same schedule).
+		minRx := 3
+		for di := 0; di < s.deviceCount(); di++ {
+			if !s.device(di).ExtraTopRx {
+				minRx = 3
+				break
+			}
+			minRx = 4
+		}
+		for i, w := range s.Fault.Windows {
+			if _, err := fault.ParseKind(w.Kind); err != nil {
+				return fmt.Errorf("scenario %q: fault window %d: %w", s.Name, i, err)
+			}
+			if w.Kind != fault.DropFrame.String() && (w.Antenna < -1 || w.Antenna >= minRx) {
+				return fmt.Errorf("scenario %q: fault window %d: antenna %d out of range (fleet arrays have %d, -1 = all)", s.Name, i, w.Antenna, minRx)
+			}
+			if w.StartS < 0 {
+				return fmt.Errorf("scenario %q: fault window %d: negative start %g s", s.Name, i, w.StartS)
+			}
+			if math.IsNaN(w.Prob) || w.Prob < 0 || w.Prob > 1 {
+				return fmt.Errorf("scenario %q: fault window %d: probability %v out of [0, 1]", s.Name, i, w.Prob)
+			}
 		}
 	}
 	for _, a := range s.Expect {

@@ -90,6 +90,10 @@ type ReplayResult struct {
 	Device int    `json:"device"`
 	// Frames is the number of frames replayed.
 	Frames int `json:"frames"`
+	// Skips counts CRC-damaged records resynchronized past in recover
+	// mode (see ReplayOptions.Recover); zero — and omitted — on a
+	// pristine trace, so the corpus golden files are unchanged.
+	Skips int `json:"skips,omitempty"`
 	// Metrics holds the cell's metric values.
 	Metrics Metrics `json:"metrics"`
 }
@@ -99,17 +103,34 @@ type ReplayReport struct {
 	Traces []ReplayResult `json:"traces"`
 }
 
+// ReplayOptions tunes trace replay.
+type ReplayOptions struct {
+	// Recover resynchronizes past CRC-damaged records instead of
+	// aborting the replay; the skip count surfaces in
+	// ReplayResult.Skips. Off by default — a corrupt golden trace
+	// should fail the corpus gate loudly.
+	Recover bool
+}
+
 // ReplayTrace streams a recorded cell back through the pipeline: it
 // rebuilds the recording deployment from the trace's embedded scenario
 // spec (same compile path, same seeds, same calibration), replays the
 // frames via StreamFrom, and scores them exactly like a live cell. The
 // result is bit-identical to what the live run scored — without paying
-// synthesis cost.
+// synthesis cost. Chaos cells re-arm the spec's fault injector, so a
+// clean-recorded trace replays the same damaged stream the live run
+// tracked: fault decisions are functions of the recorded frame indexes.
 func ReplayTrace(ctx context.Context, r io.Reader) (*ReplayResult, error) {
+	return ReplayTraceOpts(ctx, r, ReplayOptions{})
+}
+
+// ReplayTraceOpts is ReplayTrace with explicit options.
+func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*ReplayResult, error) {
 	tr, err := trace.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
+	tr.SetRecover(opts.Recover)
 	h := tr.Header()
 	if len(h.Scenario) == 0 {
 		return nil, fmt.Errorf("scenario: trace %q has no scenario provenance; replay it with core.TraceSource directly", h.Name)
@@ -153,11 +174,19 @@ func ReplayTrace(ctx context.Context, r io.Reader) (*ReplayResult, error) {
 			return nil, err
 		}
 		dev.Workers = c.Workers
+		if c.Faults != nil {
+			if err := dev.InjectFaults(*c.Faults); err != nil {
+				return nil, err
+			}
+		}
 		ch, err := dev.StreamFrom(ctx, src)
 		if err != nil {
 			return nil, err
 		}
 		scoreMultiStream(ch, out)
+		if c.Faults != nil {
+			out.recordFaults(dev.FaultStats())
+		}
 	} else {
 		dev, err := core.NewDevice(c.Config)
 		if err != nil {
@@ -167,11 +196,19 @@ func ReplayTrace(ctx context.Context, r io.Reader) (*ReplayResult, error) {
 		if c.CalibrateFrames > 0 {
 			dev.CalibrateBackground(c.CalibrateFrames)
 		}
+		if c.Faults != nil {
+			if err := dev.InjectFaults(*c.Faults); err != nil {
+				return nil, err
+			}
+		}
 		ch, err := dev.StreamFrom(ctx, src)
 		if err != nil {
 			return nil, err
 		}
 		scoreTrackingStream(ch, c, out)
+		if c.Faults != nil {
+			out.recordFaults(dev.FaultStats())
+		}
 	}
 	if err := src.Err(); err != nil {
 		return nil, err
@@ -183,6 +220,7 @@ func ReplayTrace(ctx context.Context, r io.Reader) (*ReplayResult, error) {
 		Name:    sp.Name,
 		Device:  h.DeviceIndex,
 		Frames:  out.frames,
+		Skips:   src.Skipped(),
 		Metrics: out.res.Metrics,
 	}, nil
 }

@@ -26,6 +26,15 @@ type Reader struct {
 	n    int
 	done bool
 	err  error // sticky
+
+	// Recover mode (opt-in): CRC-failed records are skipped with a
+	// count instead of failing the stream. seq is the next expected
+	// record index (== n plus the skips); lastIdx the index of the most
+	// recently delivered frame.
+	rec     bool
+	skipped int
+	seq     int
+	lastIdx int
 }
 
 // NewReader parses the container preamble and prepares the compressed
@@ -65,8 +74,32 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("%w: opening compressed body: %v", ErrCorrupt, err)
 	}
 	zr.Multistream(false)
-	return &Reader{zr: zr, h: h, prev: make([][]uint64, h.NumRx)}, nil
+	return &Reader{zr: zr, h: h, prev: make([][]uint64, h.NumRx), lastIdx: -1}, nil
 }
+
+// SetRecover switches the reader into (or out of) recover mode: a
+// record whose payload fails its CRC no longer kills the stream — it is
+// withheld from the caller and counted in Skipped, and reading resyncs
+// at the next record. The damaged payload is still structurally parsed
+// when possible so the XOR-delta chain stays aligned (each record is a
+// delta against its predecessor; silently dropping one would corrupt
+// every later frame). Framing damage — a broken length field, a missing
+// trailer, a trailer/stream mismatch — remains a hard error in either
+// mode: past it there is no record boundary to resync to.
+//
+// Recover mode is for salvaging damaged captures; pair it with
+// downstream health monitoring (core's MonitorHealth), since a record
+// whose structure was itself unparseable leaves subsequent frames
+// decoded against a stale chain.
+func (tr *Reader) SetRecover(on bool) { tr.rec = on }
+
+// Skipped returns how many corrupt records recover mode has skipped.
+func (tr *Reader) Skipped() int { return tr.skipped }
+
+// FrameIndex returns the record index of the most recently delivered
+// frame (-1 before the first). Without skips it is FramesRead()-1; in
+// recover mode it advances past skipped records, exposing the gaps.
+func (tr *Reader) FrameIndex() int { return tr.lastIdx }
 
 // Header returns the trace metadata.
 func (tr *Reader) Header() Header { return tr.h }
@@ -112,91 +145,146 @@ func (tr *Reader) ReadFrameTruthsInto(dst []dsp.ComplexFrame, tdst []motion.Body
 		return nil, nil, io.EOF
 	}
 
-	var pre [4]byte
-	if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
-		return nil, nil, tr.fail("stream ended before trailer: %v", err)
-	}
-	plen := binary.LittleEndian.Uint32(pre[:])
-	if plen == trailerSentinel {
-		return nil, nil, tr.finish()
-	}
-	if plen > maxPayloadLen {
-		return nil, nil, tr.fail("frame record length %d exceeds limit", plen)
-	}
-	if cap(tr.buf) < int(plen) {
-		tr.buf = make([]byte, plen)
-	}
-	payload := tr.buf[:plen]
-	if _, err := io.ReadFull(tr.zr, payload); err != nil {
-		return nil, nil, tr.fail("truncated frame record: %v", err)
-	}
-	if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
-		return nil, nil, tr.fail("truncated frame CRC: %v", err)
-	}
-	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(pre[:]); got != want {
-		return nil, nil, tr.fail("frame %d CRC %#08x != stored %#08x", tr.n, got, want)
-	}
+	for {
+		var pre [4]byte
+		if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
+			return nil, nil, tr.fail("stream ended before trailer: %v", err)
+		}
+		plen := binary.LittleEndian.Uint32(pre[:])
+		if plen == trailerSentinel {
+			return nil, nil, tr.finish()
+		}
+		if plen > maxPayloadLen {
+			return nil, nil, tr.fail("frame record length %d exceeds limit", plen)
+		}
+		if cap(tr.buf) < int(plen) {
+			tr.buf = make([]byte, plen)
+		}
+		payload := tr.buf[:plen]
+		if _, err := io.ReadFull(tr.zr, payload); err != nil {
+			return nil, nil, tr.fail("truncated frame record: %v", err)
+		}
+		if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
+			return nil, nil, tr.fail("truncated frame CRC: %v", err)
+		}
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(pre[:]); got != want {
+			if tr.rec {
+				// Recover mode: advance the delta chain through the
+				// damaged record when its structure still parses, count
+				// the skip, and resync at the next record.
+				tr.salvage(payload)
+				tr.skipped++
+				tr.seq++
+				continue
+			}
+			return nil, nil, tr.fail("frame %d CRC %#08x != stored %#08x", tr.seq, got, want)
+		}
 
-	c := cursor{b: payload}
-	if idx := c.u32(); int(idx) != tr.n {
+		c := cursor{b: payload}
+		idx := c.u32()
+		if int(idx) != tr.seq {
+			if c.bad {
+				return nil, nil, tr.fail("frame record too short")
+			}
+			return nil, nil, tr.fail("frame index %d out of sequence (want %d)", idx, tr.seq)
+		}
+		count := int(c.u8())
 		if c.bad {
 			return nil, nil, tr.fail("frame record too short")
 		}
-		return nil, nil, tr.fail("frame index %d out of sequence (want %d)", idx, tr.n)
-	}
-	count := int(c.u8())
-	if c.bad {
-		return nil, nil, tr.fail("frame record too short")
-	}
-	if count > MaxTruths {
-		return nil, nil, tr.fail("frame %d: truth count %d exceeds limit %d", tr.n, count, MaxTruths)
-	}
-	truths := tdst[:0]
-	for i := 0; i < count; i++ {
-		s := c.bodyState()
-		if c.bad {
-			return nil, nil, tr.fail("frame %d: record too short for %d truth states", tr.n, count)
+		if count > MaxTruths {
+			return nil, nil, tr.fail("frame %d: truth count %d exceeds limit %d", tr.seq, count, MaxTruths)
 		}
-		truths = append(truths, s)
-	}
+		truths := tdst[:0]
+		for i := 0; i < count; i++ {
+			s := c.bodyState()
+			if c.bad {
+				return nil, nil, tr.fail("frame %d: record too short for %d truth states", tr.seq, count)
+			}
+			truths = append(truths, s)
+		}
 
-	if len(dst) != tr.h.NumRx {
-		dst = make([]dsp.ComplexFrame, tr.h.NumRx)
+		if len(dst) != tr.h.NumRx {
+			dst = make([]dsp.ComplexFrame, tr.h.NumRx)
+		}
+		for k := 0; k < tr.h.NumRx; k++ {
+			// Bound-check in uint64 before converting: a corrupt 2^31..2^32
+			// bin count must not go negative (and panic in make) on 32-bit
+			// platforms, nor overflow the 16*bins product.
+			bins32 := c.u32()
+			if c.bad || uint64(bins32)*16 > uint64(c.rem()) {
+				return nil, nil, tr.fail("frame %d antenna %d: record too short for %d bins", tr.seq, k, bins32)
+			}
+			bins := int(bins32)
+			if len(dst[k]) != bins {
+				dst[k] = make(dsp.ComplexFrame, bins)
+			}
+			if len(tr.prev[k]) != 2*bins {
+				tr.prev[k] = make([]uint64, 2*bins)
+			}
+			p := tr.prev[k]
+			for i := 0; i < bins; i++ {
+				re := c.u64() ^ p[2*i]
+				im := c.u64() ^ p[2*i+1]
+				p[2*i], p[2*i+1] = re, im
+				dst[k][i] = complex(math.Float64frombits(re), math.Float64frombits(im))
+			}
+		}
+		if c.bad {
+			return nil, nil, tr.fail("frame %d: record too short", tr.seq)
+		}
+		if c.rem() != 0 {
+			return nil, nil, tr.fail("frame %d: %d trailing bytes in record", tr.seq, c.rem())
+		}
+		tr.lastIdx = int(idx)
+		tr.n++
+		tr.seq++
+		if count == 0 {
+			truths = nil
+		}
+		return dst, truths, nil
+	}
+}
+
+// salvage best-effort advances the XOR-delta chain through a CRC-failed
+// record: every frame is stored as a delta against its predecessor, so
+// a skipped record whose deltas were not applied would corrupt every
+// later frame wherever consecutive frames differ. Applying the damaged
+// delta instead confines the downstream error to exactly the flipped
+// bits — and when the flip landed in the stored CRC rather than the
+// payload, the chain resyncs bit-exactly. Structural damage (the layout
+// itself no longer parses) leaves the chain stale mid-record; that is
+// what downstream health monitoring is for.
+func (tr *Reader) salvage(payload []byte) {
+	c := cursor{b: payload}
+	c.u32() // index
+	count := int(c.u8())
+	if c.bad || count > MaxTruths {
+		return
+	}
+	for i := 0; i < count; i++ {
+		c.bodyState()
+		if c.bad {
+			return
+		}
 	}
 	for k := 0; k < tr.h.NumRx; k++ {
-		// Bound-check in uint64 before converting: a corrupt 2^31..2^32
-		// bin count must not go negative (and panic in make) on 32-bit
-		// platforms, nor overflow the 16*bins product.
 		bins32 := c.u32()
 		if c.bad || uint64(bins32)*16 > uint64(c.rem()) {
-			return nil, nil, tr.fail("frame %d antenna %d: record too short for %d bins", tr.n, k, bins32)
+			return
 		}
 		bins := int(bins32)
-		if len(dst[k]) != bins {
-			dst[k] = make(dsp.ComplexFrame, bins)
-		}
 		if len(tr.prev[k]) != 2*bins {
+			// First-ever record, or a bin-count change: the chain slot
+			// starts from zero (the writer XORs frame 0 against zero).
 			tr.prev[k] = make([]uint64, 2*bins)
 		}
 		p := tr.prev[k]
 		for i := 0; i < bins; i++ {
-			re := c.u64() ^ p[2*i]
-			im := c.u64() ^ p[2*i+1]
-			p[2*i], p[2*i+1] = re, im
-			dst[k][i] = complex(math.Float64frombits(re), math.Float64frombits(im))
+			p[2*i] ^= c.u64()
+			p[2*i+1] ^= c.u64()
 		}
 	}
-	if c.bad {
-		return nil, nil, tr.fail("frame %d: record too short", tr.n)
-	}
-	if c.rem() != 0 {
-		return nil, nil, tr.fail("frame %d: %d trailing bytes in record", tr.n, c.rem())
-	}
-	tr.n++
-	if count == 0 {
-		truths = nil
-	}
-	return dst, truths, nil
 }
 
 // finish verifies the trailer and the compressed stream's own footer,
@@ -209,8 +297,10 @@ func (tr *Reader) finish() error {
 	if got, want := crc32.ChecksumIEEE(t[:8]), binary.LittleEndian.Uint32(t[8:]); got != want {
 		return tr.fail("trailer CRC %#08x != stored %#08x", got, want)
 	}
-	if count := binary.LittleEndian.Uint64(t[:8]); count != uint64(tr.n) {
-		return tr.fail("trailer says %d frames, decoded %d", count, tr.n)
+	// The trailer counts written records; in recover mode skipped ones
+	// were still consumed, so compare against seq (== n when no skips).
+	if count := binary.LittleEndian.Uint64(t[:8]); count != uint64(tr.seq) {
+		return tr.fail("trailer says %d frames, decoded %d", count, tr.seq)
 	}
 	// Drain the gzip stream: this forces the decompressor to verify its
 	// own CRC/length footer (catching traces truncated inside the final

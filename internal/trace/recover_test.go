@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"witrack/internal/dsp"
+)
+
+// splitTrace separates an encoded trace into its uncompressed preamble
+// (magic, version, header JSON, header CRC) and the decompressed record
+// stream, so tests can corrupt individual records surgically.
+func splitTrace(t *testing.T, data []byte) (pre, body []byte) {
+	t.Helper()
+	hdrLen := binary.LittleEndian.Uint32(data[8:12])
+	cut := 12 + int(hdrLen) + 4
+	zr, err := gzip.NewReader(bytes.NewReader(data[cut:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), data[:cut]...), body
+}
+
+// joinTrace recompresses a (possibly corrupted) record stream back under
+// the preamble into a readable trace.
+func joinTrace(t *testing.T, pre, body []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	out.Write(pre)
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// record locates record i in a decompressed stream, returning the
+// offsets of its payload and stored CRC.
+func record(t *testing.T, body []byte, i int) (payloadStart, payloadLen, crcStart int) {
+	t.Helper()
+	off := 0
+	for n := 0; ; n++ {
+		plen := binary.LittleEndian.Uint32(body[off : off+4])
+		if plen == trailerSentinel {
+			t.Fatalf("record %d not found (stream has %d)", i, n)
+		}
+		if n == i {
+			return off + 4, int(plen), off + 4 + int(plen)
+		}
+		off += 4 + int(plen) + 4
+	}
+}
+
+// readAll drains a reader, returning every decoded frame set (deep
+// copies) until EOF or the first error.
+func readAll(tr *Reader) (frames [][]dsp.ComplexFrame, err error) {
+	var dst []dsp.ComplexFrame
+	for {
+		var got []dsp.ComplexFrame
+		got, _, err = tr.ReadFrameTruthsInto(dst, nil)
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			return frames, err
+		}
+		dst = got
+		cp := make([]dsp.ComplexFrame, len(got))
+		for k := range got {
+			cp[k] = append(dsp.ComplexFrame(nil), got[k]...)
+		}
+		frames = append(frames, cp)
+	}
+}
+
+// TestRecoverSkipsCRCDamagedRecord pins the clean salvage path: a flip
+// in a record's *stored CRC* leaves its payload (and so the XOR-delta
+// chain) intact, so recover mode withholds exactly that frame and every
+// surviving frame reads back bit-identical, with the index gap visible.
+func TestRecoverSkipsCRCDamagedRecord(t *testing.T) {
+	const nRx, bins, n, bad = 3, 21, 10, 4
+	frames, truths := testFrames(nRx, bins, n, 11)
+	pre, body := splitTrace(t, encode(t, testHeader(nRx), frames, truths))
+	_, _, crcAt := record(t, body, bad)
+	body[crcAt] ^= 0x01
+	data := joinTrace(t, pre, body)
+
+	// Without recover mode the damage is fatal at the damaged record.
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(tr)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict mode: want ErrCorrupt, got %v", err)
+	}
+	if len(got) != bad {
+		t.Fatalf("strict mode decoded %d frames before failing, want %d", len(got), bad)
+	}
+
+	// Recover mode resyncs past it.
+	tr, err = NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetRecover(true)
+	var surviving [][]dsp.ComplexFrame
+	wantIdx := []int{}
+	for f := 0; f < n; f++ {
+		if f == bad {
+			continue
+		}
+		surviving = append(surviving, frames[f])
+		wantIdx = append(wantIdx, f)
+	}
+	var dst []dsp.ComplexFrame
+	for i, want := range surviving {
+		var err error
+		dst, _, err = tr.ReadFrameTruthsInto(dst, nil)
+		if err != nil {
+			t.Fatalf("surviving frame %d: %v", i, err)
+		}
+		if tr.FrameIndex() != wantIdx[i] {
+			t.Fatalf("surviving frame %d: FrameIndex %d, want %d", i, tr.FrameIndex(), wantIdx[i])
+		}
+		for k := 0; k < nRx; k++ {
+			if !bitsEqual(dst[k], want[k]) {
+				t.Fatalf("surviving frame %d antenna %d not bit-identical", i, k)
+			}
+		}
+	}
+	if _, _, err := tr.ReadFrameTruthsInto(dst, nil); err != io.EOF {
+		t.Fatalf("want clean io.EOF after recovery, got %v", err)
+	}
+	if tr.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1", tr.Skipped())
+	}
+	if tr.FramesRead() != n-1 {
+		t.Fatalf("FramesRead() = %d, want %d", tr.FramesRead(), n-1)
+	}
+}
+
+// TestRecoverFirstRecordDamage exercises salvage before any prev state
+// exists: the chain slot starts from zero (frame 0 is a delta against
+// zero), so even losing the very first record keeps later frames exact.
+func TestRecoverFirstRecordDamage(t *testing.T) {
+	const nRx, bins, n = 2, 9, 6
+	frames, truths := testFrames(nRx, bins, n, 12)
+	pre, body := splitTrace(t, encode(t, testHeader(nRx), frames, truths))
+	_, _, crcAt := record(t, body, 0)
+	body[crcAt+2] ^= 0x80
+	tr, err := NewReader(bytes.NewReader(joinTrace(t, pre, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetRecover(true)
+	got, err := readAll(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n-1 || tr.Skipped() != 1 {
+		t.Fatalf("decoded %d frames with %d skips, want %d and 1", len(got), tr.Skipped(), n-1)
+	}
+	for f := 1; f < n; f++ {
+		for k := 0; k < nRx; k++ {
+			if !bitsEqual(got[f-1][k], frames[f][k]) {
+				t.Fatalf("frame %d antenna %d not bit-identical after first-record skip", f, k)
+			}
+		}
+	}
+}
+
+// TestRecoverPayloadDamageIsBounded pins the lossy salvage path: a flip
+// inside a record's sample data still advances the chain (via the
+// damaged delta), so the stream completes and the error stays confined
+// to the flipped bits — frames before the damage are untouched and the
+// overall shape survives.
+func TestRecoverPayloadDamageIsBounded(t *testing.T) {
+	const nRx, bins, n, bad = 2, 13, 8, 3
+	frames, truths := testFrames(nRx, bins, n, 13)
+	pre, body := splitTrace(t, encode(t, testHeader(nRx), frames, truths))
+	pStart, pLen, _ := record(t, body, bad)
+	body[pStart+pLen-3] ^= 0x04 // deep in the last antenna's samples
+	tr, err := NewReader(bytes.NewReader(joinTrace(t, pre, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetRecover(true)
+	got, err := readAll(tr)
+	if err != nil {
+		t.Fatalf("recover mode must survive payload damage: %v", err)
+	}
+	if len(got) != n-1 || tr.Skipped() != 1 {
+		t.Fatalf("decoded %d frames with %d skips, want %d and 1", len(got), tr.Skipped(), n-1)
+	}
+	for f := 0; f < bad; f++ {
+		for k := 0; k < nRx; k++ {
+			if !bitsEqual(got[f][k], frames[f][k]) {
+				t.Fatalf("pre-damage frame %d antenna %d not bit-identical", f, k)
+			}
+		}
+	}
+	// Downstream frames may differ from the originals only at the
+	// damaged bit position; everything else must match exactly.
+	for f := bad + 1; f < n; f++ {
+		diff := 0
+		for k := 0; k < nRx; k++ {
+			for i := range frames[f][k] {
+				g, w := got[f-1][k][i], frames[f][k][i]
+				if realBits(g) != realBits(w) {
+					diff++
+				}
+				if imagBits(g) != imagBits(w) {
+					diff++
+				}
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("frame %d: %d components diverged, damage not confined", f, diff)
+		}
+	}
+}
+
+// TestRecoverDefaultsOff: SetRecover is opt-in, and toggling it off
+// restores strict behavior.
+func TestRecoverDefaultsOff(t *testing.T) {
+	frames, truths := testFrames(2, 7, 4, 14)
+	pre, body := splitTrace(t, encode(t, testHeader(2), frames, truths))
+	_, _, crcAt := record(t, body, 1)
+	body[crcAt] ^= 0xFF
+	data := joinTrace(t, pre, body)
+
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetRecover(true)
+	tr.SetRecover(false)
+	if _, err := readAll(tr); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt with recover toggled back off, got %v", err)
+	}
+}
+
+// TestRecoverStructuralDamageStillFatal: recover mode only forgives CRC
+// failures; broken framing (an impossible record length) remains fatal.
+func TestRecoverStructuralDamageStillFatal(t *testing.T) {
+	frames, truths := testFrames(2, 7, 4, 15)
+	pre, body := splitTrace(t, encode(t, testHeader(2), frames, truths))
+	pStart, _, _ := record(t, body, 2)
+	binary.LittleEndian.PutUint32(body[pStart-4:pStart], maxPayloadLen+7)
+	tr, err := NewReader(bytes.NewReader(joinTrace(t, pre, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetRecover(true)
+	if _, err := readAll(tr); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for framing damage, got %v", err)
+	}
+}
+
+func realBits(c complex128) uint64 { return math.Float64bits(real(c)) }
+func imagBits(c complex128) uint64 { return math.Float64bits(imag(c)) }

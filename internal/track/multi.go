@@ -114,6 +114,30 @@ func (m *MultiTracker) threshold() float64 {
 	return m.cfg.ThresholdFactor * m.cfg.NoiseSigma * math.Sqrt2
 }
 
+// Coast advances every track across a frame that never arrived or was
+// quarantined as unhealthy — the multi-target counterpart of
+// Tracker.Coast. Active tracks hold their last confident estimate (and
+// are evicted after coasting too long, exactly as when a frame arrives
+// without their candidate); the background state is untouched. Like
+// Push, the returned slice is freshly allocated.
+func (m *MultiTracker) Coast() []Estimate {
+	out := make([]Estimate, m.maxTargets)
+	for ti, tr := range m.tracks {
+		if !tr.active {
+			continue
+		}
+		if held, ok := tr.hold.Hold(); ok {
+			tr.holdStreak++
+			if tr.holdStreak > evictAfter {
+				tr.active = false
+				continue
+			}
+			out[ti] = Estimate{RoundTrip: held, Valid: true, Moving: false}
+		}
+	}
+	return out
+}
+
 // Push consumes a frame and returns one estimate per target slot (slot
 // order is stable across frames).
 func (m *MultiTracker) Push(frame dsp.ComplexFrame) []Estimate {

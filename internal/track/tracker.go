@@ -256,6 +256,21 @@ func (t *Tracker) Push(frame dsp.ComplexFrame) Estimate {
 	}
 }
 
+// Coast advances the tracker across a frame that never arrived or was
+// quarantined as unhealthy (dropped at the source, a NaN burst, a dark
+// antenna): the §4.4 interpolation path — hold the last confident
+// estimate — without touching the background state, so the poisoned
+// frame cannot corrupt the next subtraction. The hold interpolator does
+// not bound the outage itself; the health layer above decides when a
+// coasting antenna is too stale to feed the geometric solve.
+func (t *Tracker) Coast() Estimate {
+	if held, ok := t.hold.Hold(); ok {
+		t.holdStreak++
+		return Estimate{RoundTrip: held, Valid: true, Moving: false}
+	}
+	return Estimate{}
+}
+
 // spreadWindow bounds the spread computation to the reflector's own
 // neighborhood (±2 m round trip around the contour peak) so distant
 // dynamic-multipath ghosts don't inflate it.

@@ -50,11 +50,13 @@ package witrack
 import (
 	"context"
 	"io"
+	"time"
 
 	"witrack/internal/body"
 	"witrack/internal/core"
 	"witrack/internal/dsp"
 	"witrack/internal/fall"
+	"witrack/internal/fault"
 	"witrack/internal/fmcw"
 	"witrack/internal/geom"
 	"witrack/internal/motion"
@@ -134,6 +136,36 @@ const (
 	ActivityFall     = motion.ActivityFall
 )
 
+// Fault injection & graceful degradation: seeded, schedule-driven
+// corruption of the frame stream (the failure modes real deployments
+// see), with the pipeline tracking per-antenna health, solving on the
+// healthy subset, and coasting through bounded outages. See the fault
+// package and README "Fault injection & graceful degradation".
+type (
+	// FaultSchedule is a seeded set of fault windows for InjectFaults.
+	FaultSchedule = fault.Schedule
+	// FaultWindow schedules one fault kind over a frame interval.
+	FaultWindow = fault.Window
+	// FaultKind is one fault mechanism.
+	FaultKind = fault.Kind
+	// FaultStats counts the injections a run actually performed.
+	FaultStats = fault.Stats
+)
+
+// The fault mechanisms.
+const (
+	// FaultDropFrame discards whole frame batches at the source.
+	FaultDropFrame = fault.DropFrame
+	// FaultDark silences one antenna (all-zero frames).
+	FaultDark = fault.Dark
+	// FaultNaN poisons a burst of bins with NaN/Inf.
+	FaultNaN = fault.NaN
+	// FaultSpike multiplies a band of bins by a large factor.
+	FaultSpike = fault.Spike
+	// FaultStuck re-delivers the antenna's previous frame.
+	FaultStuck = fault.Stuck
+)
+
 // Device is a WiTrack unit driving the full pipeline.
 type Device struct {
 	inner *core.Device
@@ -195,6 +227,33 @@ func (d *Device) Reset() { d.inner.Reset() }
 // SetRecordSpectrograms enables raw spectrogram capture (memory heavy;
 // used for figure generation).
 func (d *Device) SetRecordSpectrograms(on bool) { d.inner.RecordSpectrograms = on }
+
+// InjectFaults installs a deterministic fault schedule for subsequent
+// runs: dropped frames, dark antennas, NaN bursts, amplitude spikes,
+// stuck front ends (see the fault kinds above). Injection decisions
+// are pure functions of (seed, frame, antenna), so a faulted run is
+// bit-identical at any worker count. Installing a schedule also turns
+// on health monitoring.
+func (d *Device) InjectFaults(s FaultSchedule) error { return d.inner.InjectFaults(s) }
+
+// FaultStats returns the injection counters accumulated by the last run.
+func (d *Device) FaultStats() FaultStats { return d.inner.FaultStats() }
+
+// RunError reports why the last run ended early (e.g. the watchdog
+// declaring the frame source stalled), or nil for a clean end.
+func (d *Device) RunError() error { return d.inner.RunError() }
+
+// SetMonitorHealth enables per-antenna health tracking without an
+// injector: damaged frames (NaN/Inf, dead antennas) are quarantined and
+// the solver falls back to the healthy antenna subset, flagging those
+// samples Degraded. A fault-free monitored run is bit-identical to an
+// unmonitored one.
+func (d *Device) SetMonitorHealth(on bool) { d.inner.MonitorHealth = on }
+
+// SetFrameDeadline arms the source watchdog: if the frame source
+// delivers nothing for the given duration the run ends and RunError
+// reports the stall. Zero (the default) disables the watchdog.
+func (d *Device) SetFrameDeadline(deadline time.Duration) { d.inner.FrameDeadline = deadline }
 
 // Multi-person tracking: the §10 extension generalized to k concurrent
 // targets. Each receive antenna extracts k time-of-flight candidates
@@ -264,6 +323,24 @@ func (d *MultiDevice) SetWorkers(n int) { d.inner.Workers = n }
 
 // Reset clears tracker state for a fresh run.
 func (d *MultiDevice) Reset() { d.inner.Reset() }
+
+// InjectFaults installs a deterministic fault schedule (see
+// Device.InjectFaults); the k-person solver drops to the healthy
+// antenna subset when an antenna goes dark.
+func (d *MultiDevice) InjectFaults(s FaultSchedule) error { return d.inner.InjectFaults(s) }
+
+// FaultStats returns the injection counters accumulated by the last run.
+func (d *MultiDevice) FaultStats() FaultStats { return d.inner.FaultStats() }
+
+// RunError reports why the last run ended early, or nil for a clean end.
+func (d *MultiDevice) RunError() error { return d.inner.RunError() }
+
+// SetMonitorHealth enables per-antenna health tracking without an
+// injector (see Device.SetMonitorHealth).
+func (d *MultiDevice) SetMonitorHealth(on bool) { d.inner.MonitorHealth = on }
+
+// SetFrameDeadline arms the source watchdog (see Device.SetFrameDeadline).
+func (d *MultiDevice) SetFrameDeadline(deadline time.Duration) { d.inner.FrameDeadline = deadline }
 
 // DefaultConfig returns the paper's through-wall deployment: default
 // radio, 1 m T array mounted at 1.5 m, standard room, median subject.
@@ -356,6 +433,11 @@ type (
 	ScenarioMotion = scenario.MotionSpec
 	// ScenarioDevice is one device placement in a scenario's fleet.
 	ScenarioDevice = scenario.DeviceSpec
+	// ScenarioFault is a scenario's chaos plan: a seeded fault schedule
+	// authored in seconds, compiled to frame indexes per cell.
+	ScenarioFault = scenario.FaultSpec
+	// ScenarioFaultWindow is one window of a scenario's chaos plan.
+	ScenarioFaultWindow = scenario.FaultWindow
 	// ScenarioOptions tunes the fleet runner.
 	ScenarioOptions = scenario.Options
 	// ScenarioReport is the matrix outcome (the SCENARIOS.json shape).
@@ -408,6 +490,8 @@ type (
 	// ScenarioReplayReport is the multi-trace replay outcome (the
 	// CORPUS.json shape).
 	ScenarioReplayReport = scenario.ReplayReport
+	// ScenarioReplayOptions tunes trace replay (recover mode).
+	ScenarioReplayOptions = scenario.ReplayOptions
 )
 
 // NewTraceWriter opens a .wtrace stream over w.
@@ -440,4 +524,11 @@ func RecordScenarioCell(sp *Scenario, deviceIndex int, w io.Writer) (int, error)
 // synthesis cost.
 func ReplayScenarioTrace(ctx context.Context, r io.Reader) (*ScenarioReplayResult, error) {
 	return scenario.ReplayTrace(ctx, r)
+}
+
+// ReplayScenarioTraceOpts is ReplayScenarioTrace with explicit options
+// — notably Recover, which resynchronizes past CRC-damaged records and
+// reports the skip count instead of aborting.
+func ReplayScenarioTraceOpts(ctx context.Context, r io.Reader, opts ScenarioReplayOptions) (*ScenarioReplayResult, error) {
+	return scenario.ReplayTraceOpts(ctx, r, opts)
 }
