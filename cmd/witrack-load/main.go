@@ -1,0 +1,324 @@
+// Command witrack-load soaks a witrack-svc daemon: it replays a trace
+// corpus at N concurrent sessions, round after round, until a minimum
+// duration has elapsed, then reports sessions × fps × fix-latency
+// percentiles as JSON. Every served result is checked for determinism —
+// all sessions replaying the same trace must agree bit-for-bit — and
+// with -diff the agreed results are compared against a witrack-record
+// snapshot (CORPUS.json), closing the live == replay == served parity
+// chain.
+//
+// The JSON report keeps the deterministic part ("replay": the exact
+// ReplayReport shape witrack-replay snapshots) separate from the
+// wall-clock part ("timing"), so CI can diff the former across runs and
+// ignore the latter.
+//
+// Usage:
+//
+//	witrack-load -mgmt http://host:port [-sessions n] [-min-duration d]
+//	             [-pace] [-json out.json] [-diff CORPUS.json]
+//	             trace.wtrace...
+//
+// With -pace each stream is spread over its recorded duration, so the
+// served lag samples measure real fix latency; unpaced runs drive the
+// daemon flat out and the percentiles measure throughput instead.
+//
+// Exit status: 0 success, 1 session failure, non-deterministic serving,
+// or snapshot drift, 2 bad usage.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"witrack/internal/scenario"
+	"witrack/internal/svc"
+	"witrack/internal/trace"
+)
+
+// loadedTrace is one corpus file plus the metadata pacing needs.
+type loadedTrace struct {
+	name     string
+	data     []byte
+	frames   int
+	duration time.Duration
+}
+
+// Timing is the wall-clock half of the load report. Nothing in here is
+// expected to be stable across runs.
+type Timing struct {
+	Sessions       int     `json:"sessions"`
+	Concurrency    int     `json:"concurrency"`
+	Rounds         int     `json:"rounds"`
+	TotalFrames    int     `json:"total_frames"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	AggregateFPS   float64 `json:"aggregate_fps"`
+	Paced          bool    `json:"paced"`
+	FixLatencyP50  float64 `json:"fix_latency_ms_p50"`
+	FixLatencyP99  float64 `json:"fix_latency_ms_p99"`
+	LatencySamples int     `json:"latency_samples"`
+}
+
+// Report is the witrack-load JSON artifact (SVC_LOAD.json in CI).
+type Report struct {
+	// Replay is deterministic: per-trace results identical to a
+	// single-process witrack-replay of the same files.
+	Replay scenario.ReplayReport `json:"replay"`
+	// Timing is wall-clock measurement; CI ignores it when diffing.
+	Timing Timing `json:"timing"`
+}
+
+func main() {
+	mgmt := flag.String("mgmt", "http://127.0.0.1:7514", "daemon management base URL")
+	sessions := flag.Int("sessions", 8, "concurrent sessions per round")
+	minDuration := flag.Duration("min-duration", 0, "keep launching rounds until this much wall time has elapsed")
+	pace := flag.Bool("pace", false, "pace each stream over its recorded duration (real fix latency)")
+	jsonPath := flag.String("json", "", "write the machine-readable load report to this path")
+	diffPath := flag.String("diff", "", "compare served replay results against this snapshot (CORPUS.json) and fail on drift")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "witrack-load: no trace files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *sessions < 1 {
+		fmt.Fprintln(os.Stderr, "witrack-load: -sessions must be at least 1")
+		os.Exit(2)
+	}
+
+	traces := make([]loadedTrace, flag.NArg())
+	for i, path := range flag.Args() {
+		lt, err := loadTrace(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "witrack-load: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		traces[i] = lt
+	}
+
+	client := &svc.Client{Mgmt: *mgmt}
+	info, err := client.Info()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "witrack-load: daemon unreachable:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("witrack-load: daemon at %s (ingest %s, pool %d), %d traces, %d sessions/round\n",
+		*mgmt, info.IngestAddr, info.PoolSize, len(traces), *sessions)
+
+	// agreed[trace name] is the first served result for that trace;
+	// every later session must match it bit-for-bit.
+	agreed := make(map[string]*scenario.ReplayResult)
+	var lagMS []float64
+	timing := Timing{Concurrency: *sessions, Paced: *pace}
+	start := time.Now()
+
+	for round := 1; timing.Rounds == 0 || time.Since(start) < *minDuration; round++ {
+		results, summaries, err := runRound(client, info.IngestAddr, traces, *sessions, *pace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-load:", err)
+			os.Exit(1)
+		}
+		timing.Rounds = round
+		timing.Sessions += *sessions
+		for i, res := range results {
+			name := traces[i%len(traces)].name
+			timing.TotalFrames += res.Frames
+			if w, ok := agreed[name]; ok {
+				if err := sameBits(w, res); err != nil {
+					fmt.Fprintf(os.Stderr, "witrack-load: %s served non-deterministically in round %d: %v\n", name, round, err)
+					os.Exit(1)
+				}
+			} else {
+				res.Trace = name
+				agreed[name] = res
+			}
+		}
+		for _, sum := range summaries {
+			if sum.Timing != nil {
+				lagMS = append(lagMS, sum.Timing.LagMS...)
+			}
+		}
+	}
+
+	timing.WallSeconds = time.Since(start).Seconds()
+	if timing.WallSeconds > 0 {
+		timing.AggregateFPS = float64(timing.TotalFrames) / timing.WallSeconds
+	}
+	timing.FixLatencyP50 = percentile(lagMS, 50)
+	timing.FixLatencyP99 = percentile(lagMS, 99)
+	timing.LatencySamples = len(lagMS)
+
+	var report Report
+	report.Timing = timing
+	names := make([]string, 0, len(agreed))
+	for name := range agreed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		report.Replay.Traces = append(report.Replay.Traces, *agreed[name])
+	}
+
+	fmt.Printf("witrack-load: %d sessions over %d rounds in %.1fs — %d frames, %.1f fps aggregate, fix latency p50 %.1f ms / p99 %.1f ms (paced=%v)\n",
+		timing.Sessions, timing.Rounds, timing.WallSeconds, timing.TotalFrames,
+		timing.AggregateFPS, timing.FixLatencyP50, timing.FixLatencyP99, timing.Paced)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if *diffPath != "" {
+		snap, err := scenario.LoadReport(*diffPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-load:", err)
+			os.Exit(1)
+		}
+		if n := scenario.DiffReports(os.Stderr, snap, &report.Replay); n > 0 {
+			fmt.Fprintf(os.Stderr, "witrack-load: %d difference(s) against snapshot %s\n", n, *diffPath)
+			os.Exit(1)
+		}
+		fmt.Printf("served results match snapshot %s (%d traces)\n", *diffPath, len(report.Replay.Traces))
+	}
+}
+
+// runRound drives one round of n concurrent sessions, round-robin over
+// the traces, and returns each session's result and summary in launch
+// order. Sessions are deleted afterwards so long soaks never hit the
+// daemon's session cap.
+func runRound(client *svc.Client, ingestAddr string, traces []loadedTrace, n int, pace bool) ([]*scenario.ReplayResult, []*svc.CloseSummary, error) {
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		lt := traces[i%len(traces)]
+		stats, err := client.CreateSession(svc.CreateRequest{Name: lt.name})
+		if err != nil {
+			return nil, nil, fmt.Errorf("creating session: %w", err)
+		}
+		ids[i] = stats.ID
+	}
+	defer func() {
+		for _, id := range ids {
+			client.DeleteSession(id)
+		}
+	}()
+
+	results := make([]*scenario.ReplayResult, n)
+	summaries := make([]*svc.CloseSummary, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lt := traces[i%len(traces)]
+			opts := svc.IngestOptions{}
+			if pace {
+				opts.PaceOver = lt.duration
+			}
+			sum, err := svc.IngestTCP(ingestAddr, ids[i], lt.data, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("session %s (%s): %w", ids[i], lt.name, err)
+				return
+			}
+			if !sum.OK {
+				errs[i] = fmt.Errorf("session %s (%s) failed: %s", ids[i], lt.name, sum.Error)
+				return
+			}
+			results[i] = sum.Result
+			summaries[i] = sum
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return results, summaries, nil
+}
+
+// loadTrace reads a .wtrace and scans it once to learn its frame count
+// and recorded duration (for pacing).
+func loadTrace(path string) (loadedTrace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return loadedTrace{}, err
+	}
+	tr, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return loadedTrace{}, err
+	}
+	frames := 0
+	for {
+		if _, _, err := tr.ReadFrameTruthsInto(nil, nil); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return loadedTrace{}, err
+		}
+		frames++
+	}
+	return loadedTrace{
+		name:     filepath.Base(path),
+		data:     data,
+		frames:   frames,
+		duration: time.Duration(float64(frames) * tr.Header().Interval * float64(time.Second)),
+	}, nil
+}
+
+// sameBits compares two served results for the same trace; any
+// difference means the daemon served non-deterministically.
+func sameBits(a, b *scenario.ReplayResult) error {
+	if a.Name != b.Name || a.Device != b.Device {
+		return fmt.Errorf("identity (%s, device %d) != (%s, device %d)", a.Name, a.Device, b.Name, b.Device)
+	}
+	if a.Frames != b.Frames || a.Skips != b.Skips {
+		return fmt.Errorf("frames/skips %d/%d != %d/%d", a.Frames, a.Skips, b.Frames, b.Skips)
+	}
+	if len(a.Metrics) != len(b.Metrics) {
+		return fmt.Errorf("%d metrics != %d metrics", len(a.Metrics), len(b.Metrics))
+	}
+	for k, av := range a.Metrics {
+		bv, ok := b.Metrics[k]
+		if !ok {
+			return fmt.Errorf("metric %s missing", k)
+		}
+		if math.Float64bits(av) != math.Float64bits(bv) {
+			return fmt.Errorf("metric %s: %.17g != %.17g", k, av, bv)
+		}
+	}
+	return nil
+}
+
+// percentile returns the nearest-rank p-th percentile; 0 on no samples.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -27,10 +27,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"witrack/internal/scenario"
 )
@@ -83,12 +81,12 @@ func main() {
 	}
 
 	if *diffPath != "" {
-		snap, err := loadSnapshot(*diffPath)
+		snap, err := scenario.LoadReport(*diffPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "witrack-replay:", err)
 			os.Exit(1)
 		}
-		if n := diffReports(snap, &report); n > 0 {
+		if n := scenario.DiffReports(os.Stderr, snap, &report); n > 0 {
 			fmt.Fprintf(os.Stderr, "witrack-replay: %d difference(s) against snapshot %s\n", n, *diffPath)
 			os.Exit(1)
 		}
@@ -106,91 +104,4 @@ func replayFile(path string, opts scenario.ReplayOptions) (*scenario.ReplayResul
 	}
 	defer f.Close()
 	return scenario.ReplayTraceOpts(context.Background(), f, opts)
-}
-
-func loadSnapshot(path string) (*scenario.ReplayReport, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var snap scenario.ReplayReport
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &snap, nil
-}
-
-// diffReports compares the snapshot against the replayed results,
-// printing every difference, and returns how many it found. Metric
-// values must match to the bit (the replay pipeline is deterministic;
-// JSON float64 round-trips are exact in Go), so any drift — numeric,
-// missing metric, missing trace — is a regression.
-func diffReports(snap, got *scenario.ReplayReport) int {
-	byTrace := func(rep *scenario.ReplayReport) map[string]scenario.ReplayResult {
-		m := make(map[string]scenario.ReplayResult, len(rep.Traces))
-		for _, r := range rep.Traces {
-			m[r.Trace] = r
-		}
-		return m
-	}
-	want, have := byTrace(snap), byTrace(got)
-	var names []string
-	for name := range want {
-		names = append(names, name)
-	}
-	for name := range have {
-		if _, ok := want[name]; !ok {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-
-	diffs := 0
-	report := func(format string, args ...any) {
-		diffs++
-		fmt.Fprintf(os.Stderr, "  DIFF "+format+"\n", args...)
-	}
-	for _, name := range names {
-		w, inSnap := want[name]
-		g, inGot := have[name]
-		switch {
-		case !inSnap:
-			report("%s: replayed but absent from snapshot", name)
-			continue
-		case !inGot:
-			report("%s: in snapshot but not replayed", name)
-			continue
-		}
-		if w.Name != g.Name || w.Device != g.Device {
-			report("%s: identity (%s, device %d) != snapshot (%s, device %d)", name, g.Name, g.Device, w.Name, w.Device)
-		}
-		if w.Frames != g.Frames {
-			report("%s: %d frames != snapshot %d", name, g.Frames, w.Frames)
-		}
-		keys := map[string]bool{}
-		for k := range w.Metrics {
-			keys[k] = true
-		}
-		for k := range g.Metrics {
-			keys[k] = true
-		}
-		var sorted []string
-		for k := range keys {
-			sorted = append(sorted, k)
-		}
-		sort.Strings(sorted)
-		for _, k := range sorted {
-			wv, okW := w.Metrics[k]
-			gv, okG := g.Metrics[k]
-			switch {
-			case !okW:
-				report("%s: metric %s = %.17g absent from snapshot", name, k, gv)
-			case !okG:
-				report("%s: snapshot metric %s = %.17g not produced", name, k, wv)
-			case math.Float64bits(wv) != math.Float64bits(gv):
-				report("%s: metric %s = %.17g != snapshot %.17g", name, k, gv, wv)
-			}
-		}
-	}
-	return diffs
 }

@@ -124,6 +124,13 @@ type Device struct {
 	// are capped.
 	Workers int
 
+	// Pool, when non-nil, is a shared processing-slot pool bounding how
+	// much of this device's pipeline computes concurrently with every
+	// other device on the same pool — the multi-session daemon's
+	// fairness knob. nil (the default) leaves the run unpooled. Output
+	// is bit-identical either way (see WorkerPool).
+	Pool *WorkerPool
+
 	// MonitorHealth turns on per-antenna health tracking even without an
 	// installed injector: unhealthy frames (NaN/Inf bins, all-zero) are
 	// quarantined before they reach the trackers, sustained damage takes
@@ -382,7 +389,7 @@ func (d *Device) stream(ctx context.Context, src FrameSource,
 		return emit(sample, ests, mags)
 	}
 
-	runPipeline(ctx, src, d.Workers, proc, fuse)
+	runPipeline(ctx, src, d.Workers, d.Pool, proc, fuse)
 	if wd != nil {
 		wd.shutdown()
 		d.runErr = wd.err

@@ -39,6 +39,9 @@ type MultiDevice struct {
 	// Device.Workers); 0 means one per receive antenna.
 	Workers int
 
+	// Pool is the shared processing-slot pool (see Device.Pool).
+	Pool *WorkerPool
+
 	// MonitorHealth/FrameDeadline mirror Device's robustness knobs (see
 	// Device.MonitorHealth and Device.FrameDeadline).
 	MonitorHealth bool
@@ -220,7 +223,7 @@ func (d *MultiDevice) stream(ctx context.Context, src FrameSource, emit func(s M
 		return emit(sample)
 	}
 
-	runPipeline(ctx, src, d.Workers, proc, fuse)
+	runPipeline(ctx, src, d.Workers, d.Pool, proc, fuse)
 	if wd != nil {
 		wd.shutdown()
 		d.runErr = wd.err

@@ -50,7 +50,15 @@ type stageMsg[E any] struct {
 // fuse returning false, ctx cancellation, or source exhaustion all shut
 // the pipeline down; runPipeline returns only after every goroutine has
 // exited, so callers may touch worker-owned state afterwards.
-func runPipeline[E any](ctx context.Context, src FrameSource, workers int,
+//
+// pool, when non-nil, bounds concurrent processing machine-wide: each
+// worker holds one slot while it runs proc for a batch's antennas and
+// releases it before any channel operation, so many devices sharing one
+// pool time-slice the CPU without risking deadlock (see WorkerPool).
+// Because proc is deterministic in (frame, antenna) and each antenna's
+// frames are still processed in order by a single goroutine, pooling
+// changes scheduling only — never an output bit.
+func runPipeline[E any](ctx context.Context, src FrameSource, workers int, pool *WorkerPool,
 	proc func(k int, b *FrameBatch) E,
 	fuse func(b *FrameBatch, ests []E) bool) {
 
@@ -115,6 +123,11 @@ func runPipeline[E any](ctx context.Context, src FrameSource, workers int,
 				}
 			}()
 			burst := make([]*FrameBatch, 0, maxBurst)
+			// ests stages one batch's per-antenna results so a pooled
+			// worker can compute them all under one slot and emit only
+			// after the slot is released (a slot must never be held
+			// across a blocking send).
+			ests := make([]E, nRx)
 			for {
 				b, ok := <-in[w]
 				if !ok {
@@ -136,9 +149,18 @@ func runPipeline[E any](ctx context.Context, src FrameSource, workers int,
 					}
 				}
 				for _, b := range burst {
+					if pool != nil {
+						pool.acquire()
+					}
+					for k := w; k < nRx; k += workers {
+						ests[k] = proc(k, b)
+					}
+					if pool != nil {
+						pool.release()
+					}
 					for k := w; k < nRx; k += workers {
 						select {
-						case outs[k] <- stageMsg[E]{b: b, est: proc(k, b)}:
+						case outs[k] <- stageMsg[E]{b: b, est: ests[k]}:
 						case <-pctx.Done():
 							return
 						}

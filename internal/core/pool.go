@@ -1,0 +1,46 @@
+package core
+
+// WorkerPool bounds how much pipeline processing runs concurrently
+// across any number of devices — the multiplexing primitive behind a
+// multi-session daemon (witrack-svc). Without a pool every device run
+// spawns its own per-antenna workers and they all compute at once; N
+// concurrent sessions on an M-core host would oversubscribe the
+// scheduler N·nRx/M-fold. With a shared pool each worker still exists
+// (goroutines are cheap and keep the staged channels wired), but it
+// must hold one of the pool's slots while it does a frame's worth of
+// processing, so at most Size frames of per-antenna math execute at any
+// instant machine-wide.
+//
+// Slots are held only across pure computation — never across a channel
+// send or receive — so pooled pipelines cannot deadlock and sessions
+// cannot starve each other out of anything but CPU. Scheduling order
+// changes, the observable sample sequence does not: per-antenna
+// processing is deterministic in (frame, antenna), which is the same
+// property that makes worker count invisible (see runPipeline).
+type WorkerPool struct {
+	slots chan struct{}
+}
+
+// NewWorkerPool builds a pool with n processing slots (n < 1 is raised
+// to 1). One pool may be shared by any number of devices and sessions;
+// all methods are safe for concurrent use.
+func NewWorkerPool(n int) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	return &WorkerPool{slots: make(chan struct{}, n)}
+}
+
+// Size returns the pool's slot count.
+func (p *WorkerPool) Size() int { return cap(p.slots) }
+
+// InUse returns how many slots are currently held (a point-in-time
+// reading, for stats surfaces).
+func (p *WorkerPool) InUse() int { return len(p.slots) }
+
+// acquire blocks until a slot is free. Callers must pair it with
+// release and must not block on channels while holding the slot.
+func (p *WorkerPool) acquire() { p.slots <- struct{}{} }
+
+// release returns a slot to the pool.
+func (p *WorkerPool) release() { <-p.slots }

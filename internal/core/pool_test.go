@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"witrack/internal/motion"
+)
+
+// runWithPool runs the trajectory on a fresh device wired to the given
+// pool (nil = unpooled) and returns the sample digest.
+func runWithPool(t *testing.T, cfg Config, traj motion.Trajectory, pool *WorkerPool) uint64 {
+	t.Helper()
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Pool = pool
+	return goldenHash(drain(dev.Stream(context.Background(), traj)))
+}
+
+// TestPooledRunBitIdentical pins the WorkerPool contract: a run gated
+// on a shared pool — at any slot count, including a single slot shared
+// with other concurrent devices — produces exactly the sample sequence
+// of an unpooled run. Pooling may reschedule work, never change it.
+func TestPooledRunBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 97
+	traj := shortWalk(t, cfg)
+	want := runWithPool(t, cfg, traj, nil)
+
+	for _, slots := range []int{1, 2, 8} {
+		if got := runWithPool(t, cfg, traj, NewWorkerPool(slots)); got != want {
+			t.Fatalf("pool with %d slots diverged: digest %#x, want %#x", slots, got, want)
+		}
+	}
+}
+
+// TestSharedPoolConcurrentDevicesBitIdentical is the daemon's core
+// multiplexing property: many devices time-slicing one small pool (and
+// the process-wide FFT plan cache) concurrently each produce the exact
+// sample stream they produce alone. Run under -race this also proves
+// the pool and plan cache introduce no data race between sessions.
+func TestSharedPoolConcurrentDevicesBitIdentical(t *testing.T) {
+	const sessions = 6
+	pool := NewWorkerPool(2)
+
+	cfgs := make([]Config, sessions)
+	trajs := make([]motion.Trajectory, sessions)
+	want := make([]uint64, sessions)
+	for i := range cfgs {
+		cfgs[i] = DefaultConfig()
+		cfgs[i].Seed = int64(500 + 7*i)
+		trajs[i] = shortWalk(t, cfgs[i])
+		want[i] = runWithPool(t, cfgs[i], trajs[i], nil)
+	}
+
+	got := make([]uint64, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dev, err := NewDevice(cfgs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dev.Pool = pool
+			got[i] = goldenHash(drain(dev.Stream(context.Background(), trajs[i])))
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("session %d diverged under the shared pool: digest %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSharedPoolMultiDevice covers the k-person pipeline on a pooled
+// run: same output as unpooled.
+func TestSharedPoolMultiDevice(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 131
+	trajA := shortWalk(t, cfg)
+	cfgB := cfg
+	cfgB.Seed = 132
+	trajB := shortWalk(t, cfgB)
+
+	run := func(pool *WorkerPool) []MultiSample {
+		dev, err := NewMultiDevice(cfg, cfg.Subject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.Pool = pool
+		return dev.Run(trajA, trajB).Samples
+	}
+	want := run(nil)
+	got := run(NewWorkerPool(1))
+	if len(got) != len(want) {
+		t.Fatalf("pooled multi run emitted %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.T != g.T || w.Valid != g.Valid || len(w.Pos) != len(g.Pos) {
+			t.Fatalf("sample %d diverged: %+v vs %+v", i, g, w)
+		}
+		for s := range w.Pos {
+			if w.Pos[s] != g.Pos[s] {
+				t.Fatalf("sample %d subject %d: pooled %v, unpooled %v", i, s, g.Pos[s], w.Pos[s])
+			}
+		}
+	}
+}

@@ -58,9 +58,46 @@ type TraceSource struct {
 	err  error
 }
 
-// NewTraceSource wraps an opened trace reader.
+// NewTraceSource wraps an opened trace reader with a private recycling
+// ring (the right choice for a one-shot replay).
 func NewTraceSource(r *trace.Reader) *TraceSource {
 	return &TraceSource{r: r, ring: newBatchRing(ringCapacity)}
+}
+
+// FrameArena is a shared recycling arena for pipeline frame batches: a
+// mempool-style pool of decoded-frame buffers that outlives any single
+// replay. A daemon serving many short trace sessions hands every
+// TraceSource the same arena, so the complex-frame and truth buffers
+// one session warmed up are decoded into again by the next session
+// instead of being re-allocated per connection. Safe for concurrent use
+// by any number of sessions; buffers of mismatched shape (a trace with
+// different bins or antenna count) are simply resized on first decode.
+type FrameArena struct {
+	ring *batchRing
+}
+
+// defaultArenaCapacity retains enough batches for dozens of concurrent
+// sessions at pipeline depth.
+const defaultArenaCapacity = 256
+
+// NewFrameArena builds an arena retaining at most capacity recycled
+// batches (capacity <= 0 selects a default sized for a multi-session
+// daemon).
+func NewFrameArena(capacity int) *FrameArena {
+	if capacity <= 0 {
+		capacity = defaultArenaCapacity
+	}
+	return &FrameArena{ring: newBatchRing(capacity)}
+}
+
+// NewTraceSourceArena is NewTraceSource recycling batches through the
+// shared arena instead of a private ring. A nil arena falls back to a
+// private ring.
+func NewTraceSourceArena(r *trace.Reader, a *FrameArena) *TraceSource {
+	if a == nil {
+		return NewTraceSource(r)
+	}
+	return &TraceSource{r: r, ring: a.ring}
 }
 
 // Header returns the trace metadata.

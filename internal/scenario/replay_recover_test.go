@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// corruptOneRecord flips a bit in the stored CRC of record i inside an
+// encoded trace, re-compressing the stream so it still reads as a valid
+// container. CRC damage leaves the record's delta payload intact, so
+// recover-mode salvage keeps every surviving frame bit-exact.
+func corruptOneRecord(t *testing.T, data []byte, i int) []byte {
+	t.Helper()
+	hdrLen := binary.LittleEndian.Uint32(data[8:12])
+	cut := 12 + int(hdrLen) + 4
+	zr, err := gzip.NewReader(bytes.NewReader(data[cut:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for n := 0; ; n++ {
+		plen := binary.LittleEndian.Uint32(body[off : off+4])
+		if plen == 0xFFFFFFFF {
+			t.Fatalf("record %d not found (stream has %d)", i, n)
+		}
+		if n == i {
+			body[off+4+int(plen)] ^= 0x01 // first CRC byte
+			break
+		}
+		off += 4 + int(plen) + 4
+	}
+	var out bytes.Buffer
+	out.Write(data[:cut])
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestReplaySkipAccountingOnTruthBearingTrace is the replay-level
+// regression for -recover skip accounting: record the corpus's
+// two-person cell (every record carries two truth BodyStates), damage
+// one record's CRC, and replay in recover mode. Skips must report
+// exactly one skipped FRAME — the damaged record — and Frames must drop
+// by exactly one, proving records and frames stay one-to-one even when
+// truth data shares the record.
+func TestReplaySkipAccountingOnTruthBearingTrace(t *testing.T) {
+	var duo *Spec
+	for _, sp := range Corpus() {
+		if sp.Name == "corpus-duo" {
+			s := sp
+			duo = &s
+			break
+		}
+	}
+	if duo == nil {
+		t.Fatal("corpus has no two-person cell")
+	}
+	var buf bytes.Buffer
+	n, err := RecordCell(duo, 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 {
+		t.Fatalf("recorded only %d frames", n)
+	}
+	clean := buf.Bytes()
+
+	// Baseline: the pristine trace replays all frames with zero skips.
+	base, err := ReplayTrace(context.Background(), bytes.NewReader(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Frames != n || base.Skips != 0 {
+		t.Fatalf("pristine replay: %d frames %d skips, want %d and 0", base.Frames, base.Skips, n)
+	}
+
+	damaged := corruptOneRecord(t, append([]byte(nil), clean...), n/2)
+
+	// Strict mode must refuse the damaged trace.
+	if _, err := ReplayTrace(context.Background(), bytes.NewReader(damaged)); err == nil {
+		t.Fatal("strict replay accepted a damaged trace")
+	}
+
+	// Recover mode: one damaged record == one skipped frame.
+	res, err := ReplayTraceOpts(context.Background(), bytes.NewReader(damaged), ReplayOptions{Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skips != 1 {
+		t.Fatalf("Skips = %d, want 1 (frames, not embedded truth records)", res.Skips)
+	}
+	if res.Frames != n-1 {
+		t.Fatalf("Frames = %d, want %d (exactly the damaged frame withheld)", res.Frames, n-1)
+	}
+}

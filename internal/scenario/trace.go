@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"witrack/internal/core"
+	"witrack/internal/geom"
 	"witrack/internal/trace"
 )
 
@@ -110,6 +112,43 @@ type ReplayOptions struct {
 	// ReplayResult.Skips. Off by default — a corrupt golden trace
 	// should fail the corpus gate loudly.
 	Recover bool
+	// Workers overrides the replaying device's per-antenna pipeline
+	// worker count (0 keeps the compiled cell's setting). Output is
+	// bit-identical at any worker count.
+	Workers int
+	// Pool, when non-nil, gates the replay's processing on a shared
+	// worker pool, so many concurrent replays (a daemon's sessions)
+	// time-slice a bounded slot count instead of oversubscribing the
+	// host. See core.WorkerPool; output is unchanged.
+	Pool *core.WorkerPool
+	// Arena, when non-nil, recycles decoded frame buffers through a
+	// shared cross-replay arena instead of a private per-replay ring.
+	Arena *core.FrameArena
+	// FrameDeadline arms the replaying device's source watchdog: a
+	// stream that delivers no frame within the deadline (a stalled
+	// network client) ends the replay with a descriptive error instead
+	// of wedging it forever. Zero disables the watchdog.
+	FrameDeadline time.Duration
+	// Observe, when non-nil, is called with every fused sample in frame
+	// order as the replay progresses — the hook live-stats surfaces (a
+	// daemon's per-session fps/last-fix counters) are built on. It runs
+	// on the replay's delivery path; keep it fast and non-blocking.
+	Observe func(ReplayFix)
+}
+
+// ReplayFix is one fused output frame as seen by ReplayOptions.Observe:
+// the subject-0 position plus the validity/degradation flags, enough to
+// drive last-fix and health stats without retaining samples.
+type ReplayFix struct {
+	// T is the frame time in trace seconds.
+	T float64
+	// Pos is the tracked position (subject 0 on multi-person cells);
+	// meaningful only when Valid.
+	Pos geom.Vec3
+	// Valid reports a real fix this frame.
+	Valid bool
+	// Degraded marks a fix solved on a reduced antenna subset.
+	Degraded bool
 }
 
 // ReplayTrace streams a recorded cell back through the pipeline: it
@@ -166,14 +205,21 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 		return nil, fmt.Errorf("scenario %q: provenance compiles to %d calibration frames, trace recorded %d", sp.Name, got, h.CalibrateFrames)
 	}
 
-	src := core.NewTraceSource(tr)
+	workers := c.Workers
+	if opts.Workers > 0 {
+		workers = opts.Workers
+	}
+	src := core.NewTraceSourceArena(tr, opts.Arena)
 	out := &cellOutcome{}
+	var runErr func() error
 	if len(c.Trajectories) >= 2 {
 		dev, err := core.NewMultiDevice(c.Config, c.Subjects[1:]...)
 		if err != nil {
 			return nil, err
 		}
-		dev.Workers = c.Workers
+		dev.Workers = workers
+		dev.Pool = opts.Pool
+		dev.FrameDeadline = opts.FrameDeadline
 		if c.Faults != nil {
 			if err := dev.InjectFaults(*c.Faults); err != nil {
 				return nil, err
@@ -183,16 +229,22 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 		if err != nil {
 			return nil, err
 		}
+		if opts.Observe != nil {
+			ch = teeMulti(ch, opts.Observe)
+		}
 		scoreMultiStream(ch, out)
 		if c.Faults != nil {
 			out.recordFaults(dev.FaultStats())
 		}
+		runErr = dev.RunError
 	} else {
 		dev, err := core.NewDevice(c.Config)
 		if err != nil {
 			return nil, err
 		}
-		dev.Workers = c.Workers
+		dev.Workers = workers
+		dev.Pool = opts.Pool
+		dev.FrameDeadline = opts.FrameDeadline
 		if c.CalibrateFrames > 0 {
 			dev.CalibrateBackground(c.CalibrateFrames)
 		}
@@ -205,10 +257,19 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 		if err != nil {
 			return nil, err
 		}
+		if opts.Observe != nil {
+			ch = teeSingle(ch, opts.Observe)
+		}
 		scoreTrackingStream(ch, c, out)
 		if c.Faults != nil {
 			out.recordFaults(dev.FaultStats())
 		}
+		runErr = dev.RunError
+	}
+	// Ordering matters: a watchdog stall (RunError) is the root cause
+	// when a slow source also surfaces a late decode error.
+	if err := runErr(); err != nil {
+		return nil, err
 	}
 	if err := src.Err(); err != nil {
 		return nil, err
@@ -223,6 +284,39 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 		Skips:   src.Skipped(),
 		Metrics: out.res.Metrics,
 	}, nil
+}
+
+// teeSingle forwards the sample stream unchanged while reporting each
+// sample to observe — the scoring path downstream sees exactly the
+// frames it would without the tee.
+func teeSingle(ch <-chan core.Sample, observe func(ReplayFix)) <-chan core.Sample {
+	out := make(chan core.Sample)
+	go func() {
+		defer close(out)
+		for s := range ch {
+			observe(ReplayFix{T: s.T, Pos: s.Pos, Valid: s.Valid, Degraded: s.Degraded})
+			out <- s
+		}
+	}()
+	return out
+}
+
+// teeMulti is teeSingle for the k-person stream; the fix reports
+// subject 0's position.
+func teeMulti(ch <-chan core.MultiSample, observe func(ReplayFix)) <-chan core.MultiSample {
+	out := make(chan core.MultiSample)
+	go func() {
+		defer close(out)
+		for s := range ch {
+			fix := ReplayFix{T: s.T, Valid: s.Valid, Degraded: s.Degraded}
+			if len(s.Pos) > 0 {
+				fix.Pos = s.Pos[0]
+			}
+			observe(fix)
+			out <- s
+		}
+	}()
+	return out
 }
 
 // Corpus returns the compact scenario set behind the checked-in golden

@@ -1,0 +1,185 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Client drives a witrack-svc daemon: management calls over HTTP plus
+// trace ingest over the TCP plane. It is what witrack-load and the
+// integration tests are built on.
+type Client struct {
+	// Mgmt is the management base URL, e.g. "http://127.0.0.1:7514".
+	Mgmt string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.Mgmt + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(path, resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Info fetches the daemon's /info document (including the ingest
+// address, so only the management address needs configuring).
+func (c *Client) Info() (Info, error) {
+	var info Info
+	err := c.getJSON("/info", &info)
+	return info, err
+}
+
+// CreateSession registers a new waiting session.
+func (c *Client) CreateSession(req CreateRequest) (SessionStats, error) {
+	var stats SessionStats
+	body, err := json.Marshal(req)
+	if err != nil {
+		return stats, err
+	}
+	resp, err := c.http().Post(c.Mgmt+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return stats, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return stats, apiError("/sessions", resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	return stats, err
+}
+
+// Session fetches one session's stats.
+func (c *Client) Session(id string) (SessionStats, error) {
+	var stats SessionStats
+	err := c.getJSON("/sessions/"+id, &stats)
+	return stats, err
+}
+
+// Sessions lists all sessions.
+func (c *Client) Sessions() ([]SessionStats, error) {
+	var stats []SessionStats
+	err := c.getJSON("/sessions", &stats)
+	return stats, err
+}
+
+// DeleteSession cancels and removes a session.
+func (c *Client) DeleteSession(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.Mgmt+"/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return apiError("/sessions/"+id, resp)
+	}
+	return nil
+}
+
+func apiError(path string, resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil && body.Error != "" {
+		return fmt.Errorf("svc: %s: %s (HTTP %d)", path, body.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("svc: %s: HTTP %d", path, resp.StatusCode)
+}
+
+// IngestOptions shapes an IngestTCP stream.
+type IngestOptions struct {
+	// PaceOver, when positive, paces the trace bytes evenly across this
+	// duration (the trace's recorded duration, typically), so the
+	// server's fix-lag samples measure real fix latency instead of
+	// flat-out throughput.
+	PaceOver time.Duration
+	// CloseWriteEarly, when positive, truncates the stream after this
+	// many bytes and closes the connection without waiting for a
+	// summary — the mid-stream-disconnect chaos knob for tests.
+	CloseWriteEarly int
+}
+
+// paceTick is the pacing granularity: fine enough that a 4.5 s corpus
+// trace gets ~90 evenly-spread installments.
+const paceTick = 50 * time.Millisecond
+
+// IngestTCP streams one trace to a session over the TCP ingest plane
+// and returns the server's close summary. addr is the daemon's ingest
+// address, id the session to feed, data the raw .wtrace bytes.
+func IngestTCP(addr, id string, data []byte, opts IngestOptions) (*CloseSummary, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := writeHello(conn, id); err != nil {
+		return nil, err
+	}
+
+	if opts.CloseWriteEarly > 0 && opts.CloseWriteEarly < len(data) {
+		if _, err := conn.Write(data[:opts.CloseWriteEarly]); err != nil {
+			return nil, err
+		}
+		return nil, conn.Close()
+	}
+
+	if opts.PaceOver > 0 {
+		if err := pacedWrite(conn, data, opts.PaceOver); err != nil {
+			return nil, fmt.Errorf("svc: paced ingest write: %w", err)
+		}
+	} else if _, err := conn.Write(data); err != nil {
+		return nil, fmt.Errorf("svc: ingest write: %w", err)
+	}
+	// Half-close the write side so the server sees end of trace while
+	// the read side stays open for the summary.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	return readSummary(conn)
+}
+
+// pacedWrite spreads data evenly over d in paceTick installments.
+func pacedWrite(w io.Writer, data []byte, d time.Duration) error {
+	ticks := int(d / paceTick)
+	if ticks < 1 {
+		ticks = 1
+	}
+	start := time.Now()
+	sent := 0
+	for i := 1; i <= ticks; i++ {
+		target := len(data) * i / ticks
+		if target > sent {
+			if _, err := w.Write(data[sent:target]); err != nil {
+				return err
+			}
+			sent = target
+		}
+		if i < ticks {
+			if sleep := time.Duration(i)*paceTick - time.Since(start); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"witrack/internal/trace"
+)
+
+// FuzzSvcIngest throws arbitrary bytes at the network-facing ingest
+// path: the hello parser first, and — when the hello survives — the
+// remainder through the trace reader in recover mode, exactly as a
+// session would consume it. Nothing here may panic or read unbounded
+// memory no matter what a hostile or confused client sends.
+func FuzzSvcIngest(f *testing.F) {
+	// A well-formed hello prefix, to seed coverage past the magic check.
+	hello := func(id string) []byte {
+		var b bytes.Buffer
+		b.Write(helloMagic[:])
+		binary.Write(&b, binary.BigEndian, uint16(len(id)))
+		b.WriteString(id)
+		return b.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(hello("s1"))
+	f.Add(append(hello("s1"), 0xde, 0xad, 0xbe, 0xef))
+	f.Add(append(helloMagic[:], 0xff, 0xff))
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n")) // a confused HTTP client
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		id, err := readHello(r)
+		if err != nil {
+			return
+		}
+		if id == "" || len(id) > maxIDLen {
+			t.Fatalf("readHello accepted invalid id %q", id)
+		}
+		// The surviving stream feeds the session's trace reader; in
+		// recover mode it must reject or resynchronize, never panic.
+		tr, err := trace.NewReader(r)
+		if err != nil {
+			return
+		}
+		tr.SetRecover(true)
+		// Bounded drain: fuzz inputs are small, but cap the frame count
+		// anyway so a pathological stream cannot loop the fuzzer.
+		for i := 0; i < 4096; i++ {
+			_, _, err := tr.ReadFrameTruthsInto(nil, nil)
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					return
+				}
+				break
+			}
+		}
+	})
+}

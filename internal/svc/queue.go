@@ -1,0 +1,228 @@
+// Package svc is the multi-tenant tracking daemon behind witrack-svc: a
+// long-lived server that multiplexes many replay sessions over one
+// shared worker pool, one FFT plan cache, and one frame arena. Sessions
+// are created over a management HTTP API and fed framed .wtrace streams
+// over TCP or HTTP; every session scores its stream with the exact
+// scenario replay path the corpus gate pins, so the metrics a session
+// serves are bit-identical to a single-process replay of the same
+// trace (live == replay == served).
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrSessionShed is the root of the descriptive close a slow session
+// receives: its ingest bytes arrived faster than its pipeline drained
+// them for longer than the configured shed patience.
+var ErrSessionShed = errors.New("svc: session shed: ingest queue full")
+
+// errQueueClosed surfaces when the queue is torn down out from under a
+// blocked side (session cancelled or replay finished early).
+var errQueueClosed = errors.New("svc: ingest queue closed")
+
+// ingestChunk is the filler's read granularity. Small enough that
+// backpressure is fine-grained, large enough that a corpus trace is a
+// handful of chunks.
+const ingestChunk = 32 * 1024
+
+// ingestQueue is the bounded hand-off between a session's network
+// connection and its trace reader: the filler goroutine copies
+// connection bytes into fixed-size chunks and queues them; the replay
+// pipeline consumes the queue through io.Reader. The bound is the
+// backpressure mechanism — a healthy-but-slow session blocks the filler,
+// which stops reading the connection, which pushes back on the client
+// through TCP flow control; no bytes are ever dropped, so parity with an
+// offline replay is preserved. Only when the queue stays full past
+// shedAfter is the session shed with ErrSessionShed.
+//
+// The data channel is never closed (both sides can be live when the
+// session is torn down); completion travels over wrDone (filler hit its
+// terminal condition) and done (consumer tore the queue down).
+type ingestQueue struct {
+	ch        chan []byte
+	wrDone    chan struct{} // closed by the filler's finish
+	done      chan struct{} // closed by Close
+	wrOnce    sync.Once
+	doneOnce  sync.Once
+	free      chan []byte   // recycled chunks; best-effort, never blocks
+	cur       []byte        // unread remainder of the chunk on the reader side
+	curBuf    []byte        // that chunk's full buffer, for recycling
+	idle      time.Duration // max Read wait for the next chunk; 0 = forever
+	idleTimer *time.Timer
+	mu        sync.Mutex
+	wrErr     error // filler's terminal condition: nil (clean EOF), shed, or net error
+}
+
+// newIngestQueue builds a queue of depth chunks whose reader gives up
+// after idle without bytes. The idle deadline is the silent-client
+// guard: the device-level frame watchdog only arms once the pipeline is
+// streaming, but a client that sends a hello and nothing else would
+// otherwise park the session inside the blocking trace-header read.
+func newIngestQueue(depth int, idle time.Duration) *ingestQueue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &ingestQueue{
+		ch:     make(chan []byte, depth),
+		wrDone: make(chan struct{}),
+		done:   make(chan struct{}),
+		free:   make(chan []byte, depth+1),
+		idle:   idle,
+	}
+}
+
+// fill pumps src into the queue until EOF, a read error, queue close,
+// or a shed. It returns the terminal condition (nil for clean EOF),
+// which is also latched for the reader side. The shed timer is armed
+// only while a send is actually blocked, so a session that keeps up
+// never pays a timer per chunk.
+func (q *ingestQueue) fill(src io.Reader, shedAfter time.Duration) error {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		buf := q.chunk()
+		n, err := src.Read(buf[:cap(buf)])
+		if n > 0 {
+			select {
+			case q.ch <- buf[:n]:
+			case <-q.done:
+				return errQueueClosed
+			default:
+				// Queue full: the pipeline is behind. Give it shedAfter to
+				// drain before declaring the session too slow to serve.
+				if timer == nil {
+					timer = time.NewTimer(shedAfter)
+				} else {
+					timer.Reset(shedAfter)
+				}
+				select {
+				case q.ch <- buf[:n]:
+					if !timer.Stop() {
+						<-timer.C
+					}
+				case <-timer.C:
+					shed := fmt.Errorf("%w: no drain within %v", ErrSessionShed, shedAfter)
+					q.finish(shed)
+					return shed
+				case <-q.done:
+					return errQueueClosed
+				}
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			q.finish(err)
+			return err
+		}
+	}
+}
+
+// stopIdle disarms the idle timer between waits (single-goroutine
+// reader, so the stop/drain pattern is race-free).
+func (q *ingestQueue) stopIdle() {
+	if q.idleTimer != nil && !q.idleTimer.Stop() {
+		select {
+		case <-q.idleTimer.C:
+		default:
+		}
+	}
+}
+
+// chunk returns a recycled chunk if one is free, else a fresh one.
+func (q *ingestQueue) chunk() []byte {
+	select {
+	case b := <-q.free:
+		return b
+	default:
+		return make([]byte, ingestChunk)
+	}
+}
+
+// finish latches the filler's terminal condition; the reader drains what
+// is queued and then reports it.
+func (q *ingestQueue) finish(err error) {
+	q.mu.Lock()
+	q.wrErr = err
+	q.mu.Unlock()
+	q.wrOnce.Do(func() { close(q.wrDone) })
+}
+
+// Close tears the queue down from the consumer side: a blocked filler
+// send aborts with errQueueClosed and a blocked Read unblocks the same
+// way. Safe to call multiple times and concurrently with fill.
+func (q *ingestQueue) Close() {
+	q.doneOnce.Do(func() { close(q.done) })
+}
+
+// Read implements io.Reader for the replay pipeline. It drains queued
+// chunks in order; at end of queue it reports the filler's terminal
+// condition — io.EOF for a clean client close, the shed or network
+// error otherwise, so the session's failure reason is descriptive. A
+// wait longer than the idle deadline fails with a stall error.
+func (q *ingestQueue) Read(p []byte) (int, error) {
+	for len(q.cur) == 0 {
+		var idleC <-chan time.Time
+		if q.idle > 0 {
+			if q.idleTimer == nil {
+				q.idleTimer = time.NewTimer(q.idle)
+			} else {
+				q.idleTimer.Reset(q.idle)
+			}
+			idleC = q.idleTimer.C
+		}
+		got := false
+		select {
+		case b := <-q.ch:
+			q.cur, q.curBuf = b, b
+			got = true
+		case <-q.done:
+			q.stopIdle()
+			return 0, errQueueClosed
+		case <-q.wrDone:
+			// Filler finished; hand out anything still queued, then its
+			// terminal condition.
+			select {
+			case b := <-q.ch:
+				q.cur, q.curBuf = b, b
+				got = true
+			default:
+				q.stopIdle()
+				q.mu.Lock()
+				err := q.wrErr
+				q.mu.Unlock()
+				if err == nil {
+					err = io.EOF
+				}
+				return 0, err
+			}
+		case <-idleC:
+			q.idleTimer = nil // fired and drained; next wait re-arms fresh
+			return 0, fmt.Errorf("svc: ingest stream stalled: no bytes within %v", q.idle)
+		}
+		if got {
+			q.stopIdle()
+		}
+	}
+	n := copy(p, q.cur)
+	q.cur = q.cur[n:]
+	if len(q.cur) == 0 {
+		// Chunk fully consumed: hand it back to the filler.
+		select {
+		case q.free <- q.curBuf[:0]:
+		default:
+		}
+		q.cur, q.curBuf = nil, nil
+	}
+	return n, nil
+}

@@ -1,0 +1,100 @@
+package svc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQueueRoundTrip: bytes in equal bytes out, across chunk
+// boundaries, with a clean EOF at the end.
+func TestQueueRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("witrack"), 20_000) // ~140 KiB, several chunks
+	q := newIngestQueue(4, 0)
+	go q.fill(bytes.NewReader(data), time.Second)
+	got, err := io.ReadAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip corrupted the stream: %d bytes, want %d", len(got), len(data))
+	}
+}
+
+// TestQueueShedsSlowConsumer: a consumer that never drains must shed
+// the session after the patience window, and the reader must see the
+// descriptive shed error after draining what was queued.
+func TestQueueShedsSlowConsumer(t *testing.T) {
+	q := newIngestQueue(1, 0)
+	// More than depth+free capacity so the filler actually blocks.
+	data := make([]byte, 8*ingestChunk)
+	start := time.Now()
+	err := q.fill(bytes.NewReader(data), 50*time.Millisecond)
+	if !errors.Is(err, ErrSessionShed) {
+		t.Fatalf("fill returned %v, want a shed", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("shed took %v, patience was 50ms", el)
+	}
+	// Drain: queued chunks first, then the shed error.
+	_, err = io.ReadAll(q)
+	if !errors.Is(err, ErrSessionShed) {
+		t.Fatalf("reader saw %v after shed, want ErrSessionShed", err)
+	}
+}
+
+// TestQueueCloseUnblocksFiller: consumer-side teardown aborts a filler
+// blocked on a full queue.
+func TestQueueCloseUnblocksFiller(t *testing.T) {
+	q := newIngestQueue(1, 0)
+	data := make([]byte, 8*ingestChunk)
+	done := make(chan error, 1)
+	go func() { done <- q.fill(bytes.NewReader(data), time.Hour) }()
+	time.Sleep(20 * time.Millisecond) // let the filler block
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errQueueClosed) {
+			t.Fatalf("fill returned %v, want errQueueClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the filler")
+	}
+}
+
+// TestQueueIdleDeadline: a reader waiting on a silent producer gives up
+// with a stall error after the idle deadline.
+func TestQueueIdleDeadline(t *testing.T) {
+	q := newIngestQueue(1, 50*time.Millisecond)
+	buf := make([]byte, 16)
+	start := time.Now()
+	_, err := q.Read(buf)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("idle read returned %v, want a stall error", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("stall detection took %v", el)
+	}
+}
+
+// TestQueueReaderErrorPropagation: a network error on the fill side
+// surfaces to the reader verbatim, not as a bare EOF.
+func TestQueueReaderErrorPropagation(t *testing.T) {
+	boom := errors.New("connection reset by peer")
+	q := newIngestQueue(2, 0)
+	go q.fill(io.MultiReader(bytes.NewReader([]byte("abc")), &errReader{err: boom}), time.Second)
+	data, err := io.ReadAll(q)
+	if string(data) != "abc" {
+		t.Fatalf("reader got %q before the error, want %q", data, "abc")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("reader saw %v, want the fill-side error", err)
+	}
+}
+
+type errReader struct{ err error }
+
+func (r *errReader) Read([]byte) (int, error) { return 0, r.err }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"witrack/internal/dsp"
+	"witrack/internal/motion"
 )
 
 // splitTrace separates an encoded trace into its uncompressed preamble
@@ -272,3 +273,88 @@ func TestRecoverStructuralDamageStillFatal(t *testing.T) {
 
 func realBits(c complex128) uint64 { return math.Float64bits(real(c)) }
 func imagBits(c complex128) uint64 { return math.Float64bits(imag(c)) }
+
+// TestRecoverSkipCountsFramesOnTruthDamage pins the Skips accounting
+// contract witrack-replay -recover reports: in the v1 container every
+// record is exactly one frame (truths ride inside the record), so a
+// CRC failure caused by a flip in a record's *truth region* must count
+// as one skipped frame — not zero, not one per embedded truth record.
+// The damage never touches the antenna delta bytes, so salvage keeps
+// the XOR chain exact and every surviving frame (and its truths) reads
+// back bit-identical, with the index gap where the damaged frame was.
+func TestRecoverSkipCountsFramesOnTruthDamage(t *testing.T) {
+	const nRx, bins, n, bad, k = 2, 9, 8, 3, 2
+	frames, base := testFrames(nRx, bins, n, 16)
+	truths := make([][]motion.BodyState, n)
+	for f := range truths {
+		second := base[f]
+		second.Center.X += 1.5 // a distinct second person
+		second.Center.Y += 0.5
+		truths[f] = []motion.BodyState{base[f], second}
+	}
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, testHeader(nRx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range frames {
+		if err := tw.WriteFrameTruths(frames[f], truths[f]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pre, body := splitTrace(t, buf.Bytes())
+	pStart, _, _ := record(t, body, bad)
+	// Offset 4 is the truth count; offset 5 begins truth 0's BodyState.
+	// Flip deep inside the truth block, leaving every delta byte alone.
+	body[pStart+5] ^= 0x20
+	tr, err := NewReader(bytes.NewReader(joinTrace(t, pre, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetRecover(true)
+
+	var dst []dsp.ComplexFrame
+	var tdst []motion.BodyState
+	seen := 0
+	for f := 0; f < n; f++ {
+		if f == bad {
+			continue
+		}
+		dst, tdst, err = tr.ReadFrameTruthsInto(dst, tdst[:0])
+		if err != nil {
+			t.Fatalf("surviving frame %d: %v", f, err)
+		}
+		if tr.FrameIndex() != f {
+			t.Fatalf("surviving frame %d: FrameIndex %d", f, tr.FrameIndex())
+		}
+		if len(tdst) != k {
+			t.Fatalf("frame %d: %d truths, want %d", f, len(tdst), k)
+		}
+		for s := 0; s < k; s++ {
+			if tdst[s] != truths[f][s] {
+				t.Fatalf("frame %d truth %d diverged: %+v != %+v", f, s, tdst[s], truths[f][s])
+			}
+		}
+		for kk := 0; kk < nRx; kk++ {
+			if !bitsEqual(dst[kk], frames[f][kk]) {
+				t.Fatalf("surviving frame %d antenna %d not bit-identical", f, kk)
+			}
+		}
+		seen++
+	}
+	if _, _, err := tr.ReadFrameTruthsInto(dst, nil); err != io.EOF {
+		t.Fatalf("want io.EOF after recovery, got %v", err)
+	}
+	// The accounting contract: one damaged record == one skipped FRAME,
+	// regardless of how many truths the record embedded.
+	if tr.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1 (one record = one frame)", tr.Skipped())
+	}
+	if tr.FramesRead() != n-1 || seen != n-1 {
+		t.Fatalf("FramesRead() = %d (saw %d), want %d", tr.FramesRead(), seen, n-1)
+	}
+}

@@ -255,6 +255,13 @@ func (d *Device) SetMonitorHealth(on bool) { d.inner.MonitorHealth = on }
 // reports the stall. Zero (the default) disables the watchdog.
 func (d *Device) SetFrameDeadline(deadline time.Duration) { d.inner.FrameDeadline = deadline }
 
+// SetPool gates this device's heavy per-antenna compute on a shared
+// WorkerPool, so many devices in one process (a daemon's sessions)
+// time-slice a bounded slot count instead of oversubscribing the host.
+// nil (the default) runs unpooled. Pooling reschedules work but never
+// changes output bits.
+func (d *Device) SetPool(p *WorkerPool) { d.inner.Pool = p }
+
 // Multi-person tracking: the §10 extension generalized to k concurrent
 // targets. Each receive antenna extracts k time-of-flight candidates
 // per frame; locate.SolveK searches the (k!)^nRx candidate-to-target
@@ -341,6 +348,10 @@ func (d *MultiDevice) SetMonitorHealth(on bool) { d.inner.MonitorHealth = on }
 
 // SetFrameDeadline arms the source watchdog (see Device.SetFrameDeadline).
 func (d *MultiDevice) SetFrameDeadline(deadline time.Duration) { d.inner.FrameDeadline = deadline }
+
+// SetPool gates the k-person pipeline on a shared WorkerPool (see
+// Device.SetPool).
+func (d *MultiDevice) SetPool(p *WorkerPool) { d.inner.Pool = p }
 
 // DefaultConfig returns the paper's through-wall deployment: default
 // radio, 1 m T array mounted at 1.5 m, standard room, median subject.
@@ -485,6 +496,14 @@ type (
 	// TraceSource adapts a TraceReader into a pipeline FrameSource for
 	// Device.StreamFrom.
 	TraceSource = core.TraceSource
+	// WorkerPool bounds concurrent heavy compute across any number of
+	// devices sharing it (the multi-session daemon's throttle); see
+	// Device.SetPool.
+	WorkerPool = core.WorkerPool
+	// FrameArena is a shared recycling arena for decoded frame batches,
+	// letting many sequential or concurrent trace replays reuse one
+	// buffer pool; see NewTraceSourceArena.
+	FrameArena = core.FrameArena
 	// ScenarioReplayResult is one replayed trace's scored outcome.
 	ScenarioReplayResult = scenario.ReplayResult
 	// ScenarioReplayReport is the multi-trace replay outcome (the
@@ -507,6 +526,22 @@ func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(
 // its Err after the stream drains to distinguish a clean end of trace
 // from corruption.
 func NewTraceSource(r *TraceReader) *TraceSource { return core.NewTraceSource(r) }
+
+// NewTraceSourceArena is NewTraceSource recycling decoded batches
+// through a shared FrameArena instead of a private ring (nil arena
+// falls back to a private ring).
+func NewTraceSourceArena(r *TraceReader, a *FrameArena) *TraceSource {
+	return core.NewTraceSourceArena(r, a)
+}
+
+// NewWorkerPool builds a pool with n compute slots (n < 1 is clamped
+// to 1). Hand the same pool to several devices via SetPool to bound
+// their combined CPU footprint; output streams are unchanged.
+func NewWorkerPool(n int) *WorkerPool { return core.NewWorkerPool(n) }
+
+// NewFrameArena builds a shared decoded-frame arena retaining at most
+// capacity batches (capacity <= 0 selects a daemon-sized default).
+func NewFrameArena(capacity int) *FrameArena { return core.NewFrameArena(capacity) }
 
 // CorpusScenarios returns the compact scenario set behind the
 // checked-in golden trace corpus.
