@@ -16,11 +16,23 @@
 //
 //	witrack-load -mgmt http://host:port [-sessions n] [-min-duration d]
 //	             [-pace] [-json out.json] [-diff CORPUS.json]
-//	             trace.wtrace...
+//	             [-sweeps] [-min-coalesced frac]
+//	             [trace.wtrace...]
 //
 // With -pace each stream is spread over its recorded duration, so the
 // served lag samples measure real fix latency; unpaced runs drive the
 // daemon flat out and the percentiles measure throughput instead.
+//
+// With -sweeps the corpus gains a generated sweep-domain trace (the
+// compact scenario.SweepCell, recorded in memory — raw sweeps do not
+// compress well enough to check in): every served frame runs the full
+// window + RFFT path, which is the workload the daemon's cross-session
+// batch scheduler coalesces. The trace is replayed offline in-process
+// first and that result seeds the determinism check, so every served
+// session must match the offline replay bit-for-bit. -min-coalesced
+// then asserts the aggregate multi-session coalescing fraction
+// (coalesced transforms / submitted transforms across all summaries)
+// reached the given floor.
 //
 // Exit status: 0 success, 1 session failure, non-deterministic serving,
 // or snapshot drift, 2 bad usage.
@@ -28,6 +40,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -66,6 +79,14 @@ type Timing struct {
 	FixLatencyP50  float64 `json:"fix_latency_ms_p50"`
 	FixLatencyP99  float64 `json:"fix_latency_ms_p99"`
 	LatencySamples int     `json:"latency_samples"`
+	// BatchSubmitted / BatchCoalesced aggregate the sessions' sweep-path
+	// transforms routed through the daemon's cross-session batch
+	// scheduler and how many rode a combined call with another session;
+	// CoalescedFrac is their ratio. Zero without -sweeps (bin-domain
+	// corpus traces perform no transforms).
+	BatchSubmitted int64   `json:"batch_submitted,omitempty"`
+	BatchCoalesced int64   `json:"batch_coalesced,omitempty"`
+	CoalescedFrac  float64 `json:"coalesced_frac,omitempty"`
 }
 
 // Report is the witrack-load JSON artifact (SVC_LOAD.json in CI).
@@ -84,9 +105,11 @@ func main() {
 	pace := flag.Bool("pace", false, "pace each stream over its recorded duration (real fix latency)")
 	jsonPath := flag.String("json", "", "write the machine-readable load report to this path")
 	diffPath := flag.String("diff", "", "compare served replay results against this snapshot (CORPUS.json) and fail on drift")
+	sweeps := flag.Bool("sweeps", false, "add a generated sweep-domain trace whose served results must match its offline replay")
+	minCoalesced := flag.Float64("min-coalesced", -1, "fail unless the aggregate multi-session coalescing fraction reaches this floor (requires -sweeps)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "witrack-load: no trace files given")
+	if flag.NArg() == 0 && !*sweeps {
+		fmt.Fprintln(os.Stderr, "witrack-load: no trace files given (and -sweeps not set)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -94,6 +117,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "witrack-load: -sessions must be at least 1")
 		os.Exit(2)
 	}
+	if *minCoalesced >= 0 && !*sweeps {
+		fmt.Fprintln(os.Stderr, "witrack-load: -min-coalesced needs -sweeps (bin-domain traces perform no transforms)")
+		os.Exit(2)
+	}
+
+	// agreed[trace name] is the reference result for that trace; every
+	// served session must match it bit-for-bit.
+	agreed := make(map[string]*scenario.ReplayResult)
 
 	traces := make([]loadedTrace, flag.NArg())
 	for i, path := range flag.Args() {
@@ -103,6 +134,21 @@ func main() {
 			os.Exit(1)
 		}
 		traces[i] = lt
+	}
+	if *sweeps {
+		lt, offline, err := genSweepTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witrack-load: generating sweep trace:", err)
+			os.Exit(1)
+		}
+		// Seed the determinism check with the in-process offline replay:
+		// served-vs-offline parity becomes an assertion, not just
+		// served-vs-served agreement.
+		offline.Trace = lt.name
+		agreed[lt.name] = offline
+		traces = append(traces, lt)
+		fmt.Printf("witrack-load: generated %s (%d sweep-domain frames, %.1f KiB), offline reference computed\n",
+			lt.name, lt.frames, float64(len(lt.data))/1024)
 	}
 
 	client := &svc.Client{Mgmt: *mgmt}
@@ -114,9 +160,6 @@ func main() {
 	fmt.Printf("witrack-load: daemon at %s (ingest %s, pool %d), %d traces, %d sessions/round\n",
 		*mgmt, info.IngestAddr, info.PoolSize, len(traces), *sessions)
 
-	// agreed[trace name] is the first served result for that trace;
-	// every later session must match it bit-for-bit.
-	agreed := make(map[string]*scenario.ReplayResult)
 	var lagMS []float64
 	timing := Timing{Concurrency: *sessions, Paced: *pace}
 	start := time.Now()
@@ -145,6 +188,8 @@ func main() {
 		for _, sum := range summaries {
 			if sum.Timing != nil {
 				lagMS = append(lagMS, sum.Timing.LagMS...)
+				timing.BatchSubmitted += sum.Timing.BatchSubmitted
+				timing.BatchCoalesced += sum.Timing.BatchCoalesced
 			}
 		}
 	}
@@ -156,6 +201,9 @@ func main() {
 	timing.FixLatencyP50 = percentile(lagMS, 50)
 	timing.FixLatencyP99 = percentile(lagMS, 99)
 	timing.LatencySamples = len(lagMS)
+	if timing.BatchSubmitted > 0 {
+		timing.CoalescedFrac = float64(timing.BatchCoalesced) / float64(timing.BatchSubmitted)
+	}
 
 	var report Report
 	report.Timing = timing
@@ -171,6 +219,10 @@ func main() {
 	fmt.Printf("witrack-load: %d sessions over %d rounds in %.1fs — %d frames, %.1f fps aggregate, fix latency p50 %.1f ms / p99 %.1f ms (paced=%v)\n",
 		timing.Sessions, timing.Rounds, timing.WallSeconds, timing.TotalFrames,
 		timing.AggregateFPS, timing.FixLatencyP50, timing.FixLatencyP99, timing.Paced)
+	if timing.BatchSubmitted > 0 {
+		fmt.Printf("witrack-load: %d sweep transforms submitted, %d coalesced across sessions (%.1f%%)\n",
+			timing.BatchSubmitted, timing.BatchCoalesced, 100*timing.CoalescedFrac)
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&report, "", "  ")
@@ -196,6 +248,41 @@ func main() {
 		}
 		fmt.Printf("served results match snapshot %s (%d traces)\n", *diffPath, len(report.Replay.Traces))
 	}
+
+	if *minCoalesced >= 0 {
+		if timing.CoalescedFrac < *minCoalesced {
+			fmt.Fprintf(os.Stderr, "witrack-load: coalescing fraction %.3f below the -min-coalesced floor %.3f (%d/%d transforms)\n",
+				timing.CoalescedFrac, *minCoalesced, timing.BatchCoalesced, timing.BatchSubmitted)
+			os.Exit(1)
+		}
+		fmt.Printf("coalescing fraction %.3f meets the %.3f floor\n", timing.CoalescedFrac, *minCoalesced)
+	}
+}
+
+// genSweepTrace records the compact sweep cell into memory and replays
+// it offline in-process, returning both the trace and the reference
+// result every served session must reproduce bit-for-bit.
+func genSweepTrace() (loadedTrace, *scenario.ReplayResult, error) {
+	sp := scenario.SweepCell()
+	var buf bytes.Buffer
+	frames, err := scenario.RecordCellSweeps(&sp, 0, &buf)
+	if err != nil {
+		return loadedTrace{}, nil, err
+	}
+	res, err := scenario.ReplayTrace(context.Background(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return loadedTrace{}, nil, fmt.Errorf("offline reference replay: %w", err)
+	}
+	tr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return loadedTrace{}, nil, err
+	}
+	return loadedTrace{
+		name:     sp.Name + ".wtrace",
+		data:     buf.Bytes(),
+		frames:   frames,
+		duration: time.Duration(float64(frames) * tr.Header().Interval * float64(time.Second)),
+	}, res, nil
 }
 
 // runRound drives one round of n concurrent sessions, round-robin over

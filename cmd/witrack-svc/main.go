@@ -12,6 +12,7 @@
 //	witrack-svc [-ingest host:port] [-mgmt host:port] [-pool n]
 //	            [-max-sessions n] [-queue-depth n]
 //	            [-shed-after d] [-frame-deadline d]
+//	            [-gather-window d] [-max-batch n]
 //
 // Management API (all JSON):
 //
@@ -48,6 +49,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "per-session ingest queue depth, in 32 KiB chunks (0 = default)")
 	shedAfter := flag.Duration("shed-after", 0, "patience before a full ingest queue sheds its session (0 = default)")
 	frameDeadline := flag.Duration("frame-deadline", 0, "per-session stall watchdog; negative disables (0 = default)")
+	gatherWindow := flag.Duration("gather-window", 0, "how long a sweep-path FFT waits for other sessions to join its batch (0 = default)")
+	maxBatch := flag.Int("max-batch", 0, "sweep segments per combined FFT call before it executes early (0 = default)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "witrack-svc: unexpected arguments")
@@ -61,6 +64,8 @@ func main() {
 		QueueDepth:    *queueDepth,
 		ShedAfter:     *shedAfter,
 		FrameDeadline: *frameDeadline,
+		GatherWindow:  *gatherWindow,
+		MaxBatch:      *maxBatch,
 	})
 	if err := srv.Start(*ingest, *mgmt); err != nil {
 		fmt.Fprintln(os.Stderr, "witrack-svc:", err)

@@ -131,6 +131,14 @@ type Device struct {
 	// is bit-identical either way (see WorkerPool).
 	Pool *WorkerPool
 
+	// Batch, when non-nil, routes this device's frame-level RFFT batch
+	// calls (the time-domain sweep path) through a shared cross-session
+	// BatchScheduler, so transforms land in combined stage-interleaved
+	// calls with every other pipeline on the same scheduler. Output is
+	// bit-identical with or without it (see BatchScheduler). nil (the
+	// default) keeps transforms private to this device.
+	Batch *BatchClient
+
 	// MonitorHealth turns on per-antenna health tracking even without an
 	// installed injector: unhealthy frames (NaN/Inf bins, all-zero) are
 	// quarantined before they reach the trackers, sustained damage takes
@@ -256,6 +264,9 @@ type antennaScratch struct {
 	spec  dsp.ComplexFrame
 	sweep *fmcw.SweepScratch
 	prec  dsp.Precision
+	// batch, when non-nil, is installed on the sweep scratch so this
+	// antenna's frame transforms coalesce with other pipelines'.
+	batch *BatchClient
 
 	// Fault-injection and health-monitoring state (used only on
 	// monitored pipelines): faultBuf is the corruption scratch copy,
@@ -280,6 +291,9 @@ func (w *antennaScratch) materialize(synth *fmcw.Synthesizer, prop *rf.Propagato
 	case b.sweeps != nil:
 		if w.sweep == nil {
 			w.sweep = synth.NewSweepScratchPrecision(w.prec)
+			if w.batch != nil {
+				w.sweep.SetBatcher(w.batch)
+			}
 		}
 		w.spec = synth.ComplexFrameFromSweepsInto(w.spec, b.sweeps[k], w.sweep)
 		return w.spec
@@ -316,6 +330,7 @@ func (d *Device) stream(ctx context.Context, src FrameSource,
 	scratch := make([]antennaScratch, nRx)
 	for k := range scratch {
 		scratch[k].prec = d.cfg.Precision
+		scratch[k].batch = d.Batch
 	}
 	procNS := make([]int64, nRx)
 	var locateNS int64

@@ -42,6 +42,10 @@ type MultiDevice struct {
 	// Pool is the shared processing-slot pool (see Device.Pool).
 	Pool *WorkerPool
 
+	// Batch is the cross-session transform coalescing handle (see
+	// Device.Batch).
+	Batch *BatchClient
+
 	// MonitorHealth/FrameDeadline mirror Device's robustness knobs (see
 	// Device.MonitorHealth and Device.FrameDeadline).
 	MonitorHealth bool
@@ -122,6 +126,7 @@ func (d *MultiDevice) stream(ctx context.Context, src FrameSource, emit func(s M
 	scratch := make([]antennaScratch, nRx)
 	for a := range scratch {
 		scratch[a].prec = d.cfg.Precision
+		scratch[a].batch = d.Batch
 	}
 
 	d.runErr = nil

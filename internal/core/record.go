@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"witrack/internal/dsp"
 	"witrack/internal/motion"
+	"witrack/internal/trace"
 )
 
 // record simulates the trajectory and hands every materialized frame to
@@ -36,6 +39,57 @@ func (d *Device) record(traj motion.Trajectory,
 		if err := sink(frames, truth); err != nil {
 			return err
 		}
+		src.Recycle(b)
+	}
+}
+
+// RecordSweepsTo simulates the trajectory and streams every frame's raw
+// time-domain sweeps into tw as a sweep-domain trace (the header must
+// come from SweepTraceHeader). It requires SlowSynth — the fast path
+// synthesizes spectra directly and never materializes sweeps. The
+// samples written are bit-for-bit the sweeps a live SlowSynth run
+// processes (the RNG is consumed identically), so replaying the trace
+// through the window + RFFT + averaging path on a fresh device is
+// bit-identical to the live run — the sweep-domain leg of the
+// live == replay == served parity chain.
+func (d *Device) RecordSweepsTo(tw *trace.Writer, traj motion.Trajectory) (int, error) {
+	if !d.cfg.SlowSynth {
+		return 0, fmt.Errorf("core: sweep recording requires SlowSynth (the fast path never materializes time-domain sweeps)")
+	}
+	spf := d.cfg.Radio.SweepsPerFrame
+	ns := d.cfg.Radio.SamplesPerSweep()
+	if spf*ns%2 != 0 {
+		return 0, fmt.Errorf("core: %d sweeps × %d samples cannot pack into complex pairs", spf, ns)
+	}
+	bins := spf * ns / 2
+	nRx := len(d.cfg.Array.Rx)
+	packed := make([]dsp.ComplexFrame, nRx)
+	for k := range packed {
+		packed[k] = make(dsp.ComplexFrame, bins)
+	}
+	src := d.simSource(traj)
+	n := 0
+	for {
+		b := src.Next()
+		if b == nil {
+			return n, nil
+		}
+		for k := 0; k < nRx; k++ {
+			sw := b.sweeps[k]
+			dst := packed[k]
+			for i := 0; i < bins; i++ {
+				m := 2 * i
+				dst[i] = complex(sw[m/ns][m%ns], sw[(m+1)/ns][(m+1)%ns])
+			}
+		}
+		var truth *motion.BodyState
+		if len(b.States) > 0 {
+			truth = &b.States[0]
+		}
+		if err := tw.WriteFrame(packed, truth); err != nil {
+			return n, err
+		}
+		n++
 		src.Recycle(b)
 	}
 }

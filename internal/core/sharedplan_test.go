@@ -34,11 +34,12 @@ func TestSharedPlanConcurrentSessionsBitIdentical(t *testing.T) {
 			motion.Region{XMin: -2, XMax: 2, YMin: 3, YMax: 6},
 			cfg.Subject.CenterHeight(), 1.2, cfg.Seed+100))
 	}
-	run := func(cfg Config, traj motion.Trajectory) uint64 {
+	run := func(cfg Config, traj motion.Trajectory, batch *BatchClient) uint64 {
 		dev, err := NewDevice(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
+		dev.Batch = batch
 		return goldenHash(drain(dev.Stream(context.Background(), traj)))
 	}
 
@@ -46,15 +47,15 @@ func TestSharedPlanConcurrentSessionsBitIdentical(t *testing.T) {
 	trajA, trajB := mkTraj(cfgA), mkTraj(cfgB)
 
 	// Isolated runs: one at a time, nothing else touching the plan cache.
-	wantA := run(cfgA, trajA)
-	wantB := run(cfgB, trajB)
+	wantA := run(cfgA, trajA, nil)
+	wantB := run(cfgB, trajB, nil)
 
 	// Shared run: both sessions in flight at once, racing on PlanFor.
 	var wg sync.WaitGroup
 	var gotA, gotB uint64
 	wg.Add(2)
-	go func() { defer wg.Done(); gotA = run(cfgA, trajA) }()
-	go func() { defer wg.Done(); gotB = run(cfgB, trajB) }()
+	go func() { defer wg.Done(); gotA = run(cfgA, trajA, nil) }()
+	go func() { defer wg.Done(); gotB = run(cfgB, trajB, nil) }()
 	wg.Wait()
 
 	if gotA != wantA {
@@ -62,5 +63,31 @@ func TestSharedPlanConcurrentSessionsBitIdentical(t *testing.T) {
 	}
 	if gotB != wantB {
 		t.Fatalf("session B diverged when sharing the plan cache: digest %#x, want %#x", gotB, wantB)
+	}
+
+	// Coalesced run: both sessions route their RFFTs through one
+	// cross-session BatchScheduler, so frames from A and B ride combined
+	// stage-interleaved transforms. Coalescing may change which call
+	// computes a frame's spectrum, never its bits.
+	sched := NewBatchScheduler(0, 0)
+	clA, clB := sched.NewClient(), sched.NewClient()
+	wg.Add(2)
+	go func() { defer wg.Done(); gotA = run(cfgA, trajA, clA) }()
+	go func() { defer wg.Done(); gotB = run(cfgB, trajB, clB) }()
+	wg.Wait()
+
+	if gotA != wantA {
+		t.Fatalf("session A diverged under cross-session batching: digest %#x, want %#x", gotA, wantA)
+	}
+	if gotB != wantB {
+		t.Fatalf("session B diverged under cross-session batching: digest %#x, want %#x", gotB, wantB)
+	}
+	subA, _ := clA.Stats()
+	subB, _ := clB.Stats()
+	if subA == 0 || subB == 0 {
+		t.Fatalf("batched run never reached the scheduler (A submitted %d, B submitted %d)", subA, subB)
+	}
+	if batches, _ := sched.Stats(); batches == 0 {
+		t.Fatal("scheduler executed no combined calls")
 	}
 }

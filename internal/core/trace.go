@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"io"
 
 	"witrack/internal/dsp"
@@ -21,6 +22,20 @@ func (d *Device) TraceHeader() trace.Header {
 		Radio:    d.cfg.Radio,
 		Array:    d.cfg.Array,
 	}
+}
+
+// SweepTraceHeader is TraceHeader for a sweep-domain capture: the
+// records hold raw time-domain sweeps packed pairwise into the complex
+// record layout (see trace.DomainSweeps), so a replay runs the full
+// window + RFFT + averaging path per frame instead of consuming
+// pre-transformed bins.
+func (d *Device) SweepTraceHeader() trace.Header {
+	h := d.TraceHeader()
+	h.Domain = trace.DomainSweeps
+	h.SweepsPerFrame = d.cfg.Radio.SweepsPerFrame
+	h.SamplesPerSweep = d.cfg.Radio.SamplesPerSweep()
+	h.Bins = h.SweepsPerFrame * h.SamplesPerSweep / 2
+	return h
 }
 
 // RecordTo simulates the trajectory and streams every per-antenna
@@ -138,7 +153,56 @@ func (s *TraceSource) Next() *FrameBatch {
 	b.States = truths
 	b.synth = nil
 	b.sweeps = nil
+	if s.r.Header().Domain == trace.DomainSweeps {
+		if err := s.unpackSweeps(b, frames); err != nil {
+			s.ring.put(b)
+			s.err = err
+			return nil
+		}
+	}
 	return b
+}
+
+// unpackSweeps expands a sweep-domain record's pairwise-packed complex
+// values back into per-sweep float64 sample buffers (reused across
+// recycled batches), so the pipeline workers run the full window + RFFT
+// + averaging path on them. The packed Frames buffers stay on the batch
+// for ring reuse; materialize prefers b.sweeps when set.
+func (s *TraceSource) unpackSweeps(b *FrameBatch, frames []dsp.ComplexFrame) error {
+	h := s.r.Header()
+	spf, ns := h.SweepsPerFrame, h.SamplesPerSweep
+	bins := spf * ns / 2
+	if len(b.sweeps) != len(frames) {
+		b.sweeps = make([][][]float64, len(frames))
+	}
+	for k, f := range frames {
+		if len(f) != bins {
+			return fmt.Errorf("core: sweep-domain record for antenna %d has %d values, want %d (%d sweeps × %d samples)",
+				k, len(f), bins, spf, ns)
+		}
+		sw := b.sweeps[k]
+		if len(sw) != spf {
+			sw = make([][]float64, spf)
+		}
+		for j := 0; j < spf; j++ {
+			buf := sw[j]
+			if len(buf) != ns {
+				buf = make([]float64, ns)
+			}
+			base := j * ns
+			for t := 0; t < ns; t++ {
+				c := f[(base+t)/2]
+				if (base+t)%2 == 0 {
+					buf[t] = real(c)
+				} else {
+					buf[t] = imag(c)
+				}
+			}
+			sw[j] = buf
+		}
+		b.sweeps[k] = sw
+	}
+	return nil
 }
 
 // Recycle returns a fully processed batch to the ring; its frame

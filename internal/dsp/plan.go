@@ -116,6 +116,94 @@ func (p *Plan) TransformBatch(x []complex128, batch int) {
 	p.transformStrided(x, batch, p.n)
 }
 
+// TransformSegs computes the in-place unnormalized FFT of every segment
+// in segs, each of which must have exactly the plan's size. Like
+// TransformBatch the butterflies are stage-interleaved — each stage's
+// twiddle table is streamed once for the whole list — but the segments
+// are caller-owned slices that may live in different allocations (the
+// scratch arenas of different pipelines), which is what lets a batch
+// scheduler combine transforms across sessions without copying their
+// data together first. No arithmetic crosses a segment boundary, so
+// segment i's output is bit-identical to Transform on it alone.
+func (p *Plan) TransformSegs(segs [][]complex128) {
+	for _, seg := range segs {
+		if len(seg) != p.n {
+			panic(fmt.Sprintf("dsp: TransformSegs segment of %d samples with a %d-point plan", len(seg), p.n))
+		}
+		for _, s := range p.swaps {
+			seg[s[0]], seg[s[1]] = seg[s[1]], seg[s[0]]
+		}
+	}
+	n := p.n
+	for si, tw := range p.stages {
+		half := 1 << uint(si)
+		size := half << 1
+		for _, seg := range segs {
+			for start := 0; start < n; start += size {
+				a := seg[start : start+half : start+half]
+				b := seg[start+half : start+size : start+size]
+				for k := range a {
+					even := a[k]
+					odd := b[k] * tw[k]
+					a[k] = even + odd
+					b[k] = even - odd
+				}
+			}
+		}
+	}
+}
+
+// RFFTSpan is one caller's contribution to a combined RFFTSpans call:
+// the same (dst, sweeps, window) triple an RFFTBatch call takes. Dst
+// must be len(Sweeps)*(n/2+1) bins long — callers size it before
+// submitting, so the combining layer never reallocates foreign arenas.
+type RFFTSpan struct {
+	Dst    []complex128
+	Sweeps [][]float64
+	Window []float64
+}
+
+// RFFTSpans runs RFFTBatch for every span in one stage-interleaved
+// pass: all spans' sweeps are packed, the half-size complex FFTs of the
+// whole collection run segment-interleaved through the shared twiddle
+// tables, then all spans are unpacked. Per-sweep arithmetic and its
+// order are exactly RealTransform's, so every span's dst is
+// bit-identical to the RFFTBatch call it replaces; what changes is that
+// the twiddle tables are streamed once per stage for the combined
+// collection instead of once per span — the cross-session form of the
+// within-frame batching RFFTBatch provides.
+//
+// segs is the gather-list scratch (grown as needed and returned), so a
+// steady-state caller allocates nothing.
+func (p *Plan) RFFTSpans(spans []RFFTSpan, segs [][]complex128) [][]complex128 {
+	h := p.n / 2
+	seg := h + 1
+	for _, sp := range spans {
+		if len(sp.Dst) != len(sp.Sweeps)*seg {
+			panic(fmt.Sprintf("dsp: RFFTSpans dst of %d bins is not %d × %d", len(sp.Dst), len(sp.Sweeps), seg))
+		}
+		for i, sw := range sp.Sweeps {
+			p.packReal(sp.Dst[i*seg:i*seg+seg], sw, sp.Window)
+		}
+	}
+	if p.n == 1 {
+		return segs
+	}
+	segs = segs[:0]
+	for _, sp := range spans {
+		for i := range sp.Sweeps {
+			segs = append(segs, sp.Dst[i*seg:i*seg+h])
+		}
+	}
+	p.half.TransformSegs(segs)
+	for _, sp := range spans {
+		for i := range sp.Sweeps {
+			p.unpackReal(sp.Dst[i*seg : i*seg+seg])
+		}
+	}
+	return segs
+}
+
 // transformStrided runs the planned FFT on batch segments of size n
 // starting stride samples apart (stride >= n; the gap lets RFFTBatch
 // batch over the half-size prefixes of its n/2+1-bin output segments).

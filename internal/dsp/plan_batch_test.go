@@ -89,6 +89,103 @@ func TestRFFTBatchBitIdentical(t *testing.T) {
 	}
 }
 
+// TestTransformSegsBitIdentical extends the batching oracle to the
+// caller-owned segment-list form: for random collections of separately
+// allocated segments, TransformSegs must be bit-identical to sequential
+// Transform calls on each segment.
+func TestTransformSegsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	sizes := []int{1, 2, 4, 8, 64, 256, 1024}
+	for trial := 0; trial < 200; trial++ {
+		n := sizes[rng.Intn(len(sizes))]
+		count := 1 + rng.Intn(12)
+		p := PlanFor(n)
+
+		segs := make([][]complex128, count)
+		seq := make([][]complex128, count)
+		for i := range segs {
+			segs[i] = randSignal(rng, n)
+			seq[i] = append([]complex128(nil), segs[i]...)
+		}
+
+		p.TransformSegs(segs)
+		for i := range seq {
+			p.Transform(seq[i])
+			for k := range seq[i] {
+				if segs[i][k] != seq[i][k] {
+					t.Fatalf("trial %d (n=%d count=%d): segment %d sample %d diverged: segs %v, sequential %v",
+						trial, n, count, i, k, segs[i][k], seq[i][k])
+				}
+			}
+		}
+	}
+}
+
+// TestRFFTSpansBitIdentical is the cross-session batching oracle: a
+// combined RFFTSpans call over several spans — each the (dst, sweeps,
+// window) triple of an independent RFFTBatch call, living in separate
+// allocations as different sessions' scratch arenas would — must leave
+// every span's dst bit-identical to the RFFTBatch call it replaces
+// (itself pinned bit-identical to sequential RealTransform above).
+func TestRFFTSpansBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	sizes := []int{2, 4, 8, 64, 512}
+	for trial := 0; trial < 200; trial++ {
+		n := sizes[rng.Intn(len(sizes))]
+		p := PlanFor(n)
+		seg := n/2 + 1
+		var window []float64
+		if rng.Intn(2) == 0 {
+			window = Hann(n)
+		}
+		count := 1 + rng.Intn(5)
+		spans := make([]RFFTSpan, count)
+		want := make([][]complex128, count)
+		for si := range spans {
+			batch := 1 + rng.Intn(6)
+			sweeps := make([][]float64, batch)
+			for i := range sweeps {
+				ln := n
+				if rng.Intn(4) == 0 {
+					ln = 1 + rng.Intn(n)
+				}
+				sw := make([]float64, ln)
+				for j := range sw {
+					sw[j] = rng.NormFloat64()
+				}
+				sweeps[i] = sw
+			}
+			spans[si] = RFFTSpan{Dst: make([]complex128, batch*seg), Sweeps: sweeps, Window: window}
+			want[si] = p.RFFTBatch(nil, sweeps, window)
+		}
+
+		var segs [][]complex128
+		segs = p.RFFTSpans(spans, segs)
+		_ = segs
+		for si, sp := range spans {
+			for k := range want[si] {
+				if sp.Dst[k] != want[si][k] {
+					t.Fatalf("trial %d (n=%d span=%d): bin %d diverged: combined %v, RFFTBatch %v",
+						trial, n, si, k, sp.Dst[k], want[si][k])
+				}
+			}
+		}
+	}
+}
+
+// TestRFFTSpansBadDstPanics pins the sizing contract: a span whose dst
+// is not len(sweeps)*(n/2+1) bins is a programmer error, refused before
+// any foreign arena is touched.
+func TestRFFTSpansBadDstPanics(t *testing.T) {
+	p := PlanFor(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RFFTSpans accepted a mis-sized dst")
+		}
+	}()
+	p.RFFTSpans([]RFFTSpan{{Dst: make([]complex128, 10), Sweeps: [][]float64{make([]float64, 64)}}}, nil)
+}
+
 // TestRFFTBatchReusesArena verifies the arena contract: a dst of the
 // right length is reused (no allocation), a wrong length is replaced.
 func TestRFFTBatchReusesArena(t *testing.T) {
@@ -197,4 +294,49 @@ func TestPlan32WithinErrorBound(t *testing.T) {
 			t.Fatalf("n=%d: float32 path reported zero error — oracle is not measuring anything", n)
 		}
 	}
+}
+
+// BenchmarkRFFTSpans measures the cross-session combined transform
+// against the same work issued as one RFFTBatch call per span — the
+// daemon's per-session alternative. The shape mirrors the sweep-domain
+// service workload: 8 sessions' frames of 8 sweeps × 320 samples,
+// zero-padded into 512-point transforms.
+func BenchmarkRFFTSpans(b *testing.B) {
+	const (
+		n      = 512
+		ns     = 320
+		spans  = 8
+		sweeps = 8
+	)
+	p := PlanFor(n)
+	window := Hann(ns)
+	rng := rand.New(rand.NewSource(5))
+	seg := n/2 + 1
+	all := make([]RFFTSpan, spans)
+	for s := range all {
+		sw := make([][]float64, sweeps)
+		for i := range sw {
+			sw[i] = make([]float64, ns)
+			for j := range sw[i] {
+				sw[i][j] = rng.NormFloat64()
+			}
+		}
+		all[s] = RFFTSpan{Dst: make([]complex128, sweeps*seg), Sweeps: sw, Window: window}
+	}
+
+	b.Run("combined", func(b *testing.B) {
+		var segs [][]complex128
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			segs = p.RFFTSpans(all, segs)
+		}
+	})
+	b.Run("per-span", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for s := range all {
+				all[s].Dst = p.RFFTBatch(all[s].Dst, all[s].Sweeps, all[s].Window)
+			}
+		}
+	})
 }

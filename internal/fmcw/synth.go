@@ -56,9 +56,24 @@ type Synthesizer struct {
 // A scratch carries the Precision knob: Float64 (the default) runs the
 // golden-pinned double-precision path, Float32 routes the windowed-FFT
 // hot loop through the shared Plan32 for half the memory traffic.
+// RFFTBatcher intercepts a scratch's frame-level RFFT batch call so an
+// external scheduler can coalesce it with other pipelines' transforms
+// (witrack-svc's cross-session batching). An implementation must return
+// results bit-identical to plan.RFFTBatch(dst, sweeps, window) — it may
+// only change when and alongside what the butterflies execute, never
+// the per-sweep arithmetic. The call blocks until the results are in
+// dst, and sweeps/window must not be retained afterwards.
+type RFFTBatcher interface {
+	RFFTBatch(plan *dsp.Plan, dst []complex128, sweeps [][]float64, window []float64) []complex128
+}
+
 type SweepScratch struct {
 	prec dsp.Precision
 	plan *dsp.Plan
+	// batcher, when non-nil, intercepts the float64 frame transform (the
+	// Float32 path keeps its private Plan32 batch — the cross-session
+	// scheduler is a float64 surface, matching the golden-pinned path).
+	batcher RFFTBatcher
 	// spec is the float64 RFFT batch arena: one frame's sweeps are
 	// transformed in a single RFFTBatch call, SweepsPerFrame segments of
 	// FFTSize/2 + 1 bins each.
@@ -99,6 +114,12 @@ func (s *Synthesizer) NewSweepScratchPrecision(prec dsp.Precision) *SweepScratch
 
 // Precision reports which sweep path the scratch drives.
 func (ws *SweepScratch) Precision() dsp.Precision { return ws.prec }
+
+// SetBatcher routes the scratch's float64 frame transforms through b —
+// nil restores the direct plan call. Output is bit-identical either way
+// (the RFFTBatcher contract); only the scheduling of the butterflies
+// changes, so installing a batcher never perturbs the golden digests.
+func (ws *SweepScratch) SetBatcher(b RFFTBatcher) { ws.batcher = b }
 
 // Float32ErrorBound returns the tolerance the Float32 sweep path is
 // gated by: the maximum per-bin error of a transformed sweep relative to
@@ -252,7 +273,11 @@ func (s *Synthesizer) ComplexFrameFromSweepsInto(dst dsp.ComplexFrame, sweeps []
 		}
 		return dst
 	}
-	ws.spec = ws.plan.RFFTBatch(ws.spec, sweeps, s.window)
+	if ws.batcher != nil {
+		ws.spec = ws.batcher.RFFTBatch(ws.plan, ws.spec, sweeps, s.window)
+	} else {
+		ws.spec = ws.plan.RFFTBatch(ws.spec, sweeps, s.window)
+	}
 	for j := range sweeps {
 		bins := ws.spec[j*seg : j*seg+nb]
 		for i := range dst {

@@ -216,6 +216,12 @@ func cellConfig(sp *Spec, deviceIndex int) (core.Config, error) {
 	if ds.Radio.SweepsPerFrame > 0 {
 		cfg.Radio.SweepsPerFrame = ds.Radio.SweepsPerFrame
 	}
+	if ds.Radio.SampleRate > 0 {
+		cfg.Radio.SampleRate = ds.Radio.SampleRate
+	}
+	if ds.Radio.SweepTime > 0 {
+		cfg.Radio.SweepTime = ds.Radio.SweepTime
+	}
 	return cfg, nil
 }
 

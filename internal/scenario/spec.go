@@ -149,6 +149,12 @@ type RadioSpec struct {
 	// frame (default 5 = 80 frames/s); larger values trade frame rate
 	// for per-second trace size.
 	SweepsPerFrame int `json:"sweeps_per_frame,omitempty"`
+	// SampleRate overrides the ADC rate in Hz (default 1 MHz). Compact
+	// sweep-domain cells shrink it so a raw sweep stays small.
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	// SweepTime overrides the sweep duration in seconds (default
+	// 2.5 ms). SampleRate × SweepTime sets the samples per sweep.
+	SweepTime float64 `json:"sweep_time,omitempty"`
 }
 
 // TrackerSpec is the serializable subset of tracker overrides the

@@ -80,6 +80,52 @@ func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
 	return n, tw.Close()
 }
 
+// RecordCellSweeps is RecordCell for the sweep domain: it captures the
+// cell's raw time-domain sweeps (trace.DomainSweeps) instead of
+// pre-transformed range bins, so a replay re-runs the full window +
+// RFFT + averaging path per frame — the workload the cross-session
+// batch scheduler coalesces. It requires a single-trajectory SlowSynth
+// cell (the fast path never materializes sweeps) and writes the same
+// provenance header RecordCell does, so ReplayTrace rebuilds the
+// identical deployment. Returns the number of frames captured.
+func RecordCellSweeps(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
+	if err := sp.Recordable(); err != nil {
+		return 0, err
+	}
+	c, err := Compile(sp, deviceIndex)
+	if err != nil {
+		return 0, err
+	}
+	if len(c.Trajectories) != 1 {
+		return 0, fmt.Errorf("scenario %q: sweep recording supports single-trajectory cells only (%d trajectories)",
+			sp.Name, len(c.Trajectories))
+	}
+	dev, err := core.NewDevice(c.Config)
+	if err != nil {
+		return 0, err
+	}
+	if c.CalibrateFrames > 0 {
+		dev.CalibrateBackground(c.CalibrateFrames)
+	}
+	h := dev.SweepTraceHeader()
+	h.Name = sp.Name
+	h.DeviceIndex = deviceIndex
+	h.CalibrateFrames = c.CalibrateFrames
+	if h.Scenario, err = json.Marshal(sp); err != nil {
+		return 0, fmt.Errorf("scenario %q: encoding provenance: %w", sp.Name, err)
+	}
+	tw, err := trace.NewWriter(w, h)
+	if err != nil {
+		return 0, err
+	}
+	n, err := dev.RecordSweepsTo(tw, c.Trajectories[0])
+	if err != nil {
+		tw.Close()
+		return n, err
+	}
+	return n, tw.Close()
+}
+
 // ReplayResult is one replayed trace's outcome — the snapshot unit the
 // corpus regression gate diffs. Metrics come from the same scoring code
 // as live cells, so for a fixed trace they are bit-reproducible.
@@ -124,6 +170,12 @@ type ReplayOptions struct {
 	// Arena, when non-nil, recycles decoded frame buffers through a
 	// shared cross-replay arena instead of a private per-replay ring.
 	Arena *core.FrameArena
+	// Batch, when non-nil, routes the replay's sweep-path RFFTs through
+	// a shared cross-session core.BatchScheduler, so concurrent replays
+	// of sweep-domain traces sharing an FFT plan coalesce into combined
+	// stage-interleaved transforms. Output is bit-identical either way;
+	// bin-domain traces carry pre-transformed spectra and ignore it.
+	Batch *core.BatchClient
 	// FrameDeadline arms the replaying device's source watchdog: a
 	// stream that delivers no frame within the deadline (a stalled
 	// network client) ends the replay with a descriptive error instead
@@ -204,6 +256,14 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 	if got := c.CalibrateFrames; got != h.CalibrateFrames {
 		return nil, fmt.Errorf("scenario %q: provenance compiles to %d calibration frames, trace recorded %d", sp.Name, got, h.CalibrateFrames)
 	}
+	if h.Domain == trace.DomainSweeps {
+		if got := c.Config.Radio.SweepsPerFrame; got != h.SweepsPerFrame {
+			return nil, fmt.Errorf("scenario %q: provenance compiles to %d sweeps per frame, sweep trace recorded %d", sp.Name, got, h.SweepsPerFrame)
+		}
+		if got := c.Config.Radio.SamplesPerSweep(); got != h.SamplesPerSweep {
+			return nil, fmt.Errorf("scenario %q: provenance compiles to %d samples per sweep, sweep trace recorded %d", sp.Name, got, h.SamplesPerSweep)
+		}
+	}
 
 	workers := c.Workers
 	if opts.Workers > 0 {
@@ -219,6 +279,7 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 		}
 		dev.Workers = workers
 		dev.Pool = opts.Pool
+		dev.Batch = opts.Batch
 		dev.FrameDeadline = opts.FrameDeadline
 		if c.Faults != nil {
 			if err := dev.InjectFaults(*c.Faults); err != nil {
@@ -244,6 +305,7 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 		}
 		dev.Workers = workers
 		dev.Pool = opts.Pool
+		dev.Batch = opts.Batch
 		dev.FrameDeadline = opts.FrameDeadline
 		if c.CalibrateFrames > 0 {
 			dev.CalibrateBackground(c.CalibrateFrames)
@@ -327,6 +389,23 @@ func teeMulti(ch <-chan core.MultiSample, observe func(ReplayFix)) <-chan core.M
 // under ~1.5 MB total while still exercising the full tracking
 // pipeline, single- and multi-person. Refresh the corpus with
 // cmd/witrack-record (see README "Record & replay").
+// SweepCell returns the compact sweep-domain load cell: a SlowSynth
+// line-of-sight walk on a radio shrunk for raw-sweep capture — the ADC
+// rate cut to 128 kHz so a 2.5 ms sweep is 320 samples (FFT size 512)
+// while the 11 m range keeps every beat far inside Nyquist. Recorded
+// with RecordCellSweeps and replayed by concurrent sessions, every
+// frame runs the full RFFT path, which is what makes cross-session
+// batching observable; witrack-load -sweeps generates this trace in
+// memory rather than checking megabytes of noise into the corpus.
+func SweepCell() Spec {
+	radio := RadioSpec{MaxRange: 11, SweepsPerFrame: 8, SampleRate: 128e3, SweepTime: 2.5e-3}
+	near := &RegionSpec{XMin: -1.5, XMax: 1.5, YMin: 3, YMax: 4.6}
+	return *New("sweep-walk", "compact sweep-domain walk for the batching load harness").
+		Seeded(751).
+		Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk, Duration: 2.0, Seed: 757, Region: near}}).
+		Device(DeviceSpec{Separation: 1.0, SlowSynth: true, Radio: radio})
+}
+
 func Corpus() []Spec {
 	// The corpus radio: frames cover 11 m of round-trip range (the
 	// confined region's round trips top out near 10 m) at 16 frames/s.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"witrack/internal/core"
 	"witrack/internal/trace"
 )
 
@@ -111,6 +112,59 @@ func TestRecordCellReplayMatchesLiveCell(t *testing.T) {
 				t.Fatal("two replays of the same trace diverged")
 			}
 		})
+	}
+}
+
+// TestSweepCellReplayMatchesLiveCell is the sweep-domain replay
+// equivalence gate: the compact sweep cell recorded as raw sweeps and
+// replayed — through the full window + RFFT + averaging path — must
+// score bit-identical to the live runner's cell, with and without the
+// cross-session batch scheduler in the replay path.
+func TestSweepCellReplayMatchesLiveCell(t *testing.T) {
+	sp := SweepCell()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := runCell(context.Background(), &sp, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	frames, err := RecordCellSweeps(&sp, 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != live.res.Frames {
+		t.Fatalf("recorded %d sweep frames, live cell processed %d", frames, live.res.Frames)
+	}
+
+	replay := func(opts ReplayOptions) *ReplayResult {
+		t.Helper()
+		res, err := ReplayTraceOpts(context.Background(), bytes.NewReader(buf.Bytes()), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	res := replay(ReplayOptions{})
+	if res.Frames != live.res.Frames {
+		t.Fatalf("replayed %d frames, live cell %d", res.Frames, live.res.Frames)
+	}
+	if !metricsBitEqual(res.Metrics, live.res.Metrics) {
+		t.Fatalf("sweep replay metrics diverged from live cell:\n  live   %v\n  replay %v",
+			live.res.Metrics, res.Metrics)
+	}
+
+	cl := core.NewBatchScheduler(0, 0).NewClient()
+	batched := replay(ReplayOptions{Batch: cl})
+	if !metricsBitEqual(batched.Metrics, live.res.Metrics) {
+		t.Fatalf("batched sweep replay diverged from live cell:\n  live    %v\n  batched %v",
+			live.res.Metrics, batched.Metrics)
+	}
+	if sub, _ := cl.Stats(); sub == 0 {
+		t.Fatal("batched replay never routed a transform through the scheduler")
 	}
 }
 
@@ -253,5 +307,20 @@ func TestRadioSpecOverridesCompile(t *testing.T) {
 	bad.Devices[0].Radio.MaxRange = -1
 	if err := bad.Validate(); err == nil {
 		t.Fatal("negative radio override must fail validation")
+	}
+
+	sweep := SweepCell()
+	sc, err := Compile(&sweep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Config.Radio.SampleRate != 128e3 {
+		t.Fatalf("SampleRate override not applied: %g", sc.Config.Radio.SampleRate)
+	}
+	if sc.Config.Radio.SweepTime != 2.5e-3 {
+		t.Fatalf("SweepTime override not applied: %g", sc.Config.Radio.SweepTime)
+	}
+	if got := sc.Config.Radio.SamplesPerSweep(); got != 320 {
+		t.Fatalf("sweep cell compiles to %d samples per sweep, want 320", got)
 	}
 }

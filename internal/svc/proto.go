@@ -88,6 +88,14 @@ type SessionTiming struct {
 	// the run divided by frames — approximate under concurrent sessions,
 	// but a cheap canary for a per-frame allocation regression.
 	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	// BatchSubmitted / BatchCoalesced count the session's sweep-path
+	// frame transforms routed through the shared cross-session batch
+	// scheduler, and how many rode a combined call with another session.
+	// Coalescing depends on arrival timing, so the split is
+	// non-deterministic — but the transforms' bits are identical either
+	// way, which is why these live in Timing and not Result.
+	BatchSubmitted int64 `json:"batch_submitted,omitempty"`
+	BatchCoalesced int64 `json:"batch_coalesced,omitempty"`
 	// LagMS samples, one per fused frame, of wall-clock delivery lag:
 	// (now - session start) - frame time. Meaningful as fix latency only
 	// when the client paces the stream to real time; an unpaced client

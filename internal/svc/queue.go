@@ -22,8 +22,14 @@ import (
 var ErrSessionShed = errors.New("svc: session shed: ingest queue full")
 
 // errQueueClosed surfaces when the queue is torn down out from under a
-// blocked side (session cancelled or replay finished early).
+// blocked side (replay finished early, serve-side teardown). It is an
+// internal sentinel; serve translates it before a client sees it.
 var errQueueClosed = errors.New("svc: ingest queue closed")
+
+// errSessionCancelled is the teardown cause latched when the session is
+// cancelled (DELETE or daemon shutdown), so the close summary reports
+// the cancellation instead of the internal queue sentinel.
+var errSessionCancelled = errors.New("svc: session cancelled")
 
 // ingestChunk is the filler's read granularity. Small enough that
 // backpressure is fine-grained, large enough that a corpus trace is a
@@ -56,6 +62,7 @@ type ingestQueue struct {
 	idleTimer *time.Timer
 	mu        sync.Mutex
 	wrErr     error // filler's terminal condition: nil (clean EOF), shed, or net error
+	closeErr  error // teardown cause latched by the first CloseCause; errQueueClosed otherwise
 }
 
 // newIngestQueue builds a queue of depth chunks whose reader gives up
@@ -95,7 +102,7 @@ func (q *ingestQueue) fill(src io.Reader, shedAfter time.Duration) error {
 			select {
 			case q.ch <- buf[:n]:
 			case <-q.done:
-				return errQueueClosed
+				return q.closeCause()
 			default:
 				// Queue full: the pipeline is behind. Give it shedAfter to
 				// drain before declaring the session too slow to serve.
@@ -114,7 +121,7 @@ func (q *ingestQueue) fill(src io.Reader, shedAfter time.Duration) error {
 					q.finish(shed)
 					return shed
 				case <-q.done:
-					return errQueueClosed
+					return q.closeCause()
 				}
 			}
 		}
@@ -159,10 +166,32 @@ func (q *ingestQueue) finish(err error) {
 }
 
 // Close tears the queue down from the consumer side: a blocked filler
-// send aborts with errQueueClosed and a blocked Read unblocks the same
-// way. Safe to call multiple times and concurrently with fill.
-func (q *ingestQueue) Close() {
+// send aborts and a blocked Read unblocks, both reporting the latched
+// teardown cause (errQueueClosed unless CloseCause named one). Safe to
+// call multiple times and concurrently with fill.
+func (q *ingestQueue) Close() { q.CloseCause(nil) }
+
+// CloseCause is Close with a descriptive teardown cause. The first
+// non-nil cause wins — a later plain Close (serve's unconditional
+// teardown) never downgrades a cancellation back to the internal
+// sentinel.
+func (q *ingestQueue) CloseCause(cause error) {
+	q.mu.Lock()
+	if q.closeErr == nil && cause != nil {
+		q.closeErr = cause
+	}
+	q.mu.Unlock()
 	q.doneOnce.Do(func() { close(q.done) })
+}
+
+// closeCause returns the latched teardown cause.
+func (q *ingestQueue) closeCause() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closeErr != nil {
+		return q.closeErr
+	}
+	return errQueueClosed
 }
 
 // Read implements io.Reader for the replay pipeline. It drains queued
@@ -188,7 +217,7 @@ func (q *ingestQueue) Read(p []byte) (int, error) {
 			got = true
 		case <-q.done:
 			q.stopIdle()
-			return 0, errQueueClosed
+			return 0, q.closeCause()
 		case <-q.wrDone:
 			// Filler finished; hand out anything still queued, then its
 			// terminal condition.

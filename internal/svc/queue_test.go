@@ -65,6 +65,114 @@ func TestQueueCloseUnblocksFiller(t *testing.T) {
 	}
 }
 
+// TestQueueShedTimerReArms: the shed timer is created on the first
+// full-queue episode and Reset on later ones; a consumer that drains
+// within the patience window every episode must never be shed, and
+// every byte must arrive. This pins the Stop/drain/Reset sequence
+// across repeated blocked sends — a stale timer fire on a later episode
+// would shed a perfectly healthy session.
+func TestQueueShedTimerReArms(t *testing.T) {
+	const chunks = 5
+	q := newIngestQueue(1, 0)
+	data := make([]byte, chunks*ingestChunk)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	fillDone := make(chan error, 1)
+	go func() { fillDone <- q.fill(bytes.NewReader(data), 300*time.Millisecond) }()
+
+	// Drain slowly enough that the filler blocks on (at least) several
+	// distinct episodes, but always within the patience window.
+	got := make([]byte, 0, len(data))
+	buf := make([]byte, ingestChunk)
+	for len(got) < len(data) {
+		time.Sleep(40 * time.Millisecond)
+		n, err := q.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(got) == len(data) {
+				break
+			}
+			t.Fatalf("read failed after %d bytes: %v", len(got), err)
+		}
+	}
+	select {
+	case err := <-fillDone:
+		if err != nil {
+			t.Fatalf("filler with a keeping-up consumer returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("filler did not finish")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("stream corrupted across blocked-send episodes: %d bytes, want %d", len(got), len(data))
+	}
+}
+
+// TestQueueIdleTimerSlowReaderWithBacklog: the idle timer arms per
+// wait, not per session — a reader that pauses longer than the idle
+// deadline between reads must still drain every chunk a finished filler
+// left queued (each wait finds data immediately), then see clean EOF. A
+// stale fired-but-undrained timer from an earlier wait would make a
+// later Read report a stall with bytes sitting in the queue.
+func TestQueueIdleTimerSlowReaderWithBacklog(t *testing.T) {
+	const chunks = 3
+	q := newIngestQueue(chunks+1, 40*time.Millisecond)
+	data := make([]byte, chunks*ingestChunk)
+	if err := q.fill(bytes.NewReader(data), time.Second); err != nil {
+		t.Fatalf("fill with free queue space returned %v", err)
+	}
+	// Filler is done; chunks are parked in the queue. Read them out
+	// slower than the idle deadline.
+	got := 0
+	buf := make([]byte, ingestChunk)
+	for {
+		time.Sleep(60 * time.Millisecond)
+		n, err := q.Read(buf)
+		got += n
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read failed after %d bytes: %v (idle timer fired with backlog queued?)", got, err)
+		}
+	}
+	if got != len(data) {
+		t.Fatalf("drained %d bytes, want %d", got, len(data))
+	}
+}
+
+// TestQueueCloseCause: a cancellation cause latched with CloseCause is
+// what both blocked sides report, and the first cause wins over both
+// later causes and plain Close.
+func TestQueueCloseCause(t *testing.T) {
+	q := newIngestQueue(1, 0)
+	data := make([]byte, 8*ingestChunk)
+	fillDone := make(chan error, 1)
+	go func() { fillDone <- q.fill(bytes.NewReader(data), time.Hour) }()
+	time.Sleep(20 * time.Millisecond) // let the filler block
+	q.CloseCause(errSessionCancelled)
+	q.Close() // must not downgrade the latched cause
+	select {
+	case err := <-fillDone:
+		if !errors.Is(err, errSessionCancelled) {
+			t.Fatalf("fill returned %v, want the latched cancellation cause", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("CloseCause did not unblock the filler")
+	}
+	// The reader may drain already-queued chunks first; the terminal
+	// condition it then reports must be the latched cause.
+	var err error
+	buf := make([]byte, ingestChunk)
+	for i := 0; i < 16 && err == nil; i++ {
+		_, err = q.Read(buf)
+	}
+	if !errors.Is(err, errSessionCancelled) {
+		t.Fatalf("reader saw %v, want the latched cancellation cause", err)
+	}
+}
+
 // TestQueueIdleDeadline: a reader waiting on a silent producer gives up
 // with a stall error after the idle deadline.
 func TestQueueIdleDeadline(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"sort"
@@ -42,6 +43,15 @@ type Config struct {
 	FrameDeadline time.Duration
 	// ArenaCapacity sizes the shared decoded-frame arena. 0 = default.
 	ArenaCapacity int
+	// GatherWindow bounds how long the cross-session batch scheduler
+	// holds a session's sweep-path frame transform open for other
+	// sessions on the same FFT plan to join before executing it alone.
+	// 0 = core.DefaultGatherWindow.
+	GatherWindow time.Duration
+	// MaxBatch caps how many sweep segments one combined transform may
+	// gather before it executes regardless of the window.
+	// 0 = core.DefaultMaxBatch.
+	MaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +109,7 @@ type Server struct {
 	cfg   Config
 	pool  *core.WorkerPool
 	arena *core.FrameArena
+	sched *core.BatchScheduler
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -118,6 +129,7 @@ func NewServer(cfg Config) *Server {
 		cfg:      cfg,
 		pool:     core.NewWorkerPool(cfg.PoolSize),
 		arena:    core.NewFrameArena(cfg.ArenaCapacity),
+		sched:    core.NewBatchScheduler(cfg.GatherWindow, cfg.MaxBatch),
 		sessions: make(map[string]*Session),
 	}
 }
@@ -204,7 +216,7 @@ func (s *Server) Create(req CreateRequest) (*Session, error) {
 	}
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
-	sess := newSession(s, id, req)
+	sess := newSession(s, id, s.nextID, req)
 	s.sessions[id] = sess
 	return sess, nil
 }
@@ -229,7 +241,7 @@ func (s *Server) Remove(id string) bool {
 	return ok
 }
 
-// List snapshots all sessions' stats, ordered by id.
+// List snapshots all sessions' stats, in creation order.
 func (s *Server) List() []SessionStats {
 	s.mu.Lock()
 	sessions := make([]*Session, 0, len(s.sessions))
@@ -241,11 +253,9 @@ func (s *Server) List() []SessionStats {
 	for i, sess := range sessions {
 		stats[i] = sess.Stats()
 	}
-	sort.Slice(stats, func(i, j int) bool {
-		a, _ := strconv.Atoi(stats[i].ID[1:])
-		b, _ := strconv.Atoi(stats[j].ID[1:])
-		return a < b
-	})
+	// Sort on the numeric creation sequence, not a re-parse of the ID
+	// string (whose silent Atoi failure would scramble the order).
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Seq < stats[j].Seq })
 	return stats
 }
 
@@ -273,16 +283,28 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	id, err := readHello(conn)
 	if err != nil {
-		writeSummary(conn, &CloseSummary{OK: false, Error: err.Error()})
+		s.sendSummary(conn, "", &CloseSummary{OK: false, Error: err.Error()})
 		return
 	}
 	sess, ok := s.Session(id)
 	if !ok {
-		writeSummary(conn, &CloseSummary{OK: false, Error: fmt.Sprintf("svc: unknown session %q", id)})
+		s.sendSummary(conn, id, &CloseSummary{OK: false, Error: fmt.Sprintf("svc: unknown session %q", id)})
 		return
 	}
 	sum := sess.serve(conn)
-	writeSummary(conn, sum)
+	s.sendSummary(conn, id, sum)
+}
+
+// sendSummary writes the close summary, logging a failed delivery: the
+// session's verdict is already final either way, but a client that
+// never received it will retry or hang, and that is worth a log line.
+func (s *Server) sendSummary(conn net.Conn, id string, sum *CloseSummary) {
+	if err := writeSummary(conn, sum); err != nil {
+		if id == "" {
+			id = "(no session)"
+		}
+		log.Printf("svc: writing close summary to %s for %s: %v", conn.RemoteAddr(), id, err)
+	}
 }
 
 // handler builds the management API.
@@ -362,7 +384,11 @@ func (s *Server) handler() http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already gone; all we can do is say the body
+		// did not follow it (encode failure or client hang-up mid-write).
+		log.Printf("svc: writing %d response body: %v", status, err)
+	}
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {

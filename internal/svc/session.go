@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"witrack/internal/core"
 	"witrack/internal/scenario"
 )
 
@@ -29,6 +30,7 @@ const (
 // score the same bytes.
 type Session struct {
 	id            string
+	seq           int
 	name          string
 	recoverMode   bool
 	workers       int
@@ -36,6 +38,7 @@ type Session struct {
 	shedAfter     time.Duration
 	frameDeadline time.Duration
 	srv           *Server
+	batch         *core.BatchClient
 	ctx           context.Context
 	cancel        context.CancelFunc
 	created       time.Time
@@ -69,7 +72,10 @@ type Fix struct {
 // state, and live counters that keep updating while the stream is in
 // flight.
 type SessionStats struct {
-	ID      string `json:"id"`
+	ID string `json:"id"`
+	// Seq is the server-assigned creation sequence (the numeric part of
+	// ID); listings sort on it rather than re-parsing the ID string.
+	Seq     int    `json:"seq"`
 	Name    string `json:"name,omitempty"`
 	State   string `json:"state"`
 	Created string `json:"created"`
@@ -86,6 +92,14 @@ type SessionStats struct {
 	// AllocsPerFrame: see SessionTiming.AllocsPerFrame; populated once
 	// the session ends.
 	AllocsPerFrame float64 `json:"allocs_per_frame,omitempty"`
+	// BatchSubmitted / BatchCoalesced count the session's sweep-path
+	// frame transforms routed through the shared cross-session batch
+	// scheduler so far, and how many of those rode a combined call with
+	// at least one other session; CoalescedFrac is their ratio. All zero
+	// for bin-domain traces (their frames carry pre-transformed spectra).
+	BatchSubmitted int64   `json:"batch_submitted,omitempty"`
+	BatchCoalesced int64   `json:"batch_coalesced,omitempty"`
+	CoalescedFrac  float64 `json:"coalesced_frac,omitempty"`
 	// LastFix is the most recent valid fix, if any.
 	LastFix *Fix `json:"last_fix,omitempty"`
 	// Error describes a failed session.
@@ -94,10 +108,11 @@ type SessionStats struct {
 	Result *scenario.ReplayResult `json:"result,omitempty"`
 }
 
-func newSession(srv *Server, id string, req CreateRequest) *Session {
+func newSession(srv *Server, id string, seq int, req CreateRequest) *Session {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Session{
 		id:            id,
+		seq:           seq,
 		name:          req.Name,
 		recoverMode:   req.Recover,
 		workers:       req.Workers,
@@ -105,6 +120,7 @@ func newSession(srv *Server, id string, req CreateRequest) *Session {
 		shedAfter:     srv.cfg.ShedAfter,
 		frameDeadline: srv.cfg.FrameDeadline,
 		srv:           srv,
+		batch:         srv.sched.NewClient(),
 		ctx:           ctx,
 		cancel:        cancel,
 		created:       time.Now(),
@@ -132,6 +148,7 @@ func (s *Session) Stats() SessionStats {
 	defer s.mu.Unlock()
 	st := SessionStats{
 		ID:             s.id,
+		Seq:            s.seq,
 		Name:           s.name,
 		State:          s.state,
 		Created:        s.created.UTC().Format(time.RFC3339Nano),
@@ -142,6 +159,10 @@ func (s *Session) Stats() SessionStats {
 	}
 	if s.frames > 0 {
 		st.DegradedFrac = float64(s.degraded) / float64(s.frames)
+	}
+	st.BatchSubmitted, st.BatchCoalesced = s.batch.Stats()
+	if st.BatchSubmitted > 0 {
+		st.CoalescedFrac = float64(st.BatchCoalesced) / float64(st.BatchSubmitted)
 	}
 	if s.timing != nil {
 		st.FPS = s.timing.FPS
@@ -209,10 +230,12 @@ func (s *Session) serve(src io.Reader) *CloseSummary {
 	fillDone := make(chan error, 1)
 	go func() { fillDone <- q.fill(src, s.shedAfter) }()
 	// Cancellation (DELETE, shutdown) must unblock a replay parked on an
-	// idle connection: closing the queue ends the frame stream.
+	// idle connection: closing the queue ends the frame stream. The cause
+	// is latched so the close summary reports the cancellation, not the
+	// internal queue sentinel.
 	go func() {
 		<-s.ctx.Done()
-		q.Close()
+		q.CloseCause(errSessionCancelled)
 	}()
 
 	start := time.Now()
@@ -224,6 +247,7 @@ func (s *Session) serve(src io.Reader) *CloseSummary {
 		Workers:       s.workers,
 		Pool:          s.srv.pool,
 		Arena:         s.srv.arena,
+		Batch:         s.batch,
 		FrameDeadline: s.frameDeadline,
 		Observe:       s.observe(start),
 	})
@@ -235,9 +259,11 @@ func (s *Session) serve(src io.Reader) *CloseSummary {
 
 	if err != nil {
 		// Normalize the teardown-path errors into the descriptive close
-		// the client should see.
+		// the client should see. The cancellation cause is latched on the
+		// queue itself, so a cancelled session reports its cancellation
+		// even when the internal sentinel reached the replay first.
 		switch {
-		case s.ctx.Err() != nil && errors.Is(s.ctx.Err(), context.Canceled) && errors.Is(err, errQueueClosed):
+		case errors.Is(err, errSessionCancelled) || errors.Is(s.ctx.Err(), context.Canceled) && errors.Is(err, errQueueClosed):
 			err = fmt.Errorf("svc: session %s cancelled", s.id)
 		case errors.Is(err, errQueueClosed):
 			err = fmt.Errorf("svc: session %s: ingest stream closed before the trace completed", s.id)
@@ -252,6 +278,7 @@ func (s *Session) serve(src io.Reader) *CloseSummary {
 		}
 		timing.AllocsPerFrame = float64(m1.Mallocs-m0.Mallocs) / float64(s.frames)
 	}
+	timing.BatchSubmitted, timing.BatchCoalesced = s.batch.Stats()
 	s.timing = timing
 	if err != nil {
 		s.state = StateFailed

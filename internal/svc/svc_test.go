@@ -8,6 +8,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -191,6 +192,72 @@ func TestSvcConcurrentSessions(t *testing.T) {
 	}
 	if srv.pool.InUse() != 0 {
 		t.Fatalf("pool leaked %d slots", srv.pool.InUse())
+	}
+}
+
+// TestSvcSweepSessionsCoalesce is the cross-session batching gate: four
+// concurrent sessions replay the same sweep-domain trace — every frame
+// runs the full RFFT path — through a daemon whose scheduler gathers
+// transforms across sessions. Every served result must stay
+// bit-identical to the local offline replay (coalescing may change
+// which combined call computes a frame's spectrum, never its bits), and
+// on a multicore host the sessions must actually coalesce.
+func TestSvcSweepSessionsCoalesce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep-domain synthesis and replay are slow; skipped with -short")
+	}
+	sp := scenario.SweepCell()
+	var buf bytes.Buffer
+	if _, err := scenario.RecordCellSweeps(&sp, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	want := replayLocal(t, data)
+
+	const sessions = 4
+	srv := startServer(t, Config{PoolSize: 2, GatherWindow: time.Millisecond})
+	client := &Client{Mgmt: "http://" + srv.MgmtAddr()}
+	info, err := client.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	sums := make([]*CloseSummary, sessions)
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		stats, err := client.CreateSession(CreateRequest{Name: fmt.Sprintf("sweep-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sums[i], errs[i] = IngestTCP(info.IngestAddr, id, data, IngestOptions{})
+		}(i, stats.ID)
+	}
+	wg.Wait()
+
+	var submitted, coalesced int64
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		sum := sums[i]
+		if !sum.OK {
+			t.Fatalf("session %d failed: %s", i, sum.Error)
+		}
+		sameResult(t, fmt.Sprintf("sweep session %d", i), sum.Result, want)
+		if sum.Timing == nil || sum.Timing.BatchSubmitted == 0 {
+			t.Fatalf("session %d reported no batched transforms; the sweep path did not route through the scheduler", i)
+		}
+		submitted += sum.Timing.BatchSubmitted
+		coalesced += sum.Timing.BatchCoalesced
+	}
+	t.Logf("%d transforms submitted, %d coalesced across sessions (GOMAXPROCS=%d)",
+		submitted, coalesced, runtime.GOMAXPROCS(0))
+	if coalesced == 0 && runtime.GOMAXPROCS(0) > 1 {
+		t.Fatal("concurrent sweep sessions never coalesced on a multicore host")
 	}
 }
 

@@ -124,7 +124,24 @@ type Header struct {
 	// trace (empty for raw device captures). Replay tooling recompiles
 	// it so the replaying device matches the recording one exactly.
 	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// Domain says what the per-antenna records hold: "" (the default)
+	// is processed complex range bins; DomainSweeps is raw time-domain
+	// sweep samples packed pairwise into the same complex record layout
+	// (sample 2i in the real part, 2i+1 in the imaginary part), so the
+	// binary framing, CRC, and XOR-delta machinery are unchanged. A
+	// sweep-domain replay runs the full window + RFFT + averaging path
+	// per frame — the workload cross-session batching coalesces.
+	Domain string `json:"domain,omitempty"`
+	// SweepsPerFrame / SamplesPerSweep shape a sweep-domain record:
+	// each antenna's record is SweepsPerFrame*SamplesPerSweep/2 complex
+	// values. Zero (and omitted) for bin-domain traces.
+	SweepsPerFrame  int `json:"sweeps_per_frame,omitempty"`
+	SamplesPerSweep int `json:"samples_per_sweep,omitempty"`
 }
+
+// DomainSweeps marks a trace whose records carry raw time-domain sweeps
+// instead of processed range bins.
+const DomainSweeps = "sweeps"
 
 // Validate checks the header fields a reader depends on.
 func (h *Header) Validate() error {
@@ -136,6 +153,23 @@ func (h *Header) Validate() error {
 	}
 	if h.Bins < 0 || h.Frames < 0 || h.CalibrateFrames < 0 {
 		return fmt.Errorf("%w: negative header count", ErrCorrupt)
+	}
+	switch h.Domain {
+	case "":
+		if h.SweepsPerFrame != 0 || h.SamplesPerSweep != 0 {
+			return fmt.Errorf("%w: sweep shape on a bin-domain trace", ErrCorrupt)
+		}
+	case DomainSweeps:
+		if h.SweepsPerFrame <= 0 || h.SamplesPerSweep <= 0 {
+			return fmt.Errorf("%w: sweep-domain trace needs positive sweep shape, got %d × %d",
+				ErrCorrupt, h.SweepsPerFrame, h.SamplesPerSweep)
+		}
+		if h.SweepsPerFrame*h.SamplesPerSweep%2 != 0 {
+			return fmt.Errorf("%w: sweep-domain frame of %d samples cannot pack into complex pairs",
+				ErrCorrupt, h.SweepsPerFrame*h.SamplesPerSweep)
+		}
+	default:
+		return fmt.Errorf("%w: unknown trace domain %q", ErrCorrupt, h.Domain)
 	}
 	return nil
 }
