@@ -313,6 +313,11 @@ func main() {
 			fmt.Sprintf("%.0f fps, %.2f allocs/frame", r.Float32TimeDomainFPS, r.Float32TimeDomainAllocsPerFrame))
 		row("float32 spectrum error", "within the plan's analytic bound",
 			fmt.Sprintf("%.3g of peak (bound %.3g)", r.Float32MaxError, r.Float32ErrorBound))
+		row("int16 replay path", "quantized traces replay faster than float32 synthesis",
+			fmt.Sprintf("%.0f fps, %.2f allocs/frame, %.0f bytes/frame",
+				r.Int16ReplayFPS, r.Int16ReplayAllocsPerFrame, r.Int16BytesPerFrame))
+		row("int16 quantization error", "within the ADC's analytic bound",
+			fmt.Sprintf("%.3g per bin (bound %.3g)", r.Int16MaxError, r.Int16ErrorBound))
 		for _, p := range r.SpeedupCurve {
 			row(fmt.Sprintf("scaling @ GOMAXPROCS=%d, %d workers", p.GOMAXPROCS, p.Workers),
 				"throughput scales with workers on multicore hosts",
@@ -412,6 +417,11 @@ func compareBaseline(path string, current *experiments.PipelineThroughputResult,
 		throughput("float32 td fps", current.Float32TimeDomainFPS, base.Pipeline.Float32TimeDomainFPS)
 		allocs("float32 td allocs", current.Float32TimeDomainAllocsPerFrame, base.Pipeline.Float32TimeDomainAllocsPerFrame)
 	}
+	if base.Pipeline.Int16ReplayFPS > 0 {
+		// Same compatibility rule for baselines predating the int16 path.
+		throughput("int16 replay fps", current.Int16ReplayFPS, base.Pipeline.Int16ReplayFPS)
+		allocs("int16 replay allocs", current.Int16ReplayAllocsPerFrame, base.Pipeline.Int16ReplayAllocsPerFrame)
+	}
 
 	// The float32 oracle is arithmetic, not scheduling: the measured
 	// spectrum error exceeding the plan's analytic bound is a hard
@@ -423,6 +433,37 @@ func compareBaseline(path string, current *experiments.PipelineThroughputResult,
 	} else {
 		fmt.Printf("bench gate: %-22s %10.3g vs bound    %10.3g  ok\n",
 			"float32 error", current.Float32MaxError, current.Float32ErrorBound)
+	}
+
+	// Same discipline for the quantized path: the measured int16
+	// spectrum error against the analytic ADC bound is arithmetic and
+	// gates hard on any host.
+	if current.Int16MaxError > current.Int16ErrorBound {
+		fmt.Printf("bench gate: %-22s %10.3g vs bound    %10.3g  REGRESSION\n",
+			"int16 error", current.Int16MaxError, current.Int16ErrorBound)
+		failures = append(failures, "int16 error bound")
+	} else {
+		fmt.Printf("bench gate: %-22s %10.3g vs bound    %10.3g  ok\n",
+			"int16 error", current.Int16MaxError, current.Int16ErrorBound)
+	}
+
+	// Replaying quantized codes skips synthesis entirely, so int16
+	// replay must outrun even the float32 time-domain path; both
+	// numbers come from this run on this host, making the ordering a
+	// scheduling-noise-tolerant claim — but a serialized host can still
+	// invert it, so it degrades to a warning there.
+	if current.Int16ReplayFPS < current.Float32TimeDomainFPS {
+		if current.SerializedHost {
+			fmt.Printf("bench gate: %-22s %10.0f vs f32 td   %10.0f  WARNING (serialized host; not gating)\n",
+				"int16 replay ordering", current.Int16ReplayFPS, current.Float32TimeDomainFPS)
+		} else {
+			fmt.Printf("bench gate: %-22s %10.0f vs f32 td   %10.0f  REGRESSION\n",
+				"int16 replay ordering", current.Int16ReplayFPS, current.Float32TimeDomainFPS)
+			failures = append(failures, "int16 replay ordering")
+		}
+	} else {
+		fmt.Printf("bench gate: %-22s %10.0f vs f32 td   %10.0f  ok\n",
+			"int16 replay ordering", current.Int16ReplayFPS, current.Float32TimeDomainFPS)
 	}
 
 	// Parallel scaling: the four-worker point of the speedup curve must

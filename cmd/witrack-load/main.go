@@ -87,6 +87,13 @@ type Timing struct {
 	BatchSubmitted int64   `json:"batch_submitted,omitempty"`
 	BatchCoalesced int64   `json:"batch_coalesced,omitempty"`
 	CoalescedFrac  float64 `json:"coalesced_frac,omitempty"`
+	// IngestBytes is the total compressed trace bytes streamed into the
+	// daemon across all sessions; BytesPerFrame and IngestMBps derive
+	// the per-frame ingest cost and the aggregate ingest bandwidth —
+	// the numbers the quantized int16 encoding cuts roughly 4x.
+	IngestBytes   int64   `json:"ingest_bytes"`
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	IngestMBps    float64 `json:"ingest_mb_per_s"`
 }
 
 // Report is the witrack-load JSON artifact (SVC_LOAD.json in CI).
@@ -136,19 +143,24 @@ func main() {
 		traces[i] = lt
 	}
 	if *sweeps {
-		lt, offline, err := genSweepTrace()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "witrack-load: generating sweep trace:", err)
-			os.Exit(1)
+		// Both sweep encodings soak: the float64 cell and its quantized
+		// int16 twin, so the fused dequantize+window ingest path is
+		// exercised (and coalesced) alongside the full-precision one.
+		for _, sp := range []scenario.Spec{scenario.SweepCell(), scenario.SweepCellInt16()} {
+			lt, offline, err := genSweepTrace(sp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "witrack-load: generating sweep trace %s: %v\n", sp.Name, err)
+				os.Exit(1)
+			}
+			// Seed the determinism check with the in-process offline replay:
+			// served-vs-offline parity becomes an assertion, not just
+			// served-vs-served agreement.
+			offline.Trace = lt.name
+			agreed[lt.name] = offline
+			traces = append(traces, lt)
+			fmt.Printf("witrack-load: generated %s (%d sweep-domain frames, %.1f KiB), offline reference computed\n",
+				lt.name, lt.frames, float64(len(lt.data))/1024)
 		}
-		// Seed the determinism check with the in-process offline replay:
-		// served-vs-offline parity becomes an assertion, not just
-		// served-vs-served agreement.
-		offline.Trace = lt.name
-		agreed[lt.name] = offline
-		traces = append(traces, lt)
-		fmt.Printf("witrack-load: generated %s (%d sweep-domain frames, %.1f KiB), offline reference computed\n",
-			lt.name, lt.frames, float64(len(lt.data))/1024)
 	}
 
 	client := &svc.Client{Mgmt: *mgmt}
@@ -175,6 +187,7 @@ func main() {
 		for i, res := range results {
 			name := traces[i%len(traces)].name
 			timing.TotalFrames += res.Frames
+			timing.IngestBytes += int64(len(traces[i%len(traces)].data))
 			if w, ok := agreed[name]; ok {
 				if err := sameBits(w, res); err != nil {
 					fmt.Fprintf(os.Stderr, "witrack-load: %s served non-deterministically in round %d: %v\n", name, round, err)
@@ -204,6 +217,12 @@ func main() {
 	if timing.BatchSubmitted > 0 {
 		timing.CoalescedFrac = float64(timing.BatchCoalesced) / float64(timing.BatchSubmitted)
 	}
+	if timing.TotalFrames > 0 {
+		timing.BytesPerFrame = float64(timing.IngestBytes) / float64(timing.TotalFrames)
+	}
+	if timing.WallSeconds > 0 {
+		timing.IngestMBps = float64(timing.IngestBytes) / 1e6 / timing.WallSeconds
+	}
 
 	var report Report
 	report.Timing = timing
@@ -219,6 +238,8 @@ func main() {
 	fmt.Printf("witrack-load: %d sessions over %d rounds in %.1fs — %d frames, %.1f fps aggregate, fix latency p50 %.1f ms / p99 %.1f ms (paced=%v)\n",
 		timing.Sessions, timing.Rounds, timing.WallSeconds, timing.TotalFrames,
 		timing.AggregateFPS, timing.FixLatencyP50, timing.FixLatencyP99, timing.Paced)
+	fmt.Printf("witrack-load: ingested %.1f MB (%.0f bytes/frame, %.2f MB/s)\n",
+		float64(timing.IngestBytes)/1e6, timing.BytesPerFrame, timing.IngestMBps)
 	if timing.BatchSubmitted > 0 {
 		fmt.Printf("witrack-load: %d sweep transforms submitted, %d coalesced across sessions (%.1f%%)\n",
 			timing.BatchSubmitted, timing.BatchCoalesced, 100*timing.CoalescedFrac)
@@ -259,13 +280,12 @@ func main() {
 	}
 }
 
-// genSweepTrace records the compact sweep cell into memory and replays
+// genSweepTrace records the given sweep cell into memory and replays
 // it offline in-process, returning both the trace and the reference
 // result every served session must reproduce bit-for-bit.
-func genSweepTrace() (loadedTrace, *scenario.ReplayResult, error) {
-	sp := scenario.SweepCell()
+func genSweepTrace(sp scenario.Spec) (loadedTrace, *scenario.ReplayResult, error) {
 	var buf bytes.Buffer
-	frames, err := scenario.RecordCellSweeps(&sp, 0, &buf)
+	frames, _, err := scenario.RecordCellSweeps(&sp, 0, &buf)
 	if err != nil {
 		return loadedTrace{}, nil, err
 	}
@@ -352,14 +372,27 @@ func loadTrace(path string) (loadedTrace, error) {
 		return loadedTrace{}, err
 	}
 	frames := 0
-	for {
-		if _, _, err := tr.ReadFrameTruthsInto(nil, nil); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
+	if tr.Header().Sample == trace.SampleInt16 {
+		var dst [][]int16
+		for {
+			if dst, _, err = tr.ReadFrameInt16Into(dst, nil); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return loadedTrace{}, err
 			}
-			return loadedTrace{}, err
+			frames++
 		}
-		frames++
+	} else {
+		for {
+			if _, _, err := tr.ReadFrameTruthsInto(nil, nil); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return loadedTrace{}, err
+			}
+			frames++
+		}
 	}
 	return loadedTrace{
 		name:     filepath.Base(path),

@@ -124,16 +124,21 @@ func main() {
 		for di := 0; di < fleet; di++ {
 			name := fmt.Sprintf("%s-d%d.wtrace", sp.Name, di)
 			path := filepath.Join(*outDir, name)
-			res, size, err := recordAndVerify(sp, di, path)
+			res, size, raw, err := recordAndVerify(sp, di, path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "witrack-record:", err)
 				os.Exit(1)
 			}
 			total += size
 			res.Trace = name
+			res.RawBytes = raw
+			res.TraceBytes = size
+			if size > 0 {
+				res.CompressionRatio = float64(raw) / float64(size)
+			}
 			report.Traces = append(report.Traces, *res)
-			fmt.Printf("wrote %-28s %6.1f KB  %5d frames  (%s device %d)\n",
-				name, float64(size)/1024, res.Frames, sp.Name, di)
+			fmt.Printf("wrote %-28s %6.1f KB  %5d frames  %6.1f KB raw  %4.1fx  (%s device %d)\n",
+				name, float64(size)/1024, res.Frames, float64(raw)/1024, res.CompressionRatio, sp.Name, di)
 		}
 	}
 	if len(report.Traces) == 0 {
@@ -157,33 +162,41 @@ func main() {
 
 // recordAndVerify captures one cell to path, then replays the written
 // file and returns the replay's scored result — proving on the spot
-// that what landed on disk reproduces the run.
-func recordAndVerify(sp *scenario.Spec, deviceIndex int, path string) (*scenario.ReplayResult, int64, error) {
+// that what landed on disk reproduces the run — together with the
+// on-disk (compressed) and pre-compression encoded sizes. Cells whose
+// device models an ADC (Radio.ADCBits > 0) are captured as quantized
+// int16 sweep traces; all others record pre-transformed range bins.
+func recordAndVerify(sp *scenario.Spec, deviceIndex int, path string) (*scenario.ReplayResult, int64, int64, error) {
+	record := scenario.RecordCell
+	if deviceIndex < len(sp.Devices) && sp.Devices[deviceIndex].Radio.ADCBits > 0 {
+		record = scenario.RecordCellSweeps
+	}
 	f, err := os.Create(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	if _, err := scenario.RecordCell(sp, deviceIndex, f); err != nil {
+	_, raw, err := record(sp, deviceIndex, f)
+	if err != nil {
 		f.Close()
 		os.Remove(path)
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(path)
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	st, err := os.Stat(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	rf, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer rf.Close()
 	res, err := scenario.ReplayTrace(context.Background(), rf)
 	if err != nil {
-		return nil, 0, fmt.Errorf("verifying %s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("verifying %s: %w", path, err)
 	}
-	return res, st.Size(), nil
+	return res, st.Size(), raw, nil
 }

@@ -109,13 +109,27 @@ func (c *BatchClient) RFFTBatch(plan *dsp.Plan, dst []complex128, sweeps [][]flo
 	return c.sched.run(c, plan, dst, sweeps, window)
 }
 
-// batchJob is one submitted frame transform.
+// RFFTBatchInt16 is RFFTBatch for quantized sweeps: the ADC codes ride
+// the same gather groups as float64 jobs (groups are keyed by plan, not
+// by encoding, so mixed sessions still coalesce), and the leader's
+// combined call dequantizes each int16 span through the fused
+// dequantize+window kernel. Results are bit-identical to
+// plan.RFFTBatchInt16(dst, sweeps, scale, window).
+func (c *BatchClient) RFFTBatchInt16(plan *dsp.Plan, dst []complex128, sweeps [][]int16, scale float64, window []float64) []complex128 {
+	return c.sched.runInt16(c, plan, dst, sweeps, scale, window)
+}
+
+// batchJob is one submitted frame transform: float64 sweeps, or int16
+// ADC codes plus their dequantization scale (exactly one of sweeps /
+// sweeps16 is set).
 type batchJob struct {
-	client *BatchClient
-	dst    []complex128
-	sweeps [][]float64
-	window []float64
-	done   chan struct{}
+	client   *BatchClient
+	dst      []complex128
+	sweeps   [][]float64
+	sweeps16 [][]int16
+	scale    float64
+	window   []float64
+	done     chan struct{}
 }
 
 // batchGroup is one plan's open gather of jobs. ready is closed when
@@ -136,14 +150,32 @@ type batchExecScratch struct {
 	segs  [][]complex128
 }
 
-// run submits one job and blocks until its results are in dst.
+// run submits one float64 job and blocks until its results are in dst.
 func (s *BatchScheduler) run(c *BatchClient, plan *dsp.Plan, dst []complex128, sweeps [][]float64, window []float64) []complex128 {
 	seg := plan.Size()/2 + 1
 	if len(dst) != len(sweeps)*seg {
 		dst = make([]complex128, len(sweeps)*seg)
 	}
 	job := &batchJob{client: c, dst: dst, sweeps: sweeps, window: window, done: make(chan struct{})}
+	s.submit(plan, job, len(sweeps))
+	return dst
+}
 
+// runInt16 submits one quantized job and blocks until its results are
+// in dst.
+func (s *BatchScheduler) runInt16(c *BatchClient, plan *dsp.Plan, dst []complex128, sweeps [][]int16, scale float64, window []float64) []complex128 {
+	seg := plan.Size()/2 + 1
+	if len(dst) != len(sweeps)*seg {
+		dst = make([]complex128, len(sweeps)*seg)
+	}
+	job := &batchJob{client: c, dst: dst, sweeps16: sweeps, scale: scale, window: window, done: make(chan struct{})}
+	s.submit(plan, job, len(sweeps))
+	return dst
+}
+
+// submit enqueues one job (segs FFT segments) into plan's open gather
+// group and blocks until the group has executed.
+func (s *BatchScheduler) submit(plan *dsp.Plan, job *batchJob, segs int) {
 	s.mu.Lock()
 	g := s.groups[plan]
 	leader := g == nil
@@ -152,7 +184,7 @@ func (s *BatchScheduler) run(c *BatchClient, plan *dsp.Plan, dst []complex128, s
 		s.groups[plan] = g
 	}
 	g.jobs = append(g.jobs, job)
-	g.segs += len(sweeps)
+	g.segs += segs
 	if g.segs >= s.maxBatch {
 		s.sealLocked(g)
 	} else if leader {
@@ -168,11 +200,10 @@ func (s *BatchScheduler) run(c *BatchClient, plan *dsp.Plan, dst []complex128, s
 
 	if !leader {
 		<-job.done
-		return dst
+		return
 	}
 	<-g.ready
 	s.execute(g)
-	return dst
 }
 
 // sealLocked closes a group to new jobs and wakes its leader. Called
@@ -195,7 +226,11 @@ func (s *BatchScheduler) sealLocked(g *batchGroup) {
 func (s *BatchScheduler) execute(g *batchGroup) {
 	if len(g.jobs) == 1 {
 		j := g.jobs[0]
-		g.plan.RFFTBatch(j.dst, j.sweeps, j.window)
+		if j.sweeps16 != nil {
+			g.plan.RFFTBatchInt16(j.dst, j.sweeps16, j.scale, j.window)
+		} else {
+			g.plan.RFFTBatch(j.dst, j.sweeps, j.window)
+		}
 	} else {
 		sc, _ := s.scratch.Get().(*batchExecScratch)
 		if sc == nil {
@@ -203,7 +238,7 @@ func (s *BatchScheduler) execute(g *batchGroup) {
 		}
 		sc.spans = sc.spans[:0]
 		for _, j := range g.jobs {
-			sc.spans = append(sc.spans, dsp.RFFTSpan{Dst: j.dst, Sweeps: j.sweeps, Window: j.window})
+			sc.spans = append(sc.spans, dsp.RFFTSpan{Dst: j.dst, Sweeps: j.sweeps, SweepsI16: j.sweeps16, Scale: j.scale, Window: j.window})
 		}
 		sc.segs = g.plan.RFFTSpans(sc.spans, sc.segs)
 		// Drop the references to foreign arenas before pooling the

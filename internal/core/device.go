@@ -207,6 +207,9 @@ func NewDevice(cfg Config) (*Device, error) {
 	if cfg.Scene == nil {
 		return nil, fmt.Errorf("core: nil scene")
 	}
+	if cfg.Radio.ADCBits > 0 && !cfg.SlowSynth {
+		return nil, fmt.Errorf("core: ADCBits=%d requires SlowSynth (the fast path synthesizes spectra directly and never digitizes time-domain samples)", cfg.Radio.ADCBits)
+	}
 	synth := fmcw.NewSynthesizer(cfg.Radio)
 	loc, err := locate.New(cfg.Array)
 	if err != nil {
@@ -288,6 +291,19 @@ type antennaScratch struct {
 // serial loop produced.
 func (w *antennaScratch) materialize(synth *fmcw.Synthesizer, prop *rf.Propagator, k int, b *FrameBatch) dsp.ComplexFrame {
 	switch {
+	case b.sweeps16 != nil:
+		// Quantized sweeps take precedence over the float64 synthesis
+		// scratch: the codes are what the modeled ADC output, and routing
+		// them through the fused dequantize+window kernels keeps live,
+		// recorded, and replayed runs bit-identical.
+		if w.sweep == nil {
+			w.sweep = synth.NewSweepScratchPrecision(w.prec)
+			if w.batch != nil {
+				w.sweep.SetBatcher(w.batch)
+			}
+		}
+		w.spec = synth.ComplexFrameFromSweepsInt16Into(w.spec, b.sweeps16[k], b.scale16, w.sweep)
+		return w.spec
 	case b.sweeps != nil:
 		if w.sweep == nil {
 			w.sweep = synth.NewSweepScratchPrecision(w.prec)

@@ -56,6 +56,9 @@ func (d *Device) RecordSweepsTo(tw *trace.Writer, traj motion.Trajectory) (int, 
 	if !d.cfg.SlowSynth {
 		return 0, fmt.Errorf("core: sweep recording requires SlowSynth (the fast path never materializes time-domain sweeps)")
 	}
+	if d.cfg.Radio.ADCBits > 0 {
+		return 0, fmt.Errorf("core: device has ADCBits=%d; quantized sweeps record as int16 (use RecordSweepsInt16To)", d.cfg.Radio.ADCBits)
+	}
 	spf := d.cfg.Radio.SweepsPerFrame
 	ns := d.cfg.Radio.SamplesPerSweep()
 	if spf*ns%2 != 0 {
@@ -87,6 +90,42 @@ func (d *Device) RecordSweepsTo(tw *trace.Writer, traj motion.Trajectory) (int, 
 			truth = &b.States[0]
 		}
 		if err := tw.WriteFrame(packed, truth); err != nil {
+			return n, err
+		}
+		n++
+		src.Recycle(b)
+	}
+}
+
+// RecordSweepsInt16To simulates the trajectory and streams every
+// frame's quantized ADC codes into tw as an int16 sweep-domain trace
+// (the header must come from SweepTraceHeaderInt16). It requires
+// SlowSynth and Radio.ADCBits > 0: the source digitizes each sweep at
+// the configured resolution and the codes written here are bit-for-bit
+// the codes a live quantized run feeds its fused dequantize+window
+// kernels, so live == recorded == replayed holds by construction —
+// there is no separate "recording quantizer" to drift from the live
+// one. Delta coding plus gzip makes the result roughly 4x smaller than
+// the float64 sweep encoding of the same signal.
+func (d *Device) RecordSweepsInt16To(tw *trace.Writer, traj motion.Trajectory) (int, error) {
+	if !d.cfg.SlowSynth {
+		return 0, fmt.Errorf("core: sweep recording requires SlowSynth (the fast path never materializes time-domain sweeps)")
+	}
+	if d.cfg.Radio.ADCBits == 0 {
+		return 0, fmt.Errorf("core: int16 sweep recording requires Radio.ADCBits (the unquantized path records float64 sweeps; use RecordSweepsTo)")
+	}
+	src := d.simSource(traj)
+	n := 0
+	for {
+		b := src.Next()
+		if b == nil {
+			return n, nil
+		}
+		var truth *motion.BodyState
+		if len(b.States) > 0 {
+			truth = &b.States[0]
+		}
+		if err := tw.WriteFrameInt16(b.codes16, truth); err != nil {
 			return n, err
 		}
 		n++

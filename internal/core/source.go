@@ -45,6 +45,18 @@ type FrameBatch struct {
 	// against their own plans and scratch.
 	sweeps [][][]float64
 
+	// sweeps16, when non-nil, is the quantized form of the same deferred
+	// job: ADC codes indexed [antenna][sweep], each sweep a view into the
+	// per-antenna codes16 backing buffer, dequantizing as
+	// float64(code) * scale16. Workers feed these through the fused
+	// dequantize+window kernels; when both sweeps16 and sweeps are set
+	// (a quantizing simulator keeps its float64 synthesis scratch on the
+	// batch for ring reuse) sweeps16 wins — the quantized codes are the
+	// signal the modeled receiver actually digitized.
+	sweeps16 [][][]int16
+	codes16  [][]int16
+	scale16  float64
+
 	// pooled marks a batch currently resting in a batchRing; the ring
 	// uses it to panic on double puts instead of aliasing two in-flight
 	// frames onto one buffer.
@@ -113,6 +125,26 @@ type simSource struct {
 	refl  [][][]reflector // per subject, per antenna; source-local scratch
 	paths []fmcw.Path     // slow-path scratch
 	ring  *batchRing      // recycled *FrameBatch frame buffers
+	// quant, when non-nil, is the modeled ADC (Radio.ADCBits > 0 with
+	// SlowSynth): every synthesized sweep is quantized in the source, so
+	// the workers — live, recorded, and replayed alike — process exactly
+	// the same int16 codes and the three paths stay bit-identical by
+	// construction.
+	quant *fmcw.Quantizer
+}
+
+// adcFullScale derives the quantizer full scale a deployment records
+// and replays with: the worst antenna's static environment paths
+// (deterministic, precomputed) fed through fmcw.ADCFullScale. Target
+// reflections and noise excursions ride inside its headroom terms.
+func adcFullScale(prop *rf.Propagator, nRx int, noiseFloorWatts float64) float64 {
+	fs := 0.0
+	for k := 0; k < nRx; k++ {
+		if v := fmcw.ADCFullScale(prop.StaticPaths(k), noiseFloorWatts); v > fs {
+			fs = v
+		}
+	}
+	return fs
 }
 
 // newSimSource builds a simulator source over the given subjects and
@@ -129,7 +161,7 @@ func newSimSource(synth *fmcw.Synthesizer, prop *rf.Propagator, rng *rand.Rand,
 			dur = d
 		}
 	}
-	return &simSource{
+	s := &simSource{
 		synth:    synth,
 		prop:     prop,
 		rng:      rng,
@@ -143,6 +175,10 @@ func newSimSource(synth *fmcw.Synthesizer, prop *rf.Propagator, rng *rand.Rand,
 		refl:     make([][][]reflector, len(sims)),
 		ring:     ring,
 	}
+	if bits := synth.Config().ADCBits; slow && bits > 0 {
+		s.quant = fmcw.NewQuantizer(bits, adcFullScale(prop, nRx, synth.Config().NoiseFloorWatts))
+	}
+	return s
 }
 
 // ringCapacity bounds how many recycled batches a source retains. The
@@ -187,9 +223,19 @@ func (s *simSource) Next() *FrameBatch {
 	if s.slow {
 		b.synth = nil
 		b.Frames = nil
+		b.sweeps16 = nil
 		spf := s.synth.Config().SweepsPerFrame
+		ns := s.synth.Config().SamplesPerSweep()
 		if len(b.sweeps) != s.nRx {
 			b.sweeps = make([][][]float64, s.nRx)
+		}
+		if s.quant != nil {
+			if len(b.codes16) != s.nRx {
+				b.codes16 = make([][]int16, s.nRx)
+			}
+			if len(b.sweeps16) != s.nRx {
+				b.sweeps16 = make([][][]int16, s.nRx)
+			}
 		}
 		for k := 0; k < s.nRx; k++ {
 			s.paths = append(s.paths[:0], s.prop.StaticPaths(k)...)
@@ -209,12 +255,35 @@ func (s *simSource) Next() *FrameBatch {
 				sw[j] = s.synth.SynthesizeSweepInto(sw[j], s.paths, s.rng)
 			}
 			b.sweeps[k] = sw
+			if s.quant != nil {
+				// The modeled ADC digitizes right at the source: the
+				// workers only ever see the quantized codes (one
+				// contiguous buffer per antenna — the recorder writes it
+				// verbatim, so live == recorded == replayed codes).
+				codes := b.codes16[k]
+				if len(codes) != spf*ns {
+					codes = make([]int16, spf*ns)
+				}
+				views := b.sweeps16[k]
+				if len(views) != spf {
+					views = make([][]int16, spf)
+				}
+				for j := range sw {
+					views[j] = s.quant.Quantize(codes[j*ns:(j+1)*ns], sw[j])
+				}
+				b.codes16[k] = codes
+				b.sweeps16[k] = views
+			}
+		}
+		if s.quant != nil {
+			b.scale16 = s.quant.Scale()
 		}
 		return b
 	}
 
 	b.Frames = nil
 	b.sweeps = nil
+	b.sweeps16 = nil
 	if len(b.synth) != s.nRx {
 		b.synth = make([]synthJob, s.nRx)
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"witrack/internal/dsp"
+	"witrack/internal/fmcw"
 	"witrack/internal/motion"
 	"witrack/internal/trace"
 )
@@ -35,6 +36,22 @@ func (d *Device) SweepTraceHeader() trace.Header {
 	h.SweepsPerFrame = d.cfg.Radio.SweepsPerFrame
 	h.SamplesPerSweep = d.cfg.Radio.SamplesPerSweep()
 	h.Bins = h.SweepsPerFrame * h.SamplesPerSweep / 2
+	return h
+}
+
+// SweepTraceHeaderInt16 is SweepTraceHeader for a quantized capture
+// (Radio.ADCBits > 0): the records carry delta-coded int16 ADC codes
+// (trace.SampleInt16) instead of float64 samples, and the header stamps
+// the deployment's quantizer — the ADC resolution and the dequantization
+// scale derived from the loudest antenna's static environment, exactly
+// the scale the live pipeline quantizes with.
+func (d *Device) SweepTraceHeaderInt16() trace.Header {
+	h := d.SweepTraceHeader()
+	h.Bins = 0
+	h.Sample = trace.SampleInt16
+	h.ADCBits = d.cfg.Radio.ADCBits
+	h.ADCScale = fmcw.NewQuantizer(d.cfg.Radio.ADCBits,
+		adcFullScale(d.prop, len(d.cfg.Array.Rx), d.cfg.Radio.NoiseFloorWatts)).Scale()
 	return h
 }
 
@@ -135,6 +152,9 @@ func (s *TraceSource) Next() *FrameBatch {
 	if s.err != nil {
 		return nil
 	}
+	if s.r.Header().Sample == trace.SampleInt16 {
+		return s.nextInt16()
+	}
 	b := s.ring.get()
 	frames, truths, err := s.r.ReadFrameTruthsInto(b.Frames, b.States[:0])
 	if err != nil {
@@ -153,6 +173,7 @@ func (s *TraceSource) Next() *FrameBatch {
 	b.States = truths
 	b.synth = nil
 	b.sweeps = nil
+	b.sweeps16 = nil
 	if s.r.Header().Domain == trace.DomainSweeps {
 		if err := s.unpackSweeps(b, frames); err != nil {
 			s.ring.put(b)
@@ -160,6 +181,54 @@ func (s *TraceSource) Next() *FrameBatch {
 			return nil
 		}
 	}
+	return b
+}
+
+// nextInt16 decodes the next quantized sweep-domain batch: the reader
+// delta-decodes each antenna's ADC codes into the batch's recycled
+// backing buffers, and the per-sweep job views are re-sliced over them
+// in place — no dequantized staging copy exists anywhere; the workers'
+// fused kernels read the codes directly.
+func (s *TraceSource) nextInt16() *FrameBatch {
+	h := s.r.Header()
+	b := s.ring.get()
+	codes, truths, err := s.r.ReadFrameInt16Into(b.codes16, b.States[:0])
+	if err != nil {
+		s.ring.put(b)
+		if !errors.Is(err, io.EOF) {
+			s.err = err
+		}
+		return nil
+	}
+	spf, ns := h.SweepsPerFrame, h.SamplesPerSweep
+	if len(b.sweeps16) != len(codes) {
+		b.sweeps16 = make([][][]int16, len(codes))
+	}
+	for k, c := range codes {
+		if len(c) != spf*ns {
+			s.ring.put(b)
+			s.err = fmt.Errorf("core: int16 sweep record for antenna %d has %d codes, want %d (%d sweeps × %d samples)",
+				k, len(c), spf*ns, spf, ns)
+			return nil
+		}
+		views := b.sweeps16[k]
+		if len(views) != spf {
+			views = make([][]int16, spf)
+		}
+		for j := 0; j < spf; j++ {
+			views[j] = c[j*ns : (j+1)*ns]
+		}
+		b.sweeps16[k] = views
+	}
+	index := s.r.FrameIndex()
+	b.Index = index
+	b.T = float64(index) * h.Interval
+	b.States = truths
+	b.codes16 = codes
+	b.scale16 = h.ADCScale
+	b.Frames = nil
+	b.synth = nil
+	b.sweeps = nil
 	return b
 }
 

@@ -154,13 +154,32 @@ func (p *Plan) TransformSegs(segs [][]complex128) {
 }
 
 // RFFTSpan is one caller's contribution to a combined RFFTSpans call:
-// the same (dst, sweeps, window) triple an RFFTBatch call takes. Dst
-// must be len(Sweeps)*(n/2+1) bins long — callers size it before
-// submitting, so the combining layer never reallocates foreign arenas.
+// the same (dst, sweeps, window) triple an RFFTBatch call takes — or,
+// with SweepsI16 set, the (dst, sweeps, scale, window) quad an
+// RFFTBatchInt16 call takes. Dst must be batch*(n/2+1) bins long, where
+// batch is the sweep count of whichever representation is set — callers
+// size it before submitting, so the combining layer never reallocates
+// foreign arenas.
 type RFFTSpan struct {
 	Dst    []complex128
 	Sweeps [][]float64
 	Window []float64
+	// SweepsI16, when non-nil, replaces Sweeps with quantized int16
+	// sweeps dequantized by Scale through the fused WindowPackInt16
+	// kernel. Because the packed working values and the FFT that follows
+	// are identical to the float64 path's, int16 and float64 spans mix
+	// freely in one combined call under the same plan.
+	SweepsI16 [][]int16
+	Scale     float64
+}
+
+// batch returns the span's sweep count for whichever representation is
+// set.
+func (sp *RFFTSpan) batch() int {
+	if sp.SweepsI16 != nil {
+		return len(sp.SweepsI16)
+	}
+	return len(sp.Sweeps)
 }
 
 // RFFTSpans runs RFFTBatch for every span in one stage-interleaved
@@ -178,26 +197,35 @@ type RFFTSpan struct {
 func (p *Plan) RFFTSpans(spans []RFFTSpan, segs [][]complex128) [][]complex128 {
 	h := p.n / 2
 	seg := h + 1
-	for _, sp := range spans {
-		if len(sp.Dst) != len(sp.Sweeps)*seg {
-			panic(fmt.Sprintf("dsp: RFFTSpans dst of %d bins is not %d × %d", len(sp.Dst), len(sp.Sweeps), seg))
+	for si := range spans {
+		sp := &spans[si]
+		if len(sp.Dst) != sp.batch()*seg {
+			panic(fmt.Sprintf("dsp: RFFTSpans dst of %d bins is not %d × %d", len(sp.Dst), sp.batch(), seg))
 		}
-		for i, sw := range sp.Sweeps {
-			p.packReal(sp.Dst[i*seg:i*seg+seg], sw, sp.Window)
+		if sp.SweepsI16 != nil {
+			for i, sw := range sp.SweepsI16 {
+				p.WindowPackInt16(sp.Dst[i*seg:i*seg+seg], sw, sp.Scale, sp.Window)
+			}
+		} else {
+			for i, sw := range sp.Sweeps {
+				p.packReal(sp.Dst[i*seg:i*seg+seg], sw, sp.Window)
+			}
 		}
 	}
 	if p.n == 1 {
 		return segs
 	}
 	segs = segs[:0]
-	for _, sp := range spans {
-		for i := range sp.Sweeps {
+	for si := range spans {
+		sp := &spans[si]
+		for i := 0; i < sp.batch(); i++ {
 			segs = append(segs, sp.Dst[i*seg:i*seg+h])
 		}
 	}
 	p.half.TransformSegs(segs)
-	for _, sp := range spans {
-		for i := range sp.Sweeps {
+	for si := range spans {
+		sp := &spans[si]
+		for i := 0; i < sp.batch(); i++ {
 			p.unpackReal(sp.Dst[i*seg : i*seg+seg])
 		}
 	}

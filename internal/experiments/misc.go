@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -15,6 +17,7 @@ import (
 	"witrack/internal/motion"
 	"witrack/internal/rf"
 	"witrack/internal/scenario"
+	"witrack/internal/trace"
 )
 
 // ResolutionResult is the E1 artifact.
@@ -331,6 +334,23 @@ type PipelineThroughputResult struct {
 	// Float32ErrorBound, the dsp.Plan32 analytic bound.
 	Float32MaxError   float64 `json:"float32_max_error"`
 	Float32ErrorBound float64 `json:"float32_error_bound"`
+	// Int16ReplayFPS is frames/sec replaying a quantized int16 sweep
+	// trace (delta-decoded ADC codes through the fused dequantize+
+	// window kernels) with one worker per antenna. Replay pays no
+	// synthesis cost, so this is the decode+FFT throughput of the
+	// fixed-point path and must beat Float32TimeDomainFPS.
+	Int16ReplayFPS float64 `json:"int16_replay_fps"`
+	// Int16ReplayAllocsPerFrame is the allocation rate of that run.
+	Int16ReplayAllocsPerFrame float64 `json:"int16_replay_allocs_per_frame"`
+	// Int16BytesPerFrame is the on-wire (compressed) size per frame of
+	// the int16 trace the replay consumed.
+	Int16BytesPerFrame float64 `json:"int16_bytes_per_frame"`
+	// Int16MaxError is the measured quantized-vs-float64 spectrum error
+	// (largest absolute per-bin deviation over a set of realistic
+	// frames); it must stay below Int16ErrorBound, the synthesizer's
+	// analytic per-bin quantization bound for the 14-bit converter.
+	Int16MaxError   float64 `json:"int16_max_error"`
+	Int16ErrorBound float64 `json:"int16_error_bound"`
 	// SerializedHost is true when the measurement ran with a single
 	// schedulable CPU (GOMAXPROCS=1 or a one-core machine): every
 	// speedup in this result is then a measure of pipeline overhead,
@@ -413,8 +433,13 @@ func PipelineThroughput(duration float64, seed int64) (*PipelineThroughputResult
 	if err != nil {
 		return nil, err
 	}
+	i16, i16Allocs, i16BPF, err := timeInt16Replay(duration, seed)
+	if err != nil {
+		return nil, err
+	}
 
 	maxErr, bound := float32SpectrumOracle(seed)
+	qErr, qBound := int16SpectrumOracle(seed)
 
 	nRx := len(core.DefaultConfig().Array.Rx)
 	res := &PipelineThroughputResult{
@@ -430,6 +455,11 @@ func PipelineThroughput(duration float64, seed int64) (*PipelineThroughputResult
 		Float32TimeDomainAllocsPerFrame: td32Allocs,
 		Float32MaxError:                 maxErr,
 		Float32ErrorBound:               bound,
+		Int16ReplayFPS:                  i16,
+		Int16ReplayAllocsPerFrame:       i16Allocs,
+		Int16BytesPerFrame:              i16BPF,
+		Int16MaxError:                   qErr,
+		Int16ErrorBound:                 qBound,
 		SerializedHost:                  runtime.NumCPU() == 1 || runtime.GOMAXPROCS(0) == 1,
 	}
 
@@ -502,4 +532,122 @@ func float32SpectrumOracle(seed int64) (maxErr, bound float64) {
 		}
 	}
 	return maxErr, s.Float32ErrorBound()
+}
+
+// timeInt16Replay records a quantized walk into an in-memory int16
+// sweep trace once, then times a warm replay of it with one worker per
+// antenna: delta-decoded ADC codes streaming through the fused
+// dequantize+window kernels, no synthesis on the clock. Returns frame
+// throughput, the allocation rate, and the compressed trace bytes per
+// frame.
+func timeInt16Replay(duration float64, seed int64) (fps, allocsPerFrame, bytesPerFrame float64, err error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.SlowSynth = true
+	cfg.Radio.ADCBits = 14
+	rec, err := core.NewDevice(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	walk := motion.NewRandomWalk(motion.DefaultWalkConfig(
+		Region(), cfg.Subject.CenterHeight(), duration, seed+1))
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, rec.SweepTraceHeaderInt16())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	frames, err := rec.RecordSweepsInt16To(tw, walk)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := tw.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+	if frames == 0 {
+		return 0, 0, 0, nil
+	}
+	data := buf.Bytes()
+
+	dev, err := core.NewDevice(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dev.Workers = 0
+	replay := func() (int, error) {
+		tr, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		src := core.NewTraceSource(tr)
+		ch, err := dev.StreamFrom(context.Background(), src)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for range ch {
+			n++
+		}
+		return n, src.Err()
+	}
+	// Warm pass fills the recycling ring so the measured pass reports
+	// steady-state allocation behavior (same discipline as timeRun).
+	if _, err := replay(); err != nil {
+		return 0, 0, 0, err
+	}
+	dev.Reset()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	n, err := replay()
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if n == 0 {
+		return 0, 0, 0, nil
+	}
+	return float64(n) / elapsed,
+		float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		float64(len(data)) / float64(frames), nil
+}
+
+// int16SpectrumOracle measures the quantized sweep path against the
+// unquantized float64 reference over a set of realistic frames: the
+// worst absolute per-bin deviation across quantize → fused
+// dequantize+window+FFT, together with the analytic bound it must stay
+// under. The full scale comes from fmcw.ADCFullScale for the frame's
+// paths, matching how core sizes a device's converter.
+func int16SpectrumOracle(seed int64) (maxErr, bound float64) {
+	cfg := fmcw.Default()
+	s := fmcw.NewSynthesizer(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	ws := s.NewSweepScratch()
+	wsq := s.NewSweepScratch()
+	sweeps := make([][]float64, cfg.SweepsPerFrame)
+	codes := make([][]int16, cfg.SweepsPerFrame)
+	for frame := 0; frame < 8; frame++ {
+		rt := 4 + 8*rng.Float64()
+		paths := []fmcw.Path{
+			{RoundTrip: rt, PowerWatts: 1e-6, Phase: rng.Float64() * 2 * math.Pi},
+			{RoundTrip: rt + 3, PowerWatts: 1e-9, Phase: rng.Float64() * 2 * math.Pi},
+		}
+		q := fmcw.NewQuantizer(14, fmcw.ADCFullScale(paths, cfg.NoiseFloorWatts))
+		for i := range sweeps {
+			sweeps[i] = s.SynthesizeSweep(paths, rng)
+			codes[i] = q.Quantize(codes[i], sweeps[i])
+		}
+		want := s.ComplexFrameFromSweepsInto(nil, sweeps, ws)
+		got := s.ComplexFrameFromSweepsInt16Into(nil, codes, q.Scale(), wsq)
+		for i := range want {
+			if e := cmplx.Abs(got[i] - want[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if b := s.QuantErrorBound(q.Scale()); b > bound {
+			bound = b
+		}
+	}
+	return maxErr, bound
 }

@@ -43,6 +43,15 @@ type Config struct {
 	// it bounds how many FFT bins the pipeline keeps per frame (the
 	// paper's spectrograms span 0-30 m).
 	MaxRange float64
+	// ADCBits, when nonzero, models the receiver's digitizer: slow-path
+	// time-domain sweeps are quantized to signed ADCBits-bit codes (12,
+	// 14, or 16 — the common FMCW front-end widths) before any spectral
+	// processing, and the pipeline runs fused dequantize+window kernels
+	// on the compact int16 representation instead of float64 samples.
+	// Zero keeps the exact float64 synthesis path. Only meaningful with
+	// slow (time-domain) synthesis; the fast frequency-domain path never
+	// materializes samples to quantize.
+	ADCBits int
 }
 
 // Default returns the paper's prototype configuration.
@@ -74,6 +83,11 @@ func (c Config) Validate() error {
 		return errors.New("fmcw: powers must be positive")
 	case c.MaxRange <= 0:
 		return errors.New("fmcw: max range must be positive")
+	}
+	switch c.ADCBits {
+	case 0, 12, 14, 16:
+	default:
+		return fmt.Errorf("fmcw: ADCBits must be 0, 12, 14, or 16 (got %d)", c.ADCBits)
 	}
 	if c.SamplesPerSweep() < 16 {
 		return fmt.Errorf("fmcw: only %d samples per sweep; raise SampleRate or SweepTime", c.SamplesPerSweep())

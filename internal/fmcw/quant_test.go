@@ -1,0 +1,197 @@
+package fmcw
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"witrack/internal/dsp"
+)
+
+// quantTestSetup builds a synthesizer, a realistic quantizer (full
+// scale derived from a test path set the way the recorder derives it
+// from static paths), and one frame of quantized sweeps alongside the
+// float64 originals.
+func quantTestSetup(t *testing.T, bits int, seed int64) (*Synthesizer, *Quantizer, [][]float64, [][]int16) {
+	t.Helper()
+	cfg := Default()
+	cfg.ADCBits = bits
+	s := NewSynthesizer(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	paths := testPaths(rng)
+	q := NewQuantizer(bits, ADCFullScale(paths, cfg.NoiseFloorWatts))
+	sweeps := make([][]float64, cfg.SweepsPerFrame)
+	quant := make([][]int16, cfg.SweepsPerFrame)
+	for i := range sweeps {
+		sweeps[i] = s.SynthesizeSweep(paths, rng)
+		quant[i] = q.Quantize(nil, sweeps[i])
+	}
+	return s, q, sweeps, quant
+}
+
+// TestInt16SweepPathWithinBound is the quantization oracle at the frame
+// level: a frame computed from quantized sweeps through the fused
+// kernels must land within QuantErrorBound of the frame computed from
+// the original float64 sweeps — per-bin absolute error, the quantity
+// the bound states — with zero clipped samples and a nonzero measured
+// error (the oracle must be measuring a genuinely lossy path).
+func TestInt16SweepPathWithinBound(t *testing.T) {
+	for _, bits := range []int{12, 14, 16} {
+		s, q, sweeps, quant := quantTestSetup(t, bits, 101)
+		ws := s.NewSweepScratch()
+		want := s.ComplexFrameFromSweepsInto(nil, sweeps, ws)
+		got := s.ComplexFrameFromSweepsInt16Into(nil, quant, q.Scale(), ws)
+		bound := s.QuantErrorBound(q.Scale())
+		worst := 0.0
+		for i := range want {
+			if e := cmplx.Abs(got[i] - want[i]); e > worst {
+				worst = e
+			}
+		}
+		t.Logf("%d bits: worst per-bin error %.3g (bound %.3g, scale %.3g)", bits, worst, bound, q.Scale())
+		if q.Clipped() != 0 {
+			t.Fatalf("%d bits: %d samples clipped — full scale is mis-derived", bits, q.Clipped())
+		}
+		if worst > bound {
+			t.Fatalf("%d bits: quantization error %.3g exceeds the analytic bound %.3g", bits, worst, bound)
+		}
+		if worst == 0 {
+			t.Fatalf("%d bits: int16 path is bit-identical to float64 — the oracle is not measuring quantization", bits)
+		}
+	}
+}
+
+// TestInt16FusedMatchesStagedFrame pins the fused kernels' contract at
+// the frame level for both precisions: ComplexFrameFromSweepsInt16Into
+// must be bit-identical to dequantizing every sweep into float64 and
+// running the existing ComplexFrameFromSweepsInto.
+func TestInt16FusedMatchesStagedFrame(t *testing.T) {
+	s, q, _, quant := quantTestSetup(t, 14, 102)
+	staged := make([][]float64, len(quant))
+	for i, sw := range quant {
+		staged[i] = make([]float64, len(sw))
+		for j, c := range sw {
+			staged[i][j] = float64(c) * q.Scale()
+		}
+	}
+	for _, prec := range []dsp.Precision{dsp.Float64, dsp.Float32} {
+		ws := s.NewSweepScratchPrecision(prec)
+		want := s.ComplexFrameFromSweepsInto(nil, staged, ws)
+		got := s.ComplexFrameFromSweepsInt16Into(nil, quant, q.Scale(), ws)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v bin %d: fused %v != staged %v", prec, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInt16Float32WithinCombinedBound gates the stacked fast paths: the
+// Float32 scratch over quantized sweeps must stay within the sum of the
+// quantization bound and the float32 rounding bound of the exact
+// float64 unquantized frame (the errors are independent and additive at
+// worst).
+func TestInt16Float32WithinCombinedBound(t *testing.T) {
+	s, q, sweeps, quant := quantTestSetup(t, 14, 103)
+	ws64 := s.NewSweepScratch()
+	ws32 := s.NewSweepScratchPrecision(dsp.Float32)
+	want := s.ComplexFrameFromSweepsInto(nil, sweeps, ws64)
+	got := s.ComplexFrameFromSweepsInt16Into(nil, quant, q.Scale(), ws32)
+	peak := 0.0
+	for _, w := range want {
+		if m := cmplx.Abs(w); m > peak {
+			peak = m
+		}
+	}
+	worst := 0.0
+	for i := range want {
+		if e := cmplx.Abs(got[i] - want[i]); e > worst {
+			worst = e
+		}
+	}
+	bound := s.QuantErrorBound(q.Scale()) + s.Float32ErrorBound()*peak
+	t.Logf("combined worst error %.3g (bound %.3g)", worst, bound)
+	if worst > bound {
+		t.Fatalf("int16+float32 error %.3g exceeds the combined bound %.3g", worst, bound)
+	}
+}
+
+// TestQuantizerClipping pins the rail behavior: out-of-range samples
+// clamp to the extreme codes symmetrically and are counted, in-range
+// samples are not.
+func TestQuantizerClipping(t *testing.T) {
+	q := NewQuantizer(12, 1.0)
+	codes := q.Quantize(nil, []float64{0, 0.5, -0.5, 2.0, -2.0, 0.99975})
+	if q.Clipped() != 2 {
+		t.Fatalf("clipped %d samples, want 2", q.Clipped())
+	}
+	maxCode := int16(1<<11 - 1)
+	if codes[3] != maxCode || codes[4] != -maxCode {
+		t.Fatalf("rail codes %d/%d, want ±%d", codes[3], codes[4], maxCode)
+	}
+	if codes[0] != 0 {
+		t.Fatalf("zero quantized to %d", codes[0])
+	}
+	// Dequantization is exact: float64(code) * scale reproduces the
+	// nearest representable amplitude within half a step.
+	for i, v := range []float64{0, 0.5, -0.5} {
+		if d := float64(codes[i]) * q.Scale(); math.Abs(d-v) > q.Scale()/2 {
+			t.Fatalf("sample %g dequantized to %g (step %g)", v, d, q.Scale())
+		}
+	}
+}
+
+// TestQuantizerRejectsBadConfig pins the constructor contract.
+func TestQuantizerRejectsBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		bits int
+		fs   float64
+	}{{10, 1}, {0, 1}, {16, 0}, {14, math.Inf(1)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewQuantizer(%d, %g) accepted invalid input", tc.bits, tc.fs)
+				}
+			}()
+			NewQuantizer(tc.bits, tc.fs)
+		}()
+	}
+}
+
+// TestADCBitsValidation pins the Config domain: 0 disables the path,
+// the three hardware widths pass, anything else is rejected.
+func TestADCBitsValidation(t *testing.T) {
+	for _, bits := range []int{0, 12, 14, 16} {
+		cfg := Default()
+		cfg.ADCBits = bits
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ADCBits=%d rejected: %v", bits, err)
+		}
+	}
+	for _, bits := range []int{-1, 8, 13, 24} {
+		cfg := Default()
+		cfg.ADCBits = bits
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("ADCBits=%d accepted", bits)
+		}
+	}
+}
+
+// TestInt16ScratchAllocFree extends the arena contract to the fused
+// int16 entry point: a warm scratch processes quantized frames with
+// zero heap allocations at either precision.
+func TestInt16ScratchAllocFree(t *testing.T) {
+	s, q, _, quant := quantTestSetup(t, 14, 104)
+	for _, prec := range []dsp.Precision{dsp.Float64, dsp.Float32} {
+		ws := s.NewSweepScratchPrecision(prec)
+		dst := make(dsp.ComplexFrame, s.cfg.RangeBins())
+		dst = s.ComplexFrameFromSweepsInt16Into(dst, quant, q.Scale(), ws) // warm
+		allocs := testing.AllocsPerRun(50, func() {
+			dst = s.ComplexFrameFromSweepsInt16Into(dst, quant, q.Scale(), ws)
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: %.1f allocs per warm quantized frame, want 0", prec, allocs)
+		}
+	}
+}

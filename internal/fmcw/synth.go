@@ -65,6 +65,10 @@ type Synthesizer struct {
 // dst, and sweeps/window must not be retained afterwards.
 type RFFTBatcher interface {
 	RFFTBatch(plan *dsp.Plan, dst []complex128, sweeps [][]float64, window []float64) []complex128
+	// RFFTBatchInt16 is the quantized-sweep form of the same contract:
+	// results must be bit-identical to
+	// plan.RFFTBatchInt16(dst, sweeps, scale, window).
+	RFFTBatchInt16(plan *dsp.Plan, dst []complex128, sweeps [][]int16, scale float64, window []float64) []complex128
 }
 
 type SweepScratch struct {
@@ -277,6 +281,58 @@ func (s *Synthesizer) ComplexFrameFromSweepsInto(dst dsp.ComplexFrame, sweeps []
 		ws.spec = ws.batcher.RFFTBatch(ws.plan, ws.spec, sweeps, s.window)
 	} else {
 		ws.spec = ws.plan.RFFTBatch(ws.spec, sweeps, s.window)
+	}
+	for j := range sweeps {
+		bins := ws.spec[j*seg : j*seg+nb]
+		for i := range dst {
+			dst[i] += bins[i]
+		}
+	}
+	inv := complex(1/float64(len(sweeps)), 0)
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// ComplexFrameFromSweepsInt16Into is ComplexFrameFromSweepsInto over
+// quantized int16 sweeps: the same window + RFFT + coherent-average
+// frame processing, entered through the fused dequantize+window kernels
+// (dsp.Plan.RFFTBatchInt16) so the samples stay on their compact wire
+// representation until they are packed into the FFT working buffer.
+// The output is bit-identical to dequantizing every sweep into float64
+// and calling ComplexFrameFromSweepsInto — the fused kernels' pinned
+// contract — so the only deviation from the unquantized path is the
+// quantization itself, bounded by QuantErrorBound(scale). Batcher
+// interception and the Float32 precision knob compose with it exactly
+// as on the float64 entry point.
+func (s *Synthesizer) ComplexFrameFromSweepsInt16Into(dst dsp.ComplexFrame, sweeps [][]int16, scale float64, ws *SweepScratch) dsp.ComplexFrame {
+	nb := s.cfg.RangeBins()
+	if len(dst) != nb {
+		dst = make(dsp.ComplexFrame, nb)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	seg := s.cfg.FFTSize()/2 + 1
+	if ws.prec == dsp.Float32 {
+		ws.spec32 = ws.plan32.RFFTBatchInt16(ws.spec32, sweeps, scale, s.window32)
+		inv := float32(1) / float32(len(sweeps))
+		for i := range dst {
+			var acc complex64
+			for j := range sweeps {
+				acc += ws.spec32[j*seg+i]
+			}
+			acc *= complex(inv, 0)
+			dst[i] = complex128(acc)
+		}
+		return dst
+	}
+	if ws.batcher != nil {
+		ws.spec = ws.batcher.RFFTBatchInt16(ws.plan, ws.spec, sweeps, scale, s.window)
+	} else {
+		ws.spec = ws.plan.RFFTBatchInt16(ws.spec, sweeps, scale, s.window)
 	}
 	for j := range sweeps {
 		bins := ws.spec[j*seg : j*seg+nb]

@@ -222,6 +222,9 @@ func cellConfig(sp *Spec, deviceIndex int) (core.Config, error) {
 	if ds.Radio.SweepTime > 0 {
 		cfg.Radio.SweepTime = ds.Radio.SweepTime
 	}
+	if ds.Radio.ADCBits > 0 {
+		cfg.Radio.ADCBits = ds.Radio.ADCBits
+	}
 	return cfg, nil
 }
 

@@ -69,7 +69,7 @@ func TestReplaySkipAccountingOnTruthBearingTrace(t *testing.T) {
 		t.Fatal("corpus has no two-person cell")
 	}
 	var buf bytes.Buffer
-	n, err := RecordCell(duo, 0, &buf)
+	n, _, err := RecordCell(duo, 0, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

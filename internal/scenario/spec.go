@@ -155,6 +155,13 @@ type RadioSpec struct {
 	// SweepTime overrides the sweep duration in seconds (default
 	// 2.5 ms). SampleRate × SweepTime sets the samples per sweep.
 	SweepTime float64 `json:"sweep_time,omitempty"`
+	// ADCBits models the converter resolution (12, 14, or 16): the
+	// time-domain sweeps are quantized to signed ADC codes at the
+	// source and the pipeline runs on them through the fused
+	// dequantize+window kernels. Requires a SlowSynth device (the fast
+	// path never materializes samples to digitize). Zero keeps the
+	// ideal float64 front end.
+	ADCBits int `json:"adc_bits,omitempty"`
 }
 
 // TrackerSpec is the serializable subset of tracker overrides the

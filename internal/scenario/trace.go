@@ -32,14 +32,16 @@ func (s *Spec) Recordable() error {
 // truth to disk — multi-person cells record on MultiDevice with one
 // truth record per subject. The trace header carries the scenario spec
 // verbatim, so ReplayTrace can rebuild the identical deployment.
-// Returns the number of frames captured.
-func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
+// Returns the number of frames captured and the encoded record-stream
+// size before compression (the numerator of the trace's compression
+// ratio; w receives the compressed bytes).
+func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, int64, error) {
 	if err := sp.Recordable(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	c, err := Compile(sp, deviceIndex)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 
 	var h trace.Header
@@ -47,14 +49,14 @@ func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
 	if len(c.Trajectories) >= 2 {
 		dev, err := core.NewMultiDevice(c.Config, c.Subjects[1:]...)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		h = dev.TraceHeader()
 		record = func(tw *trace.Writer) (int, error) { return dev.RecordTo(tw, c.Trajectories...) }
 	} else {
 		dev, err := core.NewDevice(c.Config)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if c.CalibrateFrames > 0 {
 			dev.CalibrateBackground(c.CalibrateFrames)
@@ -66,64 +68,75 @@ func RecordCell(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
 	h.DeviceIndex = deviceIndex
 	h.CalibrateFrames = c.CalibrateFrames
 	if h.Scenario, err = json.Marshal(sp); err != nil {
-		return 0, fmt.Errorf("scenario %q: encoding provenance: %w", sp.Name, err)
+		return 0, 0, fmt.Errorf("scenario %q: encoding provenance: %w", sp.Name, err)
 	}
 	tw, err := trace.NewWriter(w, h)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	n, err := record(tw)
 	if err != nil {
 		tw.Close()
-		return n, err
+		return n, tw.RawBytes(), err
 	}
-	return n, tw.Close()
+	return n, tw.RawBytes(), tw.Close()
 }
 
 // RecordCellSweeps is RecordCell for the sweep domain: it captures the
 // cell's raw time-domain sweeps (trace.DomainSweeps) instead of
 // pre-transformed range bins, so a replay re-runs the full window +
 // RFFT + averaging path per frame — the workload the cross-session
-// batch scheduler coalesces. It requires a single-trajectory SlowSynth
-// cell (the fast path never materializes sweeps) and writes the same
-// provenance header RecordCell does, so ReplayTrace rebuilds the
-// identical deployment. Returns the number of frames captured.
-func RecordCellSweeps(sp *Spec, deviceIndex int, w io.Writer) (int, error) {
+// batch scheduler coalesces. A cell with Radio.ADCBits set records the
+// quantized int16 ADC codes (trace.SampleInt16, roughly 4x smaller
+// compressed) instead of float64 samples; either way the same
+// provenance header RecordCell writes lets ReplayTrace rebuild the
+// identical deployment. It requires a single-trajectory SlowSynth cell
+// (the fast path never materializes sweeps). Returns the number of
+// frames captured and the encoded record-stream size before
+// compression.
+func RecordCellSweeps(sp *Spec, deviceIndex int, w io.Writer) (int, int64, error) {
 	if err := sp.Recordable(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	c, err := Compile(sp, deviceIndex)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if len(c.Trajectories) != 1 {
-		return 0, fmt.Errorf("scenario %q: sweep recording supports single-trajectory cells only (%d trajectories)",
+		return 0, 0, fmt.Errorf("scenario %q: sweep recording supports single-trajectory cells only (%d trajectories)",
 			sp.Name, len(c.Trajectories))
 	}
 	dev, err := core.NewDevice(c.Config)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if c.CalibrateFrames > 0 {
 		dev.CalibrateBackground(c.CalibrateFrames)
 	}
-	h := dev.SweepTraceHeader()
+	var h trace.Header
+	record := dev.RecordSweepsTo
+	if c.Config.Radio.ADCBits > 0 {
+		h = dev.SweepTraceHeaderInt16()
+		record = dev.RecordSweepsInt16To
+	} else {
+		h = dev.SweepTraceHeader()
+	}
 	h.Name = sp.Name
 	h.DeviceIndex = deviceIndex
 	h.CalibrateFrames = c.CalibrateFrames
 	if h.Scenario, err = json.Marshal(sp); err != nil {
-		return 0, fmt.Errorf("scenario %q: encoding provenance: %w", sp.Name, err)
+		return 0, 0, fmt.Errorf("scenario %q: encoding provenance: %w", sp.Name, err)
 	}
 	tw, err := trace.NewWriter(w, h)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	n, err := dev.RecordSweepsTo(tw, c.Trajectories[0])
+	n, err := record(tw, c.Trajectories[0])
 	if err != nil {
 		tw.Close()
-		return n, err
+		return n, tw.RawBytes(), err
 	}
-	return n, tw.Close()
+	return n, tw.RawBytes(), tw.Close()
 }
 
 // ReplayResult is one replayed trace's outcome — the snapshot unit the
@@ -142,6 +155,14 @@ type ReplayResult struct {
 	// mode (see ReplayOptions.Recover); zero — and omitted — on a
 	// pristine trace, so the corpus golden files are unchanged.
 	Skips int `json:"skips,omitempty"`
+	// RawBytes / TraceBytes / CompressionRatio describe the trace's
+	// storage footprint: the encoded record-stream size before
+	// compression, the on-disk (compressed) file size, and their
+	// quotient. Set by the recording CLIs (witrack-record); informative
+	// only — the corpus diff gate ignores them.
+	RawBytes         int64   `json:"raw_bytes,omitempty"`
+	TraceBytes       int64   `json:"trace_bytes,omitempty"`
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
 	// Metrics holds the cell's metric values.
 	Metrics Metrics `json:"metrics"`
 }
@@ -264,6 +285,9 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 			return nil, fmt.Errorf("scenario %q: provenance compiles to %d samples per sweep, sweep trace recorded %d", sp.Name, got, h.SamplesPerSweep)
 		}
 	}
+	if (h.Sample == trace.SampleInt16) != (c.Config.Radio.ADCBits > 0) {
+		return nil, fmt.Errorf("scenario %q: provenance compiles to ADCBits=%d, trace sample encoding is %q", sp.Name, c.Config.Radio.ADCBits, h.Sample)
+	}
 
 	workers := c.Workers
 	if opts.Workers > 0 {
@@ -302,6 +326,14 @@ func ReplayTraceOpts(ctx context.Context, r io.Reader, opts ReplayOptions) (*Rep
 		dev, err := core.NewDevice(c.Config)
 		if err != nil {
 			return nil, err
+		}
+		// The quantizer scale is derived from the deployment's static
+		// environment; a trace whose recorded scale no longer matches what
+		// the provenance compiles to would dequantize every code wrong.
+		if h.Sample == trace.SampleInt16 {
+			if got := dev.SweepTraceHeaderInt16().ADCScale; got != h.ADCScale {
+				return nil, fmt.Errorf("scenario %q: provenance compiles to ADC scale %g, trace recorded %g", sp.Name, got, h.ADCScale)
+			}
 		}
 		dev.Workers = workers
 		dev.Pool = opts.Pool
@@ -406,6 +438,19 @@ func SweepCell() Spec {
 		Device(DeviceSpec{Separation: 1.0, SlowSynth: true, Radio: radio})
 }
 
+// SweepCellInt16 is SweepCell behind a modeled 14-bit ADC: the same
+// walk, radio, and seeds, but the sweeps are digitized at the source
+// and recorded as delta-coded int16 codes (trace.SampleInt16), so a
+// replay exercises the fused dequantize+window kernels and the ~4x
+// cheaper quantized ingest path end to end.
+func SweepCellInt16() Spec {
+	sp := SweepCell()
+	sp.Name = "sweep-walk-int16"
+	sp.Description = "quantized int16 sweep-domain walk for the batching load harness"
+	sp.Devices[0].Radio.ADCBits = 14
+	return sp
+}
+
 func Corpus() []Spec {
 	// The corpus radio: frames cover 11 m of round-trip range (the
 	// confined region's round trips top out near 10 m) at 16 frames/s.
@@ -444,5 +489,16 @@ func Corpus() []Spec {
 				Motion: MotionSpec{Kind: MotionWalk, Duration: 4.5, Seed: 743,
 					Region: &RegionSpec{XMin: -0.8, XMax: 0.8, YMin: 4.8, YMax: 5.2}}}).
 			Device(DeviceSpec{Separation: 1.0, Radio: radio}),
+
+		// A quantized sweep-domain cell: the walk is captured as
+		// delta-coded 14-bit ADC codes on the compact sweep radio (see
+		// SweepCell), so every corpus replay also exercises the int16
+		// decode → fused dequantize+window → RFFT ingest path. Kept short
+		// — raw sweeps are bulky even quantized.
+		*New("corpus-int16", "quantized int16 sweep-domain walk for the replay corpus").
+			Seeded(761).
+			Body(BodySpec{Motion: MotionSpec{Kind: MotionWalk, Duration: 0.8, Seed: 769, Region: near}}).
+			Device(DeviceSpec{Separation: 1.0, SlowSynth: true,
+				Radio: RadioSpec{MaxRange: 11, SweepsPerFrame: 8, SampleRate: 128e3, SweepTime: 2.5e-3, ADCBits: 14}}),
 	}
 }

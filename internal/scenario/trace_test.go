@@ -81,7 +81,7 @@ func TestRecordCellReplayMatchesLiveCell(t *testing.T) {
 			}
 
 			var buf bytes.Buffer
-			frames, err := RecordCell(sp, 0, &buf)
+			frames, _, err := RecordCell(sp, 0, &buf)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -131,7 +131,7 @@ func TestSweepCellReplayMatchesLiveCell(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	frames, err := RecordCellSweeps(&sp, 0, &buf)
+	frames, _, err := RecordCellSweeps(&sp, 0, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,6 +168,80 @@ func TestSweepCellReplayMatchesLiveCell(t *testing.T) {
 	}
 }
 
+// TestSweepCellInt16ReplayMatchesLiveCell extends the sweep-domain
+// equivalence gate to the quantized path: the int16 cell recorded as
+// delta-coded ADC codes and replayed through the fused dequantize +
+// window kernels must score bit-identical to the live quantized run,
+// with and without the batch scheduler — and the trace must actually
+// carry the int16 encoding, substantially smaller than the float64
+// recording of the same walk.
+func TestSweepCellInt16ReplayMatchesLiveCell(t *testing.T) {
+	sp := SweepCellInt16()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := runCell(context.Background(), &sp, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	frames, raw, err := RecordCellSweeps(&sp, 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != live.res.Frames {
+		t.Fatalf("recorded %d int16 sweep frames, live cell processed %d", frames, live.res.Frames)
+	}
+
+	tr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.Header()
+	if h.Sample != trace.SampleInt16 || h.ADCBits != 14 || h.ADCScale <= 0 {
+		t.Fatalf("int16 cell recorded header %+v, want SampleInt16 with ADCBits=14 and a positive scale", h)
+	}
+
+	var buf64 bytes.Buffer
+	sp64 := SweepCell()
+	if _, _, err := RecordCellSweeps(&sp64, 0, &buf64); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(buf64.Len()) / float64(buf.Len())
+	t.Logf("int16 trace %d B (%d B raw), float64 trace %d B: %.2fx smaller", buf.Len(), raw, buf64.Len(), ratio)
+	if ratio < 3 {
+		t.Fatalf("int16 sweep trace is only %.2fx smaller than the float64 recording, want >= 3x", ratio)
+	}
+
+	replay := func(opts ReplayOptions) *ReplayResult {
+		t.Helper()
+		res, err := ReplayTraceOpts(context.Background(), bytes.NewReader(buf.Bytes()), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := replay(ReplayOptions{})
+	if res.Frames != live.res.Frames {
+		t.Fatalf("replayed %d frames, live cell %d", res.Frames, live.res.Frames)
+	}
+	if !metricsBitEqual(res.Metrics, live.res.Metrics) {
+		t.Fatalf("int16 replay metrics diverged from live cell:\n  live   %v\n  replay %v",
+			live.res.Metrics, res.Metrics)
+	}
+
+	cl := core.NewBatchScheduler(0, 0).NewClient()
+	batched := replay(ReplayOptions{Batch: cl})
+	if !metricsBitEqual(batched.Metrics, live.res.Metrics) {
+		t.Fatalf("batched int16 replay diverged from live cell:\n  live    %v\n  batched %v",
+			live.res.Metrics, batched.Metrics)
+	}
+	if sub, _ := cl.Stats(); sub == 0 {
+		t.Fatal("batched int16 replay never routed a transform through the scheduler")
+	}
+}
+
 func TestRecordableRejectsProtocols(t *testing.T) {
 	fall := New("f", "").Seeded(1).
 		Body(BodySpec{Motion: MotionSpec{Kind: MotionFallStudy}})
@@ -180,7 +254,7 @@ func TestRecordableRejectsProtocols(t *testing.T) {
 		t.Fatalf("two-body tracking cell should be recordable: %v", err)
 	}
 	var buf bytes.Buffer
-	if _, err := RecordCell(fall, 0, &buf); err == nil {
+	if _, _, err := RecordCell(fall, 0, &buf); err == nil {
 		t.Fatal("RecordCell must reject protocol scenarios")
 	}
 }
@@ -204,7 +278,7 @@ func TestReplayRejectsMissingProvenance(t *testing.T) {
 func TestReplayRejectsTamperedProvenance(t *testing.T) {
 	sp := corpusLikeSpec()
 	var buf bytes.Buffer
-	if _, err := RecordCell(sp, 0, &buf); err != nil {
+	if _, _, err := RecordCell(sp, 0, &buf); err != nil {
 		t.Fatal(err)
 	}
 	// Re-encode the trace with a header whose recorded deployment no

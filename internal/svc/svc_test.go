@@ -208,7 +208,7 @@ func TestSvcSweepSessionsCoalesce(t *testing.T) {
 	}
 	sp := scenario.SweepCell()
 	var buf bytes.Buffer
-	if _, err := scenario.RecordCellSweeps(&sp, 0, &buf); err != nil {
+	if _, _, err := scenario.RecordCellSweeps(&sp, 0, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
@@ -258,6 +258,80 @@ func TestSvcSweepSessionsCoalesce(t *testing.T) {
 		submitted, coalesced, runtime.GOMAXPROCS(0))
 	if coalesced == 0 && runtime.GOMAXPROCS(0) > 1 {
 		t.Fatal("concurrent sweep sessions never coalesced on a multicore host")
+	}
+}
+
+// TestSvcInt16SweepSessionsCoalesce extends the cross-session batching
+// gate to the quantized ingest path, mixed with full-precision
+// sessions: two sessions replay the int16 sweep trace (delta-coded ADC
+// codes through the fused dequantize+window kernels) while two replay
+// the float64 recording of the same radio. Both cells compile to the
+// same FFT plan, so the scheduler's gather groups hold int16 and
+// float64 spans side by side — and every served result must still be
+// bit-identical to its own local offline replay.
+func TestSvcInt16SweepSessionsCoalesce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep-domain synthesis and replay are slow; skipped with -short")
+	}
+	record := func(sp scenario.Spec) []byte {
+		var buf bytes.Buffer
+		if _, _, err := scenario.RecordCellSweeps(&sp, 0, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	data64 := record(scenario.SweepCell())
+	data16 := record(scenario.SweepCellInt16())
+	if r := float64(len(data64)) / float64(len(data16)); r < 3 {
+		t.Fatalf("int16 sweep trace only %.2fx smaller than float64 (%d vs %d bytes), want >= 3x", r, len(data16), len(data64))
+	}
+	streams := [][]byte{data64, data16}
+	wants := []*scenario.ReplayResult{replayLocal(t, data64), replayLocal(t, data16)}
+
+	const sessions = 4
+	srv := startServer(t, Config{PoolSize: 2, GatherWindow: time.Millisecond})
+	client := &Client{Mgmt: "http://" + srv.MgmtAddr()}
+	info, err := client.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	sums := make([]*CloseSummary, sessions)
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		stats, err := client.CreateSession(CreateRequest{Name: fmt.Sprintf("sweep16-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sums[i], errs[i] = IngestTCP(info.IngestAddr, id, streams[i%2], IngestOptions{})
+		}(i, stats.ID)
+	}
+	wg.Wait()
+
+	var submitted, coalesced int64
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		sum := sums[i]
+		if !sum.OK {
+			t.Fatalf("session %d failed: %s", i, sum.Error)
+		}
+		sameResult(t, fmt.Sprintf("mixed sweep session %d", i), sum.Result, wants[i%2])
+		if sum.Timing == nil || sum.Timing.BatchSubmitted == 0 {
+			t.Fatalf("session %d reported no batched transforms; the sweep path did not route through the scheduler", i)
+		}
+		submitted += sum.Timing.BatchSubmitted
+		coalesced += sum.Timing.BatchCoalesced
+	}
+	t.Logf("%d transforms submitted, %d coalesced across mixed-precision sessions (GOMAXPROCS=%d)",
+		submitted, coalesced, runtime.GOMAXPROCS(0))
+	if coalesced == 0 && runtime.GOMAXPROCS(0) > 1 {
+		t.Fatal("concurrent mixed int16/float64 sessions never coalesced on a multicore host")
 	}
 }
 

@@ -36,7 +36,24 @@
 // bin count changes). The static background dominates most bins and is
 // bit-identical frame to frame, so the XOR zeroes the high bytes and the
 // gzip layer compresses them away — while the transform stays exactly
-// lossless, including NaN payloads. The stream ends with a trailer:
+// lossless, including NaN payloads.
+//
+// Version 2 adds a second sweep-domain record encoding (Header.Sample
+// == SampleInt16): quantized ADC codes instead of float64 samples. Its
+// frame record keeps the index/truths prefix and per-antenna framing,
+// but each antenna's body is
+//
+//	count      uint32   samples (SweepsPerFrame × SamplesPerSweep)
+//	samples    count × int16 little-endian, delta-coded
+//
+// where each sample is stored as the wrapping int16 difference against
+// the same sample of the previous frame (zero for the first frame, or
+// when the count changes) — exactly invertible, and because the static
+// background synthesizes to identical codes frame after frame, the
+// deltas zero it out entirely, leaving only quantization-scale noise
+// for gzip: 4x smaller raw than the float64 encoding and far more
+// compressible than XOR'd float64 noise mantissas. The stream ends
+// with a trailer:
 //
 //	sentinel   uint32   0xFFFFFFFF
 //	frames     uint64   total frame count
@@ -51,6 +68,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 
 	"witrack/internal/fmcw"
 	"witrack/internal/geom"
@@ -60,8 +78,15 @@ import (
 var Magic = [6]byte{'W', 'T', 'R', 'A', 'C', 'E'}
 
 // Version is the current container version. Readers reject newer
-// versions (the format is self-describing within a version, not across).
-const Version = 1
+// versions (the format is self-describing within a version, not
+// across). Version 2 added the SampleInt16 quantized sweep encoding;
+// writers stamp the lowest version that can describe their header, so
+// traces without int16 records stay byte-identical to version-1 output
+// and old readers keep decoding them.
+const (
+	Version      = 2
+	versionPlain = 1
+)
 
 // Ext is the conventional file extension.
 const Ext = ".wtrace"
@@ -137,11 +162,25 @@ type Header struct {
 	// values. Zero (and omitted) for bin-domain traces.
 	SweepsPerFrame  int `json:"sweeps_per_frame,omitempty"`
 	SamplesPerSweep int `json:"samples_per_sweep,omitempty"`
+	// Sample says how sweep-domain records encode their samples: ""
+	// (the default) is the lossless complex-packed float64 encoding;
+	// SampleInt16 is quantized ADC codes in delta-coded int16 bodies.
+	// Only valid with DomainSweeps.
+	Sample string `json:"sample,omitempty"`
+	// ADCBits / ADCScale describe the quantizer of a SampleInt16 trace:
+	// signed ADCBits-bit codes that dequantize as float64(code) *
+	// ADCScale. Zero (and omitted) for other encodings.
+	ADCBits  int     `json:"adc_bits,omitempty"`
+	ADCScale float64 `json:"adc_scale,omitempty"`
 }
 
 // DomainSweeps marks a trace whose records carry raw time-domain sweeps
 // instead of processed range bins.
 const DomainSweeps = "sweeps"
+
+// SampleInt16 marks a sweep-domain trace whose records carry quantized
+// ADC codes (delta-coded int16 bodies) instead of float64 samples.
+const SampleInt16 = "int16"
 
 // Validate checks the header fields a reader depends on.
 func (h *Header) Validate() error {
@@ -159,17 +198,39 @@ func (h *Header) Validate() error {
 		if h.SweepsPerFrame != 0 || h.SamplesPerSweep != 0 {
 			return fmt.Errorf("%w: sweep shape on a bin-domain trace", ErrCorrupt)
 		}
+		if h.Sample != "" {
+			return fmt.Errorf("%w: sample encoding %q on a bin-domain trace", ErrCorrupt, h.Sample)
+		}
 	case DomainSweeps:
 		if h.SweepsPerFrame <= 0 || h.SamplesPerSweep <= 0 {
 			return fmt.Errorf("%w: sweep-domain trace needs positive sweep shape, got %d × %d",
 				ErrCorrupt, h.SweepsPerFrame, h.SamplesPerSweep)
 		}
-		if h.SweepsPerFrame*h.SamplesPerSweep%2 != 0 {
-			return fmt.Errorf("%w: sweep-domain frame of %d samples cannot pack into complex pairs",
-				ErrCorrupt, h.SweepsPerFrame*h.SamplesPerSweep)
+		switch h.Sample {
+		case "":
+			// Complex-packed float64 samples pair up pairwise; int16
+			// records don't, so the evenness constraint is per-encoding.
+			if h.SweepsPerFrame*h.SamplesPerSweep%2 != 0 {
+				return fmt.Errorf("%w: sweep-domain frame of %d samples cannot pack into complex pairs",
+					ErrCorrupt, h.SweepsPerFrame*h.SamplesPerSweep)
+			}
+		case SampleInt16:
+			switch h.ADCBits {
+			case 12, 14, 16:
+			default:
+				return fmt.Errorf("%w: int16 trace ADC resolution %d bits is not 12, 14, or 16", ErrCorrupt, h.ADCBits)
+			}
+			if !(h.ADCScale > 0) || math.IsInf(h.ADCScale, 0) {
+				return fmt.Errorf("%w: int16 trace ADC scale %g is not positive and finite", ErrCorrupt, h.ADCScale)
+			}
+		default:
+			return fmt.Errorf("%w: unknown sample encoding %q", ErrCorrupt, h.Sample)
 		}
 	default:
 		return fmt.Errorf("%w: unknown trace domain %q", ErrCorrupt, h.Domain)
+	}
+	if h.Sample != SampleInt16 && (h.ADCBits != 0 || h.ADCScale != 0) {
+		return fmt.Errorf("%w: quantizer fields on a %q-sample trace", ErrCorrupt, h.Sample)
 	}
 	return nil
 }

@@ -56,12 +56,48 @@ func fuzzFrames(data []byte) (nRx int, frames [][]dsp.ComplexFrame, truths []*mo
 	return nRx, frames, truths
 }
 
-// drainTrace decodes data as a .wtrace until EOF or error. It must
-// never panic, whatever the bytes are.
+// fuzzFramesInt16 derives an int16 code stream from raw fuzz bytes,
+// rails and sign boundaries included.
+func fuzzFramesInt16(data []byte) (nRx int, frames [][][]int16) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	nRx = 1 + int(next()%3)
+	n := int(next() % 5)
+	for f := 0; f < n; f++ {
+		fr := make([][]int16, nRx)
+		for k := range fr {
+			fr[k] = make([]int16, int(next()%9))
+			for i := range fr[k] {
+				fr[k][i] = int16(uint16(next()) | uint16(next())<<8)
+			}
+		}
+		frames = append(frames, fr)
+	}
+	return nRx, frames
+}
+
+// drainTrace decodes data as a .wtrace until EOF or error, following
+// the header's record encoding. It must never panic, whatever the
+// bytes are.
 func drainTrace(data []byte) error {
 	tr, err := NewReader(bytes.NewReader(data))
 	if err != nil {
 		return err
+	}
+	if tr.Header().Sample == SampleInt16 {
+		var dst [][]int16
+		for {
+			var err error
+			if dst, _, err = tr.ReadFrameInt16Into(dst, nil); err != nil {
+				return err
+			}
+		}
 	}
 	var dst []dsp.ComplexFrame
 	for {
@@ -167,6 +203,53 @@ func FuzzTraceRoundTrip(f *testing.F) {
 			pos := int(uint(len(data))*37%uint(len(encoded)) | 1)
 			mutated := append([]byte(nil), encoded...)
 			mutated[pos%len(mutated)] ^= 1 << (uint(len(data)) % 8)
+			drainTrace(mutated)
+		}
+
+		// Property 4: the int16 record encoding honors the same
+		// contracts — exact round-trip of fuzz-derived codes, truncations
+		// always error, flips never panic.
+		nRx16, codes := fuzzFramesInt16(data)
+		var buf16 bytes.Buffer
+		tw16, err := NewWriter(&buf16, testHeaderInt16(nRx16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range codes {
+			if err := tw16.WriteFrameInt16(codes[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tw16.Close(); err != nil {
+			t.Fatal(err)
+		}
+		enc16 := buf16.Bytes()
+		tr16, err := NewReader(bytes.NewReader(enc16))
+		if err != nil {
+			t.Fatalf("decoding just-encoded int16 trace: %v", err)
+		}
+		var dst16 [][]int16
+		for i := range codes {
+			dst16, _, err = tr16.ReadFrameInt16Into(dst16, nil)
+			if err != nil {
+				t.Fatalf("int16 frame %d: %v", i, err)
+			}
+			for k := 0; k < nRx16; k++ {
+				if !int16Equal(dst16[k], codes[i][k]) {
+					t.Fatalf("int16 frame %d antenna %d not bit-identical", i, k)
+				}
+			}
+		}
+		if _, _, err := tr16.ReadFrameInt16Into(dst16, nil); err != io.EOF {
+			t.Fatalf("want io.EOF after int16 round trip, got %v", err)
+		}
+		if len(enc16) > 0 {
+			cut := int(uint(len(data)) * 29 % uint(len(enc16)))
+			if err := drainTrace(enc16[:cut]); err == nil {
+				t.Fatalf("int16 truncation to %d/%d bytes decoded cleanly", cut, len(enc16))
+			}
+			mutated := append([]byte(nil), enc16...)
+			mutated[int(uint(len(data))*41%uint(len(mutated)))] ^= 1 << (uint(len(data)) % 8)
 			drainTrace(mutated)
 		}
 	})

@@ -18,14 +18,15 @@ import (
 // stream that ends before the trailer — surfaces as an error wrapping
 // ErrCorrupt, never as a panic or a silently short trace.
 type Reader struct {
-	zr   *gzip.Reader
-	h    Header
-	buf  []byte
-	prev [][]uint64
-	tbuf []motion.BodyState // ReadFrameInto's reusable truth scratch
-	n    int
-	done bool
-	err  error // sticky
+	zr     *gzip.Reader
+	h      Header
+	buf    []byte
+	prev   [][]uint64
+	prev16 [][]int16
+	tbuf   []motion.BodyState // ReadFrameInto's reusable truth scratch
+	n      int
+	done   bool
+	err    error // sticky
 
 	// Recover mode (opt-in): CRC-failed records are skipped with a
 	// count instead of failing the stream. seq is the next expected
@@ -47,8 +48,10 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if [6]byte(pre[:6]) != Magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, pre[:6])
 	}
-	if v := binary.LittleEndian.Uint16(pre[6:8]); v != Version {
-		return nil, fmt.Errorf("%w: version %d (this reader handles %d)", ErrVersion, v, Version)
+	switch v := binary.LittleEndian.Uint16(pre[6:8]); v {
+	case versionPlain, Version:
+	default:
+		return nil, fmt.Errorf("%w: version %d (this reader handles %d through %d)", ErrVersion, v, versionPlain, Version)
 	}
 	hdrLen := binary.LittleEndian.Uint32(pre[8:12])
 	if hdrLen == 0 || hdrLen > maxHeaderLen {
@@ -74,7 +77,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("%w: opening compressed body: %v", ErrCorrupt, err)
 	}
 	zr.Multistream(false)
-	return &Reader{zr: zr, h: h, prev: make([][]uint64, h.NumRx), lastIdx: -1}, nil
+	return &Reader{
+		zr:      zr,
+		h:       h,
+		prev:    make([][]uint64, h.NumRx),
+		prev16:  make([][]int16, h.NumRx),
+		lastIdx: -1,
+	}, nil
 }
 
 // SetRecover switches the reader into (or out of) recover mode: a
@@ -144,105 +153,211 @@ func (tr *Reader) ReadFrameTruthsInto(dst []dsp.ComplexFrame, tdst []motion.Body
 	if tr.done {
 		return nil, nil, io.EOF
 	}
+	if tr.h.Sample == SampleInt16 {
+		return nil, nil, tr.fail("complex-frame read on a %s-sample trace (use ReadFrameInt16Into)", SampleInt16)
+	}
 
+	payload, err := tr.nextRecord()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	c := cursor{b: payload}
+	idx := c.u32()
+	if int(idx) != tr.seq {
+		if c.bad {
+			return nil, nil, tr.fail("frame record too short")
+		}
+		return nil, nil, tr.fail("frame index %d out of sequence (want %d)", idx, tr.seq)
+	}
+	count := int(c.u8())
+	if c.bad {
+		return nil, nil, tr.fail("frame record too short")
+	}
+	if count > MaxTruths {
+		return nil, nil, tr.fail("frame %d: truth count %d exceeds limit %d", tr.seq, count, MaxTruths)
+	}
+	truths := tdst[:0]
+	for i := 0; i < count; i++ {
+		s := c.bodyState()
+		if c.bad {
+			return nil, nil, tr.fail("frame %d: record too short for %d truth states", tr.seq, count)
+		}
+		truths = append(truths, s)
+	}
+
+	if len(dst) != tr.h.NumRx {
+		dst = make([]dsp.ComplexFrame, tr.h.NumRx)
+	}
+	for k := 0; k < tr.h.NumRx; k++ {
+		// Bound-check in uint64 before converting: a corrupt 2^31..2^32
+		// bin count must not go negative (and panic in make) on 32-bit
+		// platforms, nor overflow the 16*bins product.
+		bins32 := c.u32()
+		if c.bad || uint64(bins32)*16 > uint64(c.rem()) {
+			return nil, nil, tr.fail("frame %d antenna %d: record too short for %d bins", tr.seq, k, bins32)
+		}
+		bins := int(bins32)
+		if len(dst[k]) != bins {
+			dst[k] = make(dsp.ComplexFrame, bins)
+		}
+		if len(tr.prev[k]) != 2*bins {
+			tr.prev[k] = make([]uint64, 2*bins)
+		}
+		p := tr.prev[k]
+		for i := 0; i < bins; i++ {
+			re := c.u64() ^ p[2*i]
+			im := c.u64() ^ p[2*i+1]
+			p[2*i], p[2*i+1] = re, im
+			dst[k][i] = complex(math.Float64frombits(re), math.Float64frombits(im))
+		}
+	}
+	if c.bad {
+		return nil, nil, tr.fail("frame %d: record too short", tr.seq)
+	}
+	if c.rem() != 0 {
+		return nil, nil, tr.fail("frame %d: %d trailing bytes in record", tr.seq, c.rem())
+	}
+	tr.lastIdx = int(idx)
+	tr.n++
+	tr.seq++
+	if count == 0 {
+		truths = nil
+	}
+	return dst, truths, nil
+}
+
+// ReadFrameInt16Into decodes the next quantized sweep-domain frame of a
+// SampleInt16 trace: per antenna, the frame's concatenated ADC codes
+// (SweepsPerFrame × SamplesPerSweep of them), decoded from the wrapping
+// delta chain into dst, reusing its slices when correctly sized. Truths
+// decode into tdst exactly as in ReadFrameTruthsInto. It returns io.EOF
+// after the last frame, or an error wrapping ErrCorrupt on any damage.
+func (tr *Reader) ReadFrameInt16Into(dst [][]int16, tdst []motion.BodyState) ([][]int16, []motion.BodyState, error) {
+	if tr.err != nil {
+		return nil, nil, tr.err
+	}
+	if tr.done {
+		return nil, nil, io.EOF
+	}
+	if tr.h.Sample != SampleInt16 {
+		return nil, nil, tr.fail("int16 read on a %q-sample trace", tr.h.Sample)
+	}
+
+	payload, err := tr.nextRecord()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	c := cursor{b: payload}
+	idx := c.u32()
+	if int(idx) != tr.seq {
+		if c.bad {
+			return nil, nil, tr.fail("frame record too short")
+		}
+		return nil, nil, tr.fail("frame index %d out of sequence (want %d)", idx, tr.seq)
+	}
+	count := int(c.u8())
+	if c.bad {
+		return nil, nil, tr.fail("frame record too short")
+	}
+	if count > MaxTruths {
+		return nil, nil, tr.fail("frame %d: truth count %d exceeds limit %d", tr.seq, count, MaxTruths)
+	}
+	truths := tdst[:0]
+	for i := 0; i < count; i++ {
+		s := c.bodyState()
+		if c.bad {
+			return nil, nil, tr.fail("frame %d: record too short for %d truth states", tr.seq, count)
+		}
+		truths = append(truths, s)
+	}
+
+	if len(dst) != tr.h.NumRx {
+		dst = make([][]int16, tr.h.NumRx)
+	}
+	for k := 0; k < tr.h.NumRx; k++ {
+		// Same uint64 bound discipline as the float64 path: a corrupt
+		// count must fail cleanly, not allocate gigabytes or go negative.
+		n32 := c.u32()
+		if c.bad || uint64(n32)*2 > uint64(c.rem()) {
+			return nil, nil, tr.fail("frame %d antenna %d: record too short for %d samples", tr.seq, k, n32)
+		}
+		n := int(n32)
+		if len(dst[k]) != n {
+			dst[k] = make([]int16, n)
+		}
+		if len(tr.prev16[k]) != n {
+			tr.prev16[k] = make([]int16, n)
+		}
+		p := tr.prev16[k]
+		for i := 0; i < n; i++ {
+			// Wrapping addition inverts the writer's wrapping subtraction
+			// exactly.
+			v := p[i] + int16(c.u16())
+			p[i] = v
+			dst[k][i] = v
+		}
+	}
+	if c.bad {
+		return nil, nil, tr.fail("frame %d: record too short", tr.seq)
+	}
+	if c.rem() != 0 {
+		return nil, nil, tr.fail("frame %d: %d trailing bytes in record", tr.seq, c.rem())
+	}
+	tr.lastIdx = int(idx)
+	tr.n++
+	tr.seq++
+	if count == 0 {
+		truths = nil
+	}
+	return dst, truths, nil
+}
+
+// nextRecord reads the next framed record from the gzip stream: length
+// prefix, payload (into the reader's reusable buffer), payload CRC. It
+// handles the trailer (returning io.EOF via finish) and recover mode
+// (salvaging CRC-failed records and resyncing on the next one).
+func (tr *Reader) nextRecord() ([]byte, error) {
 	for {
 		var pre [4]byte
 		if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
-			return nil, nil, tr.fail("stream ended before trailer: %v", err)
+			return nil, tr.fail("stream ended before trailer: %v", err)
 		}
 		plen := binary.LittleEndian.Uint32(pre[:])
 		if plen == trailerSentinel {
-			return nil, nil, tr.finish()
+			return nil, tr.finish()
 		}
 		if plen > maxPayloadLen {
-			return nil, nil, tr.fail("frame record length %d exceeds limit", plen)
+			return nil, tr.fail("frame record length %d exceeds limit", plen)
 		}
 		if cap(tr.buf) < int(plen) {
 			tr.buf = make([]byte, plen)
 		}
 		payload := tr.buf[:plen]
 		if _, err := io.ReadFull(tr.zr, payload); err != nil {
-			return nil, nil, tr.fail("truncated frame record: %v", err)
+			return nil, tr.fail("truncated frame record: %v", err)
 		}
 		if _, err := io.ReadFull(tr.zr, pre[:]); err != nil {
-			return nil, nil, tr.fail("truncated frame CRC: %v", err)
+			return nil, tr.fail("truncated frame CRC: %v", err)
 		}
 		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(pre[:]); got != want {
 			if tr.rec {
 				// Recover mode: advance the delta chain through the
 				// damaged record when its structure still parses, count
 				// the skip, and resync at the next record.
-				tr.salvage(payload)
+				if tr.h.Sample == SampleInt16 {
+					tr.salvageInt16(payload)
+				} else {
+					tr.salvage(payload)
+				}
 				tr.skipped++
 				tr.seq++
 				continue
 			}
-			return nil, nil, tr.fail("frame %d CRC %#08x != stored %#08x", tr.seq, got, want)
+			return nil, tr.fail("frame %d CRC %#08x != stored %#08x", tr.seq, got, want)
 		}
-
-		c := cursor{b: payload}
-		idx := c.u32()
-		if int(idx) != tr.seq {
-			if c.bad {
-				return nil, nil, tr.fail("frame record too short")
-			}
-			return nil, nil, tr.fail("frame index %d out of sequence (want %d)", idx, tr.seq)
-		}
-		count := int(c.u8())
-		if c.bad {
-			return nil, nil, tr.fail("frame record too short")
-		}
-		if count > MaxTruths {
-			return nil, nil, tr.fail("frame %d: truth count %d exceeds limit %d", tr.seq, count, MaxTruths)
-		}
-		truths := tdst[:0]
-		for i := 0; i < count; i++ {
-			s := c.bodyState()
-			if c.bad {
-				return nil, nil, tr.fail("frame %d: record too short for %d truth states", tr.seq, count)
-			}
-			truths = append(truths, s)
-		}
-
-		if len(dst) != tr.h.NumRx {
-			dst = make([]dsp.ComplexFrame, tr.h.NumRx)
-		}
-		for k := 0; k < tr.h.NumRx; k++ {
-			// Bound-check in uint64 before converting: a corrupt 2^31..2^32
-			// bin count must not go negative (and panic in make) on 32-bit
-			// platforms, nor overflow the 16*bins product.
-			bins32 := c.u32()
-			if c.bad || uint64(bins32)*16 > uint64(c.rem()) {
-				return nil, nil, tr.fail("frame %d antenna %d: record too short for %d bins", tr.seq, k, bins32)
-			}
-			bins := int(bins32)
-			if len(dst[k]) != bins {
-				dst[k] = make(dsp.ComplexFrame, bins)
-			}
-			if len(tr.prev[k]) != 2*bins {
-				tr.prev[k] = make([]uint64, 2*bins)
-			}
-			p := tr.prev[k]
-			for i := 0; i < bins; i++ {
-				re := c.u64() ^ p[2*i]
-				im := c.u64() ^ p[2*i+1]
-				p[2*i], p[2*i+1] = re, im
-				dst[k][i] = complex(math.Float64frombits(re), math.Float64frombits(im))
-			}
-		}
-		if c.bad {
-			return nil, nil, tr.fail("frame %d: record too short", tr.seq)
-		}
-		if c.rem() != 0 {
-			return nil, nil, tr.fail("frame %d: %d trailing bytes in record", tr.seq, c.rem())
-		}
-		tr.lastIdx = int(idx)
-		tr.n++
-		tr.seq++
-		if count == 0 {
-			truths = nil
-		}
-		return dst, truths, nil
+		return payload, nil
 	}
 }
 
@@ -283,6 +398,41 @@ func (tr *Reader) salvage(payload []byte) {
 		for i := 0; i < bins; i++ {
 			p[2*i] ^= c.u64()
 			p[2*i+1] ^= c.u64()
+		}
+	}
+}
+
+// salvageInt16 is salvage for the int16 delta chain: the wrapping
+// deltas of a CRC-failed record are applied to prev16 so later frames
+// decode against the right predecessor, confining the damage to the
+// flipped samples themselves.
+func (tr *Reader) salvageInt16(payload []byte) {
+	c := cursor{b: payload}
+	c.u32() // index
+	count := int(c.u8())
+	if c.bad || count > MaxTruths {
+		return
+	}
+	for i := 0; i < count; i++ {
+		c.bodyState()
+		if c.bad {
+			return
+		}
+	}
+	for k := 0; k < tr.h.NumRx; k++ {
+		n32 := c.u32()
+		if c.bad || uint64(n32)*2 > uint64(c.rem()) {
+			return
+		}
+		n := int(n32)
+		if len(tr.prev16[k]) != n {
+			// First-ever record, or a sample-count change: the chain slot
+			// starts from zero (the writer deltas frame 0 against zero).
+			tr.prev16[k] = make([]int16, n)
+		}
+		p := tr.prev16[k]
+		for i := 0; i < n; i++ {
+			p[i] += int16(c.u16())
 		}
 	}
 }
@@ -342,6 +492,16 @@ func (c *cursor) u8() byte {
 	}
 	v := c.b[c.i]
 	c.i++
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.rem() < 2 {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.i:])
+	c.i += 2
 	return v
 }
 

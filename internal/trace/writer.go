@@ -22,10 +22,13 @@ type Writer struct {
 	w      io.Writer
 	zw     *gzip.Writer
 	nRx    int
+	sample string
 	buf    []byte
 	prev   [][]uint64 // per antenna, previous frame's raw bits (re, im interleaved)
+	prev16 [][]int16  // per antenna, previous frame's codes (int16 traces)
 	one    [1]motion.BodyState
 	n      int
+	raw    int64
 	closed bool
 	err    error
 }
@@ -44,9 +47,17 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	if len(hdr) > maxHeaderLen {
 		return nil, fmt.Errorf("trace: header JSON is %d bytes (max %d)", len(hdr), maxHeaderLen)
 	}
+	// Stamp the lowest version that can describe this header: plain
+	// traces stay byte-identical to version-1 output (the checked-in
+	// corpus does not churn), int16 traces get the version that added
+	// their encoding.
+	version := uint16(versionPlain)
+	if h.Sample != "" {
+		version = Version
+	}
 	pre := make([]byte, 0, len(Magic)+2+4+len(hdr)+4)
 	pre = append(pre, Magic[:]...)
-	pre = binary.LittleEndian.AppendUint16(pre, Version)
+	pre = binary.LittleEndian.AppendUint16(pre, version)
 	pre = binary.LittleEndian.AppendUint32(pre, uint32(len(hdr)))
 	pre = append(pre, hdr...)
 	pre = binary.LittleEndian.AppendUint32(pre, crc32.ChecksumIEEE(hdr))
@@ -57,11 +68,24 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	return &Writer{w: w, zw: zw, nRx: h.NumRx, prev: make([][]uint64, h.NumRx)}, nil
+	return &Writer{
+		w:      w,
+		zw:     zw,
+		nRx:    h.NumRx,
+		sample: h.Sample,
+		prev:   make([][]uint64, h.NumRx),
+		prev16: make([][]int16, h.NumRx),
+		raw:    int64(len(pre)),
+	}, nil
 }
 
 // Frames returns how many frames have been written.
 func (tw *Writer) Frames() int { return tw.n }
+
+// RawBytes returns how many bytes the trace encodes to before
+// compression (preamble plus framed records plus, after Close, the
+// trailer) — the numerator of the codec's compression ratio.
+func (tw *Writer) RawBytes() int64 { return tw.raw }
 
 // WriteFrame appends one frame: the per-antenna complex frames (one per
 // receive antenna, in antenna order) plus optional single-subject
@@ -85,6 +109,9 @@ func (tw *Writer) WriteFrameTruths(frames []dsp.ComplexFrame, truths []motion.Bo
 	}
 	if tw.closed {
 		return fmt.Errorf("trace: WriteFrame after Close")
+	}
+	if tw.sample == SampleInt16 {
+		return fmt.Errorf("trace: WriteFrameTruths on a %s-sample trace (use WriteFrameInt16)", SampleInt16)
 	}
 	if len(frames) != tw.nRx {
 		return fmt.Errorf("trace: frame has %d antennas, header says %d", len(frames), tw.nRx)
@@ -113,7 +140,68 @@ func (tw *Writer) WriteFrameTruths(frames []dsp.ComplexFrame, truths []motion.Bo
 		}
 	}
 	tw.buf = b
+	return tw.writeRecord(b)
+}
 
+// WriteFrameInt16 appends one quantized sweep-domain frame: per antenna,
+// the frame's sweeps concatenated in sweep order as raw ADC codes, plus
+// optional single-subject ground truth. Only valid on a SampleInt16
+// trace. The codes are fully encoded (delta-filtered against the
+// previous frame) before WriteFrameInt16 returns, so callers may reuse
+// their buffers.
+func (tw *Writer) WriteFrameInt16(sweeps [][]int16, truth *motion.BodyState) error {
+	if truth == nil {
+		return tw.WriteFrameInt16Truths(sweeps, nil)
+	}
+	tw.one[0] = *truth
+	return tw.WriteFrameInt16Truths(sweeps, tw.one[:])
+}
+
+// WriteFrameInt16Truths is WriteFrameInt16 carrying one ground-truth
+// BodyState per tracked subject.
+func (tw *Writer) WriteFrameInt16Truths(sweeps [][]int16, truths []motion.BodyState) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		return fmt.Errorf("trace: WriteFrame after Close")
+	}
+	if tw.sample != SampleInt16 {
+		return fmt.Errorf("trace: WriteFrameInt16Truths on a %q-sample trace", tw.sample)
+	}
+	if len(sweeps) != tw.nRx {
+		return fmt.Errorf("trace: frame has %d antennas, header says %d", len(sweeps), tw.nRx)
+	}
+	if len(truths) > MaxTruths {
+		return fmt.Errorf("trace: %d ground-truth states per frame (max %d)", len(truths), MaxTruths)
+	}
+
+	b := tw.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, uint32(tw.n))
+	b = append(b, byte(len(truths)))
+	for i := range truths {
+		b = appendBodyState(b, &truths[i])
+	}
+	for k, codes := range sweeps {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(codes)))
+		if len(tw.prev16[k]) != len(codes) {
+			tw.prev16[k] = make([]int16, len(codes))
+		}
+		p := tw.prev16[k]
+		for i, v := range codes {
+			// Wrapping int16 subtraction is exactly invertible by wrapping
+			// addition, whatever the magnitudes — no clamping, no loss.
+			b = binary.LittleEndian.AppendUint16(b, uint16(v-p[i]))
+			p[i] = v
+		}
+	}
+	tw.buf = b
+	return tw.writeRecord(b)
+}
+
+// writeRecord frames one encoded payload into the gzip stream:
+// length prefix, payload, payload CRC.
+func (tw *Writer) writeRecord(b []byte) error {
 	if len(b) > maxPayloadLen {
 		tw.err = fmt.Errorf("trace: frame record is %d bytes (max %d)", len(b), maxPayloadLen)
 		return tw.err
@@ -133,6 +221,7 @@ func (tw *Writer) WriteFrameTruths(frames []dsp.ComplexFrame, truths []motion.Bo
 		tw.err = fmt.Errorf("trace: %w", err)
 		return tw.err
 	}
+	tw.raw += int64(8 + len(b))
 	tw.n++
 	return nil
 }
@@ -157,6 +246,7 @@ func (tw *Writer) Close() error {
 		tw.zw.Close()
 		return tw.err
 	}
+	tw.raw += int64(len(t))
 	if err := tw.zw.Close(); err != nil {
 		tw.err = fmt.Errorf("trace: %w", err)
 	}

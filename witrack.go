@@ -551,7 +551,8 @@ func CorpusScenarios() []Scenario { return scenario.Corpus() }
 // .wtrace with the spec embedded as provenance; ReplayScenarioTrace
 // reproduces the live cell's metrics from it bit-identically.
 func RecordScenarioCell(sp *Scenario, deviceIndex int, w io.Writer) (int, error) {
-	return scenario.RecordCell(sp, deviceIndex, w)
+	n, _, err := scenario.RecordCell(sp, deviceIndex, w)
+	return n, err
 }
 
 // ReplayScenarioTrace streams a recorded cell back through the pipeline
